@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures,
+prints it next to the paper's reported values, and asserts the *shape*
+(ordering, rough factors, crossovers) — not the absolute numbers, since
+the substrate is a simulator rather than the authors' testbed.
+
+All measurements are in virtual time; the ``benchmark`` fixture wraps
+the simulation run so `--benchmark-only` also reports how much wall
+time each reproduction costs.
+
+The paper averages 5 consecutive runs; we average 5 independently
+seeded runs (3 for the heaviest migration cases, noted inline).
+"""
+
+import pytest
+
+SEEDS = (101, 202, 303, 404, 505)
+
+
+@pytest.fixture
+def seeds():
+    return SEEDS
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure(name): marks which paper figure/table a bench regenerates"
+    )

@@ -1,0 +1,68 @@
+"""Ablation: the classifier's operating band.
+
+The verdict rule compares medians against ``ratio_threshold`` x the t0
+baseline.  Because CoW faults sit three orders of magnitude above plain
+writes, the detector should not care where in a very wide band the
+threshold sits — this bench sweeps it across two decades and checks the
+verdicts never move.  (A knife-edge threshold would be a red flag that
+the reproduction had been tuned to pass.)
+"""
+
+import pytest
+
+from repro import scenarios
+from repro.analysis.report import render_table
+from repro.core.detection.classifier import classify
+from repro.core.detection.dedup_detector import DedupDetector
+
+THRESHOLDS = (2.0, 8.0, 50.0, 200.0)
+
+
+@pytest.mark.figure("ablation-threshold")
+def test_ablation_classifier_threshold(benchmark):
+    def run_all():
+        reports = {}
+        for nested in (False, True):
+            host, cloud, _ksm, _loc = scenarios.detection_setup(
+                nested=nested, seed=901
+            )
+            detector = DedupDetector(host, cloud, file_pages=25)
+            reports[nested] = host.engine.run(
+                host.engine.process(detector.run())
+            )
+        matrix = {}
+        for nested, report in reports.items():
+            for threshold in THRESHOLDS:
+                verdict = classify(
+                    report.t0_us,
+                    report.t1_us,
+                    report.t2_us,
+                    ratio_threshold=threshold,
+                )
+                matrix[(nested, threshold)] = verdict.verdict
+        return matrix
+
+    matrix = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for threshold in THRESHOLDS:
+        rows.append(
+            [
+                f"{threshold:g}x",
+                matrix[(False, threshold)],
+                matrix[(True, threshold)],
+            ]
+        )
+    print()
+    print(
+        render_table(
+            "Verdict vs classifier threshold (same raw measurements)",
+            ["threshold", "clean host", "CloudSkulk"],
+            rows,
+            col_width=16,
+        )
+    )
+
+    for threshold in THRESHOLDS:
+        assert matrix[(False, threshold)] == "clean"
+        assert matrix[(True, threshold)] == "nested"

@@ -1,0 +1,65 @@
+"""Ablation: co-residence interference (related work §VII-B).
+
+The co-residence literature the paper surveys ([55, 59]) turns shared
+hosts into attack surface.  Our scheduler model makes the basic effect
+measurable: CPU-bound work stretches once busy vCPUs oversubscribe the
+package.  This bench sweeps co-resident busy tenants against the
+victim's compile time — also a sanity check that the paper's own
+single-tenant benchmarks ran interference-free (they did: 1 busy guest
+on 8 logical CPUs).
+"""
+
+import pytest
+
+from repro import scenarios
+from repro.analysis.report import render_table
+from repro.workloads.kernel_compile import KernelCompileWorkload
+
+TENANT_SWEEP = (0, 4, 8, 16)
+
+
+def _compile_with_hogs(extra_busy, seed=55):
+    host = scenarios.testbed(seed=seed)
+    vm = scenarios.launch_victim(host)
+    scheduler = host.machine.scheduler
+    hogs = [object() for _ in range(extra_busy)]
+    for hog in hogs:
+        scheduler.occupy(hog)
+    try:
+        result = host.engine.run(
+            KernelCompileWorkload(units=400).start(vm.guest)
+        )
+    finally:
+        for hog in hogs:
+            scheduler.release(hog)
+    return result.metrics["build_seconds"]
+
+
+@pytest.mark.figure("ablation-coresidence")
+def test_ablation_coresidence(benchmark):
+    def run_all():
+        return {n: _compile_with_hogs(n) for n in TENANT_SWEEP}
+
+    times = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    baseline = times[0]
+    rows = [
+        [f"{n} co-resident busy vCPUs", t, t / baseline]
+        for n, t in times.items()
+    ]
+    print()
+    print(
+        render_table(
+            "Ablation: victim compile time vs co-residents (8 logical CPUs)",
+            ["scenario", "build (s)", "slowdown"],
+            rows,
+            col_width=18,
+        )
+    )
+
+    # Up to 7 extra busy tenants: no interference (8 cores, 8 busy).
+    assert times[4] == pytest.approx(baseline, rel=0.02)
+    # 8 extra (9 busy on 8 cores): ~9/8 stretch.
+    assert times[8] / baseline == pytest.approx(9 / 8, rel=0.05)
+    # 16 extra (17 busy): ~17/8 stretch.
+    assert times[16] / baseline == pytest.approx(17 / 8, rel=0.05)

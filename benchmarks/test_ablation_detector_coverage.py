@@ -1,0 +1,90 @@
+"""Ablation: detector complementarity — the deployment matrix.
+
+The library now carries four host-side channels.  Each has a blind
+spot; together they cover each other:
+
+* **dedup timing** — needs KSM on; works on idle victims;
+* **exit census** — needs the nested guest to be *running work*;
+  works with KSM off;
+* **VMCS scan** — instant, but VT-x-signature-bound;
+* **VMI fingerprint** — defeated by competent impersonation.
+
+This bench builds the coverage matrix over (idle vs busy victim) x
+(KSM on vs off) and asserts at least one channel fires in every cell —
+while no single channel covers all cells.
+"""
+
+import pytest
+
+from repro import scenarios
+from repro.analysis.report import render_table
+from repro.core.detection.dedup_detector import DedupDetector
+from repro.core.detection.exit_census import exit_census
+from repro.core.detection.vmcs_scan import scan_for_hypervisors
+from repro.workloads.filebench import FilebenchWorkload
+
+
+def _cell(busy, ksm_on, seed):
+    host, cloud, ksm, locator = scenarios.detection_setup(nested=True, seed=seed)
+    if not ksm_on:
+        ksm.stop()
+    workload = None
+    if busy:
+        workload = FilebenchWorkload()
+        workload.start(locator(), duration=10_000.0)
+        host.engine.run(until=host.engine.now + 30.0)
+
+    dedup = DedupDetector(host, cloud, file_pages=15)
+    dedup_verdict = host.engine.run(host.engine.process(dedup.run())).verdict
+    census = host.engine.run(host.engine.process(exit_census(host)))
+    scan = host.engine.run(host.engine.process(scan_for_hypervisors(host)))
+    if workload is not None:
+        workload.stop()
+    return {
+        "dedup": dedup_verdict.verdict == "nested",
+        "census": census.hypervisor_detected,
+        "vmcs": scan.nested_hypervisor_detected,
+    }
+
+
+@pytest.mark.figure("ablation-coverage")
+def test_ablation_detector_coverage(benchmark):
+    def run_all():
+        return {
+            ("idle", "ksm-on"): _cell(False, True, 601),
+            ("idle", "ksm-off"): _cell(False, False, 602),
+            ("busy", "ksm-on"): _cell(True, True, 603),
+            ("busy", "ksm-off"): _cell(True, False, 604),
+        }
+
+    matrix = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for (victim, ksm_state), hits in sorted(matrix.items()):
+        rows.append(
+            [
+                f"{victim}/{ksm_state}",
+                "HIT" if hits["dedup"] else "-",
+                "HIT" if hits["census"] else "-",
+                "HIT" if hits["vmcs"] else "-",
+            ]
+        )
+    print()
+    print(
+        render_table(
+            "Detector coverage matrix (CloudSkulk present in every cell)",
+            ["scenario", "dedup", "exit-census", "vmcs-scan"],
+            rows,
+            col_width=14,
+        )
+    )
+
+    # Every cell is covered by at least one channel...
+    for hits in matrix.values():
+        assert any(hits.values())
+    # ...the census needs a busy victim...
+    assert not matrix[("idle", "ksm-off")]["census"]
+    assert matrix[("busy", "ksm-off")]["census"]
+    # ...and dedup needs KSM.
+    assert matrix[("idle", "ksm-on")]["dedup"]
+    assert not matrix[("idle", "ksm-off")]["dedup"]

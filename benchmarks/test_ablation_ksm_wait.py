@@ -1,0 +1,59 @@
+"""Ablation: the "wait for a while" in the detection protocol (§VI-B).
+
+KSM needs two clean scan passes over a page before merging it, so the
+detector's settle time must cover at least two full scans at the
+configured ksmd rate.  This bench sweeps the wait against a slow ksmd
+and shows the protocol degrading to *inconclusive* (never to a wrong
+verdict) when rushed — the failure is safe.
+"""
+
+import pytest
+
+from repro import scenarios
+from repro.analysis.report import render_table
+from repro.core.detection.dedup_detector import DedupDetector
+
+#: (ksmd pages per wake, detector wait seconds)
+SWEEP = (
+    (1250, 20.0),   # the defaults: comfortable
+    (1250, 4.0),    # fast scanner, short wait: still fine
+    (100, 2.0),     # slow scanner, rushed wait: must not merge in time
+)
+
+
+def _run(pages_to_scan, wait_seconds, seed=101):
+    host, cloud, _ksm, _loc = scenarios.detection_setup(
+        nested=True, seed=seed, ksm_pages_to_scan=pages_to_scan
+    )
+    detector = DedupDetector(host, cloud, wait_seconds=wait_seconds)
+    report = host.engine.run(host.engine.process(detector.run()))
+    return report.verdict.verdict
+
+
+@pytest.mark.figure("ablation-ksm-wait")
+def test_ablation_ksm_wait(benchmark):
+    def run_all():
+        return {
+            (pages, wait): _run(pages, wait) for pages, wait in SWEEP
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [f"{pages}p/20ms", wait, verdict]
+        for (pages, wait), verdict in results.items()
+    ]
+    print()
+    print(
+        render_table(
+            "Ablation: verdict vs ksmd rate and settle wait",
+            ["ksmd rate", "wait (s)", "verdict"],
+            rows,
+            col_width=14,
+        )
+    )
+
+    assert results[(1250, 20.0)] == "nested"
+    assert results[(1250, 4.0)] == "nested"
+    # Rushing a slow scanner degrades safely to inconclusive.
+    assert results[(100, 2.0)] == "inconclusive"

@@ -1,0 +1,71 @@
+"""Ablation: what the victim's *users* feel (§III-A's stealth claim).
+
+"From the VM owner's perspective, the owner does not observe any
+obvious behavior change ... However, the VM owner will experience a
+performance change due to the additional layer of virtualization."
+
+We serve a web application from the victim, measure client-observed
+request latency before the attack, install CloudSkulk, and measure
+again over the *same public endpoint*.  The claim under test: the
+service keeps answering at the same address, and the added latency is
+real but small in absolute terms — the kind of change no user files a
+ticket about.
+"""
+
+import statistics
+
+import pytest
+
+from repro import scenarios
+from repro.analysis.report import render_table
+from repro.net.stack import Link, NetworkNode
+from repro.workloads.webserver import LatencyProbe, WebService
+
+WEB_HOST_PORT = 8080
+
+
+@pytest.mark.figure("ablation-user-latency")
+def test_ablation_user_latency(benchmark):
+    def run_all():
+        host = scenarios.testbed(seed=88)
+        config = scenarios.victim_config()
+        config.nics[0].hostfwds.append(("tcp", WEB_HOST_PORT, 80))
+        vm = scenarios.launch_victim(host, config)
+        WebService(vm.guest, port=80)
+        client = NetworkNode(host.engine, "browser")
+        Link(client, host.net_node, 941e6, 1.2e-4)
+        probe = LatencyProbe(client, host.net_node, WEB_HOST_PORT)
+
+        before = host.engine.run(probe.start(host, requests=150))
+        report = scenarios.install_cloudskulk(host)
+        probe_after = LatencyProbe(client, host.net_node, WEB_HOST_PORT)
+        after = host.engine.run(probe_after.start(host, requests=150))
+        return before.metrics, after.metrics, report
+
+    before, after, report = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    b_median = before["median_ms"]
+    a_median = after["median_ms"]
+    b_p95 = statistics.quantiles(before["rtts_ms"], n=20)[18]
+    a_p95 = statistics.quantiles(after["rtts_ms"], n=20)[18]
+    print()
+    print(
+        render_table(
+            "User-observed request latency, same public endpoint",
+            ["", "median (ms)", "p95 (ms)"],
+            [
+                ["before attack", b_median, b_p95],
+                ["after attack", a_median, a_p95],
+                ["delta", a_median - b_median, a_p95 - b_p95],
+            ],
+            col_width=16,
+        )
+    )
+
+    # The service still answers at the same address after the attack.
+    assert len(after["rtts_ms"]) == 150
+    # The added latency is real...
+    assert a_median > b_median
+    # ...but under a millisecond and under 2x — nothing a human notices.
+    assert a_median - b_median < 1.0
+    assert a_median / b_median < 2.0

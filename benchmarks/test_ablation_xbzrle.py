@@ -1,0 +1,70 @@
+"""Ablation: XBZRLE compression vs the dirty-page storm.
+
+Fig 4's CPU/memory case is painful because re-sent pages cost full
+pages.  QEMU's XBZRLE capability delta-encodes resends; for an attacker
+this is a tactical option — a faster nested migration shrinks the
+attack's risky window — and for a defender it shifts what "anomalously
+long migration traffic" looks like.
+"""
+
+import pytest
+
+from repro import scenarios
+from repro.analysis.report import render_table
+from repro.qemu.config import DriveSpec
+from repro.qemu.qemu_img import qemu_img_create
+from repro.qemu.vm import launch_vm
+from repro.workloads.kernel_compile import KernelCompileWorkload
+
+
+def _run(xbzrle, seed=81):
+    host = scenarios.testbed(seed=seed)
+    vm = scenarios.launch_victim(host)
+    workload = KernelCompileWorkload()
+    workload.start(vm.guest, loop_forever=True)
+    qemu_img_create(host, "/var/lib/images/xb.qcow2", 20)
+    config = vm.config.clone_for_destination(
+        "xb", incoming_port=4444, keep_hostfwds=False
+    )
+    config.drives = [DriveSpec("/var/lib/images/xb.qcow2")]
+    launch_vm(host, config)
+    if xbzrle:
+        vm.monitor.execute("migrate_set_capability xbzrle on")
+    vm.monitor.execute("migrate -d tcp:127.0.0.1:4444")
+    host.engine.run(vm.migration_process)
+    workload.stop()
+    return vm.migration_stats
+
+
+@pytest.mark.figure("ablation-xbzrle")
+def test_ablation_xbzrle(benchmark):
+    def run_all():
+        return {label: _run(flag) for label, flag in
+                (("plain", False), ("xbzrle", True))}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [
+            label,
+            stats.total_time,
+            stats.iterations,
+            stats.throttle_percentage,
+            stats.ram_bytes / 1e6,
+        ]
+        for label, stats in results.items()
+    ]
+    print()
+    print(
+        render_table(
+            "Ablation: compile-workload migration, XBZRLE off/on",
+            ["mode", "total (s)", "iters", "throttle %", "sent (MB)"],
+            rows,
+            col_width=14,
+        )
+    )
+
+    plain, xbzrle = results["plain"], results["xbzrle"]
+    assert xbzrle.total_time < plain.total_time * 0.6
+    assert xbzrle.ram_bytes < plain.ram_bytes
+    assert xbzrle.throttle_percentage <= plain.throttle_percentage

@@ -1,0 +1,59 @@
+"""Statistical evaluation: detection accuracy over many trials.
+
+The paper demonstrates effectiveness on one setup of each kind; this
+bench runs the full protocol over a battery of independently seeded
+hosts — clean and compromised — and reports the confusion matrix.
+The claim under test: zero false positives and zero false negatives
+at the default operating point.
+"""
+
+import pytest
+
+from repro import scenarios
+from repro.analysis.report import render_table
+from repro.core.detection.dedup_detector import DedupDetector
+
+TRIALS = 12
+
+
+def _verdict(nested, seed):
+    host, cloud, _ksm, _loc = scenarios.detection_setup(nested=nested, seed=seed)
+    detector = DedupDetector(host, cloud, file_pages=25)
+    report = host.engine.run(host.engine.process(detector.run()))
+    return report.verdict.verdict
+
+
+@pytest.mark.figure("detection-accuracy")
+def test_detection_accuracy(benchmark):
+    def run_all():
+        clean = [_verdict(False, 1000 + i) for i in range(TRIALS)]
+        nested = [_verdict(True, 2000 + i) for i in range(TRIALS)]
+        return clean, nested
+
+    clean, nested = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    true_negative = clean.count("clean")
+    false_positive = clean.count("nested")
+    true_positive = nested.count("nested")
+    false_negative = nested.count("clean")
+    inconclusive = clean.count("inconclusive") + nested.count("inconclusive")
+
+    print()
+    print(
+        render_table(
+            f"Detection confusion matrix over {TRIALS}+{TRIALS} trials",
+            ["truth \\ verdict", "clean", "nested"],
+            [
+                ["clean host", true_negative, false_positive],
+                ["CloudSkulk", false_negative, true_positive],
+            ],
+            col_width=16,
+        )
+    )
+    print(f"inconclusive runs: {inconclusive}")
+
+    assert false_positive == 0
+    assert false_negative == 0
+    assert inconclusive == 0
+    assert true_negative == TRIALS
+    assert true_positive == TRIALS

@@ -1,0 +1,33 @@
+"""Table I: VM-escape CVEs per hypervisor, 2015-2020."""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.data.cve import HYPERVISORS, YEARS, table1_matrix
+
+PAPER_TOTALS = {
+    "VMware": 29,
+    "VirtualBox": 15,
+    "Xen": 15,
+    "Hyper-V": 14,
+    "KVM/QEMU": 23,
+}
+
+
+@pytest.mark.figure("table1")
+def test_table1_cve_survey(benchmark):
+    matrix, totals = benchmark(table1_matrix)
+
+    rows = [
+        [year] + [matrix[year][hv] for hv in HYPERVISORS] for year in YEARS
+    ]
+    rows.append(["Total"] + [totals[hv] for hv in HYPERVISORS])
+    print()
+    print(render_table("TABLE I: VM Escape CVEs 2015-2020", ["Year"] + list(HYPERVISORS), rows))
+    print(f"paper totals: {PAPER_TOTALS}")
+
+    assert totals == PAPER_TOTALS
+    # The paper's narrative claims: majority reported 2015-2020 with
+    # KVM/QEMU and VMware leading.
+    assert totals["VMware"] == max(totals.values())
+    assert sum(totals.values()) > 90

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""The attack walkthrough — the paper's §V-A demo video as a script.
+
+Plays the attacker: reconnaissance from shell history / ps / the QEMU
+monitor, the RITM launch, the nested live migration, stealth cleanup,
+and then two of §IV-B's malicious services running in the middle of the
+victim's traffic: a passive credential sniffer and an active response
+tamperer.
+
+Run:  python examples/attack_demo.py
+"""
+
+from repro import scenarios
+from repro.core.rootkit.installer import CloudSkulkInstaller
+from repro.core.rootkit.recon import TargetRecon
+from repro.core.rootkit.services import ActiveTamperService, PacketCaptureService
+from repro.net.stack import Link, NetworkNode
+
+
+def banner(text):
+    print(f"\n{'=' * 70}\n{text}\n{'=' * 70}")
+
+
+def main():
+    host = scenarios.testbed(seed=31337)
+    victim_vm = scenarios.launch_victim(host)
+    engine = host.engine
+
+    banner("STEP 0 — the scene: one victim VM on a compromised host")
+    print(host.shell.ps_ef())
+
+    banner("STEP 1 — reconnaissance (history, ps -ef, QEMU monitor)")
+    recon = engine.run(engine.process(TargetRecon(host).run()))
+    print(f"target: {recon.target_name} (pid {recon.target_pid}), "
+          f"config recovered from {recon.config_source}")
+    print(f"monitor said:\n{recon.monitor_probes['info mtree']}")
+    print(f"qemu-img said:\n{recon.disk_info[recon.config.drives[0].path]}")
+
+    banner("STEPS 2-4 — GuestX, nested destination, live migration")
+    installer = CloudSkulkInstaller(host)
+    report = engine.run(engine.process(installer.install()))
+    print(report.summary())
+    print(f"\nmigration telemetry (victim's own monitor, pre-kill):")
+    print(report.migration_text)
+
+    banner("AFTERMATH — what the administrator sees")
+    print(host.shell.ps_ef())
+    print(f"\nhistory lines left: {len(host.shell.history)} "
+          f"(attacker scrubbed {report.history_lines_removed})")
+    from repro.vmi.introspect import introspect
+
+    view = introspect(report.guestx_vm)
+    print(f"VMI of 'guest0' (really GuestX) reports: {view.process_names}")
+
+    banner("SERVICE 1 — passive: credential capture in the middle")
+    rule = next(
+        r for nic in report.guestx_vm.nics for r in nic.forward_rules
+        if r.outer_port == 2222
+    )
+    sniffer = PacketCaptureService()
+    rule.add_hook(sniffer)
+
+    victim_guest = report.nested_vm.guest
+    listener = victim_guest.net_node.listener(22)
+
+    def sshd(e):
+        conn = yield listener.accept()
+        while True:
+            packet = yield conn.server.recv()
+            conn.server.send(b"auth-ok:" + packet.payload)
+
+    engine.process(sshd(engine))
+
+    customer = NetworkNode(engine, "customer-laptop")
+    Link(customer, host.net_node, 941e6, 1e-4)
+
+    def login(e):
+        endpoint = customer.connect(host.net_node, 2222)
+        endpoint.send(b"USER=alice PASS=correct-horse-battery")
+        reply = yield endpoint.recv()
+        return reply.payload
+
+    reply = engine.run(engine.process(login(engine)))
+    print(f"customer saw a normal login: {reply!r}")
+    print(f"attacker captured:          {sniffer.payloads('inbound')!r}")
+
+    banner("SERVICE 2 — active: tampering with a 'banking' response")
+    tamper = ActiveTamperService(
+        match=lambda packet, direction: direction == "outbound"
+        and b"balance" in (packet.payload or b""),
+        action="modify",
+        transform=lambda packet: packet.replace(
+            payload=packet.payload.replace(b"balance=1000", b"balance=13.37")
+        ),
+    )
+    rule.add_hook(tamper)
+
+    def bank(e):
+        endpoint = customer.connect(host.net_node, 2222)
+        endpoint.send(b"GET /balance")
+        reply = yield endpoint.recv()
+        return reply.payload
+
+    def bank_server(e):
+        conn = yield listener.accept()
+        packet = yield conn.server.recv()
+        conn.server.send(b"balance=1000 auth-ok:" + packet.payload)
+
+    engine.process(bank_server(engine))
+    forged = engine.run(engine.process(bank(engine)))
+    print(f"the server sent balance=1000; the customer received: {forged!r}")
+    print(f"tamper hits: {tamper.hits}")
+
+
+if __name__ == "__main__":
+    main()

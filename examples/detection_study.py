@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The defender's study — Figs 5 and 6, plus the baselines.
+
+Runs the memory-deduplication detection protocol against a clean guest
+and against an installed CloudSkulk, prints the per-page timing series
+the figures plot, and then shows why the two baseline detectors the
+paper discusses are weaker: the VMI fingerprint is evaded by
+impersonation, and the VMCS scan works here but would fail on non-VT-x
+hardware.
+
+Run:  python examples/detection_study.py
+"""
+
+from repro import scenarios
+from repro.analysis.report import render_figure_series
+from repro.analysis.stats import summarize
+from repro.core.detection.dedup_detector import DedupDetector
+from repro.core.detection.vmcs_scan import scan_for_hypervisors
+from repro.core.detection.vmi_fingerprint import check_fingerprint, take_fingerprint
+
+
+def run_protocol(nested):
+    host, cloud, _ksm, _locator = scenarios.detection_setup(
+        nested=nested, seed=4242
+    )
+    detector = DedupDetector(host, cloud)
+    report = host.engine.run(host.engine.process(detector.run()))
+    return host, report
+
+
+def show(title, report):
+    print(f"\n--- {title} ---")
+    series = {
+        "t0 (L0 only)": summarize(report.t0_us),
+        "t1 (merged)": summarize(report.t1_us),
+        "t2 (post-edit)": summarize(report.t2_us),
+    }
+    print(render_figure_series("per-page write latency", series, unit="us"))
+    print(f"verdict: {report.verdict.verdict.upper()}")
+    print(report.verdict.explanation())
+
+
+def main():
+    print("== The dedup detector, scenario 1: no nested VM (Fig 5) ==")
+    clean_host, clean_report = run_protocol(nested=False)
+    show("Fig 5", clean_report)
+
+    print("\n== Scenario 2: CloudSkulk installed (Fig 6) ==")
+    nested_host, nested_report = run_protocol(nested=True)
+    show("Fig 6", nested_report)
+
+    print("\n== Baseline 1: VMI fingerprinting (§VI-E) ==")
+    host, install = scenarios.nested_environment(seed=4242)
+    stored = take_fingerprint(install.nested_vm)  # the victim's true print
+    mismatches = check_fingerprint(install.guestx_vm, stored)
+    print(f"fingerprint of 'guest0' (really GuestX) vs records: "
+          f"{'MATCH — rootkit invisible' if not mismatches else mismatches}")
+
+    print("\n== Baseline 2: VMCS memory forensics (§VI-E) ==")
+    scan = host.engine.run(host.engine.process(scan_for_hypervisors(host)))
+    print(f"VMCS pages found: {scan.vmcs_pages_found}, host accounts for "
+          f"{scan.expected_vmcs_pages} -> "
+          f"{'NESTED HYPERVISOR' if scan.nested_hypervisor_detected else 'clean'}")
+    print("   (works here — but the signature is VT-x-specific; an AMD "
+          "host defeats it, while the dedup timing channel does not care)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The complete defender's runbook, end to end.
+
+1. **Monitor** — the dedup protocol flags the tenant as nested;
+2. **Investigate** — forensic evidence collection names the RITM and
+   pins the migration traffic;
+3. **Respond** — evict the rootkit stack, relaunch the tenant from its
+   untouched disk image, and re-verify the host.
+
+Run:  python examples/incident_response.py
+"""
+
+from repro import scenarios
+from repro.core.detection.dedup_detector import DedupDetector
+from repro.core.detection.forensics import TenantRecord, collect_evidence
+from repro.core.detection.response import respond_and_recover
+
+RECORD = TenantRecord(
+    "guest0", memory_mb=1024, nested_allowed=False, public_ports=(2222,)
+)
+
+
+def main():
+    print("== Background: tenant guest0 has been CloudSkulked ==")
+    host, cloud, _ksm, locator = scenarios.detection_setup(
+        nested=True, seed=2029
+    )
+    print(f"   (victim now secretly at depth {locator().depth})\n")
+
+    print("== 1. Monitoring: the dedup protocol ==")
+    detector = DedupDetector(host, cloud, file_pages=25)
+    verdict = host.engine.run(
+        host.engine.process(detector.run())
+    ).verdict
+    print(f"   verdict: {verdict.verdict.upper()}")
+    print(f"   {verdict.explanation()}\n")
+
+    print("== 2. Investigation: forensic evidence ==")
+    evidence = host.engine.run(
+        host.engine.process(collect_evidence(host, [RECORD]))
+    )
+    print(evidence.summary())
+    print()
+
+    print("== 3. Response: evict and recover ==")
+    recovery = host.engine.run(
+        host.engine.process(
+            respond_and_recover(
+                host, evidence, RECORD, "/var/lib/images/guest0.qcow2"
+            )
+        )
+    )
+    print(recovery.summary())
+    print(f"\n   tenant back at depth {recovery.recovered_vm.guest.depth}, "
+          f"public ssh restored on :2222")
+    print("   note the honest cost: the in-RAM state died with GuestX — "
+          "a crash-consistent restart from disk.")
+
+
+if __name__ == "__main__":
+    main()

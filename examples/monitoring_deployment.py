@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Operating the defence: periodic sweeps on a multi-tenant host.
+
+A cloud operator doesn't run one detection; they run a monitoring
+service.  This example deploys periodic sweeps over three tenants,
+lets CloudSkulk strike *between* sweeps, and shows the alert firing on
+the next pass — with the detection latency that implies.
+
+Run:  python examples/monitoring_deployment.py
+"""
+
+from repro import scenarios
+from repro.core.detection.service import MonitoringService
+from repro.core.rootkit.stealth import ImpersonationMirror
+from repro.hypervisor.ksm import KsmDaemon
+
+SWEEP_INTERVAL = 300.0  # five minutes between sweeps
+
+
+def main():
+    host = scenarios.testbed(seed=2028)
+    locators = {}
+    for index, name in enumerate(("tenant-a", "tenant-b", "tenant-c")):
+        config = scenarios.victim_config(
+            name=name,
+            image=f"/var/lib/images/{name}.qcow2",
+            ssh_host_port=2300 + index,
+            monitor_port=5600 + index,
+        )
+        vm = scenarios.launch_victim(host, config)
+        state = {"guest": vm.guest}
+        locators[name] = (lambda s: (lambda: s["guest"]))(state)
+    KsmDaemon(host.machine).start()
+
+    service = MonitoringService(host, file_pages=15)
+    interfaces = {
+        name: service.register_tenant(name, locator)
+        for name, locator in locators.items()
+    }
+
+    alerts = []
+
+    def on_alert(report):
+        alerts.append(report)
+        print(
+            f"  !! ALERT at t={report.finished_at:7.0f}s — compromised: "
+            f"{', '.join(report.compromised_tenants)}"
+        )
+
+    print(f"== Monitoring service: sweep every {SWEEP_INTERVAL:.0f}s over "
+          f"{', '.join(service.tenant_names)} ==\n")
+    service.run_periodic(
+        interval_seconds=SWEEP_INTERVAL, alert_callback=on_alert, max_sweeps=4
+    )
+
+    # Let sweep #1 finish clean (3 tenants x ~60s protocol each).
+    host.engine.run(until=host.engine.now + 200.0)
+    assert service.sweep_history, "first sweep should have completed"
+    print(f"t={host.engine.now:7.0f}s  sweep #1: "
+          f"{service.sweep_history[0].compromised_tenants or 'all clean'}")
+
+    # The attacker strikes tenant-b between sweeps.
+    attack_time = host.engine.now
+    print(f"t={attack_time:7.0f}s  [attacker] installing CloudSkulk on tenant-b ...")
+    report = scenarios.install_cloudskulk(host, target_name="tenant-b")
+    interfaces["tenant-b"].observers.append(
+        ImpersonationMirror(report.guestx_vm.guest)
+    )
+    print(f"t={host.engine.now:7.0f}s  [attacker] done "
+          f"({report.total_seconds:.0f}s, PID swapped, history scrubbed)")
+
+    # Run the remaining sweeps.
+    host.engine.run(until=host.engine.now + 4 * SWEEP_INTERVAL)
+    print()
+    for index, sweep in enumerate(service.sweep_history):
+        verdicts = {f.tenant_name: f.verdict for f in sweep.findings}
+        print(f"sweep #{index + 1} at t={sweep.finished_at:7.0f}s: {verdicts}")
+    if alerts:
+        latency = alerts[0].finished_at - attack_time
+        print(f"\ndetection latency: {latency:.0f}s "
+              f"(bounded by interval {SWEEP_INTERVAL:.0f}s + protocol time)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setuptools shim (the real configuration lives in pyproject.toml)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""CloudSkulk reproduction: a nested-VM rootkit and its detection.
+
+A full-stack reproduction of *CloudSkulk: A Nested Virtual Machine
+Based Rootkit and Its Detection* (DSN 2021) on a simulated QEMU/KVM
+substrate: discrete-event machine, KVM-style hypervisor with Turtles
+nested-exit trampolining, KSM memory deduplication, QEMU VMs with a
+monitor and user networking, pre-/post-copy live migration, the
+CloudSkulk attack itself, and the memory-deduplication detector.
+
+Quickstart::
+
+    from repro import scenarios
+    host, report = scenarios.nested_environment()
+    print(report.summary())           # the four-step attack timeline
+
+    host, cloud, ksm, _ = scenarios.detection_setup(nested=True)
+    from repro.core.detection.dedup_detector import DedupDetector
+    detector = DedupDetector(host, cloud)
+    result = host.engine.run(host.engine.process(detector.run()))
+    print(result.verdict.explanation())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro import scenarios
+from repro.core.detection.dedup_detector import CloudInterface, DedupDetector
+from repro.core.rootkit.installer import CloudSkulkInstaller
+from repro.errors import ReproError
+from repro.guest.system import System, make_testbed
+from repro.hardware.machine import Machine
+from repro.hypervisor.ksm import KsmDaemon
+from repro.qemu.config import QemuConfig
+from repro.qemu.vm import QemuVm, launch_vm
+
+__all__ = [
+    "CloudInterface",
+    "CloudSkulkInstaller",
+    "DedupDetector",
+    "KsmDaemon",
+    "Machine",
+    "QemuConfig",
+    "QemuVm",
+    "ReproError",
+    "System",
+    "launch_vm",
+    "make_testbed",
+    "scenarios",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Statistics, report rendering, export, and overhead characterization."""
+
+from repro.analysis.characterize import WorkloadOverhead, characterize_overhead
+from repro.analysis.export import ExperimentArchive, series_to_dict
+from repro.analysis.report import render_figure_series, render_table
+from repro.analysis.stats import (
+    SampleSummary,
+    pct_decrease,
+    pct_increase,
+    summarize,
+)
+
+__all__ = [
+    "ExperimentArchive",
+    "SampleSummary",
+    "WorkloadOverhead",
+    "characterize_overhead",
+    "pct_decrease",
+    "pct_increase",
+    "render_figure_series",
+    "render_table",
+    "series_to_dict",
+    "summarize",
+]

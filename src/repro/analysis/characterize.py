@@ -1,0 +1,98 @@
+"""The §V-B "case-by-case" overhead characterization, productized.
+
+"Our objective lies in that the results can then be applied on a
+case-by-case basis for specific virtualized environments to validate
+the efficacy of our CloudSkulk."
+
+Given a workload mix, :func:`characterize_overhead` measures each
+workload at L1 (before the rootkit) and L2 (after) and reports the
+perceived degradation — the tool an attacker uses to predict whether a
+particular victim would notice, and a defender to reason about what
+anomaly size to alert on.
+"""
+
+from repro import scenarios
+from repro.analysis.stats import pct_increase
+from repro.workloads.filebench import FilebenchWorkload
+from repro.workloads.kernel_compile import KernelCompileWorkload
+from repro.workloads.lmbench.proc import LmbenchProc
+
+
+class WorkloadOverhead:
+    """One workload's L1 vs L2 comparison."""
+
+    def __init__(self, name, l1_value, l2_value, unit, higher_is_better):
+        self.name = name
+        self.l1_value = l1_value
+        self.l2_value = l2_value
+        self.unit = unit
+        self.higher_is_better = higher_is_better
+
+    @property
+    def degradation_percent(self):
+        """Positive = the user got a worse experience at L2."""
+        change = pct_increase(self.l1_value, self.l2_value)
+        return -change if self.higher_is_better else change
+
+    @property
+    def noticeable(self):
+        """Rule of thumb: >15% degradation risks user complaints."""
+        return self.degradation_percent > 15.0
+
+    def __repr__(self):
+        return (
+            f"<WorkloadOverhead {self.name}: {self.degradation_percent:+.1f}%>"
+        )
+
+
+def characterize_overhead(seed=1701, compile_units=600, filebench_seconds=10.0):
+    """Measure the standard workload mix at L1 and L2.
+
+    Returns a list of :class:`WorkloadOverhead` — one per workload —
+    with CPU/memory (kernel compile), I/O (filebench ops/s), and
+    interactivity (pipe latency) covered.
+    """
+    measurements = {}
+    for level in (1, 2):
+        host, system = scenarios.system_at_level(level, seed=seed)
+        compile_result = host.engine.run(
+            KernelCompileWorkload(units=compile_units).start(system)
+        )
+        filebench_result = host.engine.run(
+            FilebenchWorkload().start(system, duration=filebench_seconds)
+        )
+        proc_result = host.engine.run(
+            LmbenchProc().start(system, repetition_scale=0.05)
+        )
+        measurements[level] = {
+            "compile_seconds": compile_result.metrics["build_seconds"],
+            "filebench_ops": filebench_result.metrics["ops_per_second"],
+            "pipe_latency_us": proc_result.metrics["latencies_us"][
+                "pipe latency"
+            ],
+        }
+
+    l1, l2 = measurements[1], measurements[2]
+    return [
+        WorkloadOverhead(
+            "CPU/memory (kernel compile)",
+            l1["compile_seconds"],
+            l2["compile_seconds"],
+            "s",
+            higher_is_better=False,
+        ),
+        WorkloadOverhead(
+            "I/O (filebench)",
+            l1["filebench_ops"],
+            l2["filebench_ops"],
+            "ops/s",
+            higher_is_better=True,
+        ),
+        WorkloadOverhead(
+            "interactivity (pipe latency)",
+            l1["pipe_latency_us"],
+            l2["pipe_latency_us"],
+            "us",
+            higher_is_better=False,
+        ),
+    ]

@@ -1,0 +1,86 @@
+"""Exporting experiment results for external plotting.
+
+Benchmarks print human-readable tables; downstream users who want to
+plot (matplotlib, gnuplot, a paper's camera-ready) need the raw series.
+:class:`ExperimentArchive` accumulates named results and writes one
+JSON document with enough metadata to regenerate every figure.
+"""
+
+import json
+
+from repro.errors import ReproError
+
+
+def series_to_dict(label, samples):
+    """One measurement series with its summary statistics."""
+    from repro.analysis.stats import summarize
+
+    summary = summarize(list(samples))
+    return {
+        "label": label,
+        "samples": list(samples),
+        "n": summary.n,
+        "mean": summary.mean,
+        "stdev": summary.stdev,
+        "rsd_percent": summary.rsd_percent,
+    }
+
+
+class ExperimentArchive:
+    """Accumulates experiment results; serializes to JSON."""
+
+    def __init__(self, title, seed_info=None):
+        self.title = title
+        self.seed_info = seed_info
+        self._experiments = {}
+
+    def record_series(self, experiment_id, series_map, unit="", notes=""):
+        """Record one figure: label -> list of samples."""
+        if experiment_id in self._experiments:
+            raise ReproError(f"experiment {experiment_id!r} already recorded")
+        self._experiments[experiment_id] = {
+            "kind": "figure",
+            "unit": unit,
+            "notes": notes,
+            "series": [
+                series_to_dict(label, samples)
+                for label, samples in series_map.items()
+            ],
+        }
+
+    def record_table(self, experiment_id, columns, rows, notes=""):
+        """Record one table: column names + row lists."""
+        if experiment_id in self._experiments:
+            raise ReproError(f"experiment {experiment_id!r} already recorded")
+        self._experiments[experiment_id] = {
+            "kind": "table",
+            "columns": list(columns),
+            "rows": [list(row) for row in rows],
+            "notes": notes,
+        }
+
+    @property
+    def experiment_ids(self):
+        return sorted(self._experiments)
+
+    def to_dict(self):
+        return {
+            "title": self.title,
+            "seed_info": self.seed_info,
+            "experiments": self._experiments,
+        }
+
+    def to_json(self, indent=2):
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def save(self, path):
+        """Write the archive to ``path`` on the real filesystem."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path):
+        """Read an archive back (returns the plain dict form)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)

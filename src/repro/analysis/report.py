@@ -1,0 +1,59 @@
+"""Plain-text renderers producing the paper's tables and figure series.
+
+Benchmarks print through these so `pytest benchmarks/ --benchmark-only`
+output can be eyeballed directly against the paper.
+"""
+
+
+def render_table(title, columns, rows, col_width=14):
+    """A fixed-width table.
+
+    ``columns`` is the header list; ``rows`` a list of lists (first
+    element is the row label).
+    """
+    lines = [title]
+    header = "".join(f"{c:>{col_width}}" for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        rendered = []
+        for value in row:
+            if isinstance(value, float):
+                rendered.append(f"{value:>{col_width}.3g}")
+            else:
+                rendered.append(f"{str(value):>{col_width}}")
+        lines.append("".join(rendered))
+    return "\n".join(lines)
+
+
+def render_figure_series(title, series, unit="", label_width=22):
+    """A figure rendered as labelled series with mean/RSD annotations.
+
+    ``series`` maps label -> :class:`~repro.analysis.stats.SampleSummary`
+    (or anything with .mean and .rsd_percent).
+    """
+    lines = [title]
+    peak = max(summary.mean for summary in series.values()) or 1.0
+    for label, summary in series.items():
+        bar = "#" * max(1, int(40 * summary.mean / peak))
+        lines.append(
+            f"  {label:<{label_width}} {summary.mean:12.3f} {unit:<8} "
+            f"(RSD {summary.rsd_percent:5.2f}%)  {bar}"
+        )
+    return "\n".join(lines)
+
+
+def render_comparison_labels(series_pairs, kind="increase"):
+    """The paper's percentage labels between adjacent bars.
+
+    ``series_pairs`` is a list of (from_label, from_mean, to_label,
+    to_mean); returns the label lines.
+    """
+    from repro.analysis.stats import pct_increase
+
+    lines = []
+    for from_label, from_mean, to_label, to_mean in series_pairs:
+        change = pct_increase(from_mean, to_mean)
+        arrow = "+" if change >= 0 else ""
+        lines.append(f"  {from_label} -> {to_label}: {arrow}{change:.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Sample statistics used throughout the evaluation.
+
+The paper reports averages of 5 consecutive runs with relative standard
+deviation (RSD) bars, and labels figures with percentage differences
+between adjacent virtualization levels; these helpers compute exactly
+those quantities.
+"""
+
+import math
+
+from repro.errors import ReproError
+
+
+class SampleSummary:
+    """Mean / stdev / RSD for one measurement series."""
+
+    def __init__(self, samples):
+        if not samples:
+            raise ReproError("cannot summarize an empty sample")
+        self.samples = list(samples)
+        self.n = len(self.samples)
+        self.mean = sum(self.samples) / self.n
+        if self.n > 1:
+            variance = sum((x - self.mean) ** 2 for x in self.samples) / (
+                self.n - 1
+            )
+            self.stdev = math.sqrt(variance)
+        else:
+            self.stdev = 0.0
+
+    @property
+    def rsd_percent(self):
+        """Relative standard deviation, percent of the mean."""
+        if self.mean == 0:
+            return 0.0
+        return abs(self.stdev / self.mean) * 100.0
+
+    def __repr__(self):
+        return f"<SampleSummary n={self.n} mean={self.mean:.4g} rsd={self.rsd_percent:.2f}%>"
+
+
+def summarize(samples):
+    """Shorthand constructor."""
+    return SampleSummary(samples)
+
+
+def pct_increase(base, new):
+    """Percent increase from ``base`` to ``new`` (the figure labels)."""
+    if base == 0:
+        raise ReproError("percent increase from zero base")
+    return (new - base) / base * 100.0
+
+
+def pct_decrease(base, new):
+    """Percent decrease from ``base`` to ``new``."""
+    return -pct_increase(base, new)
+
+
+def overlapping_within_noise(summary_a, summary_b):
+    """The paper's Fig 3 argument: means closer than the (larger)
+    standard deviation are 'nearly the same'."""
+    gap = abs(summary_a.mean - summary_b.mean)
+    return gap <= max(summary_a.stdev, summary_b.stdev)

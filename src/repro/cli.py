@@ -1,0 +1,146 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``attack``  — run the four-step CloudSkulk installation and print the
+  timeline (the §V-A demo, condensed);
+* ``detect``  — run the dedup detection protocol against a clean host
+  and against a compromised one, print both verdicts (Figs 5/6);
+* ``sweep``   — multi-tenant monitoring sweep with one compromised
+  tenant hidden among three;
+* ``covert``  — exfiltrate a message between co-resident VMs over the
+  KSM timing channel (refs [41, 42]);
+* ``info``    — print the library's system inventory and versions.
+"""
+
+import argparse
+
+from repro import __version__, scenarios
+
+
+def cmd_attack(args):
+    host = scenarios.testbed(seed=args.seed)
+    scenarios.launch_victim(host)
+    report = scenarios.install_cloudskulk(host)
+    print(report.summary())
+    victim = report.nested_vm.guest
+    print(
+        f"\nvictim depth: {victim.depth}; GuestX pid {report.guestx_vm.process.pid} "
+        f"(victim's old pid {report.victim_pid}); "
+        f"{report.history_lines_removed} history lines scrubbed"
+    )
+    return 0
+
+
+def cmd_detect(args):
+    from repro.core.detection.dedup_detector import DedupDetector
+
+    for nested in (False, True):
+        label = "CloudSkulk installed" if nested else "clean guest"
+        host, cloud, _ksm, _loc = scenarios.detection_setup(
+            nested=nested, seed=args.seed
+        )
+        detector = DedupDetector(host, cloud, file_pages=args.pages)
+        report = host.engine.run(host.engine.process(detector.run()))
+        verdict = report.verdict
+        print(f"[{label}]")
+        print(
+            f"  t0={verdict.median_t0:.2f}us t1={verdict.median_t1:.2f}us "
+            f"t2={verdict.median_t2:.2f}us -> {verdict.verdict.upper()}"
+        )
+        print(f"  {verdict.explanation()}\n")
+    return 0
+
+
+def cmd_sweep(args):
+    from repro.core.detection.service import MonitoringService
+    from repro.core.rootkit.stealth import ImpersonationMirror
+    from repro.hypervisor.ksm import KsmDaemon
+
+    host = scenarios.testbed(seed=args.seed)
+    locators = {}
+    for index, name in enumerate(("tenant-a", "tenant-b", "tenant-c")):
+        config = scenarios.victim_config(
+            name=name,
+            image=f"/var/lib/images/{name}.qcow2",
+            ssh_host_port=2300 + index,
+            monitor_port=5600 + index,
+        )
+        vm = scenarios.launch_victim(host, config)
+        state = {"guest": vm.guest}
+        locators[name] = (lambda s: (lambda: s["guest"]))(state)
+    KsmDaemon(host.machine).start()
+    install = scenarios.install_cloudskulk(host, target_name="tenant-b")
+    mirror = ImpersonationMirror(install.guestx_vm.guest)
+    service = MonitoringService(host, file_pages=12)
+    for name, locator in locators.items():
+        interface = service.register_tenant(name, locator)
+        if name == "tenant-b":
+            interface.observers.append(mirror)
+    report = host.engine.run(host.engine.process(service.sweep()))
+    print(report.summary())
+    print(f"\ncompromised: {report.compromised_tenants}")
+    return 0 if report.compromised_tenants == ["tenant-b"] else 1
+
+
+def cmd_covert(args):
+    from repro.hypervisor.ksm import KsmDaemon
+    from repro.sidechannel import DedupCovertChannel
+
+    host = scenarios.testbed(seed=args.seed)
+    sender = scenarios.launch_victim(
+        host,
+        scenarios.victim_config(
+            name="sender", image="/i/s.qcow2", ssh_host_port=2301,
+            monitor_port=5601,
+        ),
+    )
+    receiver = scenarios.launch_victim(
+        host,
+        scenarios.victim_config(
+            name="receiver", image="/i/r.qcow2", ssh_host_port=2302,
+            monitor_port=5602,
+        ),
+    )
+    KsmDaemon(host.machine).start()
+    channel = DedupCovertChannel(sender.guest, receiver.guest, seed="rv")
+    payload = args.message.encode("utf-8")
+    process = host.engine.process(channel.transmit(payload, settle_seconds=6.0))
+    received, elapsed, bps = host.engine.run(process)
+    print(f"sent     {payload!r}")
+    print(f"received {received!r}")
+    print(f"{elapsed:.0f}s virtual, {bps:.2f} bit/s")
+    return 0 if received == payload else 1
+
+
+def cmd_info(_args):
+    print(f"repro {__version__} — CloudSkulk reproduction (DSN 2021)")
+    print("systems: sim engine, hardware, KVM hypervisor (nested), KSM,")
+    print("  guest OS, network+NAT, QEMU+monitor, pre/post-copy migration,")
+    print("  VMI, CloudSkulk rootkit, dedup detection, covert channel")
+    print("docs: README.md, DESIGN.md, EXPERIMENTS.md")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("--seed", type=int, default=1701)
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("attack").set_defaults(func=cmd_attack)
+    detect = sub.add_parser("detect")
+    detect.add_argument("--pages", type=int, default=100)
+    detect.set_defaults(func=cmd_detect)
+    sub.add_parser("sweep").set_defaults(func=cmd_sweep)
+    covert = sub.add_parser("covert")
+    covert.add_argument("--message", default="EXFIL")
+    covert.set_defaults(func=cmd_covert)
+    sub.add_parser("info").set_defaults(func=cmd_info)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)

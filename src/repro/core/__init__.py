@@ -1,0 +1,9 @@
+"""The paper's two contributions.
+
+* :mod:`repro.core.rootkit` — CloudSkulk: reconnaissance, the
+  Rootkit-In-The-Middle VM, the four-step installer, and the passive /
+  active services it enables.
+* :mod:`repro.core.detection` — the memory-deduplication write-timing
+  detector run from L0, with the VMCS-scan and VMI-fingerprint
+  baselines the paper compares against.
+"""

@@ -1,0 +1,70 @@
+"""Detecting CloudSkulk from L0 (paper §VI).
+
+The primary detector is memory-deduplication write timing
+(:mod:`~repro.core.detection.dedup_detector`): load a file that also
+lives in the VM, let KSM merge it, and time page writes.  The two-step
+protocol — measure (t1), have the *customer's* VM change its copy,
+measure again (t2) — distinguishes a direct guest (t1 >> t2) from a
+nested-rootkit sandwich (t1 ≈ t2, both >> t0), because the impersonating
+L1 still holds the original file when L2 has moved on.
+
+Two baselines the paper discusses are implemented for comparison:
+
+* :mod:`~repro.core.detection.vmcs_scan` — Graziano-style memory
+  forensics for VMCS signatures (fails off VT-x hardware);
+* :mod:`~repro.core.detection.vmi_fingerprint` — VMI fingerprinting
+  (evaded by impersonation).
+"""
+
+from repro.core.detection.classifier import DetectionVerdict, classify
+from repro.core.detection.dedup_detector import (
+    CloudInterface,
+    DedupDetector,
+    DetectionReport,
+    GuestFileReceiver,
+)
+from repro.core.detection.exit_census import ExitCensusResult, exit_census
+from repro.core.detection.forensics import (
+    EvidenceReport,
+    TenantRecord,
+    collect_evidence,
+)
+from repro.core.detection.guest_side import (
+    GuestSideDetector,
+    apply_timing_deception,
+)
+from repro.core.detection.response import RecoveryReport, respond_and_recover
+from repro.core.detection.service import HostSweepReport, MonitoringService
+from repro.core.detection.timing import WriteTimingProbe
+from repro.core.detection.vmcs_scan import VmcsScanResult, scan_for_hypervisors
+from repro.core.detection.vmi_fingerprint import (
+    FingerprintMismatch,
+    check_fingerprint,
+    take_fingerprint,
+)
+
+__all__ = [
+    "CloudInterface",
+    "DedupDetector",
+    "DetectionReport",
+    "DetectionVerdict",
+    "EvidenceReport",
+    "ExitCensusResult",
+    "FingerprintMismatch",
+    "GuestFileReceiver",
+    "GuestSideDetector",
+    "HostSweepReport",
+    "MonitoringService",
+    "RecoveryReport",
+    "TenantRecord",
+    "VmcsScanResult",
+    "WriteTimingProbe",
+    "apply_timing_deception",
+    "check_fingerprint",
+    "classify",
+    "collect_evidence",
+    "exit_census",
+    "respond_and_recover",
+    "scan_for_hypervisors",
+    "take_fingerprint",
+]

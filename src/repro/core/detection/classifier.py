@@ -1,0 +1,97 @@
+"""Turning (t0, t1, t2) into a verdict.
+
+The decision logic follows §VI-B directly:
+
+* **no L1** — t1 is significantly larger than t2 (step-1 pages merged
+  with the guest's copy; step-2 pages found no partner);
+* **L1 present** — t1 and t2 are both merged-class (the impersonating
+  L1 still holds the original file after L2 changed its copy);
+* **inconclusive** — t1 never showed merging (KSM off, file not
+  resident in the VM, or the wait was too short).
+
+"Significantly larger" is a median ratio against the t0 baseline, plus
+a Mann-Whitney U test between t1 and t2 for the significance annotation
+— medians are robust to the occasional page that failed to merge.
+"""
+
+import statistics
+
+from scipy import stats as scipy_stats
+
+from repro.errors import DetectionError
+
+#: A sample class is "merged" when its median exceeds this multiple of
+#: the t0 baseline median (CoW faults are ~3 orders of magnitude above
+#: plain writes, so the threshold is insensitive across a wide band).
+MERGED_RATIO_THRESHOLD = 8.0
+
+
+class DetectionVerdict:
+    """The classifier's output."""
+
+    def __init__(self, verdict, medians, merged_flags, p_value):
+        self.verdict = verdict  # "nested" | "clean" | "inconclusive"
+        self.median_t0, self.median_t1, self.median_t2 = medians
+        self.t1_merged, self.t2_merged = merged_flags
+        self.t1_vs_t2_p_value = p_value
+
+    @property
+    def nested_vm_detected(self):
+        return self.verdict == "nested"
+
+    def explanation(self):
+        if self.verdict == "inconclusive":
+            return (
+                "t1 shows no deduplication against the baseline — KSM may "
+                "be off, or File-A never resided in the VM; no conclusion."
+            )
+        if self.verdict == "clean":
+            return (
+                f"t1 (median {self.median_t1:.1f}us) is merged-class but t2 "
+                f"(median {self.median_t2:.1f}us) dropped to baseline after "
+                "the guest changed its copy: the partner page tracks the "
+                "guest directly — no hidden hypervisor."
+            )
+        return (
+            f"t1 (median {self.median_t1:.1f}us) and t2 (median "
+            f"{self.median_t2:.1f}us) are BOTH merged-class even though the "
+            "guest changed its copy: something else still holds the "
+            "original file — a hidden L1 hypervisor (CloudSkulk)."
+        )
+
+    def __repr__(self):
+        return f"<DetectionVerdict {self.verdict}>"
+
+
+def classify(t0_us, t1_us, t2_us, ratio_threshold=MERGED_RATIO_THRESHOLD):
+    """Classify one detection run's three measurement series."""
+    for name, series in (("t0", t0_us), ("t1", t1_us), ("t2", t2_us)):
+        if not series:
+            raise DetectionError(f"empty measurement series {name}")
+    median_t0 = statistics.median(t0_us)
+    median_t1 = statistics.median(t1_us)
+    median_t2 = statistics.median(t2_us)
+    if median_t0 <= 0:
+        raise DetectionError("degenerate t0 baseline")
+    t1_merged = median_t1 > ratio_threshold * median_t0
+    t2_merged = median_t2 > ratio_threshold * median_t0
+
+    if len(t1_us) > 1 and len(t2_us) > 1:
+        _stat, p_value = scipy_stats.mannwhitneyu(
+            t1_us, t2_us, alternative="two-sided"
+        )
+    else:
+        p_value = float("nan")
+
+    if not t1_merged:
+        verdict = "inconclusive"
+    elif t2_merged:
+        verdict = "nested"
+    else:
+        verdict = "clean"
+    return DetectionVerdict(
+        verdict,
+        (median_t0, median_t1, median_t2),
+        (t1_merged, t2_merged),
+        p_value,
+    )

@@ -1,0 +1,263 @@
+"""The full two-step deduplication detection protocol (paper §VI-B/C).
+
+Cast of characters:
+
+* :class:`CloudInterface` — the vendor's web channel (§VI-D-1): it can
+  generate a random file and deliver it to both L0 and the customer's
+  VM.  Crucially, "the customer's VM" is whatever answers at the VM's
+  public endpoint — after a CloudSkulk installation that is the nested
+  L2 guest.  The interface exposes an observer list because an attacker
+  in the middle *sees* the delivery and mirrors it (impersonation); a
+  correct rootkit must, or a trivial file-presence check already
+  exposes it.
+* the guest agent — ordinary code in the customer's VM that loads the
+  delivered file into memory and, on request, rewrites each page
+  (File-A -> File-A-v2).
+* :class:`DedupDetector` — the L0 orchestrator: collects t0 (baseline,
+  file in L0 only), t1 (file in L0 + VM, after KSM has merged), and t2
+  (after the guest changed its copy and L0 reloaded the original), then
+  classifies.
+"""
+
+from repro.core.detection.classifier import classify
+from repro.core.detection.timing import WriteTimingProbe
+from repro.errors import DetectionError
+from repro.guest.filesystem import File, make_random_file
+
+#: Default File-A size: 100 pages = 400 KB, as in the paper.
+DEFAULT_FILE_PAGES = 100
+#: Default settle time before measuring (ksmd needs two clean passes).
+DEFAULT_WAIT_SECONDS = 20.0
+
+
+#: The guest port the vendor's in-VM agent listens on, and the host
+#: port forwarded to it ("this is how exactly today's cloud vendors
+#: allow customers to control their VMs" — §VI-D-1).
+CLOUD_AGENT_GUEST_PORT = 28
+CLOUD_AGENT_HOST_PORT = 2808
+
+
+class GuestFileReceiver:
+    """The vendor agent inside the customer VM: receives file pushes.
+
+    Listens on :data:`CLOUD_AGENT_GUEST_PORT`; each connection streams
+    ``(path, index, total, content)`` page records, is acked with
+    ``b"done"`` when complete, and materializes the file in the guest
+    filesystem.
+    """
+
+    def __init__(self, guest_system):
+        self.guest = guest_system
+        self.files_received = 0
+        guest_system.net_node.listen(
+            CLOUD_AGENT_GUEST_PORT, handler=self._on_connect
+        )
+
+    def _on_connect(self, connection):
+        self.guest.engine.process(
+            self._receive(connection.server), name="cloud-agent"
+        )
+
+    def _receive(self, endpoint):
+        from repro.sim.process import ChannelClosed
+
+        pages = {}
+        path = None
+        total = None
+        try:
+            while True:
+                packet = yield endpoint.recv()
+                path, index, total, content = packet.payload
+                pages[index] = content
+                cost = self.guest.kernel.syscall_cost("net_recvmsg")
+                cost += self.guest.kernel.syscall_cost("page_cache_write")
+                yield self.guest.engine.timeout(cost)
+                if len(pages) == total:
+                    break
+        except ChannelClosed:
+            return
+        ordered = [pages[i] for i in range(total)]
+        self.guest.fs.create(path, page_contents=ordered, size_bytes=0)
+        self.files_received += 1
+        endpoint.send(b"done", kind="cloud-file-ack")
+
+
+class CloudInterface:
+    """The vendor's control channel to one customer VM.
+
+    Two delivery modes:
+
+    * ``direct`` (default) — the file appears in the guest filesystem
+      as if written by the vendor's hypervisor-side tooling;
+    * ``network`` — the file is streamed to the in-VM agent over the
+      VM's *public endpoint*, so after a CloudSkulk installation the
+      delivery traverses the RITM's forwarding layer, where the
+      attacker's :class:`~repro.core.rootkit.services.NetworkFileMirror`
+      can (must!) see and copy it.
+    """
+
+    def __init__(self, host_system, victim_locator, delivery="direct"):
+        if delivery not in ("direct", "network"):
+            raise DetectionError(f"unknown delivery mode {delivery!r}")
+        self.host = host_system
+        #: Callable returning the System currently serving the VM's
+        #: public endpoint (tracks the guest across migrations).
+        self.victim_locator = victim_locator
+        self.delivery = delivery
+        #: Parties that can watch direct-mode deliveries (the RITM's
+        #: impersonation mirror registers here — see
+        #: :class:`repro.core.rootkit.stealth.ImpersonationMirror`).
+        self.observers = []
+
+    def generate_file(self, path, num_pages, label=None):
+        """Create the random file (the paper used an mp3) on L0 disk."""
+        file = make_random_file(path, num_pages, self.host.rng, seed_label=label)
+        self.host.fs.add(file)
+        return file
+
+    def deliver_to_vm(self, host_file):
+        """Generator: push the file into the customer's VM.
+
+        Returns the *guest's* File object — a distinct instance with
+        identical page bytes, so guest-side edits never leak into the
+        host copy.
+        """
+        guest = self.victim_locator()
+        if guest is None:
+            raise DetectionError("cloud interface: customer VM unreachable")
+        if self.delivery == "network":
+            yield from self._deliver_over_network(host_file, guest)
+            return guest.fs.open(host_file.path)
+        pages = [host_file.page_content(i) for i in range(host_file.num_pages)]
+        guest_file = File(host_file.path, host_file.size_bytes, page_contents=pages)
+        guest.fs.add(guest_file)
+        # Delivery consumes network + guest time.
+        transfer_cost = host_file.num_pages * 4096 * 8 / 941e6
+        yield self.host.engine.timeout(transfer_cost)
+        for observer in self.observers:
+            observer(host_file, guest)
+        return guest_file
+
+    def _deliver_over_network(self, host_file, guest):
+        """Stream the file to the in-VM agent via the public endpoint."""
+        from repro.net.packets import Packet
+
+        node = self.host.net_node
+        endpoint = node.connect(node, CLOUD_AGENT_HOST_PORT)
+        total = host_file.num_pages
+        for index in range(total):
+            record = (host_file.path, index, total, host_file.page_content(index))
+            endpoint.send(
+                Packet(4096 + 64, payload=record, kind="cloud-file")
+            )
+        ack = yield endpoint.recv()
+        if ack.payload != b"done":
+            raise DetectionError(f"file delivery failed: {ack.payload!r}")
+        endpoint.close()
+
+
+class GuestAgent:
+    """The in-VM half of the detection module (~150 of the paper's 300
+    lines of C): loads the file, and mutates pages on request."""
+
+    def __init__(self, cloud_interface):
+        self.cloud = cloud_interface
+
+    def load_file(self, path):
+        """Generator: page the file into guest memory."""
+        guest = self.cloud.victim_locator()
+        pfns, cost = guest.kernel.load_file(path, mergeable=True)
+        yield guest.engine.timeout(cost)
+        return pfns
+
+    def mutate_all_pages(self, path):
+        """Generator: File-A -> File-A-v2 (change every page slightly)."""
+        guest = self.cloud.victim_locator()
+        file = guest.fs.open(path)
+        total_cost = 0.0
+        for index in range(file.num_pages):
+            original = file.page_content(index)
+            # XOR the first byte so the edit is guaranteed to change the
+            # content whatever it was.
+            if original:
+                changed = bytes([original[0] ^ 0xA5]) + original[1:]
+            else:
+                changed = b"\xa5"
+            total_cost += guest.kernel.write_file_page(path, index, changed)
+        yield guest.engine.timeout(total_cost)
+        return file.num_pages
+
+
+class DetectionReport:
+    """Everything one detection run produced (Figs 5/6 raw data)."""
+
+    def __init__(self):
+        self.t0_us = []
+        self.t1_us = []
+        self.t2_us = []
+        self.verdict = None
+        self.timeline = []
+
+    def series(self):
+        return {"t0": self.t0_us, "t1": self.t1_us, "t2": self.t2_us}
+
+    def __repr__(self):
+        verdict = self.verdict.verdict if self.verdict else "pending"
+        return f"<DetectionReport {verdict}>"
+
+
+class DedupDetector:
+    """Orchestrates one full detection run from L0."""
+
+    def __init__(
+        self,
+        host_system,
+        cloud_interface,
+        file_pages=DEFAULT_FILE_PAGES,
+        wait_seconds=DEFAULT_WAIT_SECONDS,
+        file_path="/root/detect/file-a.mp3",
+    ):
+        if file_pages < 1:
+            raise DetectionError("File-A needs at least one page")
+        self.host = host_system
+        self.cloud = cloud_interface
+        self.agent = GuestAgent(cloud_interface)
+        self.probe = WriteTimingProbe(host_system)
+        self.file_pages = file_pages
+        self.wait_seconds = wait_seconds
+        self.file_path = file_path
+
+    def run(self):
+        """Generator: the full protocol; returns a DetectionReport."""
+        report = DetectionReport()
+        mark = lambda label: report.timeline.append((label, self.host.engine.now))
+
+        # ---- t0: baseline — File-A in L0 only ---------------------------
+        mark("t0-start")
+        file_a = self.cloud.generate_file(self.file_path, self.file_pages)
+        report.t0_us = yield from self.probe.load_wait_measure(
+            self.file_path, self.wait_seconds
+        )
+        mark("t0-done")
+
+        # ---- t1: File-A in the VM and (fresh) in L0 ---------------------
+        # The t0 measurement scribbled on L0's copy, so reload fresh
+        # original content below; the FS File object is unchanged.
+        yield from self.cloud.deliver_to_vm(file_a)
+        yield from self.agent.load_file(self.file_path)
+        mark("t1-start")
+        report.t1_us = yield from self.probe.load_wait_measure(
+            self.file_path, self.wait_seconds
+        )
+        mark("t1-done")
+
+        # ---- t2: guest changes its copy; L0 reloads the original --------
+        yield from self.agent.mutate_all_pages(self.file_path)
+        mark("t2-start")
+        report.t2_us = yield from self.probe.load_wait_measure(
+            self.file_path, self.wait_seconds
+        )
+        mark("t2-done")
+
+        report.verdict = classify(report.t0_us, report.t1_us, report.t2_us)
+        return report

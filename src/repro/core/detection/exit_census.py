@@ -1,0 +1,69 @@
+"""Exit-census detection: perf counters betray a hidden hypervisor.
+
+A guest that *runs a hypervisor* issues privileged virtualization
+instructions (VMREAD/VMWRITE/VMRESUME...) in bursts — every nested-VM
+exit trampolines through it.  The host kernel counts those exits per VM
+whether the attacker likes it or not.  A census over the host's VMs
+that finds one guest retiring orders of magnitude more
+``PRIV_INSTRUCTION`` exits than its peers has found an L1 hypervisor —
+GuestX in CloudSkulk's case.
+
+Complementary to the dedup detector: this channel needs the nested
+guest to be *running work* (an idle sandwich is quiet), while the dedup
+protocol works on an idle victim but needs KSM enabled.  Running both
+is the belt-and-suspenders deployment.
+"""
+
+from repro.errors import DetectionError
+from repro.hypervisor.exits import ExitReason
+
+#: Minimum privileged-instruction exits before a VM is even considered
+#: (boot noise stays below this).
+MIN_PRIV_EXITS = 1000.0
+#: How many times the peer median a VM must exceed to be flagged.
+PEER_FACTOR = 20.0
+
+
+class ExitCensusResult:
+    """Per-VM exit accounting and the flagged set."""
+
+    def __init__(self):
+        self.per_vm = {}  # name -> priv exit count
+        self.flagged = []
+
+    def summary(self):
+        lines = ["exit census (privileged-instruction exits per VM):"]
+        for name, count in sorted(self.per_vm.items()):
+            marker = "  << HYPERVISOR" if name in self.flagged else ""
+            lines.append(f"  {name:<12} {count:12.0f}{marker}")
+        return "\n".join(lines)
+
+    @property
+    def hypervisor_detected(self):
+        return bool(self.flagged)
+
+
+def exit_census(host_system, min_priv_exits=MIN_PRIV_EXITS, peer_factor=PEER_FACTOR):
+    """Generator: read the host's per-VM exit counters and classify.
+
+    Returns an :class:`ExitCensusResult`.
+    """
+    if host_system.depth != 0:
+        raise DetectionError("the exit census reads host kernel counters")
+    if host_system.kvm is None:
+        raise DetectionError("no KVM on this host")
+    result = ExitCensusResult()
+    for name, vm in host_system.kvm.vms.items():
+        result.per_vm[name] = vm.exit_count(ExitReason.PRIV_INSTRUCTION)
+    yield host_system.engine.timeout(0.01)  # /sys reads
+
+    for name, count in result.per_vm.items():
+        if count < min_priv_exits:
+            continue
+        peers = sorted(
+            value for other, value in result.per_vm.items() if other != name
+        )
+        peer_median = peers[len(peers) // 2] if peers else 0.0
+        if count >= peer_factor * max(peer_median, 1.0):
+            result.flagged.append(name)
+    return result

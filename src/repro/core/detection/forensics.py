@@ -1,0 +1,175 @@
+"""Incident response: evidence collection after (or before) a verdict.
+
+The dedup detector answers *whether* a hidden hypervisor exists; a
+responder then needs *which VM is the RITM and how it got there*.  This
+module cross-references the host against the vendor's provisioning
+records and collects the artifacts a CloudSkulk installation cannot
+avoid leaving:
+
+* a VMCS surplus (kernel ground truth vs. the vendor's VM inventory);
+* a QEMU process whose command line exceeds its tenant's provisioned
+  memory (GuestX must carry the victim *plus* its own OS);
+* nested-virtualization exposure (``+vmx``) on a tenant that never
+  bought it;
+* QEMU processes for VMs the inventory has never heard of;
+* flow-log evidence: an unexplained several-hundred-MB transfer to an
+  ephemeral local port — the migration stream's unavoidable footprint.
+
+Each check degrades independently: an attacker can scrub history and
+swap PIDs, but cannot shrink GuestX below victim+overhead, cannot hide
+the nested VMCS from the kernel, and cannot unsend the migration bytes.
+"""
+
+from repro.core.detection.vmcs_scan import scan_for_hypervisors
+from repro.errors import DetectionError
+from repro.qemu.config import QemuConfig
+
+#: Flows larger than this to a non-service port are worth explaining.
+SUSPICIOUS_FLOW_BYTES = 64 * 1024 * 1024
+
+
+class TenantRecord:
+    """What the vendor's provisioning database says about one VM."""
+
+    def __init__(self, name, memory_mb, nested_allowed=False, public_ports=()):
+        self.name = name
+        self.memory_mb = memory_mb
+        self.nested_allowed = nested_allowed
+        #: Host ports published for this tenant (hostfwd) — traffic to
+        #: these is expected and never flow-log evidence.
+        self.public_ports = tuple(public_ports)
+
+
+class Evidence:
+    """One collected artifact."""
+
+    def __init__(self, kind, severity, description, subject=None):
+        self.kind = kind
+        self.severity = severity  # "info" | "warning" | "critical"
+        self.description = description
+        self.subject = subject
+
+    def __repr__(self):
+        return f"<Evidence {self.severity}/{self.kind}: {self.description[:60]}>"
+
+
+class EvidenceReport:
+    """Everything one collection pass found."""
+
+    def __init__(self, host_name):
+        self.host_name = host_name
+        self.findings = []
+
+    def add(self, *args, **kwargs):
+        self.findings.append(Evidence(*args, **kwargs))
+
+    def by_kind(self, kind):
+        return [e for e in self.findings if e.kind == kind]
+
+    @property
+    def critical(self):
+        return [e for e in self.findings if e.severity == "critical"]
+
+    @property
+    def suspicious(self):
+        return bool(self.critical)
+
+    def summary(self):
+        lines = [f"forensic evidence on {self.host_name}:"]
+        if not self.findings:
+            lines.append("  (nothing anomalous)")
+        for evidence in self.findings:
+            lines.append(
+                f"  [{evidence.severity:<8}] {evidence.kind}: "
+                f"{evidence.description}"
+            )
+        return "\n".join(lines)
+
+
+def collect_evidence(host_system, inventory, known_service_ports=(22, 80, 443)):
+    """Generator: sweep the host for CloudSkulk artifacts.
+
+    ``inventory`` is a list of :class:`TenantRecord`; returns an
+    :class:`EvidenceReport`.  Tenant public ports join
+    ``known_service_ports`` for the flow-log check.
+    """
+    if host_system.depth != 0:
+        raise DetectionError("forensics runs on the bare-metal host")
+    records = {record.name: record for record in inventory}
+    expected_ports = set(known_service_ports)
+    for record in inventory:
+        expected_ports.update(record.public_ports)
+    report = EvidenceReport(host_system.name)
+
+    # --- 1. kernel ground truth: VMCS census --------------------------
+    scan = yield from scan_for_hypervisors(host_system)
+    if scan.scan_failed:
+        report.add("vmcs-census", "info", scan.failure_reason)
+    elif scan.extra_vmcs_pages:
+        report.add(
+            "vmcs-census",
+            "critical",
+            f"{scan.vmcs_pages_found} VMCS page(s) in RAM but the host "
+            f"accounts for {scan.expected_vmcs_pages}: "
+            f"{scan.extra_vmcs_pages} hypervisor context(s) unexplained",
+        )
+
+    # --- 2. process table vs provisioning records ----------------------
+    for proc in host_system.kernel.table.find_by_name("qemu-system-x86_64"):
+        if not proc.alive:
+            continue
+        try:
+            config = QemuConfig.from_command_line(proc.cmdline)
+        except Exception:
+            report.add(
+                "qemu-cmdline",
+                "warning",
+                f"pid {proc.pid}: unparseable QEMU command line",
+                subject=proc.pid,
+            )
+            continue
+        record = records.get(config.name)
+        if record is None:
+            report.add(
+                "unknown-vm",
+                "critical",
+                f"pid {proc.pid} runs VM {config.name!r} absent from "
+                "provisioning records",
+                subject=config.name,
+            )
+            continue
+        if config.memory_mb > record.memory_mb:
+            report.add(
+                "memory-oversize",
+                "critical",
+                f"VM {config.name!r} runs with {config.memory_mb} MB but "
+                f"the tenant provisioned {record.memory_mb} MB — enough "
+                "headroom to nest the real guest",
+                subject=config.name,
+            )
+        if config.nested_vmx and not record.nested_allowed:
+            report.add(
+                "nested-exposure",
+                "critical",
+                f"VM {config.name!r} launched with '+vmx' but the tenant "
+                "never purchased nested virtualization",
+                subject=config.name,
+            )
+
+    # --- 3. flow logs: the migration's traffic footprint ---------------
+    for connection in host_system.net_node.connection_log:
+        total = connection.bytes_sent["client"] + connection.bytes_sent["server"]
+        if (
+            total >= SUSPICIOUS_FLOW_BYTES
+            and connection.port not in expected_ports
+        ):
+            report.add(
+                "bulk-flow",
+                "critical",
+                f"{total / 1e6:.0f} MB moved to local port "
+                f"{connection.port} starting t={connection.opened_at:.0f}s "
+                "— consistent with an unscheduled live migration",
+                subject=connection.port,
+            )
+    yield host_system.engine.timeout(0.05)  # log trawling takes a moment
+    return report

@@ -1,0 +1,116 @@
+"""Guest-side (L2) detection — and why the paper rejects it (§VI-A).
+
+"A detection approach deployed in L2 is more preferable by a VM user
+... However, because L2 is under the control of L1, events and timing
+measurements in L2 can be monitored and manipulated by attackers from
+L1.  Thus, instead of running a detection module at L2, we propose to
+deploy the detection mechanism at L0."
+
+This module implements the natural L2-side detector — time a batch of
+exit-heavy operations against the published single-level-VM baseline
+and flag a nesting-sized anomaly — together with the attacker's
+countermeasure (scaling the guest's virtual clock from L1) that defeats
+it.  The pair backs the paper's design argument with running code; the
+host-side dedup detector is immune because its stopwatch lives in L0,
+outside the attacker's reach.
+"""
+
+from repro.errors import DetectionError
+
+#: Expected pipe latency (µs) inside a *single-level* VM of the
+#: victim's build — the kind of baseline a user can measure at rental
+#: time or read off published benchmarks.
+EXPECTED_L1_PIPE_US = 6.75
+#: How many times slower than the baseline before we cry "nested".
+ANOMALY_FACTOR = 3.0
+
+
+class GuestSideVerdict:
+    """What the in-guest detector concluded."""
+
+    def __init__(self, measured_us, baseline_us, factor):
+        self.measured_us = measured_us
+        self.baseline_us = baseline_us
+        self.factor = factor
+
+    @property
+    def nested_suspected(self):
+        return self.measured_us > self.factor * self.baseline_us
+
+    def explanation(self):
+        ratio = self.measured_us / self.baseline_us
+        if self.nested_suspected:
+            return (
+                f"pipe latency {self.measured_us:.1f}us is {ratio:.1f}x the "
+                f"single-level baseline ({self.baseline_us:.2f}us): another "
+                "hypervisor sits underneath this VM."
+            )
+        return (
+            f"pipe latency {self.measured_us:.1f}us is within {ratio:.1f}x "
+            "of the single-level baseline: nothing suspicious — as far as "
+            "this guest can tell."
+        )
+
+    def __repr__(self):
+        return f"<GuestSideVerdict nested={self.nested_suspected}>"
+
+
+class GuestSideDetector:
+    """Runs inside the (potential) victim; times its own syscalls.
+
+    Crucially, durations are read from the *guest's own clock*
+    (:meth:`repro.guest.system.System.guest_now`), which the L1
+    attacker controls.
+    """
+
+    def __init__(
+        self,
+        guest_system,
+        baseline_us=EXPECTED_L1_PIPE_US,
+        anomaly_factor=ANOMALY_FACTOR,
+        repetitions=400,
+    ):
+        if repetitions < 1:
+            raise DetectionError("need at least one repetition")
+        self.guest = guest_system
+        self.baseline_us = baseline_us
+        self.anomaly_factor = anomaly_factor
+        self.repetitions = repetitions
+
+    def run(self):
+        """Generator: measure and classify; returns a GuestSideVerdict."""
+        kernel = self.guest.kernel
+        started_guest = self.guest.guest_now()
+        total_cost = 0.0
+        for _ in range(self.repetitions):
+            total_cost += kernel.syscall_cost("pipe_latency")
+        yield self.guest.engine.timeout(total_cost)
+        elapsed_guest = self.guest.guest_now() - started_guest
+        measured_us = elapsed_guest / self.repetitions * 1e6
+        return GuestSideVerdict(
+            measured_us, self.baseline_us, self.anomaly_factor
+        )
+
+
+def apply_timing_deception(victim_system, observed_depth=2, honest_depth=1):
+    """The L1 attacker's counter: slow the victim's clock.
+
+    Scales the guest's virtual TSC by the ratio of single-level to
+    nested operation cost, so guest-measured latencies read as if no
+    extra layer existed.  Returns the factor applied.
+    """
+    model = victim_system.cost_model
+    from repro.guest.syscalls import SYSCALL_PROFILES
+
+    profile = SYSCALL_PROFILES["pipe_latency"]
+    honest = profile.cpu_seconds + sum(
+        n * model.exit_cost(reason, honest_depth)
+        for reason, n in profile.exits.items()
+    )
+    observed = profile.cpu_seconds + sum(
+        n * model.exit_cost(reason, observed_depth)
+        for reason, n in profile.exits.items()
+    )
+    factor = honest / observed
+    victim_system.set_tsc_scaling(factor)
+    return factor

@@ -1,0 +1,126 @@
+"""Incident response: evicting a CloudSkulk and recovering the tenant.
+
+Once the dedup verdict and the forensic evidence agree, the operator
+holds host root over the attacker's infrastructure — the same asymmetry
+the attacker exploited, pointed back at them.  The recovery play:
+
+1. terminate the RITM (which takes the nested victim's *RAM state* with
+   it — unavoidable: the live guest exists only inside GuestX);
+2. relaunch the tenant's VM from its disk image, which never left host
+   storage (the attack migrated memory, not the qcow2), with the
+   provisioned configuration and public ports;
+3. re-verify: VMCS census clean, service answering at the old address.
+
+The RAM loss means a crash-consistent restart for the customer — the
+honest cost of this recovery, which the report records.
+"""
+
+from repro.core.detection.vmcs_scan import scan_for_hypervisors
+from repro.errors import DetectionError
+from repro.qemu.config import DriveSpec, MonitorSpec, NicSpec, QemuConfig
+from repro.qemu.vm import launch_vm
+
+
+class RecoveryReport:
+    """What the response changed, and what it cost the tenant."""
+
+    def __init__(self, host_name):
+        self.host_name = host_name
+        self.terminated_vms = []
+        self.recovered_vm = None
+        self.ram_state_lost = False
+        self.downtime_seconds = 0.0
+        self.post_scan = None
+
+    @property
+    def clean(self):
+        return (
+            self.post_scan is not None
+            and not self.post_scan.scan_failed
+            and not self.post_scan.nested_hypervisor_detected
+        )
+
+    def summary(self):
+        lines = [f"incident response on {self.host_name}:"]
+        for name in self.terminated_vms:
+            lines.append(f"  terminated rogue VM {name!r}")
+        if self.recovered_vm is not None:
+            lines.append(
+                f"  relaunched tenant VM {self.recovered_vm.name!r} "
+                f"(downtime {self.downtime_seconds:.1f}s, "
+                f"RAM state {'lost' if self.ram_state_lost else 'kept'})"
+            )
+        lines.append(
+            f"  post-recovery VMCS census: {'clean' if self.clean else 'STILL DIRTY'}"
+        )
+        return "\n".join(lines)
+
+
+def respond_and_recover(host_system, evidence_report, tenant_record, image_path):
+    """Generator: evict the rootkit and restore the tenant.
+
+    ``evidence_report`` supplies the rogue-VM names (unknown-vm and
+    memory-oversize findings); ``tenant_record`` and ``image_path``
+    describe what to relaunch.  Returns a :class:`RecoveryReport`.
+    """
+    if host_system.depth != 0:
+        raise DetectionError("incident response runs on the bare-metal host")
+    rogue_names = {
+        finding.subject
+        for finding in evidence_report.findings
+        if finding.kind in ("unknown-vm", "memory-oversize", "nested-exposure")
+        and finding.subject is not None
+    }
+    if not rogue_names:
+        raise DetectionError("evidence report names no rogue VM to evict")
+
+    report = RecoveryReport(host_system.name)
+    downtime_started = host_system.engine.now
+
+    # 1. terminate the RITM stack (nested guests die with it).
+    for name in sorted(rogue_names):
+        vm = _find_vm_by_name(host_system, name)
+        if vm is None:
+            continue
+        carried_nested = vm.guest is not None and vm.guest.kvm is not None
+        vm.quit()
+        report.terminated_vms.append(name)
+        if carried_nested:
+            report.ram_state_lost = True
+    if not report.terminated_vms:
+        raise DetectionError(
+            f"no running QEMU matches the rogue names {sorted(rogue_names)}"
+        )
+
+    # 2. relaunch the tenant from its untouched disk image.
+    config = QemuConfig(
+        name=tenant_record.name,
+        memory_mb=tenant_record.memory_mb,
+        smp=1,
+        drives=[DriveSpec(image_path)],
+        nics=[
+            NicSpec(
+                "net0",
+                hostfwds=[("tcp", port, 22) for port in tenant_record.public_ports],
+            )
+        ],
+        monitor=MonitorSpec(port=5555),
+        nested_vmx=tenant_record.nested_allowed,
+    )
+    vm, boot = launch_vm(host_system, config, record_history=True)
+    yield boot
+    vm.guest.net_node.listen(22)  # sshd back up
+    report.recovered_vm = vm
+    report.downtime_seconds = host_system.engine.now - downtime_started
+
+    # 3. verify the host is clean again.
+    report.post_scan = yield from scan_for_hypervisors(host_system)
+    return report
+
+
+def _find_vm_by_name(host_system, name):
+    """Locate a live QemuVm on the host by its -name (kernel-side)."""
+    kvm_vm = host_system.kvm.vms.get(name)
+    if kvm_vm is None:
+        return None
+    return getattr(kvm_vm, "_qemu_vm", None)

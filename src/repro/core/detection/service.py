@@ -1,0 +1,149 @@
+"""Host-level monitoring: the detector productized.
+
+The paper evaluates one detection run against one VM; a cloud operator
+needs the sweep version: walk every customer VM on the host, run the
+deduplication protocol against each, cross-check with the VMCS scan,
+and aggregate a per-host report.  One compromised tenant must be
+singled out among innocents — which also exercises the detector's
+false-positive behaviour on the co-resident clean guests.
+"""
+
+from repro.core.detection.dedup_detector import CloudInterface, DedupDetector
+from repro.core.detection.vmcs_scan import scan_for_hypervisors
+from repro.errors import DetectionError
+
+
+class TenantFinding:
+    """One customer VM's sweep outcome."""
+
+    def __init__(self, tenant_name):
+        self.tenant_name = tenant_name
+        self.verdict = None
+        self.detection_report = None
+
+    @property
+    def compromised(self):
+        return self.verdict == "nested"
+
+    def __repr__(self):
+        return f"<TenantFinding {self.tenant_name}: {self.verdict}>"
+
+
+class HostSweepReport:
+    """Aggregate outcome of one monitoring sweep."""
+
+    def __init__(self, host_name):
+        self.host_name = host_name
+        self.started_at = None
+        self.finished_at = None
+        self.findings = []
+        self.vmcs_scan = None
+
+    @property
+    def compromised_tenants(self):
+        return [f.tenant_name for f in self.findings if f.compromised]
+
+    @property
+    def inconclusive_tenants(self):
+        return [
+            f.tenant_name for f in self.findings if f.verdict == "inconclusive"
+        ]
+
+    @property
+    def consistent(self):
+        """Do the dedup sweep and the VMCS scan agree about nesting?
+
+        None when the VMCS scan failed (e.g. non-VT-x hardware) — the
+        dedup verdicts then stand alone, which is the paper's argument
+        for the software-only approach.
+        """
+        if self.vmcs_scan is None or self.vmcs_scan.scan_failed:
+            return None
+        return bool(self.compromised_tenants) == (
+            self.vmcs_scan.nested_hypervisor_detected
+        )
+
+    def summary(self):
+        lines = [f"monitoring sweep of {self.host_name}:"]
+        for finding in self.findings:
+            lines.append(f"  {finding.tenant_name:<12} {finding.verdict}")
+        if self.vmcs_scan is not None:
+            scan = self.vmcs_scan
+            state = (
+                "failed"
+                if scan.scan_failed
+                else ("nested hypervisor" if scan.nested_hypervisor_detected else "clean")
+            )
+            lines.append(f"  vmcs-scan    {state}")
+        return "\n".join(lines)
+
+
+class MonitoringService:
+    """Sweeps every registered tenant on one host."""
+
+    def __init__(self, host_system, file_pages=25, wait_seconds=20.0):
+        if host_system.depth != 0:
+            raise DetectionError("the monitoring service runs at L0")
+        self.host = host_system
+        self.file_pages = file_pages
+        self.wait_seconds = wait_seconds
+        self._tenants = {}  # name -> CloudInterface
+
+    def register_tenant(self, name, victim_locator):
+        """Add a customer VM, addressed by its locator (see
+        :class:`~repro.core.detection.dedup_detector.CloudInterface`)."""
+        if name in self._tenants:
+            raise DetectionError(f"tenant {name!r} already registered")
+        interface = CloudInterface(self.host, victim_locator)
+        self._tenants[name] = interface
+        return interface
+
+    @property
+    def tenant_names(self):
+        return sorted(self._tenants)
+
+    def sweep(self, sweep_id=0):
+        """Generator: run one full sweep; returns a HostSweepReport."""
+        if not self._tenants:
+            raise DetectionError("no tenants registered")
+        report = HostSweepReport(self.host.name)
+        report.started_at = self.host.engine.now
+        for index, (name, interface) in enumerate(sorted(self._tenants.items())):
+            finding = TenantFinding(name)
+            detector = DedupDetector(
+                self.host,
+                interface,
+                file_pages=self.file_pages,
+                wait_seconds=self.wait_seconds,
+                file_path=f"/root/detect/sweep-{sweep_id}-{index}-{name}.bin",
+            )
+            finding.detection_report = yield from detector.run()
+            finding.verdict = finding.detection_report.verdict.verdict
+            report.findings.append(finding)
+        report.vmcs_scan = yield from scan_for_hypervisors(self.host)
+        report.finished_at = self.host.engine.now
+        return report
+
+    def run_periodic(self, interval_seconds, alert_callback=None, max_sweeps=None):
+        """Start periodic sweeping; returns the engine Process.
+
+        ``alert_callback(report)`` fires after every sweep that found a
+        compromised tenant.  Detection latency is bounded by the sweep
+        interval plus one protocol duration — the operational number a
+        deployment cares about.
+        """
+        if interval_seconds <= 0:
+            raise DetectionError("sweep interval must be positive")
+        self.sweep_history = []
+
+        def _loop():
+            sweep_id = 0
+            while max_sweeps is None or sweep_id < max_sweeps:
+                report = yield from self.sweep(sweep_id=sweep_id)
+                self.sweep_history.append(report)
+                if report.compromised_tenants and alert_callback is not None:
+                    alert_callback(report)
+                sweep_id += 1
+                yield self.host.engine.timeout(interval_seconds)
+
+        return self.host.engine.process(_loop(), name="monitoring-service")

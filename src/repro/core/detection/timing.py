@@ -1,0 +1,74 @@
+"""The write-timing probe: the detection module's measurement core.
+
+Mirrors the paper's ~300-line C program: load a specified file into
+memory (madvised MADV_MERGEABLE, as QEMU guest RAM is), wait a given
+time, then write one byte per page and record each write's latency.
+A write to a KSM-merged page breaks copy-on-write and costs hundreds of
+microseconds; a write to a private page costs well under one.
+"""
+
+from repro.errors import DetectionError
+
+
+class WriteTimingProbe:
+    """Runs in L0 as an ordinary (root) host process."""
+
+    #: Pages measured per engine yield (keeps interleaving fair without
+    #: one event per page).
+    BATCH_PAGES = 16
+
+    def __init__(self, host_system):
+        if host_system.depth != 0:
+            raise DetectionError(
+                "the write-timing probe is an L0 (host-level) tool"
+            )
+        self.host = host_system
+        self.engine = host_system.engine
+
+    def load(self, path):
+        """Generator: load ``path`` into (mergeable) memory; returns pfns."""
+        pfns, cost = self.host.kernel.load_file(path, mergeable=True)
+        yield self.engine.timeout(cost)
+        return pfns
+
+    def evict(self, path):
+        """Drop a previously loaded file so the next load is fresh."""
+        self.host.kernel.evict_file(path)
+
+    def wait(self, seconds):
+        """Generator: give ksmd time to find and merge the pages."""
+        if seconds < 0:
+            raise DetectionError("negative wait")
+        yield self.engine.timeout(seconds)
+
+    def measure(self, path):
+        """Generator: write each page once; returns per-page times in µs.
+
+        The write flips the page's first byte — any write breaks CoW;
+        content is irrelevant to the fault cost.
+        """
+        pfns = self.host.kernel.page_cache.get(path)
+        if pfns is None:
+            raise DetectionError(f"{path!r} is not loaded")
+        times_us = []
+        batch_cost = 0.0
+        for pfn in pfns:
+            content = self.host.memory.read(pfn)
+            flipped = (bytes([content[0] ^ 0xFF]) + content[1:]) if content else b"\xff"
+            _outcome, cost = self.host.kernel.write_page(pfn, flipped)
+            times_us.append(cost * 1e6)
+            batch_cost += cost
+            if len(times_us) % self.BATCH_PAGES == 0:
+                yield self.engine.timeout(batch_cost)
+                batch_cost = 0.0
+        if batch_cost:
+            yield self.engine.timeout(batch_cost)
+        return times_us
+
+    def load_wait_measure(self, path, wait_seconds):
+        """Generator: the full probe cycle; returns per-page µs times."""
+        yield from self.load(path)
+        yield from self.wait(wait_seconds)
+        times = yield from self.measure(path)
+        self.evict(path)
+        return times

@@ -1,0 +1,93 @@
+"""Baseline detector: VMCS-signature memory forensics (paper §VI-E).
+
+Models Graziano et al.'s volatility extension: sweep physical memory
+for pages that look like Intel VMCS regions.  Finding more VMCS pages
+than the host's own hypervisor accounts for reveals a *second*
+hypervisor — an L1 — because a nested hypervisor's VMCS pages live in
+guest memory, which is host memory.
+
+Structural limits, reproduced here:
+
+* the signature is VT-x-specific — on an AMD (VMCB) machine the scan
+  finds nothing and reports failure, the weakness the paper contrasts
+  its software-only approach against;
+* the scan requires sweeping all of RAM, priced per frame.
+"""
+
+from repro.errors import DetectionError
+from repro.hypervisor.vmcs import looks_like_vmcs
+
+#: Signature-check cost per scanned frame.
+SCAN_COST_PER_FRAME = 3.0e-7
+
+
+class VmcsScanResult:
+    """Outcome of one memory-forensics sweep."""
+
+    def __init__(self):
+        self.frames_scanned = 0
+        self.vmcs_pages_found = 0
+        self.expected_vmcs_pages = 0
+        self.scan_failed = False
+        self.failure_reason = None
+
+    @property
+    def nested_hypervisor_detected(self):
+        return (
+            not self.scan_failed
+            and self.vmcs_pages_found > self.expected_vmcs_pages
+        )
+
+    @property
+    def extra_vmcs_pages(self):
+        return max(0, self.vmcs_pages_found - self.expected_vmcs_pages)
+
+    def __repr__(self):
+        status = "FAILED" if self.scan_failed else (
+            "NESTED" if self.nested_hypervisor_detected else "clean"
+        )
+        return (
+            f"<VmcsScanResult {status} found={self.vmcs_pages_found} "
+            f"expected={self.expected_vmcs_pages}>"
+        )
+
+
+def scan_for_hypervisors(host_system):
+    """Generator: sweep host RAM for VMCS signatures.
+
+    Returns a :class:`VmcsScanResult`.  The expected count comes from
+    the host administrator's own bookkeeping: one VMCS per vCPU of each
+    VM the host knowingly runs.
+    """
+    if host_system.depth != 0:
+        raise DetectionError("memory forensics runs on the bare-metal host")
+    result = VmcsScanResult()
+    memory = host_system.memory
+
+    seen_frames = set()
+    cost = 0.0
+    for pfn, frame in list(memory._frames.items()):
+        if id(frame) in seen_frames:
+            continue
+        seen_frames.add(id(frame))
+        result.frames_scanned += 1
+        cost += SCAN_COST_PER_FRAME
+        if looks_like_vmcs(frame.content):
+            result.vmcs_pages_found += 1
+    yield host_system.engine.timeout(cost)
+
+    if host_system.kvm is not None:
+        result.expected_vmcs_pages = sum(
+            vm.vcpus for vm in host_system.kvm.vms.values()
+        )
+    if result.vmcs_pages_found == 0 and result.expected_vmcs_pages > 0:
+        # The host runs VMs yet no signature matched: the scanner's
+        # VT-x-only signature database does not fit this machine.
+        result.scan_failed = True
+        result.failure_reason = (
+            f"no VT-x VMCS signatures found on a host running "
+            f"{result.expected_vmcs_pages} vCPU(s) — non-Intel "
+            f"({host_system.cpu.vendor}) control blocks are not in the "
+            "signature database"
+        )
+    return result

@@ -1,0 +1,44 @@
+"""Baseline detector: VMI fingerprinting (paper §VI-E).
+
+The administrator keeps a fingerprint of each customer VM — OS build,
+kernel version, expected process-name set — and periodically
+re-introspects to compare.  CloudSkulk evades this by construction:
+GuestX runs the same OS build, and the attacker forges its kernel
+structures (DKSM) with a snapshot of the victim's processes, so the
+fingerprints match ("they could have the same 'fingerprint' and may
+not be discernible to detection tools").
+"""
+
+from repro.vmi.introspect import introspect
+
+
+class FingerprintMismatch:
+    """One difference between the stored and observed fingerprints."""
+
+    def __init__(self, field, expected, observed):
+        self.field = field
+        self.expected = expected
+        self.observed = observed
+
+    def __repr__(self):
+        return f"<FingerprintMismatch {self.field}: {self.expected!r} != {self.observed!r}>"
+
+
+def take_fingerprint(qemu_vm):
+    """Record the (os, kernel, process-name set) fingerprint of a VM."""
+    return introspect(qemu_vm).fingerprint()
+
+
+def check_fingerprint(qemu_vm, expected_fingerprint):
+    """Re-introspect and diff against the stored fingerprint.
+
+    Returns a list of :class:`FingerprintMismatch` (empty = VM looks
+    unchanged — which is exactly what a well-run CloudSkulk produces).
+    """
+    observed = take_fingerprint(qemu_vm)
+    mismatches = []
+    fields = ("os_name", "kernel_version", "process_names")
+    for field, expected, got in zip(fields, expected_fingerprint, observed):
+        if expected != got:
+            mismatches.append(FingerprintMismatch(field, expected, got))
+    return mismatches

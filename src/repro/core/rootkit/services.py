@@ -1,0 +1,279 @@
+"""Malicious services a installed CloudSkulk can run (paper §IV-B).
+
+Passive services observe; active services tamper.  All of them exploit
+the RITM position: every victim packet traverses GuestX's forwarding
+layer, and the victim's kernel runs under the attacker's L1 hypervisor.
+
+:class:`PageSyncEvasion` implements the §VI-D counter-move an attacker
+might try against the deduplication detector — synchronizing L2 page
+changes into L1 — together with the cost accounting that backs the
+paper's argument for why it does not scale.
+"""
+
+from repro.errors import RootkitError
+from repro.guest.kernel import SyscallTap
+from repro.net.nat import PacketHook
+
+
+class PacketCaptureService(PacketHook):
+    """Passive: record every packet crossing the RITM (tcpdump-at-L1)."""
+
+    name = "packet-capture"
+
+    def __init__(self, max_entries=100_000):
+        self.max_entries = max_entries
+        self.log = []
+        self.bytes_seen = 0
+        self.truncated = False
+
+    def on_packet(self, packet, direction, rule):
+        self.bytes_seen += packet.size_bytes
+        if len(self.log) < self.max_entries:
+            self.log.append(
+                (rule.engine.now, direction, packet.size_bytes, packet.payload)
+            )
+        else:
+            self.truncated = True
+        return packet
+
+    def payloads(self, direction=None):
+        return [
+            payload
+            for _t, d, _size, payload in self.log
+            if direction is None or d == direction
+        ]
+
+
+class KeystrokeLogger:
+    """Passive: trap the victim's write(2) syscalls from the L1 hypervisor.
+
+    Sees data *before* the victim encrypts it, per the paper: "plaintext
+    data could be recorded before it is encrypted."
+    """
+
+    def __init__(self):
+        self.events = []
+        self._tap = None
+        self._victim = None
+
+    def install(self, victim_system):
+        if self._tap is not None:
+            raise RootkitError("keystroke logger already installed")
+        self._victim = victim_system
+        self._tap = SyscallTap("write", self._on_write)
+        victim_system.kernel.install_tap(self._tap)
+        return self._tap
+
+    def _on_write(self, system, _syscall_name):
+        self.events.append((system.engine.now, system.name))
+
+    def remove(self):
+        if self._tap is None:
+            return
+        self._victim.kernel.remove_tap(self._tap)
+        self._tap = None
+
+    @property
+    def keystrokes_logged(self):
+        return len(self.events)
+
+
+class ActiveTamperService(PacketHook):
+    """Active: drop or rewrite packets matching a predicate.
+
+    ``action`` is ``"drop"`` or ``"modify"``; for modify, ``transform``
+    maps the matched packet to its replacement (e.g. rewriting an email
+    body or a web response, the paper's examples).
+    """
+
+    name = "active-tamper"
+
+    def __init__(self, match, action="drop", transform=None):
+        if action not in ("drop", "modify"):
+            raise RootkitError(f"unknown tamper action {action!r}")
+        if action == "modify" and transform is None:
+            raise RootkitError("modify action requires a transform")
+        self.match = match
+        self.action = action
+        self.transform = transform
+        self.hits = 0
+
+    def on_packet(self, packet, direction, rule):
+        if not self.match(packet, direction):
+            return packet
+        self.hits += 1
+        if self.action == "drop":
+            return None
+        return self.transform(packet)
+
+
+class ParallelMaliciousOs:
+    """A second nested VM beside the victim: phishing host, spam relay...
+
+    "Because the rootkit itself is a hypervisor, attackers can create a
+    separate but malicious OS and let it run in parallel with the
+    victim OS" (§IV-B-1).
+    """
+
+    def __init__(self, guestx_vm, name="svc-vm", memory_mb=512, service_port=8080):
+        self.guestx_vm = guestx_vm
+        self.name = name
+        self.memory_mb = memory_mb
+        self.service_port = service_port
+        self.vm = None
+        self.requests_served = 0
+
+    def launch(self):
+        """Generator: boot the parallel OS and start its 'web service'."""
+        from repro.qemu.config import DriveSpec, QemuConfig
+        from repro.qemu.qemu_img import host_images
+        from repro.qemu.vm import launch_vm
+
+        inner_host = self.guestx_vm.guest
+        images = host_images(inner_host)
+        image_path = f"/srv/images/{self.name}.qcow2"
+        if not images.exists(image_path):
+            images.create(image_path, 8.0)
+        from repro.qemu.config import NicSpec
+
+        config = QemuConfig(
+            name=self.name,
+            memory_mb=self.memory_mb,
+            smp=1,
+            drives=[DriveSpec(image_path)],
+            nics=[
+                NicSpec(
+                    "net0", hostfwds=[("tcp", self.service_port, 80)]
+                )
+            ],
+        )
+        vm, boot = launch_vm(inner_host, config, record_history=False)
+        self.vm = vm
+        yield boot
+        vm.guest.net_node.listen(80, handler=self._serve)
+        return vm
+
+    def _serve(self, connection):
+        engine = self.guestx_vm.engine
+
+        def responder():
+            from repro.sim.process import ChannelClosed
+
+            try:
+                while True:
+                    request = yield connection.server.recv()
+                    self.requests_served += 1
+                    body = b"<html>totally-legitimate-login-page</html>"
+                    connection.server.send(body, kind="http")
+                    del request
+            except ChannelClosed:
+                return
+
+        engine.process(responder(), name=f"{self.name}-http")
+
+
+class NetworkFileMirror(PacketHook):
+    """Impersonation over the wire: copy vendor file pushes into GuestX.
+
+    When the cloud channel delivers files over the VM's public endpoint
+    (``CloudInterface(delivery="network")``), the stream crosses the
+    RITM's forwarding layer — this hook watches for ``cloud-file``
+    records, reassembles each file, and plants an identical copy in
+    GuestX's filesystem and memory.  It is the packet-level realization
+    of the impersonation the detector's step-2 then turns against the
+    attacker.
+    """
+
+    name = "network-file-mirror"
+
+    def __init__(self, guestx_system):
+        self.guestx = guestx_system
+        self._partial = {}
+        self.files_mirrored = []
+
+    def on_packet(self, packet, direction, rule):
+        if direction == "inbound" and packet.kind == "cloud-file":
+            path, index, total, content = packet.payload
+            pages = self._partial.setdefault(path, {})
+            pages[index] = content
+            if len(pages) == total:
+                ordered = [pages[i] for i in range(total)]
+                self.guestx.fs.create(path, page_contents=ordered, size_bytes=0)
+                self.guestx.kernel.load_file(path, mergeable=True)
+                self.files_mirrored.append(path)
+                del self._partial[path]
+        return packet
+
+
+class PageSyncEvasion:
+    """The §VI-D counter-move: mirror L2 page changes into L1.
+
+    Wraps the victim kernel's ``write_file_page`` so every tracked-file
+    change is replayed into GuestX's memory.  Keeps the books the
+    paper's argument needs: per-change overhead, and the fact that the
+    hook itself constitutes an L1 kernel-code modification an integrity
+    monitor would flag (``hypervisor_code_modified``).
+    """
+
+    #: L1-side cost of intercepting and replaying one L2 page change.
+    SYNC_COST_PER_PAGE = 5.5e-4
+
+    def __init__(self, victim_system, guestx_system, tracked_paths):
+        self.victim = victim_system
+        self.guestx = guestx_system
+        self.tracked_paths = set(tracked_paths)
+        self.syncs = 0
+        self.total_cost = 0.0
+        self._original = None
+        self._mirror_pfns = {}
+
+    def enable(self):
+        if self._original is not None:
+            raise RootkitError("page-sync evasion already enabled")
+        self._original = self.victim.kernel.write_file_page
+        self.victim.kernel.write_file_page = self._wrapped
+        # Patching the victim-facing hypervisor/kernel path is exactly
+        # the modification the paper says "could be easily detected".
+        self.guestx.kernel.hypervisor_code_modified = True
+
+    def disable(self):
+        if self._original is None:
+            return
+        self.victim.kernel.write_file_page = self._original
+        self._original = None
+
+    def _wrapped(self, path, index, content):
+        cost = self._original(path, index, content)
+        if path in self.tracked_paths:
+            cost += self._mirror(path, index, content)
+        return cost
+
+    def _mirror(self, path, index, content):
+        """Replay one page change into GuestX's copy of the file."""
+        kernel = self.guestx.kernel
+        if self.guestx.fs.exists(path):
+            mirror_cost = kernel.write_file_page(path, index, content)
+        else:
+            key = (path, index)
+            if key not in self._mirror_pfns:
+                pfns, alloc_cost = kernel.alloc_pages(1, mergeable=True)
+                self._mirror_pfns[key] = pfns[0]
+                mirror_cost = alloc_cost
+            else:
+                mirror_cost = 0.0
+            _outcome, write_cost = kernel.write_page(self._mirror_pfns[key], content)
+            mirror_cost += write_cost
+        self.syncs += 1
+        cost = self.SYNC_COST_PER_PAGE + mirror_cost
+        self.total_cost += cost
+        return cost
+
+    def projected_cost_per_second(self, tracked_pages, change_rate_per_page_s):
+        """The paper's scaling argument, quantified.
+
+        For ``tracked_pages`` pages each changing
+        ``change_rate_per_page_s`` times a second, the L1 CPU-seconds
+        burned per wall second.  At millions of pages this exceeds 1.0
+        — the evasion cannot keep up.
+        """
+        return tracked_pages * change_rate_per_page_s * self.SYNC_COST_PER_PAGE

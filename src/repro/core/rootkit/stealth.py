@@ -1,0 +1,95 @@
+"""Post-installation stealth actions (paper §III-A).
+
+After the migration completes and the original VM dies, three things
+would still give the rootkit away to an attentive administrator; each
+has a counter here:
+
+* the QEMU PID changed — :func:`swap_pid` rewrites GuestX's PID to the
+  dead victim's ("the PID is just a variable in memory");
+* the attacker's commands sit in the shell history —
+  :func:`scrub_history`;
+* VMI fingerprinting would see GuestX's processes instead of the
+  victim's — :func:`impersonate_fingerprint` forges GuestX's kernel
+  structures with a snapshot of the victim (DKSM).
+"""
+
+from repro.errors import RootkitError
+from repro.qemu.config import QEMU_BINARY
+from repro.vmi.subversion import forge_process_view, snapshot_for_impersonation
+
+
+def swap_pid(host_system, qemu_vm, new_pid):
+    """Give a QEMU process a specific (free) PID — the victim's old one.
+
+    Requires host root; implemented as the direct kernel-memory edit
+    the paper calls trivial for an attacker at this privilege level.
+    """
+    table = host_system.kernel.table
+    old_pid = qemu_vm.process.pid
+    if old_pid == new_pid:
+        return qemu_vm.process
+    if new_pid in table:
+        raise RootkitError(
+            f"pid {new_pid} still in use — kill the original VM first"
+        )
+    proc = table.reassign_pid(old_pid, new_pid)
+    return proc
+
+
+def scrub_history(host_system, markers=(QEMU_BINARY, "telnet", "qemu-img")):
+    """Drop attacker-issued commands from the host shell history.
+
+    Removes every line containing any marker *after* the last line that
+    launched a still-running, non-attacker VM would be too clever —
+    the real tool simply deletes its own lines; we model the same by
+    filtering on markers the attacker knows it used.
+
+    Returns the number of lines removed.
+    """
+    history = host_system.shell.history
+    kept = [line for line in history if not any(m in line for m in markers)]
+    removed = len(history) - len(kept)
+    host_system.shell.history[:] = kept
+    return removed
+
+
+class ImpersonationMirror:
+    """Keep GuestX's memory contents consistent with the victim's story.
+
+    Registered on the cloud vendor's control channel
+    (:class:`repro.core.detection.dedup_detector.CloudInterface`): when
+    the vendor delivers a file to "the VM", the RITM sees the delivery
+    pass through it and loads an identical copy into GuestX's own
+    memory — otherwise a trivial file-presence scan of "Guest0" (really
+    GuestX) would expose the swap.  This very diligence is what the
+    dedup detector turns against the attacker in step 2 of §VI-B: the
+    mirrored copy keeps the *original* content after the victim changes
+    its own.
+    """
+
+    def __init__(self, guestx_system):
+        self.guestx = guestx_system
+        self.mirrored_paths = []
+
+    def __call__(self, host_file, _victim_system):
+        from repro.guest.filesystem import File
+
+        pages = [
+            host_file.page_content(i) for i in range(host_file.num_pages)
+        ]
+        copy = File(host_file.path, host_file.size_bytes, page_contents=pages)
+        self.guestx.fs.add(copy)
+        self.guestx.kernel.load_file(host_file.path, mergeable=True)
+        self.mirrored_paths.append(host_file.path)
+
+
+def impersonate_fingerprint(guestx_system, victim_system):
+    """Make GuestX introspect like the victim.
+
+    Copies the victim's live process snapshot into a DKSM forgery in
+    GuestX's kernel, so a VMI fingerprint of "Guest0" (really GuestX)
+    matches what the administrator has on file.
+    """
+    snapshot = snapshot_for_impersonation(victim_system)
+    forge_process_view(guestx_system, snapshot)
+    return snapshot

@@ -1,0 +1,17 @@
+"""Embedded datasets (the paper's Table I CVE survey)."""
+
+from repro.data.cve import (
+    CVE_DATABASE,
+    CveRecord,
+    cves_by_hypervisor,
+    cves_by_year,
+    table1_matrix,
+)
+
+__all__ = [
+    "CVE_DATABASE",
+    "CveRecord",
+    "cves_by_hypervisor",
+    "cves_by_year",
+    "table1_matrix",
+]

@@ -1,0 +1,103 @@
+"""The paper's Table I: VM-escape CVEs per hypervisor, 2015-2020.
+
+Transcribed verbatim from the paper; the benchmark regenerating Table I
+queries this dataset and asserts the published totals (VMware 29,
+VirtualBox 15, Xen 15, Hyper-V 14, KVM/QEMU 23).
+"""
+
+HYPERVISORS = ("VMware", "VirtualBox", "Xen", "Hyper-V", "KVM/QEMU")
+YEARS = (2015, 2016, 2017, 2018, 2019, 2020)
+
+
+class CveRecord:
+    """One VM-escape CVE."""
+
+    __slots__ = ("cve_id", "year", "hypervisor")
+
+    def __init__(self, cve_id, hypervisor):
+        self.cve_id = cve_id
+        self.year = int(cve_id.split("-")[1])
+        self.hypervisor = hypervisor
+
+    def __repr__(self):
+        return f"<CveRecord {self.cve_id} ({self.hypervisor})>"
+
+
+_RAW = {
+    "VMware": [
+        "CVE-2015-2336", "CVE-2015-2337", "CVE-2015-2338", "CVE-2015-2339",
+        "CVE-2015-2340",
+        "CVE-2016-7082", "CVE-2016-7083", "CVE-2016-7084", "CVE-2016-7461",
+        "CVE-2017-4903", "CVE-2017-4934", "CVE-2017-4936",
+        "CVE-2018-6981", "CVE-2018-6982",
+        "CVE-2019-0964", "CVE-2019-5049", "CVE-2019-5124", "CVE-2019-5146",
+        "CVE-2019-5147",
+        "CVE-2020-3962", "CVE-2020-3963", "CVE-2020-3964", "CVE-2020-3965",
+        "CVE-2020-3966", "CVE-2020-3967", "CVE-2020-3968", "CVE-2020-3969",
+        "CVE-2020-3970", "CVE-2020-3971",
+    ],
+    "VirtualBox": [
+        "CVE-2017-3538",
+        "CVE-2018-2676", "CVE-2018-2685", "CVE-2018-2686", "CVE-2018-2687",
+        "CVE-2018-2688", "CVE-2018-2689", "CVE-2018-2690", "CVE-2018-2693",
+        "CVE-2018-2694", "CVE-2018-2698", "CVE-2018-2844",
+        "CVE-2019-2723", "CVE-2019-3028",
+        "CVE-2020-2929",
+    ],
+    "Xen": [
+        "CVE-2015-7835",
+        "CVE-2016-6258", "CVE-2016-7092",
+        "CVE-2017-8903", "CVE-2017-8904", "CVE-2017-8905", "CVE-2017-10920",
+        "CVE-2017-10921", "CVE-2017-17566",
+        "CVE-2019-18420", "CVE-2019-18421", "CVE-2019-18422",
+        "CVE-2019-18423", "CVE-2019-18424", "CVE-2019-18425",
+    ],
+    "Hyper-V": [
+        "CVE-2015-2361", "CVE-2015-2362",
+        "CVE-2016-0088",
+        "CVE-2017-0075", "CVE-2017-0109", "CVE-2017-8664",
+        "CVE-2018-8439", "CVE-2018-8489", "CVE-2018-8490",
+        "CVE-2019-0620", "CVE-2019-0709", "CVE-2019-0722", "CVE-2019-0887",
+        "CVE-2020-0910",
+    ],
+    "KVM/QEMU": [
+        "CVE-2015-3209", "CVE-2015-3456", "CVE-2015-5165", "CVE-2015-7504",
+        "CVE-2015-5154",
+        "CVE-2016-3710", "CVE-2016-4440", "CVE-2016-9603",
+        "CVE-2017-2615", "CVE-2017-2620", "CVE-2017-2630", "CVE-2017-5931",
+        "CVE-2017-5667", "CVE-2017-14167",
+        "CVE-2018-7550", "CVE-2018-16847",
+        "CVE-2019-6778", "CVE-2019-7221", "CVE-2019-14835",
+        "CVE-2019-14378", "CVE-2019-18389",
+        "CVE-2020-1711", "CVE-2020-14364",
+    ],
+}
+
+CVE_DATABASE = [
+    CveRecord(cve_id, hypervisor)
+    for hypervisor, ids in _RAW.items()
+    for cve_id in ids
+]
+
+
+def cves_by_hypervisor(hypervisor):
+    """All escape CVEs recorded for one hypervisor."""
+    return [r for r in CVE_DATABASE if r.hypervisor == hypervisor]
+
+
+def cves_by_year(year):
+    """All escape CVEs recorded for one year."""
+    return [r for r in CVE_DATABASE if r.year == year]
+
+
+def table1_matrix():
+    """The Table I count matrix: {year: {hypervisor: count}} + totals."""
+    matrix = {
+        year: {hv: 0 for hv in HYPERVISORS} for year in YEARS
+    }
+    for record in CVE_DATABASE:
+        matrix[record.year][record.hypervisor] += 1
+    totals = {
+        hv: sum(matrix[year][hv] for year in YEARS) for hv in HYPERVISORS
+    }
+    return matrix, totals

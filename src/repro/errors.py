@@ -1,0 +1,76 @@
+"""Exception hierarchy for the CloudSkulk reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class at API boundaries.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event simulation kernel."""
+
+
+class HardwareError(ReproError):
+    """Raised for invalid operations on the simulated hardware."""
+
+
+class MemoryError_(HardwareError):
+    """Raised when physical or guest memory operations fail.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class HypervisorError(ReproError):
+    """Raised for invalid hypervisor operations (VMX, nesting, KSM)."""
+
+
+class VmExitError(HypervisorError):
+    """Raised when a VM exit cannot be handled."""
+
+
+class GuestError(ReproError):
+    """Raised for errors inside the simulated guest operating system."""
+
+
+class FileSystemError(GuestError):
+    """Raised for guest filesystem failures (missing files, bad paths)."""
+
+
+class ProcessError(GuestError):
+    """Raised for guest process-management failures."""
+
+
+class QemuError(ReproError):
+    """Raised for errors in the QEMU userspace VMM layer."""
+
+
+class ConfigError(QemuError):
+    """Raised when a QEMU configuration is invalid or inconsistent."""
+
+
+class MonitorError(QemuError):
+    """Raised when a QEMU Monitor command fails or is unknown."""
+
+
+class NetworkError(ReproError):
+    """Raised for simulated network failures (closed ports, bad routes)."""
+
+
+class MigrationError(ReproError):
+    """Raised when a live migration cannot start or fails to complete."""
+
+
+class RootkitError(ReproError):
+    """Raised when a CloudSkulk installation step fails."""
+
+
+class ReconError(RootkitError):
+    """Raised when target-VM reconnaissance cannot recover a config."""
+
+
+class DetectionError(ReproError):
+    """Raised when a detector cannot collect the measurements it needs."""

@@ -1,0 +1,36 @@
+"""The miniature operating system that runs at every level.
+
+One :class:`~repro.guest.system.System` models one OS environment —
+the bare-metal host (depth 0), a guest (depth 1), or a nested guest
+(depth 2).  A system bundles:
+
+* a memory domain (physical memory at depth 0, guest memory above),
+* a :class:`~repro.guest.kernel.Kernel` with a process table, a syscall
+  cost layer, and a page cache,
+* a :class:`~repro.guest.filesystem.FileSystem`,
+* a :class:`~repro.guest.shell.Shell` with command history (the rootkit's
+  reconnaissance reads it, exactly as the paper's §IV-A describes),
+* optionally a KVM instance, when the CPU exposes VMX.
+
+The same classes serve attacker and defender: CloudSkulk launches QEMU
+processes on the host System, and the detector runs as a host process.
+"""
+
+from repro.guest.filesystem import File, FileSystem
+from repro.guest.kernel import Kernel
+from repro.guest.process import OsProcess, ProcessTable
+from repro.guest.shell import Shell
+from repro.guest.syscalls import SYSCALL_PROFILES, SyscallProfile
+from repro.guest.system import System
+
+__all__ = [
+    "File",
+    "FileSystem",
+    "Kernel",
+    "OsProcess",
+    "ProcessTable",
+    "SYSCALL_PROFILES",
+    "Shell",
+    "SyscallProfile",
+    "System",
+]

@@ -1,0 +1,117 @@
+"""A miniature filesystem with content-bearing files.
+
+Files carry *real* page content — either deterministic pseudo-random
+bytes derived from a seed (so two systems holding "the same file" hold
+byte-identical pages, which KSM can merge), or literal per-page bytes
+supplied by the caller (File-A in the detection protocol).
+
+Only a small representative chunk (up to 64 bytes) is stored per page;
+pages are logically 4 KiB.  Content identity, which is all KSM and the
+detector care about, is exact.
+"""
+
+import hashlib
+
+from repro.errors import FileSystemError
+from repro.hardware.memory import PAGE_SIZE
+
+#: Bytes of representative content stored per logical page.
+CHUNK_BYTES = 48
+
+
+def _page_chunk(seed_text, index):
+    """Deterministic content chunk for page ``index`` of a seeded file."""
+    return hashlib.blake2b(
+        f"{seed_text}:{index}".encode("utf-8"), digest_size=CHUNK_BYTES
+    ).digest()
+
+
+class File:
+    """One regular file: a path, a size, and per-page content."""
+
+    def __init__(self, path, size_bytes, content_seed=None, page_contents=None):
+        if size_bytes < 0:
+            raise FileSystemError(f"negative file size for {path!r}")
+        self.path = path
+        self.size_bytes = size_bytes
+        self.content_seed = content_seed if content_seed is not None else path
+        self._page_overrides = {}
+        if page_contents is not None:
+            for index, content in enumerate(page_contents):
+                self._page_overrides[index] = content
+            self.size_bytes = max(size_bytes, len(page_contents) * PAGE_SIZE)
+
+    @property
+    def num_pages(self):
+        return max(1, -(-self.size_bytes // PAGE_SIZE)) if self.size_bytes else 0
+
+    def page_content(self, index):
+        """Logical content of page ``index``."""
+        if index < 0 or index >= max(self.num_pages, 1):
+            raise FileSystemError(
+                f"{self.path}: page {index} out of range ({self.num_pages} pages)"
+            )
+        override = self._page_overrides.get(index)
+        if override is not None:
+            return override
+        return _page_chunk(self.content_seed, index)
+
+    def set_page_content(self, index, content):
+        """Overwrite one page's content (creating File-A-v2 style edits)."""
+        if index < 0 or index >= max(self.num_pages, 1):
+            raise FileSystemError(f"{self.path}: page {index} out of range")
+        self._page_overrides[index] = content
+
+    def __repr__(self):
+        return f"<File {self.path} {self.size_bytes}B>"
+
+
+class FileSystem:
+    """Path -> File mapping for one system."""
+
+    def __init__(self, name="rootfs"):
+        self.name = name
+        self._files = {}
+
+    def create(self, path, size_bytes=0, content_seed=None, page_contents=None):
+        """Create a file; overwrites silently like O_CREAT|O_TRUNC."""
+        file = File(path, size_bytes, content_seed, page_contents)
+        self._files[path] = file
+        return file
+
+    def add(self, file):
+        """Install an existing File object (sharing content identity)."""
+        self._files[file.path] = file
+        return file
+
+    def open(self, path):
+        file = self._files.get(path)
+        if file is None:
+            raise FileSystemError(f"no such file: {path!r}")
+        return file
+
+    def exists(self, path):
+        return path in self._files
+
+    def unlink(self, path):
+        if path not in self._files:
+            raise FileSystemError(f"unlink: no such file {path!r}")
+        del self._files[path]
+
+    def listdir(self, prefix="/"):
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def __len__(self):
+        return len(self._files)
+
+
+def make_random_file(path, num_pages, rng, seed_label=None):
+    """A file of unique pseudo-random pages (the paper's File-A mp3).
+
+    ``rng`` is an :class:`~repro.sim.rng.RngRegistry`; the content is
+    deterministic per (registry seed, label) so an experiment can hand
+    byte-identical copies to several systems.
+    """
+    label = seed_label if seed_label is not None else f"random-file:{path}"
+    pages = [rng.page_bytes(f"{label}:{i}") for i in range(num_pages)]
+    return File(path, num_pages * PAGE_SIZE, page_contents=pages)

@@ -1,0 +1,110 @@
+"""OS processes and the process table.
+
+Process identity matters to the paper twice: ``ps -ef`` on the host is a
+reconnaissance tool for recovering the victim QEMU command line (§IV-A),
+and the rootkit's final stealth action is swapping GuestX's PID to the
+dead victim's PID (§III-A: "the PID is just a variable in memory ...
+changing the PID of GuestX to the original PID used by Guest0 is a
+trivial task").  :meth:`ProcessTable.reassign_pid` implements exactly
+that root-only trick.
+"""
+
+from repro.errors import ProcessError
+
+
+class OsProcess:
+    """One entry in a kernel's process table."""
+
+    def __init__(self, pid, ppid, name, cmdline, user, start_time):
+        self.pid = pid
+        self.ppid = ppid
+        self.name = name
+        self.cmdline = cmdline
+        self.user = user
+        self.start_time = start_time
+        self.state = "R"
+        self.exit_code = None
+
+    @property
+    def alive(self):
+        return self.state != "Z"
+
+    def __repr__(self):
+        return f"<OsProcess pid={self.pid} {self.name} [{self.state}]>"
+
+
+class ProcessTable:
+    """PID allocation and lookup for one kernel."""
+
+    def __init__(self, first_pid=1):
+        self._procs = {}
+        self._next_pid = first_pid
+
+    def spawn(self, name, cmdline=None, ppid=0, user="root", start_time=0.0):
+        """Create a process with the next free PID."""
+        pid = self._next_pid
+        while pid in self._procs:
+            pid += 1
+        self._next_pid = pid + 1
+        proc = OsProcess(pid, ppid, name, cmdline or name, user, start_time)
+        self._procs[pid] = proc
+        return proc
+
+    def get(self, pid):
+        return self._procs.get(pid)
+
+    def kill(self, pid, exit_code=0):
+        """Terminate a process (it stays visible as a zombie until reaped)."""
+        proc = self._procs.get(pid)
+        if proc is None:
+            raise ProcessError(f"kill: no such pid {pid}")
+        proc.state = "Z"
+        proc.exit_code = exit_code
+        return proc
+
+    def reap(self, pid):
+        """Remove a zombie from the table."""
+        proc = self._procs.get(pid)
+        if proc is None:
+            raise ProcessError(f"reap: no such pid {pid}")
+        if proc.alive:
+            raise ProcessError(f"reap: pid {pid} still running")
+        del self._procs[pid]
+
+    def remove(self, pid):
+        """Forcefully drop a process entry (kill -9 plus immediate reap)."""
+        if pid not in self._procs:
+            raise ProcessError(f"remove: no such pid {pid}")
+        del self._procs[pid]
+
+    def reassign_pid(self, old_pid, new_pid):
+        """Move a live process to a different (free) PID.
+
+        This models the rootkit's direct kernel-memory edit; an ordinary
+        kernel offers no API for it, which is why only an attacker with
+        host root can pull it off.
+        """
+        if old_pid not in self._procs:
+            raise ProcessError(f"reassign: no such pid {old_pid}")
+        if new_pid in self._procs:
+            raise ProcessError(f"reassign: pid {new_pid} already in use")
+        proc = self._procs.pop(old_pid)
+        proc.pid = new_pid
+        self._procs[new_pid] = proc
+        return proc
+
+    def processes(self):
+        """All processes ordered by PID."""
+        return [self._procs[pid] for pid in sorted(self._procs)]
+
+    def find_by_name(self, name):
+        return [p for p in self.processes() if p.name == name]
+
+    def find_by_cmdline_substring(self, text):
+        return [p for p in self.processes() if text in p.cmdline]
+
+    def __len__(self):
+        return len(self._procs)
+
+    def __contains__(self, pid):
+        return pid in self._procs

@@ -1,0 +1,79 @@
+"""A /proc view over a system's kernel state.
+
+Reconnaissance tooling frequently prefers ``/proc`` to ``ps`` (it
+survives a trojaned procps, and scripts parse it directly).  This
+module renders the entries the attack and experiments care about:
+per-process ``cmdline``/``status``, ``/proc/meminfo``, and
+``/proc/cpuinfo`` — whose ``vmx`` flag is how an attacker confirms the
+parent exposed nested virtualization into GuestX.
+"""
+
+from repro.errors import ProcessError
+
+
+def list_pids(system):
+    """The numeric directory names under /proc."""
+    return [proc.pid for proc in system.kernel.table.processes()]
+
+
+def proc_cmdline(system, pid):
+    """/proc/<pid>/cmdline — NUL-separated argv."""
+    proc = system.kernel.table.get(pid)
+    if proc is None:
+        raise ProcessError(f"/proc/{pid}/cmdline: no such process")
+    return proc.cmdline.replace(" ", "\x00") + "\x00"
+
+
+def proc_status(system, pid):
+    """/proc/<pid>/status — the fields recon scripts grep for."""
+    proc = system.kernel.table.get(pid)
+    if proc is None:
+        raise ProcessError(f"/proc/{pid}/status: no such process")
+    state = {"R": "R (running)", "Z": "Z (zombie)"}.get(proc.state, proc.state)
+    return (
+        f"Name:\t{proc.name}\n"
+        f"State:\t{state}\n"
+        f"Pid:\t{proc.pid}\n"
+        f"PPid:\t{proc.ppid}\n"
+        f"Uid:\t{0 if proc.user == 'root' else 1000}\n"
+    )
+
+
+def meminfo(system):
+    """/proc/meminfo — totals from the system's memory domain."""
+    memory = system.memory
+    total_kb = getattr(memory, "size_mb", 0) * 1024
+    if hasattr(memory, "touched_pages"):
+        used_pages = memory.touched_pages + memory.bulk_touched
+    else:
+        used_pages = memory.allocated_pages
+    used_kb = used_pages * 4
+    free_kb = max(total_kb - used_kb, 0)
+    return (
+        f"MemTotal:       {total_kb} kB\n"
+        f"MemFree:        {free_kb} kB\n"
+        f"MemAvailable:   {free_kb} kB\n"
+    )
+
+
+def cpuinfo(system):
+    """/proc/cpuinfo — one stanza per logical CPU.
+
+    The ``flags`` line carries ``vmx`` exactly when this system's CPU
+    can run a hypervisor — the attacker's step-2 sanity check inside
+    GuestX, and (its absence) the reason an unmodified victim guest
+    cannot tell it could never have nested anyway.
+    """
+    flags = "fpu pae msr tsc syscall nx lm constant_tsc"
+    if system.cpu.vmx:
+        flags += " vmx ept vpid"
+    stanzas = []
+    for index in range(system.cpu.logical_cpus):
+        stanzas.append(
+            f"processor\t: {index}\n"
+            f"vendor_id\t: {'GenuineIntel' if system.cpu.vendor == 'intel' else 'AuthenticAMD'}\n"
+            f"model name\t: {system.cpu.model}\n"
+            f"cpu MHz\t\t: {system.cpu.frequency_ghz * 1000:.3f}\n"
+            f"flags\t\t: {flags}\n"
+        )
+    return "\n".join(stanzas)

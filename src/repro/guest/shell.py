@@ -1,0 +1,49 @@
+"""A root shell with command history.
+
+The paper's reconnaissance step (§IV-A) starts from exactly two host
+artifacts: the shell *history* (to recover the original QEMU command
+line) and *ps -ef* (to find the running QEMU process).  This module
+provides both, formatted closely enough to the real tools that the
+recon parser works on realistic text.
+"""
+
+
+class Shell:
+    """Command history plus the ps/history built-ins."""
+
+    def __init__(self, system, user="root"):
+        self.system = system
+        self.user = user
+        self.history = []
+
+    def record(self, cmdline):
+        """Append a command to the history (as if the user had typed it)."""
+        self.history.append(cmdline)
+        return cmdline
+
+    def history_text(self):
+        """The `history` built-in's output."""
+        return "\n".join(
+            f"{index + 1:5d}  {cmd}" for index, cmd in enumerate(self.history)
+        )
+
+    def ps_ef(self):
+        """The `ps -ef` output for this system's process table."""
+        lines = ["UID          PID    PPID  C STIME TTY          TIME CMD"]
+        for proc in self.system.kernel.table.processes():
+            stime = _format_stime(proc.start_time)
+            lines.append(
+                f"{proc.user:<10} {proc.pid:>5} {proc.ppid:>7}  0 "
+                f"{stime} ?        00:00:00 {proc.cmdline}"
+            )
+        return "\n".join(lines)
+
+    def clear_history(self):
+        """`history -c` — an attacker covering tracks."""
+        self.history.clear()
+
+
+def _format_stime(start_time):
+    """hh:mm virtual-clock formatting for the STIME column."""
+    minutes = int(start_time // 60) % (24 * 60)
+    return f"{minutes // 60:02d}:{minutes % 60:02d}"

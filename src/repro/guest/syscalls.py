@@ -1,0 +1,218 @@
+"""Syscall cost profiles.
+
+Each profile describes, for one kernel operation, the native CPU work it
+performs and the VM exits it induces when executed inside a guest:
+
+* ``exits`` — exits taken at any virtualization depth >= 1 (I/O, HLT on
+  blocking, EPT faults on demand paging).  Costed at the *caller's*
+  depth, so they multiply under nesting (Turtles trampolining).
+* ``nested_exits`` — MMU-management exits performed *by the L1
+  hypervisor* on behalf of the syscall (INVEPT / shadow-table updates).
+  They only exist at depth >= 2, which is why `fork` costs the same at
+  L0 and L1 but triples at L2 (paper Table III; [38]'s "extra traps").
+* ``per_depth_cpu`` — a small additive ring-transition tax per level.
+
+The base CPU numbers are the paper's measured L0 column (Table III),
+which makes the L0 row of the reproduced table match by construction and
+the L1/L2 rows *emergent* from the exit model.
+"""
+
+from repro.hypervisor.exits import ExitReason
+
+US = 1e-6  # one microsecond in seconds
+
+
+class SyscallProfile:
+    """Cost description of one kernel operation."""
+
+    def __init__(
+        self,
+        name,
+        cpu_us,
+        exits=None,
+        nested_exits=None,
+        per_depth_cpu_us=0.0,
+        mem_intensity=0.3,
+        description="",
+    ):
+        self.name = name
+        self.cpu_seconds = cpu_us * US
+        self.exits = dict(exits or {})
+        self.nested_exits = dict(nested_exits or {})
+        self.per_depth_cpu = per_depth_cpu_us * US
+        self.mem_intensity = mem_intensity
+        self.description = description
+
+    def __repr__(self):
+        return f"<SyscallProfile {self.name} cpu={self.cpu_seconds * 1e6:.3f}us>"
+
+
+def _p(*args, **kwargs):
+    profile = SyscallProfile(*args, **kwargs)
+    return profile.name, profile
+
+
+SYSCALL_PROFILES = dict(
+    [
+        # --- lmbench "Processes" suite (paper Table III, L0 column) ---
+        _p(
+            "sig_install",
+            0.075,
+            per_depth_cpu_us=0.008,
+            mem_intensity=0.1,
+            description="signal handler installation",
+        ),
+        _p(
+            "sig_handle",
+            0.50,
+            per_depth_cpu_us=0.045,
+            mem_intensity=0.1,
+            description="signal handler overhead",
+        ),
+        _p(
+            "protection_fault",
+            0.27,
+            per_depth_cpu_us=0.022,
+            mem_intensity=0.1,
+            description="write to a protected page",
+        ),
+        _p(
+            "pipe_latency",
+            3.49,
+            exits={ExitReason.HLT: 2.0},
+            mem_intensity=0.15,
+            description="round trip through a pipe between two processes",
+        ),
+        _p(
+            "af_unix_latency",
+            3.58,
+            exits={ExitReason.HLT: 1.2},
+            mem_intensity=0.15,
+            description="round trip through an AF_UNIX stream socket",
+        ),
+        _p(
+            "fork_exit",
+            74.6,
+            nested_exits={ExitReason.INVEPT: 7.5},
+            mem_intensity=0.4,
+            description="fork a child that immediately exits",
+        ),
+        _p(
+            "fork_execve",
+            245.8,
+            exits={ExitReason.EPT_VIOLATION: 12.0},
+            nested_exits={ExitReason.INVEPT: 10.0},
+            mem_intensity=0.4,
+            description="fork + exec of a trivial program",
+        ),
+        _p(
+            "fork_sh",
+            918.7,
+            exits={ExitReason.EPT_VIOLATION: 24.0},
+            nested_exits={ExitReason.INVEPT: 20.0, ExitReason.HLT: 12.0},
+            mem_intensity=0.4,
+            description="fork + /bin/sh -c of a trivial program",
+        ),
+        # --- general kernel operations used by workloads ---
+        _p(
+            "open",
+            1.1,
+            mem_intensity=0.2,
+            description="open an existing file",
+        ),
+        _p(
+            "close",
+            0.35,
+            mem_intensity=0.1,
+        ),
+        _p(
+            "stat",
+            0.9,
+            mem_intensity=0.2,
+        ),
+        _p(
+            "creat_meta",
+            5.2,
+            nested_exits={ExitReason.INVEPT: 0.25},
+            mem_intensity=0.3,
+            description="metadata part of file creation (dentry+inode)",
+        ),
+        _p(
+            "unlink_meta",
+            1.9,
+            nested_exits={ExitReason.INVEPT: 0.02},
+            mem_intensity=0.3,
+            description="metadata part of file deletion",
+        ),
+        _p(
+            "page_cache_write",
+            0.9,
+            mem_intensity=0.6,
+            description="copy one page of user data into the page cache",
+        ),
+        _p(
+            "page_cache_read",
+            0.7,
+            mem_intensity=0.6,
+        ),
+        _p(
+            "fsync_journal",
+            95.0,
+            exits={ExitReason.VIRTIO_KICK: 2.0},
+            nested_exits={ExitReason.INVEPT: 11.0},
+            mem_intensity=0.3,
+            description="journal commit forcing a device flush",
+        ),
+        _p(
+            "block_io_submit",
+            4.5,
+            exits={ExitReason.VIRTIO_KICK: 1.0},
+            mem_intensity=0.3,
+            description="submit one block I/O request to the disk queue",
+        ),
+        _p(
+            "net_sendmsg",
+            2.8,
+            exits={ExitReason.VIRTIO_KICK: 0.06},
+            mem_intensity=0.3,
+            description="one sendmsg of a TCP segment batch (virtio "
+            "notification suppressed ~94% of the time by event-idx)",
+        ),
+        _p(
+            "net_recvmsg",
+            2.4,
+            exits={ExitReason.EXTERNAL_INTERRUPT: 0.06},
+            mem_intensity=0.3,
+        ),
+        _p(
+            "context_switch",
+            1.4,
+            exits={ExitReason.HLT: 1.0},
+            mem_intensity=0.2,
+        ),
+        _p(
+            "getpid",
+            0.04,
+            per_depth_cpu_us=0.004,
+            mem_intensity=0.05,
+        ),
+        _p(
+            "write",
+            0.6,
+            mem_intensity=0.2,
+            description="plain write(2) — the syscall the rootkit's "
+            "keystroke logger traps (§IV-B)",
+        ),
+        _p(
+            "read",
+            0.55,
+            mem_intensity=0.2,
+        ),
+        _p(
+            "mmap_page",
+            1.6,
+            mem_intensity=0.4,
+            description="extend an anonymous mapping by one page",
+        ),
+    ]
+)

@@ -1,0 +1,166 @@
+"""The System: one OS environment at any virtualization depth.
+
+A System at depth 0 is the bare-metal host; at depth 1 a guest; at
+depth 2 a nested guest.  All of them share the same kernel, filesystem
+and shell machinery — the only differences are the memory domain they
+sit on and whether the CPU they see has VMX (which gates running KVM).
+"""
+
+from repro.errors import GuestError, HypervisorError
+from repro.guest.filesystem import FileSystem
+from repro.guest.kernel import Kernel
+from repro.guest.shell import Shell
+from repro.hypervisor.kvm import Kvm
+
+
+class System:
+    """One operating-system environment."""
+
+    def __init__(
+        self,
+        name,
+        machine,
+        memory,
+        cpu,
+        depth,
+        parent=None,
+        os_name="fedora22",
+        kernel_version="4.4.14-200.fc22.x86_64",
+    ):
+        self.name = name
+        self.machine = machine
+        self.memory = memory
+        self.cpu = cpu
+        self.depth = depth
+        self.parent = parent
+        self.os_name = os_name
+        self.kernel_version = kernel_version
+        self.fs = FileSystem(name=f"{name}-rootfs")
+        self.kernel = Kernel(self)
+        self.shell = Shell(self)
+        self.kvm = None
+        #: The KvmVm that hosts this system (None at depth 0); used for
+        #: exit accounting and by QEMU to reach guest memory.
+        self.vm_handle = None
+        #: The network node, attached by the net layer.
+        self.net_node = None
+        #: The QemuVm hosting this system (None for bare metal).
+        self.qemu_vm = None
+        #: Guest-visible clock scaling.  1.0 = honest timekeeping.  An
+        #: attacker controlling this system's hypervisor can slow the
+        #: virtual TSC the guest reads (paper §VI-A: "events and timing
+        #: measurements in L2 can be ... manipulated by attackers from
+        #: L1"), which defeats guest-internal timing detectors.
+        self.tsc_scaling = 1.0
+        self._tsc_anchor_real = 0.0
+        self._tsc_anchor_guest = 0.0
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def bare_metal(cls, machine, name="host", **kwargs):
+        """The depth-0 System running directly on a machine."""
+        from repro.net.stack import NetworkNode
+
+        system = cls(
+            name=name,
+            machine=machine,
+            memory=machine.memory,
+            cpu=machine.cpu,
+            depth=0,
+            **kwargs,
+        )
+        system.net_node = NetworkNode(machine.engine, f"{name}-eth0")
+        return system
+
+    @property
+    def paused(self):
+        """True while the hosting VM is stopped (migration downtime)."""
+        return self.qemu_vm is not None and self.qemu_vm.paused
+
+    # -- convenience -------------------------------------------------------
+
+    @property
+    def engine(self):
+        return self.machine.engine
+
+    @property
+    def rng(self):
+        return self.machine.rng
+
+    @property
+    def cost_model(self):
+        return self.machine.cost_model
+
+    def enable_kvm(self):
+        """Load the KVM modules (requires VMX on this system's CPU)."""
+        if self.kvm is not None:
+            return self.kvm
+        if not self.cpu.vmx:
+            raise HypervisorError(
+                f"{self.name}: cannot load kvm-intel — no VMX "
+                "(nested virtualization not exposed by the parent?)"
+            )
+        self.kvm = Kvm(self)
+        return self.kvm
+
+    def boot(self, **kwargs):
+        """Boot the kernel; returns the virtual-time cost."""
+        return self.kernel.boot(**kwargs)
+
+    @property
+    def booted(self):
+        return self.kernel.booted
+
+    def guest_now(self):
+        """The time *this guest* believes it is.
+
+        Follows real (virtual) time scaled by ``tsc_scaling`` since the
+        last scaling change — what a guest reading its TSC/clocksource
+        observes when the hypervisor above it lies about time.
+        """
+        real = self.engine.now
+        return self._tsc_anchor_guest + (real - self._tsc_anchor_real) * (
+            self.tsc_scaling
+        )
+
+    def set_tsc_scaling(self, factor):
+        """Hypervisor-level control: change the guest's clock rate."""
+        if factor <= 0:
+            raise GuestError(f"tsc scaling must be positive: {factor}")
+        self._tsc_anchor_guest = self.guest_now()
+        self._tsc_anchor_real = self.engine.now
+        self.tsc_scaling = factor
+
+    def lineage(self):
+        """[host, ..., self] — the chain of systems under this one."""
+        chain = []
+        node = self
+        while node is not None:
+            chain.append(node)
+            node = node.parent
+        return list(reversed(chain))
+
+    def host(self):
+        """The depth-0 ancestor."""
+        return self.lineage()[0]
+
+    def __repr__(self):
+        return f"<System {self.name} depth={self.depth} os={self.os_name}>"
+
+
+def make_testbed(seed=1701, memory_mb=16384, **machine_kwargs):
+    """The paper's testbed: one physical host, booted, with KVM loaded.
+
+    Returns the host :class:`System`.  Callers that need the machine or
+    engine reach them through ``host.machine`` / ``host.engine``.
+    """
+    from repro.hardware.machine import Machine
+
+    machine = Machine(memory_mb=memory_mb, seed=seed, **machine_kwargs)
+    host = System.bare_metal(machine)
+    host.kernel.jitter_rsd = 0.015
+    boot_cost = host.boot()
+    machine.engine.run(until=machine.engine.now + boot_cost)
+    host.enable_kvm()
+    return host

@@ -1,0 +1,27 @@
+"""Simulated physical hardware: machine, CPU package, and physical memory.
+
+The memory model is the load-bearing piece: page frames hold *real bytes*
+(logically right-padded with zeros to 4 KiB), so kernel samepage merging
+and the paper's deduplication-based detector operate on actual content
+comparison rather than on a flag that says "these pages are equal".
+"""
+
+from repro.hardware.cpu import CpuPackage
+from repro.hardware.machine import Machine
+from repro.hardware.memory import (
+    PAGE_SIZE,
+    Frame,
+    MemoryDomain,
+    PhysicalMemory,
+    WriteOutcome,
+)
+
+__all__ = [
+    "PAGE_SIZE",
+    "CpuPackage",
+    "Frame",
+    "Machine",
+    "MemoryDomain",
+    "PhysicalMemory",
+    "WriteOutcome",
+]

@@ -1,0 +1,61 @@
+"""CPU package model.
+
+Carries the identification and virtualization-extension facts the rest
+of the stack cares about: whether VMX (Intel VT-x) is present and
+whether it is *exposed to guests* (nested virtualization requires the
+parent hypervisor to expose VMX into the VM, KVM's ``nested=1``).
+"""
+
+from repro.errors import HardwareError
+
+
+class CpuPackage:
+    """A processor package as seen by an operating system."""
+
+    def __init__(
+        self,
+        model="Intel(R) Core(TM) i7-4790 CPU @ 3.60GHz",
+        cores=4,
+        threads_per_core=2,
+        frequency_ghz=3.6,
+        vmx=True,
+        vendor="intel",
+    ):
+        if cores < 1 or threads_per_core < 1:
+            raise HardwareError("CPU needs at least one core/thread")
+        if vendor not in ("intel", "amd"):
+            raise HardwareError(f"unknown CPU vendor {vendor!r}")
+        self.model = model
+        self.cores = cores
+        self.threads_per_core = threads_per_core
+        self.frequency_ghz = frequency_ghz
+        #: Hardware virtualization extension present (VT-x / AMD-V).
+        self.vmx = vmx
+        #: 'intel' VMCS layout vs 'amd' VMCB layout — the VMCS-scan
+        #: detection baseline only knows the former (paper §VI-E).
+        self.vendor = vendor
+
+    @property
+    def logical_cpus(self):
+        return self.cores * self.threads_per_core
+
+    def virtual_copy(self, vcpus, expose_vmx):
+        """The CPU a guest sees: same model string, fewer cores.
+
+        ``expose_vmx`` models KVM's nested flag; without it an L1 guest
+        cannot run its own hypervisor.
+        """
+        if vcpus < 1:
+            raise HardwareError("guest needs at least one vCPU")
+        return CpuPackage(
+            model=self.model,
+            cores=vcpus,
+            threads_per_core=1,
+            frequency_ghz=self.frequency_ghz,
+            vmx=self.vmx and expose_vmx,
+            vendor=self.vendor,
+        )
+
+    def __repr__(self):
+        vmx = "vmx" if self.vmx else "no-vmx"
+        return f"<CpuPackage {self.logical_cpus}x {self.frequency_ghz}GHz {vmx}>"

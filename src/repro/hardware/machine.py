@@ -1,0 +1,39 @@
+"""The physical machine: the hardware root every simulation starts from.
+
+The default construction matches the paper's testbed: a Dell Precision
+T1700 with an i7-4790 @ 3.60 GHz and 16 GiB of memory (Section V).
+"""
+
+from repro.hardware.cpu import CpuPackage
+from repro.hardware.memory import PhysicalMemory
+from repro.hypervisor.exits import CostModel
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+
+
+class Machine:
+    """A physical machine: engine + CPU + physical memory + RNG streams."""
+
+    def __init__(
+        self,
+        name="t1700",
+        engine=None,
+        cpu=None,
+        memory_mb=16384,
+        seed=1701,
+        cost_model=None,
+    ):
+        self.name = name
+        self.engine = engine if engine is not None else Engine()
+        self.cpu = cpu if cpu is not None else CpuPackage()
+        self.memory = PhysicalMemory(memory_mb)
+        self.rng = RngRegistry(seed)
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        # One scheduler for the whole package: vCPUs of every VM at
+        # every nesting depth ultimately compete for these cores.
+        from repro.hypervisor.scheduler import CpuScheduler
+
+        self.scheduler = CpuScheduler(self.cpu)
+
+    def __repr__(self):
+        return f"<Machine {self.name} mem={self.memory.size_mb}MB {self.cpu!r}>"

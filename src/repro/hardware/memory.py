@@ -1,0 +1,274 @@
+"""Physical memory frames and the memory-domain abstraction.
+
+Layout of the model
+-------------------
+
+* :class:`PhysicalMemory` is the bottom of every translation chain: it
+  maps physical frame numbers (pfns) to :class:`Frame` objects.  Several
+  pfns may map to the *same* frame — that is exactly what KSM produces
+  when it merges identical pages.
+* :class:`MemoryDomain` is the interface shared by physical memory and
+  guest memories (``repro.hypervisor.ept.GuestMemory``).  A nested
+  guest's memory is a domain backed by another domain, so an L2 page
+  ultimately resolves to an L0 frame — which is why L0's KSM can merge
+  an L2 page with an L0 page, the property the detector relies on.
+
+Frame contents are ``bytes`` of length <= 4096, logically right-padded
+with zeros.  The empty string is the canonical zero page.  Contents are
+compared by value and hashed with BLAKE2b for the KSM trees.
+"""
+
+import hashlib
+from itertools import count
+
+from repro.errors import MemoryError_
+
+PAGE_SIZE = 4096
+
+_DIGEST_SIZE = 16
+
+
+def content_digest(content):
+    """Stable 16-byte digest of logical page content."""
+    return hashlib.blake2b(content, digest_size=_DIGEST_SIZE).digest()
+
+
+class Frame:
+    """One physical page frame.
+
+    ``refcount`` counts how many pfns map to this frame; a refcount above
+    one means the frame is KSM-shared and any write must break copy-on-
+    write.  ``mergeable`` marks frames inside madvise(MADV_MERGEABLE)
+    regions — only those are scanned by ksmd, mirroring Linux.
+    """
+
+    __slots__ = ("fid", "content", "refcount", "mergeable", "ksm_shared", "_digest")
+
+    def __init__(self, fid, content=b"", mergeable=False):
+        if len(content) > PAGE_SIZE:
+            raise MemoryError_(
+                f"page content of {len(content)} bytes exceeds PAGE_SIZE"
+            )
+        self.fid = fid
+        self.content = content
+        self.refcount = 1
+        self.mergeable = mergeable
+        self.ksm_shared = False
+        self._digest = None
+
+    @property
+    def digest(self):
+        """Cached content digest; invalidated on every write."""
+        if self._digest is None:
+            self._digest = content_digest(self.content)
+        return self._digest
+
+    def set_content(self, content):
+        if len(content) > PAGE_SIZE:
+            raise MemoryError_(
+                f"page content of {len(content)} bytes exceeds PAGE_SIZE"
+            )
+        self.content = content
+        self._digest = None
+
+    def __repr__(self):
+        kind = "shared" if self.ksm_shared else "private"
+        return f"<Frame {self.fid} {kind} refs={self.refcount}>"
+
+
+class WriteOutcome:
+    """Mechanical facts about one page write, for the cost model.
+
+    The memory layer reports *what happened*; translating that into
+    virtual time (exit costs, CoW fault latency) is the hypervisor cost
+    model's job, so all calibration constants stay in one place.
+    """
+
+    __slots__ = ("cow_broken", "first_touch_levels", "depth", "pfn_chain")
+
+    def __init__(self):
+        self.cow_broken = False
+        self.first_touch_levels = 0
+        self.depth = 0
+        self.pfn_chain = []
+
+    def __repr__(self):
+        return (
+            f"<WriteOutcome cow={self.cow_broken} "
+            f"faults={self.first_touch_levels} depth={self.depth}>"
+        )
+
+
+class MemoryDomain:
+    """Interface for anything pages can be read from / written to."""
+
+    def read(self, pfn):
+        """Return the logical content of page ``pfn`` (b'' if untouched)."""
+        raise NotImplementedError
+
+    def write(self, pfn, content, outcome=None):
+        """Write ``content`` to page ``pfn``; returns a WriteOutcome."""
+        raise NotImplementedError
+
+    def resolve(self, pfn):
+        """Return (physical_memory, host_pfn) for ``pfn``, or (None, None)
+        when the page has never been materialized."""
+        raise NotImplementedError
+
+    @property
+    def nesting_depth(self):
+        """0 for physical memory, parent depth + 1 for guest memories."""
+        raise NotImplementedError
+
+
+class PhysicalMemory(MemoryDomain):
+    """The host's physical memory: pfn -> Frame with lazy materialization.
+
+    Only touched pages own a frame; untouched pages read as the zero
+    page.  This keeps a simulated 16 GiB host cheap while preserving
+    honest content semantics for every page that matters.
+    """
+
+    def __init__(self, size_mb=16384):
+        self.size_mb = size_mb
+        self.total_pages = size_mb * 1024 * 1024 // PAGE_SIZE
+        self._frames = {}
+        self._next_pfn = count()
+        self._next_fid = count()
+        self._ksm = None
+        self._mergeable_generation = 0
+        self._write_epoch = 0
+
+    @property
+    def nesting_depth(self):
+        return 0
+
+    @property
+    def allocated_pages(self):
+        """Number of materialized pfn mappings."""
+        return len(self._frames)
+
+    @property
+    def distinct_frames(self):
+        """Number of distinct frames (shared frames counted once)."""
+        return len({id(f) for f in self._frames.values()})
+
+    @property
+    def pages_saved_by_sharing(self):
+        """How many frames KSM sharing has reclaimed."""
+        return self.allocated_pages - self.distinct_frames
+
+    def attach_ksm(self, ksm):
+        """Register the KSM daemon that owns merge policy for this memory."""
+        self._ksm = ksm
+
+    def allocate(self, content=b"", mergeable=False):
+        """Materialize a new page; returns its pfn."""
+        pfn = next(self._next_pfn)
+        if pfn >= self.total_pages:
+            raise MemoryError_("physical memory exhausted")
+        self._frames[pfn] = Frame(next(self._next_fid), content, mergeable)
+        if mergeable:
+            self._mergeable_generation += 1
+        return pfn
+
+    def alloc_page(self, outcome=None, mergeable=False):
+        """Domain-agnostic allocation (mirrors GuestMemory.alloc_page).
+
+        Host-process pages are not mergeable unless madvised, matching
+        Linux: pass ``mergeable=True`` for MADV_MERGEABLE regions.
+        """
+        pfn = self.allocate(b"", mergeable=mergeable)
+        if outcome is not None:
+            outcome.first_touch_levels += 1
+        return pfn
+
+    def touch_bulk(self, n_pages):
+        """No-op at the host level (the host itself is never migrated)."""
+        return 0
+
+    def dirty_bulk(self, n_pages):
+        """No-op at the host level."""
+
+    def free(self, pfn):
+        """Release the mapping for ``pfn`` (drops frame when last ref)."""
+        frame = self._frames.pop(pfn, None)
+        if frame is None:
+            raise MemoryError_(f"free of unmapped pfn {pfn}")
+        frame.refcount -= 1
+        if frame.refcount <= 0 and self._ksm is not None and frame.ksm_shared:
+            self._ksm.forget_frame(frame)
+        if frame.mergeable:
+            self._mergeable_generation += 1
+
+    def frame(self, pfn):
+        """Return the Frame for ``pfn`` or None when untouched."""
+        return self._frames.get(pfn)
+
+    def remap(self, pfn, frame):
+        """Point ``pfn`` at ``frame`` (KSM merge / CoW break mechanics)."""
+        old = self._frames.get(pfn)
+        if old is None:
+            raise MemoryError_(f"remap of unmapped pfn {pfn}")
+        if old is frame:
+            return
+        old.refcount -= 1
+        if old.refcount <= 0 and self._ksm is not None and old.ksm_shared:
+            self._ksm.forget_frame(old)
+        frame.refcount += 1
+        self._frames[pfn] = frame
+
+    def read(self, pfn):
+        frame = self._frames.get(pfn)
+        return frame.content if frame is not None else b""
+
+    def write(self, pfn, content, outcome=None):
+        if outcome is None:
+            outcome = WriteOutcome()
+        frame = self._frames.get(pfn)
+        if frame is None:
+            raise MemoryError_(f"write to unmapped pfn {pfn}")
+        if frame.refcount > 1:
+            # Copy-on-write break: this pfn gets a private copy.  The
+            # shared frame lives on for its other mappers.
+            replacement = Frame(
+                next(self._next_fid), frame.content, frame.mergeable
+            )
+            frame.refcount -= 1
+            self._frames[pfn] = replacement
+            frame = replacement
+            outcome.cow_broken = True
+        elif frame.ksm_shared:
+            # Sole remaining mapper of a stable-tree frame: still a CoW
+            # break in Linux (the page sits in the stable tree), after
+            # which the frame becomes a normal private page.
+            if self._ksm is not None:
+                self._ksm.forget_frame(frame)
+            frame.ksm_shared = False
+            outcome.cow_broken = True
+        frame.set_content(content)
+        if frame.mergeable:
+            self._write_epoch += 1
+        outcome.pfn_chain.append(pfn)
+        return outcome
+
+    def resolve(self, pfn):
+        if pfn in self._frames:
+            return self, pfn
+        return None, None
+
+    def iter_mergeable(self):
+        """Yield (pfn, frame) for every mergeable materialized page."""
+        for pfn, frame in self._frames.items():
+            if frame.mergeable:
+                yield pfn, frame
+
+    @property
+    def mergeable_generation(self):
+        """Bumped whenever the set of mergeable pages changes."""
+        return self._mergeable_generation
+
+    @property
+    def write_epoch(self):
+        """Bumped on every write to a mergeable frame (KSM idle check)."""
+        return self._write_epoch

@@ -1,0 +1,35 @@
+"""The KVM-analogue hypervisor layer.
+
+Sub-modules:
+
+* :mod:`~repro.hypervisor.exits` — VM-exit reasons and the *single*
+  calibrated cost model that drives every benchmark in the reproduction.
+* :mod:`~repro.hypervisor.vmcs` — virtual machine control structures,
+  including the in-memory signature pages the VMCS-scan baseline
+  detector looks for.
+* :mod:`~repro.hypervisor.ept` — guest physical memory as a translation
+  layer over a parent memory domain (nested guests chain domains).
+* :mod:`~repro.hypervisor.ksm` — kernel samepage merging daemon.
+* :mod:`~repro.hypervisor.kvm` — the per-system KVM facade that creates
+  VMs and accounts exits.
+* :mod:`~repro.hypervisor.scheduler` — proportional-share CPU accounting.
+"""
+
+from repro.hypervisor.ept import GuestMemory
+from repro.hypervisor.exits import CostModel, ExitReason
+from repro.hypervisor.ksm import KsmDaemon
+from repro.hypervisor.kvm import Kvm, KvmVm
+from repro.hypervisor.scheduler import CpuScheduler
+from repro.hypervisor.vmcs import VMCS_REVISION_MAGIC, Vmcs
+
+__all__ = [
+    "CostModel",
+    "CpuScheduler",
+    "ExitReason",
+    "GuestMemory",
+    "Kvm",
+    "KvmVm",
+    "KsmDaemon",
+    "VMCS_REVISION_MAGIC",
+    "Vmcs",
+]

@@ -1,0 +1,225 @@
+"""Guest physical memory: a translation layer over a parent domain.
+
+A :class:`GuestMemory` plays the role of the extended page tables: it
+maps guest pfns onto pages of the *parent* memory domain.  For an L1
+guest the parent is host physical memory; for an L2 (nested) guest the
+parent is the L1 guest's memory, so every L2 page ultimately resolves to
+an L0 host frame.  Two consequences the reproduction depends on:
+
+* L0's KSM can merge an L2 page with an L0 page (the detector's basis);
+* writing an L2 page dirties the corresponding L1 page too, so
+  migrating the L1 rootkit VM would carry the nested guest along.
+
+Pages are materialized lazily.  All gpfn numbering inside a domain is
+handed out by :meth:`alloc_page` / :meth:`alloc_pages`, except for
+:meth:`ensure_mapped`, which migration's receive path uses to populate
+exact source page numbers.
+"""
+
+from repro.errors import MemoryError_
+from repro.hardware.memory import PAGE_SIZE, MemoryDomain, WriteOutcome
+
+
+class GuestMemory(MemoryDomain):
+    """A guest's RAM, backed by (a slice of) its parent's memory."""
+
+    def __init__(self, parent, size_mb, name="guest-ram", mergeable=True):
+        if size_mb <= 0:
+            raise MemoryError_("guest memory size must be positive")
+        self.parent = parent
+        self.name = name
+        self.size_mb = size_mb
+        self.total_pages = size_mb * 1024 * 1024 // PAGE_SIZE
+        #: QEMU madvises guest RAM MADV_MERGEABLE by default; frames
+        #: materialized below inherit this flag.
+        self.mergeable = mergeable
+        self._mapping = {}
+        self._next_alloc = 0
+        self._dirty = set()
+        self.dirty_log_enabled = False
+        # Bulk pages: large anonymous regions (boot working set, heap
+        # arenas) represented by count only.  They carry guest-unique
+        # content from KSM's point of view (never merged) and behave as
+        # touched pages for migration volume — but cost no Python
+        # objects.  Everything content-sensitive (File-A, OS text pages)
+        # uses real materialized pages instead.
+        self.bulk_touched = 0
+        self._bulk_dirty = 0
+
+    @property
+    def nesting_depth(self):
+        return self.parent.nesting_depth + 1
+
+    @property
+    def touched_pages(self):
+        """Number of materialized guest pages."""
+        return len(self._mapping)
+
+    @property
+    def untouched_pages(self):
+        """Logically-zero pages that have never been materialized."""
+        return self.total_pages - len(self._mapping)
+
+    def iter_touched(self):
+        """Yield the gpfns of every materialized page."""
+        return iter(self._mapping)
+
+    def alloc_page(self, outcome=None, mergeable=None):
+        """Hand out a fresh, never-used gpfn (materialized immediately).
+
+        ``mergeable`` is accepted for interface parity with
+        PhysicalMemory and ignored: guest RAM frames inherit the
+        domain-wide madvise flag.
+        """
+        while self._next_alloc in self._mapping:
+            self._next_alloc += 1
+        if self._next_alloc >= self.total_pages:
+            raise MemoryError_(f"{self.name}: guest memory exhausted")
+        gpfn = self._next_alloc
+        self._next_alloc += 1
+        self.ensure_mapped(gpfn, outcome)
+        return gpfn
+
+    def alloc_pages(self, n, outcome=None):
+        """Allocate ``n`` fresh pages; returns the list of gpfns."""
+        return [self.alloc_page(outcome) for _ in range(n)]
+
+    def ensure_mapped(self, gpfn, outcome=None):
+        """Materialize backing for ``gpfn`` if missing; returns parent pfn.
+
+        Records one first-touch level per translation layer that had to
+        allocate, so the cost model can charge the right number of
+        EPT-violation exits.
+        """
+        if gpfn < 0 or gpfn >= self.total_pages:
+            raise MemoryError_(f"{self.name}: gpfn {gpfn} out of range")
+        parent_pfn = self._mapping.get(gpfn)
+        if parent_pfn is None:
+            if isinstance(self.parent, GuestMemory):
+                parent_pfn = self.parent.alloc_page(outcome)
+            else:
+                parent_pfn = self.parent.allocate(b"", mergeable=self.mergeable)
+            self._mapping[gpfn] = parent_pfn
+            if outcome is not None:
+                outcome.first_touch_levels += 1
+        return parent_pfn
+
+    def read(self, gpfn):
+        parent_pfn = self._mapping.get(gpfn)
+        if parent_pfn is None:
+            return b""
+        return self.parent.read(parent_pfn)
+
+    def write(self, gpfn, content, outcome=None):
+        if outcome is None:
+            outcome = WriteOutcome()
+        outcome.depth = max(outcome.depth, self.nesting_depth)
+        parent_pfn = self.ensure_mapped(gpfn, outcome)
+        self._dirty.add(gpfn)
+        self.parent.write(parent_pfn, content, outcome)
+        outcome.pfn_chain.append(gpfn)
+        return outcome
+
+    def resolve(self, gpfn):
+        parent_pfn = self._mapping.get(gpfn)
+        if parent_pfn is None:
+            return None, None
+        return self.parent.resolve(parent_pfn)
+
+    # -- bulk (count-only) pages -----------------------------------------
+
+    def touch_bulk(self, n_pages):
+        """Logically touch ``n_pages`` of guest-unique anonymous memory."""
+        if n_pages < 0:
+            raise MemoryError_("cannot touch a negative page count")
+        room = self.total_pages - self.touched_pages - self.bulk_touched
+        grown = min(n_pages, max(room, 0))
+        self.bulk_touched += grown
+        if self.dirty_log_enabled:
+            self._bulk_dirty = min(self._bulk_dirty + n_pages, self.bulk_touched)
+        return grown
+
+    def dirty_bulk(self, n_pages):
+        """Mark ``n_pages`` of the bulk region dirty (workload writes)."""
+        if n_pages < 0:
+            raise MemoryError_("cannot dirty a negative page count")
+        if self.dirty_log_enabled:
+            self._bulk_dirty = min(self._bulk_dirty + n_pages, self.bulk_touched)
+
+    def reset_bulk(self):
+        """Forget the bulk footprint (guest reboot dropped its anon memory)."""
+        self.bulk_touched = 0
+        self._bulk_dirty = 0
+
+    # -- dirty logging (live migration) ---------------------------------
+
+    def start_dirty_log(self):
+        """Begin tracking writes; clears the current dirty sets."""
+        self.dirty_log_enabled = True
+        self._dirty.clear()
+        self._bulk_dirty = 0
+
+    def fetch_and_reset_dirty(self):
+        """Return (gpfn set, bulk page count) dirtied since last call."""
+        dirty, self._dirty = self._dirty, set()
+        bulk, self._bulk_dirty = self._bulk_dirty, 0
+        return dirty, bulk
+
+    def stop_dirty_log(self):
+        self.dirty_log_enabled = False
+        self._dirty.clear()
+        self._bulk_dirty = 0
+
+    @property
+    def dirty_page_count(self):
+        return len(self._dirty) + self._bulk_dirty
+
+    @property
+    def untracked_pages(self):
+        """Pages neither materialized nor bulk-touched (logical zeros)."""
+        return self.total_pages - len(self._mapping) - self.bulk_touched
+
+    # -- teardown --------------------------------------------------------
+
+    def release(self):
+        """Free every materialized page back to the parent domain."""
+        for parent_pfn in self._mapping.values():
+            if isinstance(self.parent, GuestMemory):
+                self.parent.free_page(parent_pfn)
+            else:
+                self.parent.free(parent_pfn)
+        self._mapping.clear()
+        self._dirty.clear()
+
+    def allocate(self, content=b"", mergeable=None):
+        """Domain-agnostic allocation adapter (matches PhysicalMemory).
+
+        ``mergeable`` is ignored: from the host's point of view every
+        page of guest RAM lives in the VM's madvised region, so the
+        materialized frame inherits the domain's flag.
+        """
+        gpfn = self.alloc_page()
+        if content:
+            self.write(gpfn, content)
+        return gpfn
+
+    def free(self, gpfn):
+        """Domain-agnostic free adapter (matches PhysicalMemory)."""
+        self.free_page(gpfn)
+
+    def free_page(self, gpfn):
+        """Release one page (used by a parent-of-nested teardown)."""
+        parent_pfn = self._mapping.pop(gpfn, None)
+        if parent_pfn is None:
+            return
+        self._dirty.discard(gpfn)
+        if isinstance(self.parent, GuestMemory):
+            self.parent.free_page(parent_pfn)
+        else:
+            self.parent.free(parent_pfn)
+
+    def __repr__(self):
+        return (
+            f"<GuestMemory {self.name} {self.size_mb}MB depth={self.nesting_depth} "
+            f"touched={self.touched_pages}>"
+        )

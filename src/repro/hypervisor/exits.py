@@ -1,0 +1,171 @@
+"""VM-exit reasons and the calibrated cost model.
+
+This module is the *only* home of timing calibration constants.  Every
+benchmark's overhead shape (Figs 2-4, Tables II-IV of the paper) emerges
+from the same small set of numbers here — no benchmark carries private
+fudge factors.
+
+The nested-exit model follows the Turtles design (Ben-Yehuda et al.,
+OSDI 2010): hardware supports only one level of virtualization, so an
+exit taken by a guest at depth ``d >= 2`` is first intercepted by L0,
+*reflected* to the L(d-1) hypervisor, whose software handler then issues
+a burst of privileged instructions (VMREAD/VMWRITE/INVEPT/...), each of
+which itself traps.  Exit cost therefore multiplies with depth, and by
+different factors per exit reason — EPT violations have an L0 fast path
+(small multiplier) while context-switch-style exits pay the full
+trampoline (large multiplier).  Those two facts produce, respectively,
+the modest +25.7% kernel-compile overhead of Fig 2 and the ~19x pipe
+latency blowup of Table III.
+"""
+
+from enum import Enum
+
+from repro.errors import HypervisorError
+
+
+class ExitReason(Enum):
+    """Why a guest exited to its hypervisor."""
+
+    EPT_VIOLATION = "ept_violation"      # first touch / shadow paging fault
+    IO_PORT = "io_port"                  # programmed I/O
+    MMIO = "mmio"                        # device register access
+    HLT = "hlt"                          # idle / context-switch related
+    EXTERNAL_INTERRUPT = "external_interrupt"
+    TIMER = "timer"                      # guest timer tick
+    CPUID = "cpuid"
+    MSR_ACCESS = "msr_access"
+    HYPERCALL = "hypercall"
+    VIRTIO_KICK = "virtio_kick"          # doorbell write to a virtio queue
+    INVEPT = "invept"                    # TLB/EPT shootdown (MMU management)
+    PRIV_INSTRUCTION = "priv_instruction"  # VMREAD/VMWRITE-class instruction
+
+
+class CostModel:
+    """Translates mechanical events into virtual-time costs.
+
+    All times are seconds.  Depth conventions: depth 0 is bare metal
+    (no exits ever), depth 1 a guest on the bare-metal hypervisor,
+    depth 2 a nested guest, and so on recursively.
+    """
+
+    #: Hardware VM-exit + VM-entry round trip.
+    base_exit_cost = 1.2e-6
+    #: Extra cost for L0 to reflect an exit into the L1 hypervisor.
+    reflect_cost = 0.4e-6
+
+    #: Software handler cost at the hypervisor that owns the exit.
+    handler_cost = {
+        ExitReason.EPT_VIOLATION: 0.8e-6,
+        ExitReason.IO_PORT: 0.5e-6,
+        ExitReason.MMIO: 0.6e-6,
+        ExitReason.HLT: 0.4e-6,
+        ExitReason.EXTERNAL_INTERRUPT: 0.3e-6,
+        ExitReason.TIMER: 0.3e-6,
+        ExitReason.CPUID: 0.2e-6,
+        ExitReason.MSR_ACCESS: 0.25e-6,
+        ExitReason.HYPERCALL: 0.3e-6,
+        ExitReason.VIRTIO_KICK: 0.7e-6,
+        ExitReason.INVEPT: 0.5e-6,
+        ExitReason.PRIV_INSTRUCTION: 0.25e-6,
+    }
+
+    #: How many privileged instructions the L1 handler issues per exit of
+    #: each reason — the Turtles trampoline multiplier.  Reasons with an
+    #: L0 fast path (shadow EPT refill) have small values.
+    nested_priv_ops = {
+        ExitReason.EPT_VIOLATION: 4,
+        ExitReason.IO_PORT: 14,
+        ExitReason.MMIO: 16,
+        ExitReason.HLT: 20,
+        ExitReason.EXTERNAL_INTERRUPT: 10,
+        ExitReason.TIMER: 10,
+        ExitReason.CPUID: 6,
+        ExitReason.MSR_ACCESS: 8,
+        ExitReason.HYPERCALL: 12,
+        ExitReason.VIRTIO_KICK: 16,
+        ExitReason.INVEPT: 14,
+        ExitReason.PRIV_INSTRUCTION: 2,
+    }
+
+    #: TLB-pressure tax on CPU time by depth, scaled by a workload's
+    #: memory intensity in [0, 1].  Depth 1 hardware 2D paging is nearly
+    #: free; depth 2 pays for shadow-EPT maintenance.
+    tlb_tax = {0: 0.0, 1: 0.02, 2: 0.27}
+    #: Tax applied per depth beyond the table above.
+    tlb_tax_extra_depth = 0.30
+
+    #: Additive per-syscall ring-transition tax per virtualization level.
+    syscall_depth_tax = 1.2e-8
+
+    #: Guest timer tick rate (CONFIG_HZ=250 style) — each tick exits.
+    timer_hz = 250.0
+
+    #: Latency of breaking KSM copy-on-write on a write to a merged page
+    #: (page allocation + copy + rmap fixup; Xiao et al. DSN'13 report
+    #: this class of fault at hundreds of microseconds).
+    cow_break_cost = 3.8e-4
+    #: Plain in-memory page write (cache-warm, 4 KiB).
+    page_write_cost = 2.5e-7
+    #: Plain in-memory page read.
+    page_read_cost = 2.0e-7
+    #: Cost of mapping a fresh anonymous page (minor fault, zeroing).
+    minor_fault_cost = 9.0e-7
+
+    def exit_cost(self, reason, depth):
+        """Cost of one exit of ``reason`` taken by a guest at ``depth``."""
+        if depth <= 0:
+            return 0.0
+        if not isinstance(reason, ExitReason):
+            raise HypervisorError(f"unknown exit reason {reason!r}")
+        handler = self.handler_cost[reason]
+        if depth == 1:
+            return self.base_exit_cost + handler
+        ops = self.nested_priv_ops[reason]
+        # L0 intercepts, reflects to the next hypervisor down; that
+        # hypervisor's handler runs `ops` privileged instructions, each
+        # of which is itself an exit taken one level shallower.
+        return (
+            self.base_exit_cost
+            + self.reflect_cost
+            + handler
+            + ops * self.exit_cost(ExitReason.PRIV_INSTRUCTION, depth - 1)
+        )
+
+    def cpu_tax_factor(self, depth, mem_intensity):
+        """Multiplier on pure CPU time for a guest at ``depth``.
+
+        ``mem_intensity`` in [0, 1]: ~0.1 for register-bound loops
+        (lmbench arithmetic), 1.0 for TLB-heavy work (kernel compile).
+        """
+        if not 0.0 <= mem_intensity <= 1.0:
+            raise HypervisorError(f"mem_intensity out of range: {mem_intensity}")
+        if depth in self.tlb_tax:
+            tax = self.tlb_tax[depth]
+        else:
+            extra = depth - max(self.tlb_tax)
+            tax = self.tlb_tax[max(self.tlb_tax)] + extra * self.tlb_tax_extra_depth
+        return 1.0 + tax * mem_intensity
+
+    def cpu_cost(self, seconds, depth, mem_intensity=0.5):
+        """Virtual time to execute ``seconds`` of native CPU work.
+
+        Adds the TLB tax and the steady drizzle of timer-tick exits.
+        """
+        if seconds < 0:
+            raise HypervisorError(f"negative cpu time: {seconds}")
+        taxed = seconds * self.cpu_tax_factor(depth, mem_intensity)
+        timer = seconds * self.timer_hz * self.exit_cost(ExitReason.TIMER, depth)
+        return taxed + timer
+
+    def write_outcome_cost(self, outcome, depth):
+        """Virtual time for one page write given its mechanical outcome."""
+        cost = self.page_write_cost
+        if outcome.cow_broken:
+            cost += self.cow_break_cost
+        if outcome.first_touch_levels:
+            # One EPT-violation-class fault per translation level that
+            # had to materialize a mapping.
+            for level in range(outcome.first_touch_levels):
+                cost += self.exit_cost(ExitReason.EPT_VIOLATION, depth - level)
+            cost += self.minor_fault_cost
+        return cost

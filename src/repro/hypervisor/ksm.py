@@ -1,0 +1,198 @@
+"""Kernel samepage merging — the host-side memory deduplication daemon.
+
+Faithful to Linux KSM in the properties the paper's detector depends on:
+
+* only madvised (``mergeable``) pages are scanned;
+* a page must be seen with *unchanged* content on two consecutive scan
+  passes before it is merged (the checksum volatility filter) — this is
+  what makes the detector "wait for a while" after loading File-A;
+* merged pages are read-only shared frames; any write breaks
+  copy-on-write, which is 2-3 orders of magnitude slower than a plain
+  write (:attr:`repro.hypervisor.exits.CostModel.cow_break_cost`) — the
+  timing side channel of Figs 5 and 6;
+* the daemon scans ``pages_to_scan`` pages every ``sleep_millisecs``,
+  exactly the two sysfs knobs Linux exposes.
+
+The stable/unstable structures are content-keyed dictionaries rather
+than the kernel's rb-trees — same semantics, simpler mechanics.
+"""
+
+from repro.errors import HypervisorError
+
+
+class KsmStats:
+    """Counters mirroring /sys/kernel/mm/ksm."""
+
+    def __init__(self):
+        self.full_scans = 0
+        self.pages_merged_total = 0
+        self.cow_breaks = 0
+
+    def __repr__(self):
+        return (
+            f"<KsmStats scans={self.full_scans} "
+            f"merged={self.pages_merged_total}>"
+        )
+
+
+class KsmDaemon:
+    """The ksmd kernel thread.
+
+    Operates on a :class:`~repro.hardware.memory.PhysicalMemory`; only
+    the bottom of a nesting chain runs KSM in this reproduction (the
+    paper's detection runs at L0).
+    """
+
+    def __init__(self, machine, pages_to_scan=1250, sleep_millisecs=20):
+        if pages_to_scan < 1:
+            raise HypervisorError("pages_to_scan must be >= 1")
+        if sleep_millisecs <= 0:
+            raise HypervisorError("sleep_millisecs must be positive")
+        self.machine = machine
+        self.engine = machine.engine
+        self.memory = machine.memory
+        self.memory.attach_ksm(self)
+        self.pages_to_scan = pages_to_scan
+        self.sleep_seconds = sleep_millisecs / 1000.0
+        self.stats = KsmStats()
+        self._stable = {}       # digest -> Frame (read-only shared)
+        self._unstable = {}     # digest -> pfn, rebuilt every full pass
+        self._seen = {}         # pfn -> digest from the previous pass
+        self._cursor = []       # remaining (pfn) list for the current pass
+        self._pass_merges = 0
+        self._pass_new_seen = 0
+        self._pass_start_marks = (None, None)
+        self._idle = False
+        self._idle_marks = (None, None)
+        self._process = None
+        self.running = False
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self):
+        """Launch the ksmd loop (echo 1 > /sys/kernel/mm/ksm/run)."""
+        if self.running:
+            return self._process
+        self.running = True
+        self._process = self.engine.process(self._run(), name="ksmd")
+        return self._process
+
+    def stop(self):
+        """Stop scanning (existing merges remain, as with run=0)."""
+        self.running = False
+
+    @property
+    def pages_shared(self):
+        """Number of distinct stable (shared) frames."""
+        return len(self._stable)
+
+    @property
+    def pages_sharing(self):
+        """Number of page mappings deduplicated into stable frames."""
+        return sum(f.refcount - 1 for f in self._stable.values())
+
+    # -- scanning ---------------------------------------------------------
+
+    def _run(self):
+        while self.running:
+            yield self.engine.timeout(self.sleep_seconds)
+            if not self.running:
+                return
+            self._wake()
+
+    def _marks(self):
+        return (self.memory.mergeable_generation, self.memory.write_epoch)
+
+    def _wake(self):
+        if self._idle:
+            if self._marks() == self._idle_marks:
+                return
+            self._idle = False
+        if not self._cursor:
+            self._begin_pass()
+        budget = self.pages_to_scan
+        while budget > 0 and self._cursor:
+            pfn = self._cursor.pop()
+            budget -= 1
+            self._scan_one(pfn)
+        if not self._cursor:
+            self._end_pass()
+
+    def _begin_pass(self):
+        self._cursor = [pfn for pfn, _frame in self.memory.iter_mergeable()]
+        self._unstable.clear()
+        self._pass_merges = 0
+        self._pass_new_seen = 0
+        self._pass_start_marks = self._marks()
+
+    def _end_pass(self):
+        self.stats.full_scans += 1
+        if (
+            self._pass_merges == 0
+            and self._pass_new_seen == 0
+            and self._marks() == self._pass_start_marks
+        ):
+            # Nothing changed during an entirely fruitless pass: go idle
+            # until the memory epochs move again.
+            self._idle = True
+            self._idle_marks = self._pass_start_marks
+
+    def _scan_one(self, pfn):
+        frame = self.memory.frame(pfn)
+        if frame is None or not frame.mergeable or frame.ksm_shared:
+            return
+        digest = frame.digest
+        previous = self._seen.get(pfn)
+        self._seen[pfn] = digest
+        if previous != digest:
+            # A newly seen or freshly rewritten page: it may stabilize
+            # and merge next pass, so the daemon must not go idle yet.
+            self._pass_new_seen += 1
+            # Volatility filter: content changed since the last pass (or
+            # page is new); give it a full pass to stabilize.
+            return
+        stable_frame = self._stable.get(digest)
+        if stable_frame is not None and stable_frame.refcount > 0:
+            if stable_frame is frame:
+                return
+            self.memory.remap(pfn, stable_frame)
+            self.stats.pages_merged_total += 1
+            self._pass_merges += 1
+            return
+        other_pfn = self._unstable.get(digest)
+        if other_pfn is not None and other_pfn != pfn:
+            other_frame = self.memory.frame(other_pfn)
+            if (
+                other_frame is not None
+                and not other_frame.ksm_shared
+                and other_frame.digest == digest
+            ):
+                # Promote this frame to the stable tree and fold the
+                # unstable partner into it.
+                frame.ksm_shared = True
+                self._stable[digest] = frame
+                self.memory.remap(other_pfn, frame)
+                self.stats.pages_merged_total += 1
+                self._pass_merges += 1
+                return
+        self._unstable[digest] = pfn
+
+    def sysfs_text(self):
+        """The /sys/kernel/mm/ksm/* view an administrator reads."""
+        return (
+            f"run: {1 if self.running else 0}\n"
+            f"pages_to_scan: {self.pages_to_scan}\n"
+            f"sleep_millisecs: {int(self.sleep_seconds * 1000)}\n"
+            f"pages_shared: {self.pages_shared}\n"
+            f"pages_sharing: {self.pages_sharing}\n"
+            f"full_scans: {self.stats.full_scans}\n"
+        )
+
+    # -- callbacks from the memory layer ---------------------------------
+
+    def forget_frame(self, frame):
+        """Drop a stable frame (its last mapper wrote to or freed it)."""
+        digest = frame.digest
+        if self._stable.get(digest) is frame:
+            del self._stable[digest]
+        frame.ksm_shared = False

@@ -1,0 +1,43 @@
+"""Proportional-share CPU accounting.
+
+The paper's testbed (8 logical CPUs) was never CPU-oversubscribed
+during single-benchmark runs, so contention barely features in its
+numbers.  We still model it: when more runnable busy entities exist
+than logical CPUs, everyone's CPU time stretches proportionally.
+This lets ablation benchmarks explore co-resident interference (the
+cloud co-residence problems the related-work section surveys).
+"""
+
+from repro.errors import HypervisorError
+
+
+class CpuScheduler:
+    """Tracks busy entities on a CPU package; provides a slowdown factor."""
+
+    def __init__(self, cpu):
+        self.cpu = cpu
+        self._busy = set()
+
+    def occupy(self, token):
+        """Mark ``token`` (a process, a vCPU) as runnable-busy."""
+        if token in self._busy:
+            raise HypervisorError(f"token already occupying CPU: {token!r}")
+        self._busy.add(token)
+
+    def release(self, token):
+        if token not in self._busy:
+            raise HypervisorError(f"token not occupying CPU: {token!r}")
+        self._busy.discard(token)
+
+    @property
+    def busy_count(self):
+        return len(self._busy)
+
+    def is_busy(self, token):
+        return token in self._busy
+
+    def slowdown_factor(self):
+        """>= 1.0; how much CPU-bound work stretches under contention."""
+        if self.busy_count <= self.cpu.logical_cpus:
+            return 1.0
+        return self.busy_count / self.cpu.logical_cpus

@@ -1,0 +1,86 @@
+"""Virtual Machine Control Structures.
+
+Real VT-x keeps one VMCS region per vCPU, a 4 KiB page whose first word
+holds the processor's VMCS *revision identifier*.  Hypervisor memory
+forensics (Graziano et al., RAID 2013 — the baseline the paper's §VI-E
+discusses) finds hypervisors by scanning RAM for pages that look like
+VMCS regions.  We therefore materialize each VMCS as a real page in the
+creating system's memory domain carrying a recognizable magic prefix, so
+the :mod:`repro.core.detection.vmcs_scan` baseline works — and fails —
+for the same structural reasons as the real tool.
+"""
+
+from itertools import count
+
+from repro.errors import HypervisorError
+
+#: The revision-id magic written at the start of every Intel VMCS page.
+VMCS_REVISION_MAGIC = b"VMCS\x12\x00\x00\x80"
+#: AMD's control block uses a different layout entirely — the VT-x
+#: signature scanner cannot recognize it (the baseline's failure mode).
+VMCB_MAGIC = b"VMCB\x01\x00\x0d\x00"
+
+_vmcs_ids = count(1)
+
+
+class Vmcs:
+    """One control structure for one virtual CPU.
+
+    ``backing_pfn`` is the page in the *owner's* memory domain that holds
+    the structure (for an L1 hypervisor this is a guest page, which
+    resolves down to a host frame — exactly what lets a host-side memory
+    scan discover nested hypervisors).
+    """
+
+    def __init__(self, owner_memory, vm_name, vcpu_index, vpid, cpu_vendor="intel"):
+        self.vmcs_id = next(_vmcs_ids)
+        self.vm_name = vm_name
+        self.vcpu_index = vcpu_index
+        self.vpid = vpid
+        self.launched = False
+        self.exit_counts = {}
+        self.owner_memory = owner_memory
+        magic = VMCS_REVISION_MAGIC if cpu_vendor == "intel" else VMCB_MAGIC
+        content = (
+            magic
+            + self.vmcs_id.to_bytes(4, "little")
+            + vpid.to_bytes(2, "little")
+        )
+        self.backing_pfn = owner_memory.allocate(content, mergeable=False)
+
+    def record_exit(self, reason, count=1.0):
+        """Bump the per-reason exit counter (for `info registers`-style
+        inspection and the tests that assert trampoline multiplication).
+
+        Counts are floats: syscall profiles express amortized exits (for
+        example one virtio kick per ~16 network sends).
+        """
+        self.exit_counts[reason] = self.exit_counts.get(reason, 0.0) + count
+
+    @property
+    def total_exits(self):
+        return sum(self.exit_counts.values())
+
+    def release(self):
+        """Free the backing page when the VM is destroyed."""
+        if self.backing_pfn is not None:
+            self.owner_memory.free(self.backing_pfn)
+            self.backing_pfn = None
+
+    def __repr__(self):
+        return f"<Vmcs vm={self.vm_name} vcpu={self.vcpu_index} vpid={self.vpid}>"
+
+
+def looks_like_vmcs(content):
+    """Signature predicate used by the memory-forensics baseline."""
+    return content.startswith(VMCS_REVISION_MAGIC)
+
+
+def allocate_vpid(allocated):
+    """Pick the smallest free virtual-processor identifier."""
+    vpid = 1
+    while vpid in allocated:
+        vpid += 1
+    if vpid > 0xFFFF:
+        raise HypervisorError("VPID space exhausted")
+    return vpid

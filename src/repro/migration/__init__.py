@@ -1,0 +1,25 @@
+"""Live migration: pre-copy (the paper's mechanism) and post-copy.
+
+The end-to-end time of a pre-copy migration — Fig 4's metric — is an
+emergent quantity here: it falls out of the interplay between the
+guest's dirty-page rate (workload-dependent), the migration bandwidth
+cap (QEMU's 32 MiB/s default unless ``migrate_set_speed`` raised it),
+the destination's page-application cost (which grows with nesting
+depth), and the auto-converge CPU throttle that QEMU applies when the
+dirty rate outruns the link.
+"""
+
+from repro.migration.postcopy import PostCopyMigration
+from repro.migration.precopy import MigrationDestination, PreCopyMigration
+from repro.migration.stats import MigrationStats
+from repro.migration.transport import Complete, DeviceState, RamChunk
+
+__all__ = [
+    "Complete",
+    "DeviceState",
+    "MigrationDestination",
+    "MigrationStats",
+    "PostCopyMigration",
+    "PreCopyMigration",
+    "RamChunk",
+]

@@ -1,0 +1,38 @@
+"""Dirty-page tracking for live migration.
+
+A thin, testable façade over the guest memory's dirty log that adds the
+rate estimation pre-copy needs for its convergence decision.
+"""
+
+
+class DirtyTracker:
+    """Tracks writes to one guest memory across migration iterations."""
+
+    def __init__(self, memory, engine):
+        self.memory = memory
+        self.engine = engine
+        self._last_sync = engine.now
+        self.last_dirty_pages = 0
+        self.last_rate_pages_per_s = 0.0
+
+    def start(self):
+        self.memory.start_dirty_log()
+        self._last_sync = self.engine.now
+
+    def sync(self):
+        """Collect pages dirtied since the last sync.
+
+        Returns ``(dirty_gpfns, bulk_dirty_pages)`` and updates the
+        observed dirty rate.
+        """
+        dirty, bulk = self.memory.fetch_and_reset_dirty()
+        now = self.engine.now
+        elapsed = now - self._last_sync
+        self._last_sync = now
+        self.last_dirty_pages = len(dirty) + bulk
+        if elapsed > 0:
+            self.last_rate_pages_per_s = self.last_dirty_pages / elapsed
+        return dirty, bulk
+
+    def stop(self):
+        self.memory.stop_dirty_log()

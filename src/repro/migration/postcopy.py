@@ -1,0 +1,208 @@
+"""Post-copy live migration.
+
+The paper uses pre-copy but notes (§II-A) that "the rootkit technique
+... applies to both migration approaches"; this module exists to back
+that claim with a working implementation and an ablation benchmark.
+
+Post-copy inverts the trade-off: the guest switches over almost
+immediately (tiny, workload-independent downtime), then runs at the
+destination while its pages stream in — paying an expected remote-fault
+latency on every operation that shrinks as residency grows.  Total
+migration time becomes workload-independent (no convergence loop), at
+the price of degraded guest performance during the fill.
+"""
+
+from repro.errors import MigrationError
+from repro.migration.precopy import SCAN_COST_PER_PAGE
+from repro.migration.stats import MigrationStats
+from repro.migration.transport import ACK_BYTES, Ack, DeviceState, RamChunk
+from repro.net.packets import Packet
+
+#: Round-trip latency of one remote page fault (userfaultfd + network).
+REMOTE_FAULT_RTT = 3.5e-4
+#: Fraction of guest operations that touch a not-yet-resident page when
+#: residency is zero (working-set locality keeps this well under 1).
+FAULT_TOUCH_RATE = 0.18
+DEFAULT_POSTCOPY_BANDWIDTH = 32 * 1024 * 1024
+CHUNK_PAGES = 1024
+
+
+class PostCopyHandoff:
+    """Control message: switch over now, pages to follow."""
+
+    __slots__ = ("guest_system", "alloc_floor", "total_pages")
+
+    def __init__(self, guest_system, alloc_floor, total_pages):
+        self.guest_system = guest_system
+        self.alloc_floor = alloc_floor
+        self.total_pages = total_pages
+
+
+class PostCopyDone:
+    """Control message: every page is resident."""
+
+    __slots__ = ()
+
+
+class PostCopyMigration:
+    """Source side of a post-copy migration.
+
+    The destination must be a :class:`PostCopyDestination` (launch the
+    incoming VM with ``start_incoming=False`` and attach one, or use
+    :func:`repro.core.rootkit.installer` helpers that pick the right
+    mode).
+    """
+
+    def __init__(self, vm, destination_port, max_bandwidth=None):
+        if vm.guest is None:
+            raise MigrationError(f"{vm.name}: no guest to migrate")
+        self.vm = vm
+        self.engine = vm.engine
+        self.destination_port = destination_port
+        self.max_bandwidth = max_bandwidth or DEFAULT_POSTCOPY_BANDWIDTH
+        self.stats = MigrationStats(self.engine)
+        vm.migration_stats = self.stats
+
+    def start(self):
+        return self.engine.process(
+            self._run(), name=f"postcopy:{self.vm.name}"
+        )
+
+    def _run(self):
+        vm = self.vm
+        memory = vm.kvm_vm.memory
+        node = vm.host_system.net_node
+        endpoint = node.connect(node, self.destination_port)
+        self.stats.status = "active"
+
+        # Immediate switchover: device state + guest handoff.
+        downtime_start = self.engine.now
+        vm.pause()
+        device_state = DeviceState()
+        yield endpoint.send(
+            Packet(device_state.size_bytes, payload=device_state, kind="migration")
+        )
+        guest = vm.guest
+        vm.guest = None
+        handoff = PostCopyHandoff(
+            guest_system=guest,
+            alloc_floor=memory._next_alloc,
+            total_pages=memory.touched_pages + memory.bulk_touched,
+        )
+        yield endpoint.send(Packet(128, payload=handoff, kind="migration"))
+        yield self._expect_ack(endpoint)
+        self.stats.downtime = self.engine.now - downtime_start
+
+        # Background page push (the guest is already running remotely).
+        real_pages = list(memory.iter_touched())
+        bulk_total = memory.bulk_touched
+        zero_total = memory.untracked_pages
+        index = 0
+        remaining_bulk = bulk_total
+        remaining_zero = zero_total
+        while index < len(real_pages) or remaining_bulk or remaining_zero:
+            batch = real_pages[index : index + CHUNK_PAGES]
+            index += len(batch)
+            room = CHUNK_PAGES - len(batch)
+            bulk_now = min(remaining_bulk, room)
+            remaining_bulk -= bulk_now
+            zero_now = min(remaining_zero, max((room - bulk_now) * 64, 0))
+            remaining_zero -= zero_now
+            entries = [(gpfn, memory.read(gpfn)) for gpfn in batch]
+            chunk = RamChunk(entries, bulk_pages=bulk_now, zero_pages=zero_now)
+            pace = self.engine.timeout(chunk.wire_bytes / self.max_bandwidth)
+            delivery = endpoint.send(
+                Packet(chunk.wire_bytes, payload=chunk, kind="migration")
+            )
+            yield self.engine.all_of([pace, delivery])
+            yield self._expect_ack(endpoint)
+            self.stats.ram_bytes += chunk.wire_bytes
+            self.stats.pages_transferred += chunk.page_count
+            self.stats.zero_pages += zero_now
+            self.stats.iterations = 1
+
+        yield endpoint.send(Packet(32, payload=PostCopyDone(), kind="migration"))
+        yield self._expect_ack(endpoint)
+        vm.status = "postmigrate"
+        self.stats.complete()
+        endpoint.close()
+        return self.stats
+
+    def _expect_ack(self, endpoint):
+        return endpoint.recv()
+
+
+class PostCopyDestination:
+    """Receive side of a post-copy migration."""
+
+    def __init__(self, vm, port):
+        self.vm = vm
+        self.port = port
+        self.engine = vm.engine
+        self.node = vm.host_system.net_node
+        self.listener = self.node.listen(port)
+        self.completed = False
+
+    def start(self):
+        return self.engine.process(
+            self._run(), name=f"postcopy-in:{self.vm.name}:{self.port}"
+        )
+
+    def _run(self):
+        from repro.hypervisor.exits import ExitReason
+
+        connection = yield self.listener.accept()
+        endpoint = connection.server
+        memory = self.vm.kvm_vm.memory
+        depth = self.vm.kvm_vm.depth
+        cost_model = self.vm.host_system.cost_model
+        guest = None
+        total_pages = 1
+        received_pages = 0
+        while True:
+            packet = yield endpoint.recv()
+            payload = packet.payload
+            if isinstance(payload, DeviceState):
+                yield self.engine.timeout(2.0e-3)
+            elif isinstance(payload, PostCopyHandoff):
+                memory._next_alloc = max(memory._next_alloc, payload.alloc_floor)
+                guest = payload.guest_system
+                total_pages = max(payload.total_pages, 1)
+                self.vm.adopt_guest(guest)
+                self._update_fault_penalty(guest, received_pages, total_pages)
+                endpoint.send(Packet(ACK_BYTES, payload=Ack(), kind="migration"))
+            elif isinstance(payload, RamChunk):
+                cost = 0.0
+                for gpfn, content in payload.entries:
+                    outcome = memory.write(gpfn, content)
+                    cost += cost_model.write_outcome_cost(outcome, depth)
+                if payload.bulk_pages:
+                    memory.touch_bulk(payload.bulk_pages)
+                    cost += payload.bulk_pages * (
+                        cost_model.minor_fault_cost
+                        + cost_model.exit_cost(ExitReason.EPT_VIOLATION, depth)
+                    )
+                cost += payload.zero_pages * SCAN_COST_PER_PAGE
+                if cost > 0:
+                    yield self.engine.timeout(cost)
+                received_pages += payload.page_count
+                if guest is not None:
+                    self._update_fault_penalty(guest, received_pages, total_pages)
+                endpoint.send(Packet(ACK_BYTES, payload=Ack(), kind="migration"))
+            elif isinstance(payload, PostCopyDone):
+                if guest is not None:
+                    guest.kernel.extra_op_latency = 0.0
+                endpoint.send(Packet(ACK_BYTES, payload=Ack(), kind="migration"))
+                break
+            else:
+                raise MigrationError(f"unexpected postcopy payload {payload!r}")
+        self.node.close_port(self.port)
+        self.completed = True
+        return self.vm
+
+    @staticmethod
+    def _update_fault_penalty(guest, received_pages, total_pages):
+        missing_fraction = max(0.0, 1.0 - received_pages / total_pages)
+        guest.kernel.extra_op_latency = (
+            FAULT_TOUCH_RATE * missing_fraction * REMOTE_FAULT_RTT
+        )

@@ -1,0 +1,457 @@
+"""Pre-copy live migration: iterative copy, convergence, auto-converge.
+
+Source-side algorithm (QEMU's ram_save path):
+
+1. enable dirty logging, send every page (materialized pages with real
+   content, bulk pages by count, never-touched pages as zero markers);
+2. repeatedly sync the dirty log and re-send what changed while the
+   guest keeps running;
+3. when the remaining dirty set can be sent within ``max_downtime`` at
+   the measured throughput, stop the guest, send the final set plus
+   device state, and hand the guest over;
+4. when the dirty rate refuses to converge, ratchet the auto-converge
+   CPU throttle (initial 20%, +10% per stall, max 99%) — this is what
+   lets the CPU-intensive case of Fig 4 finish at all, and what makes
+   it take minutes instead of seconds.
+
+The destination applies pages with *real* writes into its guest memory,
+so a nested destination pays genuine nested-EPT costs per page — the
+emergent source of the L0-L1 slowdown in Fig 4.
+"""
+
+from repro.errors import MigrationError
+from repro.hypervisor.exits import ExitReason
+from repro.migration.dirty_tracking import DirtyTracker
+from repro.migration.stats import MigrationStats
+from repro.migration.transport import (
+    ACK_BYTES,
+    Ack,
+    Complete,
+    DeviceState,
+    RamChunk,
+)
+from repro.net.packets import Packet
+
+#: QEMU's historical default migration bandwidth cap (migrate_set_speed).
+DEFAULT_MAX_BANDWIDTH = 32 * 1024 * 1024
+#: QEMU's default allowed downtime.
+DEFAULT_MAX_DOWNTIME = 0.30
+#: Pages per RAM chunk (one flow-controlled message).
+CHUNK_PAGES = 1024
+#: Auto-converge schedule (QEMU: x-cpu-throttle-initial/-increment).
+THROTTLE_INITIAL = 0.20
+THROTTLE_INCREMENT = 0.10
+THROTTLE_MAX = 0.99
+#: Source-side scan cost per page per iteration (dirty bitmap + zero scan).
+SCAN_COST_PER_PAGE = 1.2e-7
+
+
+class PreCopyMigration:
+    """The source side of one pre-copy migration."""
+
+    def __init__(
+        self,
+        vm,
+        destination_host="127.0.0.1",
+        destination_port=4444,
+        max_bandwidth=None,
+        max_downtime=None,
+        chunk_pages=CHUNK_PAGES,
+    ):
+        if vm.guest is None:
+            raise MigrationError(f"{vm.name}: no guest to migrate")
+        self.vm = vm
+        self.engine = vm.engine
+        self.destination_host = destination_host
+        self.destination_port = destination_port
+        self.max_bandwidth = max_bandwidth or DEFAULT_MAX_BANDWIDTH
+        self.max_downtime = max_downtime or DEFAULT_MAX_DOWNTIME
+        self.chunk_pages = chunk_pages
+        #: QEMU capability: delta-encode resent pages against a sender
+        #: cache (``migrate_set_capability xbzrle on``).
+        self.xbzrle = bool(
+            getattr(vm, "migration_capabilities", {}).get("xbzrle", False)
+        )
+        #: XBZRLE cache-hit probability for a resent page (pages that
+        #: changed beyond recognition miss and ship in full).
+        self.xbzrle_hit_ratio = 0.85
+        self._pages_sent_before = set()
+        self._bulk_sent_once = False
+        self.xbzrle_pages = 0
+        self.chunk_pages = chunk_pages
+        self.stats = MigrationStats(self.engine)
+        self.cancelled = False
+        self._switchover_started = False
+        self._process = None
+        self._tracker = None
+        self._endpoint = None
+        vm.migration_stats = self.stats
+        vm.active_migration = self
+
+    def start(self):
+        """Kick off the migration; returns the engine Process."""
+        self._process = self.engine.process(
+            self._run(), name=f"migrate:{self.vm.name}"
+        )
+        return self._process
+
+    def cancel(self):
+        """`migrate_cancel`: abort and leave the source guest running.
+
+        Refused (returns False) once the stop-and-copy switchover has
+        begun — past that point the guest's ownership is in flight,
+        exactly as in QEMU.
+        """
+        if self._switchover_started or self.stats.status in (
+            "completed",
+            "cancelled",
+            "failed",
+        ):
+            return False
+        if self._process is not None and self._process.is_alive:
+            self._process.interrupt("migrate_cancel")
+        return True
+
+    # -- main loop ---------------------------------------------------------
+
+    def _run(self):
+        from repro.sim.engine import Interrupt
+
+        try:
+            result = yield from self._run_inner()
+            return result
+        except Interrupt:
+            self._cleanup_after_cancel()
+            return self.stats
+
+    def _cleanup_after_cancel(self):
+        """Roll back to a running guest: QEMU's cancel semantics."""
+        self.cancelled = True
+        vm = self.vm
+        if self._tracker is not None:
+            self._tracker.stop()
+        if vm.guest is not None:
+            vm.guest.kernel.cpu_throttle = 0.0
+        vm.resume()
+        vm.status = "running"
+        self.stats.status = "cancelled"
+        self.stats.finished_at = self.engine.now
+        if self._endpoint is not None:
+            self._endpoint.close()
+
+    def _run_inner(self):
+        vm = self.vm
+        memory = vm.kvm_vm.memory
+        tracker = DirtyTracker(memory, self.engine)
+        self._tracker = tracker
+        node = vm.host_system.net_node
+        try:
+            endpoint = node.connect(node, self.destination_port)
+        except Exception as error:
+            self.stats.fail(error)
+            raise MigrationError(
+                f"cannot reach migration destination port "
+                f"{self.destination_port}: {error}"
+            ) from error
+        self._endpoint = endpoint
+
+        self.stats.status = "active"
+        tracker.start()
+
+        # ---- iteration 1: everything -----------------------------------
+        all_real = list(memory.iter_touched())
+        bulk_total = memory.bulk_touched
+        zero_total = memory.untracked_pages
+        iter_started = self.engine.now
+        iter_bytes = yield from self._send_pages(
+            endpoint, memory, all_real, bulk_total, zero_total
+        )
+        self.stats.iterations += 1
+        measured_rate = self._measured_rate(iter_bytes, iter_started)
+        self._bulk_sent_once = True
+
+        # ---- convergence loop -------------------------------------------
+        throttle = 0.0
+        stall_count = 0
+        previous_dirty = None
+        while True:
+            dirty, bulk_dirty = tracker.sync()
+            dirty_pages = len(dirty) + bulk_dirty
+            dirty_bytes = dirty_pages * 4104
+            if dirty_bytes <= self.max_downtime * measured_rate:
+                break
+            # QEMU auto-converge: the throttle ratchets only after TWO
+            # consecutive iterations whose dirty set refused to shrink
+            # (mig_throttle_guest_down fires at dirty_rate_high_cnt >= 2).
+            if previous_dirty is not None and dirty_pages > 0.85 * previous_dirty:
+                stall_count += 1
+                if stall_count >= 2:
+                    stall_count = 0
+                    throttle = (
+                        THROTTLE_INITIAL
+                        if throttle == 0.0
+                        else min(throttle + THROTTLE_INCREMENT, THROTTLE_MAX)
+                    )
+                    vm.guest.kernel.cpu_throttle = throttle
+                    self.stats.throttle_percentage = int(throttle * 100)
+            else:
+                stall_count = 0
+            previous_dirty = dirty_pages
+            iter_started = self.engine.now
+            iter_bytes = yield from self._send_pages(
+                endpoint, memory, sorted(dirty), bulk_dirty, 0
+            )
+            self.stats.iterations += 1
+            measured_rate = self._measured_rate(
+                iter_bytes, iter_started, fallback=measured_rate
+            )
+
+        # ---- stop-and-copy ----------------------------------------------
+        self._switchover_started = True
+        downtime_start = self.engine.now
+        vm.pause()
+        dirty, bulk_dirty = tracker.sync()
+        yield from self._send_pages(endpoint, memory, sorted(dirty), bulk_dirty, 0)
+        self.stats.iterations += 1
+        device_state = DeviceState()
+        yield endpoint.send(
+            Packet(device_state.size_bytes, payload=device_state, kind="migration")
+        )
+        yield self._expect_ack(endpoint)
+
+        guest = vm.guest
+        guest.kernel.cpu_throttle = 0.0
+        handoff = Complete(
+            guest_system=guest,
+            alloc_floor=memory._next_alloc,
+            bulk_pages_total=memory.bulk_touched,
+        )
+        vm.guest = None
+        yield endpoint.send(Packet(128, payload=handoff, kind="migration"))
+        yield self._expect_ack(endpoint)
+        self.stats.downtime = self.engine.now - downtime_start
+
+        tracker.stop()
+        vm.status = "postmigrate"
+        self.stats.complete()
+        endpoint.close()
+        return self.stats
+
+    # -- helpers -----------------------------------------------------------
+
+    def _measured_rate(self, iter_bytes, iter_started, fallback=None):
+        """Observed stream throughput of the last iteration (bytes/s).
+
+        An empty iteration carries no signal, so the previous estimate
+        (or the configured cap) is reused.
+        """
+        elapsed = self.engine.now - iter_started
+        if iter_bytes <= 0 or elapsed <= 0:
+            return fallback if fallback is not None else float(self.max_bandwidth)
+        return iter_bytes / elapsed
+
+    def _send_pages(self, endpoint, memory, gpfns, bulk_pages, zero_pages):
+        """Send a page population in flow-controlled chunks.
+
+        Returns the wire bytes sent.  Each chunk waits for: its own
+        serialization at the bandwidth cap, the network delivery, and
+        the destination's ACK — so destination application cost
+        backpressures the stream exactly like a real TCP window.
+        """
+        sent_bytes = 0
+        total_pages = len(gpfns) + bulk_pages + zero_pages
+        scan_cost = total_pages * SCAN_COST_PER_PAGE
+        if scan_cost > 0:
+            yield self.engine.timeout(scan_cost)
+
+        index = 0
+        remaining_bulk = bulk_pages
+        remaining_zero = zero_pages
+        while index < len(gpfns) or remaining_bulk > 0 or remaining_zero > 0:
+            batch = gpfns[index : index + self.chunk_pages]
+            index += len(batch)
+            room = self.chunk_pages - len(batch)
+            bulk_now = min(remaining_bulk, room)
+            remaining_bulk -= bulk_now
+            room -= bulk_now
+            zero_now = min(remaining_zero, max(room * 64, 0))
+            remaining_zero -= zero_now
+            entries = [(gpfn, memory.read(gpfn)) for gpfn in batch]
+            xbzrle_now = 0
+            if self.xbzrle:
+                resent = sum(
+                    1 for gpfn in batch if gpfn in self._pages_sent_before
+                )
+                if self._bulk_sent_once:
+                    resent += bulk_now
+                xbzrle_now = int(resent * self.xbzrle_hit_ratio)
+                self.xbzrle_pages += xbzrle_now
+            self._pages_sent_before.update(batch)
+            chunk = RamChunk(
+                entries,
+                bulk_pages=bulk_now,
+                zero_pages=zero_now,
+                xbzrle_pages=xbzrle_now,
+            )
+            packet = Packet(chunk.wire_bytes, payload=chunk, kind="migration")
+            # QEMU's rate limiter counts bytes written to the socket per
+            # window, and the blocking write doesn't return until the
+            # receiver has drained its (one-chunk) buffer — so pacing,
+            # wire serialization, and destination page application
+            # serialize rather than overlap.
+            yield self.engine.timeout(chunk.wire_bytes / self.max_bandwidth)
+            yield endpoint.send(packet)
+            yield self._expect_ack(endpoint)
+            sent_bytes += chunk.wire_bytes
+            self.stats.ram_bytes += chunk.wire_bytes
+            self.stats.pages_transferred += chunk.page_count
+            self.stats.zero_pages += zero_now
+        return sent_bytes
+
+    def _expect_ack(self, endpoint):
+        ack_event = endpoint.recv()
+
+        def _check(event):
+            if event.ok and not isinstance(event.value.payload, Ack):
+                raise MigrationError(
+                    f"protocol error: expected Ack, got {event.value.payload!r}"
+                )
+
+        ack_event.callbacks.append(_check)
+        return ack_event
+
+
+class MigrationDestination:
+    """The receive side: an ``-incoming tcp:0:PORT`` QEMU.
+
+    Protocol-agnostic, like real QEMU: the stream itself announces
+    whether the source runs pre-copy (RAM first, switchover last) or
+    post-copy (switchover first, RAM streamed behind) — a post-copy
+    stream opens with device state + handoff before any RAM arrives.
+    """
+
+    def __init__(self, vm, port):
+        self.vm = vm
+        self.port = port
+        self.engine = vm.engine
+        self.node = vm.host_system.net_node
+        self.listener = self.node.listen(port)
+        self.completed = False
+        self.mode = None  # "precopy" | "postcopy", set by the stream
+
+    def start(self):
+        return self.engine.process(
+            self._run(), name=f"incoming:{self.vm.name}:{self.port}"
+        )
+
+    def _run(self):
+        from repro.sim.process import ChannelClosed
+
+        connection = yield self.listener.accept()
+        endpoint = connection.server
+        memory = self.vm.kvm_vm.memory
+        depth = self.vm.kvm_vm.depth
+        cost_model = self.vm.host_system.cost_model
+        try:
+            yield from self._receive_loop(endpoint, memory, depth, cost_model)
+        except ChannelClosed:
+            # Stream broke before completion (source cancelled or
+            # crashed): a real `qemu -incoming` process exits.
+            if self.vm.guest is None:
+                self.vm.quit()
+            if self.node.listener(self.port) is not None:
+                self.node.close_port(self.port)
+            return None
+        self.node.close_port(self.port)
+        self.completed = True
+        return self.vm
+
+    def _receive_loop(self, endpoint, memory, depth, cost_model):
+        from repro.migration.postcopy import PostCopyDone, PostCopyHandoff
+
+        guest = None
+        postcopy_total = 1
+        postcopy_received = 0
+        while True:
+            packet = yield endpoint.recv()
+            payload = packet.payload
+            if isinstance(payload, RamChunk):
+                if self.mode is None:
+                    self.mode = "precopy"
+                cost = self._apply_chunk(memory, payload, depth, cost_model)
+                if cost > 0:
+                    yield self.engine.timeout(cost)
+                if self.mode == "postcopy" and guest is not None:
+                    postcopy_received += payload.page_count
+                    self._postcopy_penalty(
+                        guest, postcopy_received, postcopy_total
+                    )
+                endpoint.send(Packet(ACK_BYTES, payload=Ack(), kind="migration"))
+            elif isinstance(payload, DeviceState):
+                yield self.engine.timeout(2.0e-3)
+                if self.mode is None:
+                    # Device state before any RAM: a post-copy stream
+                    # (which does not ack device state).
+                    self.mode = "postcopy"
+                else:
+                    endpoint.send(
+                        Packet(ACK_BYTES, payload=Ack(), kind="migration")
+                    )
+            elif isinstance(payload, PostCopyHandoff):
+                self.mode = "postcopy"
+                memory._next_alloc = max(memory._next_alloc, payload.alloc_floor)
+                guest = payload.guest_system
+                postcopy_total = max(payload.total_pages, 1)
+                self.vm.adopt_guest(guest)
+                self._postcopy_penalty(guest, postcopy_received, postcopy_total)
+                endpoint.send(Packet(ACK_BYTES, payload=Ack(), kind="migration"))
+            elif isinstance(payload, PostCopyDone):
+                if guest is not None:
+                    guest.kernel.extra_op_latency = 0.0
+                endpoint.send(Packet(ACK_BYTES, payload=Ack(), kind="migration"))
+                return
+            elif isinstance(payload, Complete):
+                self._finish(memory, payload)
+                endpoint.send(Packet(ACK_BYTES, payload=Ack(), kind="migration"))
+                return
+            else:
+                raise MigrationError(f"unexpected migration payload {payload!r}")
+
+    @staticmethod
+    def _postcopy_penalty(guest, received_pages, total_pages):
+        from repro.migration.postcopy import FAULT_TOUCH_RATE, REMOTE_FAULT_RTT
+
+        missing = max(0.0, 1.0 - received_pages / total_pages)
+        guest.kernel.extra_op_latency = (
+            FAULT_TOUCH_RATE * missing * REMOTE_FAULT_RTT
+        )
+
+    def _apply_chunk(self, memory, chunk, depth, cost_model):
+        """Write the chunk into guest memory; returns the apply cost.
+
+        Real pages are genuinely written (their outcomes price the
+        faults at this destination's depth); bulk pages are counted and
+        priced per-page; zero pages only cost the scan.
+        """
+        cost = 0.0
+        for gpfn, content in chunk.entries:
+            outcome = memory.write(gpfn, content)
+            cost += cost_model.write_outcome_cost(outcome, depth)
+            if depth >= 2:
+                cost += cost_model.exit_cost(ExitReason.INVEPT, depth)
+        if chunk.bulk_pages:
+            memory.touch_bulk(chunk.bulk_pages)
+            per_page = (
+                cost_model.minor_fault_cost
+                + cost_model.page_write_cost
+                + cost_model.exit_cost(ExitReason.EPT_VIOLATION, depth)
+            )
+            if depth >= 2:
+                per_page += cost_model.exit_cost(ExitReason.INVEPT, depth)
+            cost += chunk.bulk_pages * per_page
+        cost += chunk.zero_pages * SCAN_COST_PER_PAGE
+        return cost
+
+    def _finish(self, memory, handoff):
+        memory._next_alloc = max(memory._next_alloc, handoff.alloc_floor)
+        self.vm.adopt_guest(handoff.guest_system)

@@ -1,0 +1,64 @@
+"""Migration statistics — what `info migrate` reports."""
+
+
+class MigrationStats:
+    """Counters for one migration attempt."""
+
+    def __init__(self, engine):
+        self._engine = engine
+        self.status = "setup"
+        self.started_at = engine.now
+        self.finished_at = None
+        self.downtime = 0.0
+        self.ram_bytes = 0
+        self.pages_transferred = 0
+        self.zero_pages = 0
+        self.iterations = 0
+        self.throttle_percentage = 0
+        self.failure_reason = None
+
+    @property
+    def total_time(self):
+        """End-to-end seconds (running total while active)."""
+        end = self.finished_at if self.finished_at is not None else self._engine.now
+        return end - self.started_at
+
+    @property
+    def throughput_mbps(self):
+        elapsed = self.total_time
+        if elapsed <= 0:
+            return 0.0
+        return self.ram_bytes * 8.0 / elapsed / 1e6
+
+    def complete(self):
+        self.status = "completed"
+        self.finished_at = self._engine.now
+
+    def fail(self, reason):
+        self.status = "failed"
+        self.failure_reason = str(reason)
+        self.finished_at = self._engine.now
+
+    def monitor_text(self):
+        """`info migrate` formatting."""
+        lines = [
+            "capabilities: xbzrle: off auto-converge: on",
+            f"Migration status: {self.status}",
+            f"total time: {int(self.total_time * 1000)} milliseconds",
+            f"downtime: {int(self.downtime * 1000)} milliseconds",
+            f"transferred ram: {self.ram_bytes // 1024} kbytes",
+            f"throughput: {self.throughput_mbps:.2f} mbps",
+            f"normal pages: {self.pages_transferred}",
+            f"duplicate (zero) pages: {self.zero_pages}",
+            f"dirty sync count: {self.iterations}",
+            f"cpu throttle percentage: {self.throttle_percentage}",
+        ]
+        if self.failure_reason:
+            lines.append(f"error: {self.failure_reason}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (
+            f"<MigrationStats {self.status} t={self.total_time:.2f}s "
+            f"iters={self.iterations}>"
+        )

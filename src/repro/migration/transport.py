@@ -1,0 +1,86 @@
+"""Migration wire protocol messages.
+
+Sizes follow QEMU's RAM stream format closely enough for honest timing:
+a normal page costs its 4 KiB of content plus an 8-byte header; a zero
+page costs only the header; bulk pages (guest-unique anonymous memory
+tracked by count) are full-size.
+"""
+
+PAGE_WIRE_BYTES = 4096 + 8
+ZERO_WIRE_BYTES = 8
+ACK_BYTES = 64
+#: Fraction of a page XBZRLE delta encoding ships on average for a
+#: cache-hit resend (run-length encoded word diffs).
+XBZRLE_DELTA_FRACTION = 0.28
+
+
+class RamChunk:
+    """A batch of RAM pages.
+
+    ``entries`` is a list of ``(gpfn, content)`` for materialized pages;
+    ``bulk_pages`` counts content-opaque full-size pages; ``zero_pages``
+    counts header-only zero pages; ``xbzrle_pages`` counts how many of
+    the full-size pages were delta-encoded against the sender's cache
+    (their wire cost shrinks to :data:`XBZRLE_DELTA_FRACTION`).
+    """
+
+    __slots__ = ("entries", "bulk_pages", "zero_pages", "xbzrle_pages")
+
+    def __init__(self, entries=(), bulk_pages=0, zero_pages=0, xbzrle_pages=0):
+        self.entries = list(entries)
+        self.bulk_pages = bulk_pages
+        self.zero_pages = zero_pages
+        self.xbzrle_pages = xbzrle_pages
+
+    @property
+    def page_count(self):
+        return len(self.entries) + self.bulk_pages
+
+    @property
+    def wire_bytes(self):
+        full = (
+            (len(self.entries) + self.bulk_pages) * PAGE_WIRE_BYTES
+            + self.zero_pages * ZERO_WIRE_BYTES
+            + 16
+        )
+        savings = int(
+            self.xbzrle_pages * 4096 * (1.0 - XBZRLE_DELTA_FRACTION)
+        )
+        return max(full - savings, 32)
+
+    def __repr__(self):
+        return (
+            f"<RamChunk real={len(self.entries)} bulk={self.bulk_pages} "
+            f"zero={self.zero_pages}>"
+        )
+
+
+class DeviceState:
+    """The non-RAM device state sent during the stop-copy phase."""
+
+    __slots__ = ("size_bytes",)
+
+    def __init__(self, size_bytes=256 * 1024):
+        self.size_bytes = size_bytes
+
+
+class Complete:
+    """End-of-migration control message carrying the guest handoff.
+
+    ``guest_system`` is the migrating OS; ``alloc_floor`` keeps the
+    destination's page allocator clear of every gpfn the source ever
+    used; ``bulk_pages_total`` reconciles the bulk counter.
+    """
+
+    __slots__ = ("guest_system", "alloc_floor", "bulk_pages_total")
+
+    def __init__(self, guest_system, alloc_floor, bulk_pages_total):
+        self.guest_system = guest_system
+        self.alloc_floor = alloc_floor
+        self.bulk_pages_total = bulk_pages_total
+
+
+class Ack:
+    """Per-chunk flow-control acknowledgement."""
+
+    __slots__ = ()

@@ -1,0 +1,26 @@
+"""The simulated network.
+
+Topology is a graph of :class:`~repro.net.stack.NetworkNode` connected
+by :class:`~repro.net.stack.Link` objects with bandwidth and latency.
+Guest nodes hang off their host through user-mode-NAT links that only
+allow outbound connections; the *only* way into a guest is an explicit
+``hostfwd`` rule (:mod:`repro.net.nat`) — exactly QEMU user networking.
+
+Forward rules accept packet hooks, which is where CloudSkulk's passive
+(capture) and active (tamper/drop) services attach: after the rootkit is
+installed, every victim packet traverses the RITM's forwarding layer.
+"""
+
+from repro.net.nat import ForwardRule, PacketHook
+from repro.net.packets import Packet
+from repro.net.stack import Connection, Link, Listener, NetworkNode
+
+__all__ = [
+    "Connection",
+    "ForwardRule",
+    "Link",
+    "Listener",
+    "NetworkNode",
+    "Packet",
+    "PacketHook",
+]

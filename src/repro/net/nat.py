@@ -1,0 +1,138 @@
+"""User-mode NAT port forwarding (QEMU hostfwd) with packet hooks.
+
+A :class:`ForwardRule` is the analogue of
+``-netdev user,hostfwd=tcp::2222-:22``: a listener on the outer node
+that splices every accepted connection to an inner node/port.  After a
+CloudSkulk installation the victim's traffic traverses *two* such rules
+(host -> GuestX, then GuestX -> nested guest), and the attacker's
+services attach as :class:`PacketHook` objects on the GuestX-level rule
+— giving them the packet-level visibility and control §IV-B describes.
+"""
+
+from repro.errors import NetworkError
+from repro.sim.process import ChannelClosed
+
+
+class PacketHook:
+    """Observe / modify / drop packets crossing a forward rule.
+
+    Subclasses override :meth:`on_packet`; returning ``None`` drops the
+    packet, returning a different Packet substitutes it.  ``direction``
+    is ``"inbound"`` (toward the inner guest) or ``"outbound"``.
+    """
+
+    name = "hook"
+
+    def on_packet(self, packet, direction, rule):
+        return packet
+
+
+class ForwardStats:
+    """Per-rule packet accounting."""
+
+    def __init__(self):
+        self.packets = {"inbound": 0, "outbound": 0}
+        self.bytes = {"inbound": 0, "outbound": 0}
+        self.dropped = 0
+        self.modified = 0
+        self.connections = 0
+
+    def __repr__(self):
+        return (
+            f"<ForwardStats conns={self.connections} "
+            f"in={self.packets['inbound']}p out={self.packets['outbound']}p "
+            f"dropped={self.dropped} modified={self.modified}>"
+        )
+
+
+class ForwardRule:
+    """hostfwd: outer_node:outer_port -> inner_node:inner_port."""
+
+    def __init__(
+        self,
+        outer_node,
+        outer_port,
+        inner_node,
+        inner_port,
+        name=None,
+        splice_cost=2.0e-5,
+    ):
+        self.outer_node = outer_node
+        self.outer_port = outer_port
+        self.inner_node = inner_node
+        self.inner_port = inner_port
+        self.name = name or (
+            f"hostfwd:{outer_node.name}:{outer_port}"
+            f"->{inner_node.name}:{inner_port}"
+        )
+        #: Userspace (slirp) processing cost per spliced packet.
+        self.splice_cost = splice_cost
+        self.hooks = []
+        self.stats = ForwardStats()
+        self.engine = outer_node.engine
+        self.active = True
+        outer_node.listen(outer_port, handler=self._on_accept)
+
+    # -- hook management ----------------------------------------------------
+
+    def add_hook(self, hook):
+        self.hooks.append(hook)
+        return hook
+
+    def remove_hook(self, hook):
+        try:
+            self.hooks.remove(hook)
+        except ValueError:
+            raise NetworkError(f"hook not installed on {self.name}") from None
+
+    # -- splicing -------------------------------------------------------------
+
+    def _on_accept(self, connection):
+        self.stats.connections += 1
+        inner_endpoint = self.outer_node.connect(self.inner_node, self.inner_port)
+        outer_endpoint = connection.server
+        self.engine.process(
+            self._splice(outer_endpoint, inner_endpoint, "inbound"),
+            name=f"{self.name}:in",
+        )
+        self.engine.process(
+            self._splice(inner_endpoint, outer_endpoint, "outbound"),
+            name=f"{self.name}:out",
+        )
+
+    def _splice(self, src, dst, direction):
+        try:
+            while self.active:
+                packet = yield src.recv()
+                if self.splice_cost:
+                    yield self.engine.timeout(self.splice_cost)
+                forwarded = self._apply_hooks(packet, direction)
+                if forwarded is None:
+                    self.stats.dropped += 1
+                    continue
+                self.stats.packets[direction] += 1
+                self.stats.bytes[direction] += forwarded.size_bytes
+                dst.send(forwarded)
+        except ChannelClosed:
+            dst.close()
+
+    def _apply_hooks(self, packet, direction):
+        current = packet
+        for hook in self.hooks:
+            result = hook.on_packet(current, direction, self)
+            if result is None:
+                return None
+            if result is not current:
+                self.stats.modified += 1
+            current = result
+        return current
+
+    def remove(self):
+        """Tear the rule down (frees the outer port)."""
+        if not self.active:
+            return
+        self.active = False
+        self.outer_node.close_port(self.outer_port)
+
+    def __repr__(self):
+        return f"<ForwardRule {self.name}>"

@@ -1,0 +1,37 @@
+"""Packets: sized messages with inspectable payloads.
+
+Payloads are ordinary Python objects (bytes for application data,
+structured records for migration chunks).  Sizes drive timing; payloads
+drive content-sensitive behaviour (keystroke logging, tampering,
+migration page application).
+"""
+
+from repro.errors import NetworkError
+
+
+class Packet:
+    """One message on a connection."""
+
+    __slots__ = ("size_bytes", "payload", "kind", "meta")
+
+    def __init__(self, size_bytes, payload=None, kind="data", meta=None):
+        if size_bytes < 0:
+            raise NetworkError(f"negative packet size: {size_bytes}")
+        self.size_bytes = size_bytes
+        self.payload = payload
+        self.kind = kind
+        self.meta = meta or {}
+
+    def replace(self, **changes):
+        """A modified copy (active tampering produces these)."""
+        fields = {
+            "size_bytes": self.size_bytes,
+            "payload": self.payload,
+            "kind": self.kind,
+            "meta": dict(self.meta),
+        }
+        fields.update(changes)
+        return Packet(**fields)
+
+    def __repr__(self):
+        return f"<Packet {self.kind} {self.size_bytes}B>"

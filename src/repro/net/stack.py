@@ -1,0 +1,269 @@
+"""Nodes, links, listeners and connections.
+
+A :class:`Connection` models a TCP stream: per-direction serialization
+at the bottleneck bandwidth of the path, plus the path's total latency.
+Delivery is in-order.  Every hop can charge a per-packet forwarding cost
+(userspace NAT processing in QEMU's slirp), which is how extra
+virtualization layers show up — mildly — in network benchmarks (the
+paper's Fig 3 finds the levels statistically indistinguishable, and the
+same emerges here because the physical wire, not per-hop CPU, is the
+bottleneck).
+"""
+
+from collections import deque
+
+from repro.errors import NetworkError
+from repro.net.packets import Packet
+from repro.sim.process import Channel
+
+
+class Link:
+    """A bidirectional edge between two nodes.
+
+    ``inbound_allowed`` is False for user-mode NAT edges: the guest can
+    dial out through the link, but nothing can route *into* the guest
+    across it (hostfwd rules are the only way in).
+    """
+
+    def __init__(
+        self,
+        a,
+        b,
+        bandwidth_bps,
+        latency_s,
+        name=None,
+        inbound_allowed=True,
+        per_packet_cost=0.0,
+    ):
+        if bandwidth_bps <= 0:
+            raise NetworkError("link bandwidth must be positive")
+        if latency_s < 0:
+            raise NetworkError("link latency cannot be negative")
+        self.a = a
+        self.b = b
+        self.bandwidth_bps = bandwidth_bps
+        self.latency_s = latency_s
+        self.name = name or f"{a.name}<->{b.name}"
+        self.inbound_allowed = inbound_allowed
+        self.per_packet_cost = per_packet_cost
+        a._links.append(self)
+        b._links.append(self)
+
+    def other(self, node):
+        if node is self.a:
+            return self.b
+        if node is self.b:
+            return self.a
+        raise NetworkError(f"{node.name} not on link {self.name}")
+
+    def allows(self, from_node, origin=None):
+        """Whether a path may cross this link from ``from_node``.
+
+        NAT edges (``inbound_allowed=False``, guest side ``b`` by
+        convention) allow: the guest dialing out, and the *owning* node
+        (``a`` — the QEMU process that implements the usernet) dialing
+        its own guest, which is how hostfwd splices reach the guest.
+        They never allow transit from any other origin.
+        """
+        if self.inbound_allowed:
+            return True
+        if from_node is self.b:
+            return True
+        return from_node is self.a and origin is self.a
+
+    def __repr__(self):
+        mbps = self.bandwidth_bps / 1e6
+        return f"<Link {self.name} {mbps:.0f}Mbit {self.latency_s * 1e6:.0f}us>"
+
+
+class NetworkNode:
+    """One addressable endpoint (a host NIC, a guest NIC, a client box)."""
+
+    def __init__(self, engine, name):
+        self.engine = engine
+        self.name = name
+        self._links = []
+        self._listeners = {}
+        #: Every connection ever accepted at this node, for host-level
+        #: network accounting (conntrack / flow logs).  Forensics reads
+        #: this to spot e.g. an unexplained multi-hundred-MB transfer
+        #: to an ephemeral port — a live migration's traffic signature.
+        self.connection_log = []
+
+    # -- listeners ---------------------------------------------------------
+
+    def listen(self, port, handler=None):
+        """Open a listener; returns it.
+
+        ``handler`` is called with each accepted :class:`Connection`.
+        Without a handler, accepted connections queue on
+        ``listener.accepted`` for a server process to `get()`.
+        """
+        if port in self._listeners:
+            raise NetworkError(f"{self.name}: port {port} already in use")
+        listener = Listener(self, port, handler)
+        self._listeners[port] = listener
+        return listener
+
+    def close_port(self, port):
+        listener = self._listeners.pop(port, None)
+        if listener is None:
+            raise NetworkError(f"{self.name}: port {port} not open")
+        listener.closed = True
+
+    def listener(self, port):
+        return self._listeners.get(port)
+
+    # -- routing -----------------------------------------------------------
+
+    def route_to(self, destination):
+        """BFS a path of links to ``destination`` honoring NAT direction.
+
+        Returns the list of links, or raises NetworkError when the
+        destination is unreachable (e.g. dialing into a guest directly).
+        """
+        if destination is self:
+            return []
+        seen = {self}
+        frontier = deque([(self, [])])
+        while frontier:
+            node, path = frontier.popleft()
+            for link in node._links:
+                if not link.allows(node, origin=self):
+                    continue
+                neighbor = link.other(node)
+                if neighbor in seen:
+                    continue
+                if neighbor is destination:
+                    return path + [link]
+                seen.add(neighbor)
+                frontier.append((neighbor, path + [link]))
+        raise NetworkError(
+            f"no route from {self.name} to {destination.name} "
+            "(guest nodes require a hostfwd rule)"
+        )
+
+    def connect(self, destination, port):
+        """Dial ``destination:port``; returns the client-side endpoint."""
+        path = self.route_to(destination)
+        listener = destination.listener(port)
+        if listener is None or listener.closed:
+            raise NetworkError(
+                f"connection refused: {destination.name}:{port}"
+            )
+        connection = Connection(self.engine, self, destination, path, port)
+        destination.connection_log.append(connection)
+        listener.deliver(connection)
+        return connection.client
+
+    def __repr__(self):
+        return f"<NetworkNode {self.name}>"
+
+
+class Listener:
+    """A bound server port."""
+
+    def __init__(self, node, port, handler=None):
+        self.node = node
+        self.port = port
+        self.handler = handler
+        self.closed = False
+        self.accepted = Channel(node.engine, name=f"{node.name}:{port}:accept")
+
+    def deliver(self, connection):
+        if self.handler is not None:
+            self.handler(connection)
+        else:
+            self.accepted.put(connection)
+
+    def accept(self):
+        """Event yielding the next accepted Connection."""
+        return self.accepted.get()
+
+
+class Endpoint:
+    """One side of a connection."""
+
+    def __init__(self, connection, side):
+        self.connection = connection
+        self.side = side  # "client" | "server"
+        self.inbox = Channel(
+            connection.engine,
+            name=f"{connection.describe()}:{side}",
+        )
+
+    def send(self, packet_or_bytes, size_bytes=None, kind="data"):
+        """Transmit toward the peer; returns the delivery-time event."""
+        if isinstance(packet_or_bytes, Packet):
+            packet = packet_or_bytes
+        else:
+            if size_bytes is None:
+                size_bytes = len(packet_or_bytes) if packet_or_bytes else 0
+            packet = Packet(size_bytes, payload=packet_or_bytes, kind=kind)
+        return self.connection.transmit(self.side, packet)
+
+    def recv(self):
+        """Event yielding the next received packet."""
+        return self.inbox.get()
+
+    def close(self):
+        self.connection.close()
+
+
+class Connection:
+    """A stream between two endpoints across a path of links."""
+
+    def __init__(self, engine, src_node, dst_node, path, port):
+        self.engine = engine
+        self.src_node = src_node
+        self.dst_node = dst_node
+        self.port = port
+        self.path = path
+        self.closed = False
+        if path:
+            self.bandwidth_bps = min(link.bandwidth_bps for link in path)
+            self.latency_s = sum(link.latency_s for link in path)
+            self.per_packet_cost = sum(link.per_packet_cost for link in path)
+        else:  # same-node (loopback without an explicit link)
+            self.bandwidth_bps = 32e9
+            self.latency_s = 5e-6
+            self.per_packet_cost = 0.0
+        self.client = Endpoint(self, "client")
+        self.server = Endpoint(self, "server")
+        self._next_free = {"client": 0.0, "server": 0.0}
+        self.bytes_sent = {"client": 0, "server": 0}
+        self.opened_at = engine.now
+
+    def describe(self):
+        return f"{self.src_node.name}->{self.dst_node.name}:{self.port}"
+
+    def _peer(self, side):
+        return self.server if side == "client" else self.client
+
+    def transmit(self, side, packet):
+        """Serialize the packet onto the path; deliver to the peer inbox."""
+        if self.closed:
+            raise NetworkError(f"send on closed connection {self.describe()}")
+        now = self.engine.now
+        start = max(now, self._next_free[side])
+        wire_time = packet.size_bytes * 8.0 / self.bandwidth_bps
+        done = start + wire_time + self.per_packet_cost
+        self._next_free[side] = done
+        self.bytes_sent[side] += packet.size_bytes
+        peer = self._peer(side)
+        delivered = self.engine.event()
+
+        def _deliver(_event=None):
+            if not peer.inbox.closed:
+                peer.inbox.put(packet)
+            delivered.succeed(packet)
+
+        self.engine.call_at(done + self.latency_s, _deliver)
+        return delivered
+
+    def close(self):
+        if self.closed:
+            return
+        self.closed = True
+        self.client.inbox.close()
+        self.server.inbox.close()

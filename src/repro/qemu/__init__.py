@@ -1,0 +1,29 @@
+"""The QEMU userspace VMM layer.
+
+* :mod:`~repro.qemu.config` — :class:`QemuConfig` and a real command-line
+  renderer/parser (the rootkit's recon recovers configs from `history`
+  and `ps -ef` text, so the round-trip has to actually work).
+* :mod:`~repro.qemu.vm` — :class:`QemuVm`: a host process that owns a KVM
+  VM, a guest System, device models, and user networking.
+* :mod:`~repro.qemu.monitor` — the QEMU Monitor command interpreter
+  (`info qtree`, `info blockstats`, `migrate`, ...).
+* :mod:`~repro.qemu.devices` — virtio block and net device models plus
+  the telnet-multiplexed monitor serial port.
+* :mod:`~repro.qemu.qemu_img` — disk images and the `qemu-img` utility.
+"""
+
+from repro.qemu.config import DriveSpec, MonitorSpec, NicSpec, QemuConfig
+from repro.qemu.monitor import QemuMonitor
+from repro.qemu.qemu_img import DiskImage, qemu_img_info
+from repro.qemu.vm import QemuVm
+
+__all__ = [
+    "DiskImage",
+    "DriveSpec",
+    "MonitorSpec",
+    "NicSpec",
+    "QemuConfig",
+    "QemuMonitor",
+    "QemuVm",
+    "qemu_img_info",
+]

@@ -1,0 +1,333 @@
+"""QEMU configuration and its command-line representation.
+
+Live migration requires the destination VM to be created with the same
+configuration as the source (paper §IV-A) — so the config object knows
+how to compare itself (:meth:`QemuConfig.mismatches`) and how to
+round-trip through a realistic ``qemu-system-x86_64`` command line,
+because the attack recovers it from shell history / ``ps -ef`` output.
+"""
+
+import shlex
+
+from repro.errors import ConfigError
+
+QEMU_BINARY = "qemu-system-x86_64"
+QEMU_VERSION = "2.9.50 (v2.9.0-989-g43771d5)"
+
+
+class DriveSpec:
+    """One -hda/-drive disk."""
+
+    def __init__(self, path, interface="virtio", fmt="qcow2"):
+        self.path = path
+        self.interface = interface
+        self.fmt = fmt
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, DriveSpec)
+            and (self.path, self.interface, self.fmt)
+            == (other.path, other.interface, other.fmt)
+        )
+
+    def __repr__(self):
+        return f"<DriveSpec {self.path} ({self.fmt}/{self.interface})>"
+
+
+class NicSpec:
+    """One user-mode NIC: -netdev user + -device virtio-net-pci.
+
+    ``hostfwds`` is a list of (proto, host_port, guest_port) tuples.
+    """
+
+    def __init__(self, netdev_id="net0", model="virtio-net-pci", hostfwds=()):
+        self.netdev_id = netdev_id
+        self.model = model
+        self.hostfwds = [tuple(fwd) for fwd in hostfwds]
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, NicSpec)
+            and (self.netdev_id, self.model, self.hostfwds)
+            == (other.netdev_id, other.model, other.hostfwds)
+        )
+
+    def __repr__(self):
+        return f"<NicSpec {self.netdev_id} {self.model} fwd={self.hostfwds}>"
+
+
+class MonitorSpec:
+    """-monitor telnet:host:port,server,nowait."""
+
+    def __init__(self, host="127.0.0.1", port=5555):
+        self.host = host
+        self.port = port
+
+    def __eq__(self, other):
+        return isinstance(other, MonitorSpec) and (self.host, self.port) == (
+            other.host,
+            other.port,
+        )
+
+    def __repr__(self):
+        return f"<MonitorSpec telnet:{self.host}:{self.port}>"
+
+
+class QemuConfig:
+    """Everything needed to launch one QEMU process."""
+
+    def __init__(
+        self,
+        name,
+        memory_mb=1024,
+        smp=1,
+        drives=(),
+        nics=(),
+        monitor=None,
+        enable_kvm=True,
+        cpu_model="host",
+        nested_vmx=False,
+        incoming_port=None,
+        display="curses",
+    ):
+        if memory_mb <= 0:
+            raise ConfigError("memory_mb must be positive")
+        if smp < 1:
+            raise ConfigError("smp must be >= 1")
+        self.name = name
+        self.memory_mb = memory_mb
+        self.smp = smp
+        self.drives = list(drives)
+        self.nics = list(nics)
+        self.monitor = monitor
+        self.enable_kvm = enable_kvm
+        self.cpu_model = cpu_model
+        self.nested_vmx = nested_vmx
+        self.incoming_port = incoming_port
+        self.display = display
+
+    # -- comparison -----------------------------------------------------
+
+    def mismatches(self, other):
+        """Config differences that would break an incoming migration.
+
+        Name, monitor port, hostfwd ports, and incoming mode may differ
+        between source and destination; machine-visible properties must
+        match.  Returns a list of human-readable mismatch strings.
+        """
+        problems = []
+        if self.memory_mb != other.memory_mb:
+            problems.append(
+                f"memory: {self.memory_mb}MB != {other.memory_mb}MB"
+            )
+        if self.smp != other.smp:
+            problems.append(f"smp: {self.smp} != {other.smp}")
+        if len(self.drives) != len(other.drives):
+            problems.append(
+                f"drive count: {len(self.drives)} != {len(other.drives)}"
+            )
+        else:
+            for mine, theirs in zip(self.drives, other.drives):
+                if (mine.interface, mine.fmt) != (theirs.interface, theirs.fmt):
+                    problems.append(
+                        f"drive type: {mine.interface}/{mine.fmt} != "
+                        f"{theirs.interface}/{theirs.fmt}"
+                    )
+        if [n.model for n in self.nics] != [n.model for n in other.nics]:
+            problems.append("NIC models differ")
+        if self.cpu_model != other.cpu_model:
+            problems.append(
+                f"cpu model: {self.cpu_model} != {other.cpu_model}"
+            )
+        return problems
+
+    # -- command-line rendering ------------------------------------------
+
+    def to_command_line(self):
+        """The qemu-system-x86_64 invocation for this config."""
+        parts = [QEMU_BINARY, "-name", self.name, "-m", str(self.memory_mb)]
+        parts += ["-smp", str(self.smp)]
+        if self.enable_kvm:
+            parts.append("-enable-kvm")
+        cpu = self.cpu_model
+        if self.nested_vmx:
+            cpu += ",+vmx"
+        parts += ["-cpu", cpu]
+        for drive in self.drives:
+            parts += [
+                "-drive",
+                f"file={drive.path},if={drive.interface},format={drive.fmt}",
+            ]
+        for nic in self.nics:
+            netdev = f"user,id={nic.netdev_id}"
+            for proto, host_port, guest_port in nic.hostfwds:
+                netdev += f",hostfwd={proto}::{host_port}-:{guest_port}"
+            parts += ["-netdev", netdev]
+            parts += ["-device", f"{nic.model},netdev={nic.netdev_id}"]
+        if self.monitor is not None:
+            parts += [
+                "-monitor",
+                f"telnet:{self.monitor.host}:{self.monitor.port},server,nowait",
+            ]
+        if self.incoming_port is not None:
+            parts += ["-incoming", f"tcp:0:{self.incoming_port}"]
+        parts += ["-display", self.display]
+        return " ".join(parts)
+
+    @classmethod
+    def from_command_line(cls, cmdline):
+        """Parse a qemu command line back into a config (recon path)."""
+        tokens = shlex.split(cmdline)
+        if not tokens or QEMU_BINARY not in tokens[0]:
+            raise ConfigError(f"not a qemu command line: {cmdline[:60]!r}")
+        config = cls(name="parsed", memory_mb=128)
+        config.enable_kvm = False
+        config.monitor = None
+        index = 1
+        while index < len(tokens):
+            flag = tokens[index]
+            if flag == "-enable-kvm":
+                config.enable_kvm = True
+                index += 1
+                continue
+            if index + 1 >= len(tokens) and flag.startswith("-"):
+                raise ConfigError(f"dangling flag {flag!r}")
+            value = tokens[index + 1] if index + 1 < len(tokens) else ""
+            if flag == "-name":
+                config.name = value
+            elif flag == "-m":
+                config.memory_mb = int(value)
+            elif flag == "-smp":
+                config.smp = int(value)
+            elif flag == "-cpu":
+                parts = value.split(",")
+                config.cpu_model = parts[0]
+                config.nested_vmx = "+vmx" in parts[1:]
+            elif flag == "-drive":
+                config.drives.append(_parse_drive(value))
+            elif flag == "-hda":
+                config.drives.append(DriveSpec(value, interface="ide"))
+            elif flag == "-netdev":
+                config.nics.append(_parse_netdev(value))
+            elif flag == "-device":
+                _apply_device(config, value)
+            elif flag == "-monitor":
+                config.monitor = _parse_monitor(value)
+            elif flag == "-incoming":
+                config.incoming_port = _parse_incoming(value)
+            elif flag == "-display":
+                config.display = value
+            else:
+                raise ConfigError(f"unsupported qemu flag {flag!r}")
+            index += 2
+        return config
+
+    def clone_for_destination(
+        self, name, monitor_port=None, incoming_port=4444, keep_hostfwds=True
+    ):
+        """A destination config matching this one (migration target).
+
+        ``keep_hostfwds=False`` strips port forwards: a destination on
+        the *same* node as a still-running source cannot bind the same
+        host ports (the attacker re-adds them after killing the source
+        — the paper's stealth step).  A nested destination keeps them,
+        since its forwards bind on the RITM's own node.
+        """
+        monitor = None
+        if monitor_port is not None:
+            monitor = MonitorSpec(port=monitor_port)
+        return QemuConfig(
+            name=name,
+            memory_mb=self.memory_mb,
+            smp=self.smp,
+            drives=[DriveSpec(d.path, d.interface, d.fmt) for d in self.drives],
+            nics=[
+                NicSpec(
+                    n.netdev_id,
+                    n.model,
+                    list(n.hostfwds) if keep_hostfwds else [],
+                )
+                for n in self.nics
+            ],
+            monitor=monitor,
+            enable_kvm=self.enable_kvm,
+            cpu_model=self.cpu_model,
+            nested_vmx=self.nested_vmx,
+            incoming_port=incoming_port,
+            display=self.display,
+        )
+
+    def __repr__(self):
+        return (
+            f"<QemuConfig {self.name} {self.memory_mb}MB smp={self.smp} "
+            f"kvm={self.enable_kvm} nested={self.nested_vmx}>"
+        )
+
+
+def _parse_drive(value):
+    fields = dict(
+        part.split("=", 1) for part in value.split(",") if "=" in part
+    )
+    if "file" not in fields:
+        raise ConfigError(f"-drive without file=: {value!r}")
+    return DriveSpec(
+        fields["file"],
+        interface=fields.get("if", "virtio"),
+        fmt=fields.get("format", "qcow2"),
+    )
+
+
+def _parse_netdev(value):
+    parts = value.split(",")
+    if parts[0] != "user":
+        raise ConfigError(f"only user netdev supported, got {parts[0]!r}")
+    netdev_id = None
+    hostfwds = []
+    for part in parts[1:]:
+        if part.startswith("id="):
+            netdev_id = part[3:]
+        elif part.startswith("hostfwd="):
+            hostfwds.append(_parse_hostfwd(part[len("hostfwd="):]))
+    if netdev_id is None:
+        raise ConfigError(f"-netdev without id=: {value!r}")
+    return NicSpec(netdev_id=netdev_id, hostfwds=hostfwds)
+
+
+def _parse_hostfwd(text):
+    # tcp::2222-:22
+    try:
+        proto, rest = text.split(":", 1)
+        left, right = rest.split("-", 1)
+        host_port = int(left.strip(":") or 0)
+        guest_port = int(right.strip(":") or 0)
+    except ValueError as exc:
+        raise ConfigError(f"bad hostfwd spec {text!r}") from exc
+    return (proto, host_port, guest_port)
+
+
+def _apply_device(config, value):
+    parts = value.split(",")
+    model = parts[0]
+    fields = dict(part.split("=", 1) for part in parts[1:] if "=" in part)
+    netdev_id = fields.get("netdev")
+    if netdev_id is None:
+        return
+    for nic in config.nics:
+        if nic.netdev_id == netdev_id:
+            nic.model = model
+            return
+    raise ConfigError(f"-device references unknown netdev {netdev_id!r}")
+
+
+def _parse_monitor(value):
+    if not value.startswith("telnet:"):
+        raise ConfigError(f"only telnet monitors supported: {value!r}")
+    location = value[len("telnet:"):].split(",")[0]
+    host, port = location.rsplit(":", 1)
+    return MonitorSpec(host=host, port=int(port))
+
+
+def _parse_incoming(value):
+    if not value.startswith("tcp:"):
+        raise ConfigError(f"only tcp incoming supported: {value!r}")
+    return int(value.rsplit(":", 1)[1])

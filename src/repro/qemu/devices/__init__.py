@@ -1,0 +1,7 @@
+"""Virtual device models: virtio block, virtio net, serial/monitor."""
+
+from repro.qemu.devices.block import VirtioBlockDevice
+from repro.qemu.devices.net import VirtioNic
+from repro.qemu.devices.serial import TelnetMonitorServer
+
+__all__ = ["TelnetMonitorServer", "VirtioBlockDevice", "VirtioNic"]

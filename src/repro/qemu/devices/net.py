@@ -1,0 +1,95 @@
+"""Virtio network device: the guest NIC, its NAT link, and hostfwds.
+
+Creating a :class:`VirtioNic` wires a fresh guest network node to the
+VM's host node through a user-mode NAT link and instantiates one
+:class:`~repro.net.nat.ForwardRule` per configured hostfwd.  The link's
+per-packet cost grows with virtualization depth (device emulation runs
+in the parent's userspace), which is measurable but — as in the paper's
+Fig 3 — small against wire bandwidth.
+"""
+
+from repro.net.nat import ForwardRule
+from repro.net.stack import Link, NetworkNode
+
+#: Virtio paravirtual link capacity (vhost-class).
+VIRTIO_BANDWIDTH_BPS = 5.0e9
+VIRTIO_LATENCY_S = 8.0e-5
+#: Userspace packet processing per layer of emulation.
+PER_PACKET_COST_PER_DEPTH = 2.5e-6
+#: slirp hostfwd splice cost per packet (user networking is userspace).
+SPLICE_COST_S = 1.2e-5
+
+
+class VirtioNic:
+    """One -netdev user / -device virtio-net-pci pair."""
+
+    def __init__(self, vm, nic_spec):
+        self.vm = vm
+        self.spec = nic_spec
+        host_node = vm.host_system.net_node
+        engine = vm.host_system.engine
+        self.guest_node = NetworkNode(engine, f"{vm.name}-{nic_spec.netdev_id}")
+        depth = vm.kvm_vm.depth
+        self.link = Link(
+            host_node,
+            self.guest_node,
+            bandwidth_bps=VIRTIO_BANDWIDTH_BPS,
+            latency_s=VIRTIO_LATENCY_S,
+            name=f"{vm.name}-usernet",
+            inbound_allowed=False,
+            per_packet_cost=PER_PACKET_COST_PER_DEPTH * depth,
+        )
+        self.forward_rules = []
+        for proto, host_port, guest_port in nic_spec.hostfwds:
+            rule = ForwardRule(
+                host_node,
+                host_port,
+                self.guest_node,
+                guest_port,
+                name=f"{vm.name}:{proto}:{host_port}->{guest_port}",
+                splice_cost=SPLICE_COST_S,
+            )
+            self.forward_rules.append(rule)
+
+    def add_hostfwd(self, proto, host_port, guest_port):
+        """Add a forward rule at runtime (QEMU's hostfwd_add command)."""
+        rule = ForwardRule(
+            self.vm.host_system.net_node,
+            host_port,
+            self.guest_node,
+            guest_port,
+            name=f"{self.vm.name}:{proto}:{host_port}->{guest_port}",
+            splice_cost=SPLICE_COST_S,
+        )
+        self.forward_rules.append(rule)
+        self.spec.hostfwds.append((proto, host_port, guest_port))
+        return rule
+
+    def remove_hostfwd(self, proto, host_port):
+        """Remove a forward rule by outer port; returns True if found."""
+        for index, rule in enumerate(self.forward_rules):
+            if rule.outer_port == host_port:
+                rule.remove()
+                del self.forward_rules[index]
+                self.spec.hostfwds = [
+                    fwd for fwd in self.spec.hostfwds
+                    if not (fwd[0] == proto and fwd[1] == host_port)
+                ]
+                return True
+        return False
+
+    def teardown(self):
+        for rule in self.forward_rules:
+            rule.remove()
+        self.forward_rules.clear()
+
+    def info_line(self):
+        """One NIC's portion of `info network`."""
+        fwds = ",".join(
+            f"hostfwd={proto}::{hp}-:{gp}" for proto, hp, gp in self.spec.hostfwds
+        )
+        return (
+            f"{self.spec.netdev_id}: index=0,type=user,{fwds or 'no-hostfwd'}\n"
+            f" \\ {self.spec.model}: "
+            f"model={self.spec.model},netdev={self.spec.netdev_id}"
+        )

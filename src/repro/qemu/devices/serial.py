@@ -1,0 +1,89 @@
+"""The telnet-multiplexed monitor serial port.
+
+``-monitor telnet:127.0.0.1:5555,server,nowait`` makes the monitor
+reachable over the network.  The paper's installation opens the victim's
+monitor exactly this way ("telnet on the host side could be invoked to
+open the VM's QEMU Monitor", §IV-A), so recon and the migration kick-off
+can be driven over a real (simulated) connection rather than a Python
+method call.
+"""
+
+from repro.errors import MonitorError
+from repro.sim.process import ChannelClosed
+
+PROMPT = "(qemu) "
+
+
+class TelnetMonitorServer:
+    """Serves a QemuMonitor on a node port, one session per connection."""
+
+    def __init__(self, node, port, monitor):
+        self.node = node
+        self.port = port
+        self.monitor = monitor
+        self.engine = node.engine
+        self.closed = False
+        node.listen(port, handler=self._on_connect)
+
+    def _on_connect(self, connection):
+        self.engine.process(
+            self._session(connection.server),
+            name=f"qemu-monitor:{self.port}",
+        )
+
+    def _session(self, endpoint):
+        banner = f"QEMU {self.monitor._info_version([])} monitor\n{PROMPT}"
+        endpoint.send(banner.encode("ascii"), kind="monitor")
+        try:
+            while not self.closed:
+                packet = yield endpoint.recv()
+                command = packet.payload
+                if isinstance(command, bytes):
+                    command = command.decode("ascii", "replace")
+                try:
+                    output = self.monitor.execute(command)
+                except MonitorError as error:
+                    output = f"error: {error}"
+                reply = (output + "\n" if output else "") + PROMPT
+                endpoint.send(reply.encode("ascii"), kind="monitor")
+        except ChannelClosed:
+            return
+
+    def close(self):
+        if self.closed:
+            return
+        self.closed = True
+        if self.node.listener(self.port) is not None:
+            self.node.close_port(self.port)
+
+
+class TelnetClient:
+    """`telnet HOST PORT` — drives a remote monitor from a shell.
+
+    Usage (inside a simulation process)::
+
+        client = TelnetClient(attacker_node, victim_host_node, 5555)
+        yield from client.open()
+        reply = yield from client.command("info qtree")
+    """
+
+    def __init__(self, from_node, to_node, port):
+        self.endpoint = from_node.connect(to_node, port)
+        self.engine = from_node.engine
+
+    def open(self):
+        """Consume the banner; returns it."""
+        packet = yield self.endpoint.recv()
+        return packet.payload.decode("ascii", "replace")
+
+    def command(self, text):
+        """Send one command, return its output (prompt stripped)."""
+        self.endpoint.send(text.encode("ascii"), kind="monitor")
+        packet = yield self.endpoint.recv()
+        reply = packet.payload.decode("ascii", "replace")
+        if reply.endswith(PROMPT):
+            reply = reply[: -len(PROMPT)]
+        return reply.rstrip("\n")
+
+    def close(self):
+        self.endpoint.close()

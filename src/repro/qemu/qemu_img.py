@@ -1,0 +1,78 @@
+"""Disk images and the `qemu-img` utility.
+
+The recon phase uses ``qemu-img info`` on a running VM's disk path to
+recover its virtual size and format (paper §IV-A), so images live as
+structured entries in the *host* filesystem where the attacker can find
+them.
+"""
+
+from repro.errors import QemuError
+
+
+class DiskImage:
+    """One qcow2/raw image file on a host filesystem."""
+
+    def __init__(self, path, virtual_size_gb=20.0, fmt="qcow2", backing_file=None):
+        if virtual_size_gb <= 0:
+            raise QemuError("image size must be positive")
+        self.path = path
+        self.virtual_size_gb = virtual_size_gb
+        self.fmt = fmt
+        self.backing_file = backing_file
+        #: Bytes actually allocated (qcow2 grows on demand).
+        self.allocated_gb = min(virtual_size_gb, 3.1)
+
+    def __repr__(self):
+        return f"<DiskImage {self.path} {self.virtual_size_gb}G {self.fmt}>"
+
+
+class ImageRegistry:
+    """Host-wide registry of disk images, keyed by path."""
+
+    def __init__(self):
+        self._images = {}
+
+    def create(self, path, virtual_size_gb=20.0, fmt="qcow2", backing_file=None):
+        if path in self._images:
+            raise QemuError(f"image already exists: {path!r}")
+        image = DiskImage(path, virtual_size_gb, fmt, backing_file)
+        self._images[path] = image
+        return image
+
+    def open(self, path):
+        image = self._images.get(path)
+        if image is None:
+            raise QemuError(f"no such image: {path!r}")
+        return image
+
+    def exists(self, path):
+        return path in self._images
+
+
+def host_images(host_system):
+    """The image registry of a host system (created on first use)."""
+    registry = getattr(host_system, "_image_registry", None)
+    if registry is None:
+        registry = ImageRegistry()
+        host_system._image_registry = registry
+    return registry
+
+
+def qemu_img_create(host_system, path, virtual_size_gb=20.0, fmt="qcow2"):
+    """`qemu-img create -f FMT PATH SIZE`."""
+    return host_images(host_system).create(path, virtual_size_gb, fmt)
+
+
+def qemu_img_info(host_system, path):
+    """`qemu-img info PATH` — returns the formatted report string."""
+    image = host_images(host_system).open(path)
+    lines = [
+        f"image: {image.path}",
+        f"file format: {image.fmt}",
+        f"virtual size: {image.virtual_size_gb:g}G "
+        f"({int(image.virtual_size_gb * 1024**3)} bytes)",
+        f"disk size: {image.allocated_gb:.1f}G",
+    ]
+    if image.backing_file:
+        lines.append(f"backing file: {image.backing_file}")
+    return "\n".join(lines)

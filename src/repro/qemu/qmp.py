@@ -1,0 +1,218 @@
+"""The QEMU Machine Protocol (QMP): the structured monitor.
+
+Real QEMU serves two monitor flavours: the human monitor (HMP — our
+:mod:`repro.qemu.monitor`) and a JSON command protocol for tooling.
+Recon frameworks and cloud control planes speak QMP, so the
+reproduction carries it too: a greeting banner, ``qmp_capabilities``
+negotiation, and the command set the attack and experiments need.
+
+Wire format: one JSON document per packet (line-delimited in spirit).
+"""
+
+import json
+
+from repro.errors import MonitorError
+from repro.qemu.config import QEMU_VERSION
+from repro.sim.process import ChannelClosed
+
+GREETING = {
+    "QMP": {
+        "version": {"qemu": {"micro": 50, "minor": 9, "major": 2}},
+        "capabilities": [],
+    }
+}
+
+
+class QmpServer:
+    """Serves QMP on a node port for one VM."""
+
+    def __init__(self, vm, port):
+        self.vm = vm
+        self.port = port
+        self.node = vm.host_system.net_node
+        self.engine = vm.engine
+        self.closed = False
+        self.node.listen(port, handler=self._on_connect)
+
+    def _on_connect(self, connection):
+        self.engine.process(
+            self._session(connection.server), name=f"qmp:{self.port}"
+        )
+
+    def _session(self, endpoint):
+        endpoint.send(json.dumps(GREETING).encode("ascii"), kind="qmp")
+        negotiated = False
+        try:
+            while not self.closed:
+                packet = yield endpoint.recv()
+                try:
+                    request = json.loads(packet.payload.decode("ascii"))
+                except (ValueError, AttributeError):
+                    endpoint.send(
+                        _error("GenericError", "invalid JSON"), kind="qmp"
+                    )
+                    continue
+                command = request.get("execute")
+                request_id = request.get("id")
+                if command is None:
+                    endpoint.send(
+                        _error("GenericError", "no 'execute' key", request_id),
+                        kind="qmp",
+                    )
+                    continue
+                if not negotiated and command != "qmp_capabilities":
+                    endpoint.send(
+                        _error(
+                            "CommandNotFound",
+                            "capabilities negotiation required",
+                            request_id,
+                        ),
+                        kind="qmp",
+                    )
+                    continue
+                if command == "qmp_capabilities":
+                    negotiated = True
+                    endpoint.send(_ok({}, request_id), kind="qmp")
+                    continue
+                try:
+                    result = self.execute(command, request.get("arguments") or {})
+                    endpoint.send(_ok(result, request_id), kind="qmp")
+                except MonitorError as error:
+                    endpoint.send(
+                        _error("GenericError", str(error), request_id),
+                        kind="qmp",
+                    )
+        except ChannelClosed:
+            return
+
+    # -- command dispatch ---------------------------------------------------
+
+    def execute(self, command, arguments):
+        handler = getattr(self, "_cmd_" + command.replace("-", "_"), None)
+        if handler is None:
+            raise MonitorError(f"The command {command} has not been found")
+        return handler(arguments)
+
+    def _cmd_query_version(self, _args):
+        return {"qemu": QEMU_VERSION}
+
+    def _cmd_query_status(self, _args):
+        vm = self.vm
+        running = vm.status == "running" and not vm.paused
+        status = "running" if running else (
+            "inmigrate" if vm.status == "inmigrate" else "paused"
+        )
+        return {"status": status, "running": running, "singlestep": False}
+
+    def _cmd_query_kvm(self, _args):
+        return {"enabled": self.vm.config.enable_kvm, "present": True}
+
+    def _cmd_query_block(self, _args):
+        return [
+            {
+                "device": f"drive{index}",
+                "inserted": {
+                    "file": device.drive_spec.path,
+                    "drv": device.drive_spec.fmt,
+                },
+            }
+            for index, device in enumerate(self.vm.block_devices)
+        ]
+
+    def _cmd_query_migrate(self, _args):
+        stats = self.vm.migration_stats
+        if stats is None:
+            return {}
+        return {
+            "status": stats.status,
+            "total-time": int(stats.total_time * 1000),
+            "downtime": int(stats.downtime * 1000),
+            "ram": {
+                "transferred": stats.ram_bytes,
+                "duplicate": stats.zero_pages,
+                "normal": stats.pages_transferred,
+                "dirty-sync-count": stats.iterations,
+            },
+        }
+
+    def _cmd_migrate(self, args):
+        uri = args.get("uri")
+        if not uri:
+            raise MonitorError("migrate: missing uri")
+        self.vm.monitor.execute(f"migrate -d {uri}")
+        return {}
+
+    def _cmd_migrate_cancel(self, _args):
+        self.vm.monitor.execute("migrate_cancel")
+        return {}
+
+    def _cmd_stop(self, _args):
+        self.vm.pause()
+        return {}
+
+    def _cmd_cont(self, _args):
+        self.vm.resume()
+        return {}
+
+    def _cmd_quit(self, _args):
+        self.vm.quit()
+        self.closed = True
+        return {}
+
+    def close(self):
+        if self.closed:
+            return
+        self.closed = True
+        if self.node.listener(self.port) is not None:
+            self.node.close_port(self.port)
+
+
+def _ok(result, request_id=None):
+    response = {"return": result}
+    if request_id is not None:
+        response["id"] = request_id
+    return json.dumps(response).encode("ascii")
+
+
+def _error(error_class, description, request_id=None):
+    response = {"error": {"class": error_class, "desc": description}}
+    if request_id is not None:
+        response["id"] = request_id
+    return json.dumps(response).encode("ascii")
+
+
+class QmpClient:
+    """Drives a QMP server from a simulation process.
+
+    Usage::
+
+        client = QmpClient(node, server_node, 4600)
+        greeting = yield from client.open()       # also negotiates
+        status = yield from client.execute("query-status")
+    """
+
+    def __init__(self, from_node, to_node, port):
+        self.endpoint = from_node.connect(to_node, port)
+        self._next_id = 0
+
+    def open(self):
+        packet = yield self.endpoint.recv()
+        greeting = json.loads(packet.payload.decode("ascii"))
+        reply = yield from self.execute("qmp_capabilities")
+        del reply
+        return greeting
+
+    def execute(self, command, arguments=None):
+        self._next_id += 1
+        request = {"execute": command, "id": self._next_id}
+        if arguments:
+            request["arguments"] = arguments
+        self.endpoint.send(json.dumps(request).encode("ascii"), kind="qmp")
+        packet = yield self.endpoint.recv()
+        response = json.loads(packet.payload.decode("ascii"))
+        if "error" in response:
+            raise MonitorError(response["error"]["desc"])
+        return response["return"]
+
+    def close(self):
+        self.endpoint.close()

@@ -1,0 +1,231 @@
+"""The QEMU process: one VM on one host system.
+
+A :class:`QemuVm` is simultaneously:
+
+* a *host process* (visible in ``ps -ef`` with its full command line —
+  the recon surface),
+* a *KVM VM* (guest memory + VMCS pages + exit counters),
+* a *guest System* (a whole OS environment at depth parent+1),
+* a set of *devices* (virtio disk and NIC with hostfwd rules),
+* a *QEMU Monitor* (optionally served over telnet).
+
+VMs launched with ``incoming_port`` start paused in the ``inmigrate``
+state with no guest OS: they adopt the guest of whichever VM migrates
+into them — the mechanism CloudSkulk rides on.
+"""
+
+from repro.errors import QemuError
+from repro.guest.system import System
+from repro.qemu.devices.block import VirtioBlockDevice
+from repro.qemu.devices.net import VirtioNic
+from repro.qemu.devices.serial import TelnetMonitorServer
+from repro.qemu.monitor import QemuMonitor
+from repro.qemu.qemu_img import host_images
+
+
+class QemuVm:
+    """One running QEMU process."""
+
+    def __init__(self, host_system, config):
+        if not host_system.booted:
+            raise QemuError("host system is not booted")
+        if config.enable_kvm and host_system.kvm is None:
+            raise QemuError(
+                "-enable-kvm: /dev/kvm not available "
+                "(call host.enable_kvm() / expose nested VMX)"
+            )
+        if host_system.net_node is None:
+            raise QemuError("host system has no network node")
+        self.host_system = host_system
+        self.config = config
+        self.name = config.name
+        self.engine = host_system.engine
+
+        # Host process entry (the recon surface).
+        self.process = host_system.kernel.table.spawn(
+            "qemu-system-x86_64",
+            config.to_command_line(),
+            ppid=1,
+            user="qemu",
+            start_time=self.engine.now,
+        )
+
+        # Kernel-side VM state.
+        self.kvm_vm = host_system.kvm.create_vm(
+            config.name,
+            vcpus=config.smp,
+            memory_mb=config.memory_mb,
+            expose_vmx=config.nested_vmx,
+        )
+        # Backref for host-side tooling that only holds kernel handles
+        # (incident response locating a rogue VM by name).
+        self.kvm_vm._qemu_vm = self
+
+        # Devices.  Images resolve in the filesystem of the system this
+        # QEMU process runs on (GuestX's own disk for a nested VM).
+        images = host_images(host_system)
+        self.block_devices = []
+        for drive in config.drives:
+            image = images.open(drive.path)
+            self.block_devices.append(VirtioBlockDevice(self, drive, image))
+        self.nics = [VirtioNic(self, spec) for spec in config.nics]
+
+        # Guest OS (absent for -incoming destinations until adoption).
+        self.guest = None
+        if config.incoming_port is None:
+            self.guest = System(
+                name=config.name,
+                machine=host_system.machine,
+                memory=self.kvm_vm.memory,
+                cpu=host_system.cpu.virtual_copy(
+                    config.smp, expose_vmx=config.nested_vmx
+                ),
+                depth=self.kvm_vm.depth,
+                parent=host_system,
+                os_name=host_system.os_name,
+                kernel_version=host_system.kernel_version,
+            )
+            self.guest.vm_handle = self.kvm_vm
+            self.guest.qemu_vm = self
+            if self.nics:
+                self.guest.net_node = self.nics[0].guest_node
+
+        # Control plane.
+        self.monitor = QemuMonitor(self)
+        self.monitor_server = None
+        if config.monitor is not None:
+            self.monitor_server = TelnetMonitorServer(
+                host_system.net_node, config.monitor.port, self.monitor
+            )
+
+        self.status = "inmigrate" if config.incoming_port is not None else "prelaunch"
+        self.paused = config.incoming_port is not None
+        self._resume_waiters = []
+        self.migration_stats = None
+        self.migration_process = None
+        self.active_migration = None
+        self.migration_max_bandwidth = None
+        self.migration_max_downtime = None
+        self.migration_capabilities = {}
+        self.incoming_process = None
+
+        if config.incoming_port is not None:
+            from repro.migration.precopy import MigrationDestination
+
+            destination = MigrationDestination(self, config.incoming_port)
+            self.incoming_process = destination.start()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def run_boot(self):
+        """Generator: BIOS + guest OS boot; leaves the VM `running`."""
+        if self.status not in ("prelaunch",):
+            raise QemuError(f"cannot boot VM in state {self.status!r}")
+        self.status = "booting"
+        yield self.engine.timeout(0.4)  # firmware + qemu device init
+        boot_cost = self.guest.boot()
+        yield self.engine.timeout(boot_cost)
+        self.status = "running"
+        return self
+
+    def pause(self):
+        """`stop` — freeze the guest (migration downtime, or operator)."""
+        self.paused = True
+
+    def resume(self):
+        """`cont` — let the guest run again."""
+        self.paused = False
+        waiters, self._resume_waiters = self._resume_waiters, []
+        for event in waiters:
+            event.succeed()
+
+    def wait_if_paused(self):
+        """Event that fires immediately if running, else on resume.
+
+        Workloads yield this between operations so migration downtime
+        actually stops them.
+        """
+        event = self.engine.event()
+        if not self.paused:
+            event.succeed()
+        else:
+            self._resume_waiters.append(event)
+        return event
+
+    def quit(self):
+        """Terminate the QEMU process and release everything it owns."""
+        if self.status == "terminated":
+            return
+        self.status = "terminated"
+        self.paused = True
+        for nic in self.nics:
+            nic.teardown()
+        if self.monitor_server is not None:
+            self.monitor_server.close()
+        if self.process.pid in self.host_system.kernel.table:
+            self.host_system.kernel.table.kill(self.process.pid)
+            self.host_system.kernel.table.reap(self.process.pid)
+        self.kvm_vm.destroy()
+
+    # -- migration adoption --------------------------------------------------
+
+    def adopt_guest(self, guest_system):
+        """Take ownership of a migrated-in guest OS.
+
+        The guest System keeps its identity (kernel, processes, page
+        cache, files) but is re-parented onto this VM's memory domain,
+        depth, and network attachment — its pfn references stay valid
+        because migration populated identical page numbers.
+        """
+        if self.guest is not None:
+            raise QemuError(f"{self.name} already has a guest")
+        guest_system.memory = self.kvm_vm.memory
+        guest_system.depth = self.kvm_vm.depth
+        guest_system.parent = self.host_system
+        guest_system.vm_handle = self.kvm_vm
+        guest_system.machine = self.host_system.machine
+        old_node = guest_system.net_node
+        if self.nics:
+            new_node = self.nics[0].guest_node
+            if old_node is not None:
+                # Carry listening services (sshd, netserver...) across.
+                for port, listener in list(old_node._listeners.items()):
+                    if port in new_node._listeners:
+                        continue
+                    listener.node = new_node
+                    new_node._listeners[port] = listener
+                    del old_node._listeners[port]
+            guest_system.net_node = new_node
+        # Workload processes blocked on the *source* VM's pause must wake
+        # here: the guest they belong to now runs in this VM.
+        old_vm = guest_system.qemu_vm
+        guest_system.qemu_vm = self
+        self.guest = guest_system
+        if old_vm is not None and old_vm is not self:
+            self._resume_waiters.extend(old_vm._resume_waiters)
+            old_vm._resume_waiters = []
+        self.status = "running"
+        self.resume()
+
+    def __repr__(self):
+        return f"<QemuVm {self.name} status={self.status} pid={self.process.pid}>"
+
+
+def launch_vm(host_system, config, record_history=True):
+    """Start a QEMU process; returns (vm, boot_event).
+
+    ``boot_event`` is the engine Process completing when the guest is up
+    (for ``-incoming`` destinations it completes immediately: they sit
+    paused awaiting migration).  When ``record_history`` is true the
+    command line lands in the host shell history — which is exactly
+    where the rootkit's recon later finds it.
+    """
+    if record_history:
+        host_system.shell.record(config.to_command_line())
+    vm = QemuVm(host_system, config)
+    if vm.guest is not None:
+        boot = host_system.engine.process(vm.run_boot(), name=f"boot:{vm.name}")
+    else:
+        boot = host_system.engine.event()
+        boot.succeed(vm)
+    return vm, boot

@@ -1,0 +1,184 @@
+"""Canonical experiment scenarios.
+
+Everything the examples, tests, and benchmarks need to stand up the
+paper's testbed in a few lines:
+
+* :func:`testbed` — the Dell T1700 host, booted, KVM loaded;
+* :func:`launch_victim` — Guest0 with the paper's configuration
+  (1 GiB, one vCPU, virtio disk + user NIC with ssh hostfwd, telnet
+  monitor on 5555);
+* :func:`run_level` — run a workload at L0, L1, or L2 (building the
+  nested environment on demand) and return its result — the engine of
+  Figs 2-3 and Tables II-IV;
+* :func:`install_cloudskulk` — the full attack against a victim host;
+* :func:`detection_setup` — host + victim (+ optional rootkit) + KSM +
+  cloud interface wired for the dedup detector (Figs 5-6).
+"""
+
+from repro.core.rootkit.installer import CloudSkulkInstaller
+from repro.core.rootkit.stealth import ImpersonationMirror
+from repro.guest.system import System, make_testbed
+from repro.hypervisor.ksm import KsmDaemon
+from repro.qemu.config import DriveSpec, MonitorSpec, NicSpec, QemuConfig
+from repro.qemu.qemu_img import qemu_img_create
+from repro.qemu.vm import launch_vm
+
+VICTIM_NAME = "guest0"
+VICTIM_IMAGE = "/var/lib/images/guest0.qcow2"
+VICTIM_MEMORY_MB = 1024
+VICTIM_SSH_HOST_PORT = 2222
+VICTIM_MONITOR_PORT = 5555
+
+
+def testbed(seed=1701, **kwargs):
+    """The paper's host, booted, with KVM loaded."""
+    return make_testbed(seed=seed, **kwargs)
+
+
+def victim_config(
+    name=VICTIM_NAME,
+    image=VICTIM_IMAGE,
+    memory_mb=VICTIM_MEMORY_MB,
+    ssh_host_port=VICTIM_SSH_HOST_PORT,
+    monitor_port=VICTIM_MONITOR_PORT,
+):
+    """Guest0's QEMU configuration."""
+    return QemuConfig(
+        name=name,
+        memory_mb=memory_mb,
+        smp=1,
+        drives=[DriveSpec(image)],
+        nics=[NicSpec("net0", hostfwds=[("tcp", ssh_host_port, 22)])],
+        monitor=MonitorSpec(port=monitor_port),
+    )
+
+
+def launch_victim(host, config=None, listen_ssh=True):
+    """Launch and boot Guest0; returns its QemuVm."""
+    config = config or victim_config()
+    if not _images_exist(host, config):
+        for drive in config.drives:
+            qemu_img_create(host, drive.path, 20.0)
+    vm, boot = launch_vm(host, config)
+    host.engine.run(boot)
+    if listen_ssh and vm.guest is not None:
+        vm.guest.net_node.listen(22)
+    return vm
+
+
+def _images_exist(host, config):
+    from repro.qemu.qemu_img import host_images
+
+    images = host_images(host)
+    return all(images.exists(d.path) for d in config.drives)
+
+
+def install_cloudskulk(host, target_name=VICTIM_NAME, **installer_kwargs):
+    """Run the full four-step attack; returns the InstallationReport."""
+    installer = CloudSkulkInstaller(host, **installer_kwargs)
+    process = host.engine.process(installer.install(target_name=target_name))
+    return host.engine.run(process)
+
+
+def nested_environment(seed=1701):
+    """Host + victim + installed CloudSkulk.
+
+    Returns ``(host, install_report)``; the victim guest System (now at
+    L2) is ``install_report.nested_vm.guest``.
+    """
+    host = testbed(seed=seed)
+    launch_victim(host)
+    report = install_cloudskulk(host)
+    return host, report
+
+
+def system_at_level(level, seed=1701):
+    """A booted System at virtualization depth ``level`` (0, 1, or 2).
+
+    Level 0 is the host itself; level 1 a plain guest; level 2 the
+    victim guest after a CloudSkulk installation (the paper's L2).
+    Returns ``(host, system)``.
+    """
+    if level == 0:
+        host = testbed(seed=seed)
+        return host, host
+    if level == 1:
+        host = testbed(seed=seed)
+        vm = launch_victim(host)
+        return host, vm.guest
+    if level == 2:
+        host, report = nested_environment(seed=seed)
+        return host, report.nested_vm.guest
+    raise ValueError(f"unsupported virtualization level {level}")
+
+
+def run_level(level, workload, seed=1701, **run_kwargs):
+    """Run ``workload`` on a system at ``level``; returns its result."""
+    host, system = system_at_level(level, seed=seed)
+    process = workload.start(system, **run_kwargs)
+    return host.engine.run(process)
+
+
+def detection_setup(nested, seed=1701, ksm_pages_to_scan=1250, delivery="direct"):
+    """Wire up a detection scenario.
+
+    Returns ``(host, cloud_interface, ksm, victim_locator)``.  With
+    ``nested=True`` the victim sits behind an installed CloudSkulk whose
+    impersonation mirror watches the cloud channel, exactly the threat
+    the detector is built for.
+
+    ``delivery`` selects how the vendor pushes File-A into the VM:
+    ``"direct"`` models hypervisor-side tooling; ``"network"`` streams
+    it to an in-VM agent over the public endpoint, in which case the
+    rootkit's mirror operates as a packet hook on the RITM's forwarding
+    layer (:class:`repro.core.rootkit.services.NetworkFileMirror`).
+    """
+    from repro.core.detection.dedup_detector import (
+        CLOUD_AGENT_GUEST_PORT,
+        CLOUD_AGENT_HOST_PORT,
+        CloudInterface,
+        GuestFileReceiver,
+    )
+
+    host = testbed(seed=seed)
+    config = victim_config()
+    if delivery == "network":
+        config.nics[0].hostfwds.append(
+            ("tcp", CLOUD_AGENT_HOST_PORT, CLOUD_AGENT_GUEST_PORT)
+        )
+    vm = launch_victim(host, config)
+    if delivery == "network":
+        GuestFileReceiver(vm.guest)
+    state = {"guest": vm.guest}
+    ksm = KsmDaemon(host.machine, pages_to_scan=ksm_pages_to_scan)
+    ksm.start()
+    cloud = CloudInterface(host, lambda: state["guest"], delivery=delivery)
+    if nested:
+        report = install_cloudskulk(host)
+        if delivery == "network":
+            from repro.core.rootkit.services import NetworkFileMirror
+
+            agent_rule = next(
+                rule
+                for nic in report.guestx_vm.nics
+                for rule in nic.forward_rules
+                if rule.outer_port == CLOUD_AGENT_HOST_PORT
+            )
+            agent_rule.add_hook(NetworkFileMirror(report.guestx_vm.guest))
+        else:
+            mirror = ImpersonationMirror(report.guestx_vm.guest)
+            cloud.observers.append(mirror)
+    return host, cloud, ksm, (lambda: state["guest"])
+
+
+__all__ = [
+    "System",
+    "detection_setup",
+    "install_cloudskulk",
+    "launch_victim",
+    "nested_environment",
+    "run_level",
+    "system_at_level",
+    "testbed",
+    "victim_config",
+]

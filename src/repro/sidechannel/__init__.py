@@ -1,0 +1,18 @@
+"""Memory-deduplication side channels.
+
+The paper's detection (§VI) builds on the observation — due to Xiao et
+al. [41] and Suzuki et al. [42] — that KSM turns page-content identity
+into a *timing* signal observable by anyone who can write a page.  The
+same primitive cuts both ways: this package implements the offensive
+variant those works describe, a cross-VM covert channel between
+co-resident guests, using exactly the KSM/CoW machinery the detector
+uses defensively.
+"""
+
+from repro.sidechannel.dedup_channel import (
+    ChannelReceiver,
+    ChannelSender,
+    DedupCovertChannel,
+)
+
+__all__ = ["ChannelReceiver", "ChannelSender", "DedupCovertChannel"]

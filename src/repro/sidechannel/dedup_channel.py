@@ -1,0 +1,156 @@
+"""A cross-VM covert channel over KSM (refs [41, 42]).
+
+Protocol.  Sender and receiver — co-resident VMs that cannot talk over
+the network — share only a codebook seed.  For frame ``f``, bit ``i``
+maps to a deterministic page content ``P(seed, f, i)`` both sides can
+compute.  To send a frame:
+
+1. the **sender** loads ``P(f, i)`` into its memory for every 1-bit
+   (and nothing for 0-bits), then waits a KSM settle period;
+2. the **receiver** loads *all* ``P(f, i)`` probe pages, waits another
+   settle period, then writes one byte to each probe page and times
+   the writes: a copy-on-write stall (hundreds of µs) means the page
+   had merged with the sender's copy — bit 1; a fast write means no
+   partner existed — bit 0;
+3. both sides evict their pages and move to frame ``f+1``.
+
+Bandwidth is therefore ``bits_per_frame / (2 * settle)`` — slow but
+entirely invisible to network monitoring, which is the point.
+"""
+
+import hashlib
+
+from repro.errors import ReproError
+
+#: Write-latency threshold separating merged from private pages (µs).
+MERGED_THRESHOLD_US = 40.0
+
+
+def page_content(seed, frame_index, bit_index):
+    """The codebook: a unique page for (seed, frame, bit)."""
+    return hashlib.blake2b(
+        f"dedup-channel:{seed}:{frame_index}:{bit_index}".encode("utf-8"),
+        digest_size=48,
+    ).digest()
+
+
+class _Endpoint:
+    """Common plumbing: page allocation/eviction inside one system."""
+
+    def __init__(self, system, seed, bits_per_frame):
+        if bits_per_frame < 1:
+            raise ReproError("channel needs at least one bit per frame")
+        self.system = system
+        self.seed = seed
+        self.bits_per_frame = bits_per_frame
+        self._pfns = []
+
+    def _plant(self, frame_index, bit_indices):
+        """Materialize codebook pages for the given bits; returns cost."""
+        kernel = self.system.kernel
+        cost = 0.0
+        for bit_index in bit_indices:
+            pfns, alloc_cost = kernel.alloc_pages(1, mergeable=True)
+            outcome = self.system.memory.write(
+                pfns[0], page_content(self.seed, frame_index, bit_index)
+            )
+            cost += alloc_cost + kernel.write_cost(outcome)
+            self._pfns.append(pfns[0])
+        return cost
+
+    def _evict(self):
+        for pfn in self._pfns:
+            self.system.memory.free(pfn)
+        self._pfns = []
+
+
+class ChannelSender(_Endpoint):
+    """The transmitting guest."""
+
+    def send_frame(self, frame_index, bits):
+        """Generator: encode one frame of bits (a list of 0/1)."""
+        if len(bits) != self.bits_per_frame:
+            raise ReproError(
+                f"frame has {len(bits)} bits, channel expects "
+                f"{self.bits_per_frame}"
+            )
+        self._evict()
+        ones = [i for i, bit in enumerate(bits) if bit]
+        cost = self._plant(frame_index, ones)
+        yield self.system.engine.timeout(cost)
+
+
+class ChannelReceiver(_Endpoint):
+    """The receiving guest."""
+
+    def receive_frame(self, frame_index, settle_seconds):
+        """Generator: probe one frame; returns the decoded bit list."""
+        self._evict()
+        cost = self._plant(frame_index, range(self.bits_per_frame))
+        yield self.system.engine.timeout(cost)
+        yield self.system.engine.timeout(settle_seconds)
+        kernel = self.system.kernel
+        bits = []
+        probe_cost = 0.0
+        for offset, pfn in enumerate(self._pfns):
+            content = self.system.memory.read(pfn)
+            poked = b"\x5a" + content[1:]
+            _outcome, write_cost = kernel.write_page(pfn, poked)
+            probe_cost += write_cost
+            bits.append(1 if write_cost * 1e6 > MERGED_THRESHOLD_US else 0)
+        yield self.system.engine.timeout(probe_cost)
+        self._evict()
+        return bits
+
+
+class DedupCovertChannel:
+    """Coordinates a sender and receiver pair.
+
+    ``settle_seconds`` must cover two full ksmd passes (see
+    :mod:`repro.hypervisor.ksm`); the bench sweeps this.
+    """
+
+    def __init__(self, sender_system, receiver_system, seed="k", bits_per_frame=8):
+        self.sender = ChannelSender(sender_system, seed, bits_per_frame)
+        self.receiver = ChannelReceiver(receiver_system, seed, bits_per_frame)
+        self.bits_per_frame = bits_per_frame
+        self.engine = sender_system.engine
+
+    def transmit(self, payload_bytes, settle_seconds=8.0):
+        """Generator: send bytes; returns (received_bytes, elapsed, bps).
+
+        Interleaves sender planting and receiver probing frame by
+        frame, which is how the real attack pipelines.
+        """
+        bits = []
+        for byte in payload_bytes:
+            bits.extend((byte >> shift) & 1 for shift in range(7, -1, -1))
+        # Pad to a whole number of frames.
+        while len(bits) % self.bits_per_frame:
+            bits.append(0)
+
+        started = self.engine.now
+        received_bits = []
+        for frame_index in range(len(bits) // self.bits_per_frame):
+            frame = bits[
+                frame_index * self.bits_per_frame:
+                (frame_index + 1) * self.bits_per_frame
+            ]
+            yield from self.sender.send_frame(frame_index, frame)
+            # Give KSM time to merge the sender's plants with the
+            # receiver's probes (receiver waits its own settle too).
+            yield self.engine.timeout(settle_seconds)
+            decoded = yield from self.receiver.receive_frame(
+                frame_index, settle_seconds
+            )
+            received_bits.extend(decoded)
+
+        elapsed = self.engine.now - started
+        out = bytearray()
+        for index in range(0, len(payload_bytes) * 8, 8):
+            byte = 0
+            for bit in received_bits[index : index + 8]:
+                byte = (byte << 1) | bit
+            out.append(byte)
+        bps = len(bits) / elapsed if elapsed > 0 else 0.0
+        return bytes(out), elapsed, bps

@@ -1,0 +1,34 @@
+"""Discrete-event simulation kernel.
+
+Everything in the reproduction runs on virtual time provided by
+:class:`~repro.sim.engine.Engine`.  Wall-clock time never enters any
+measurement, which makes every experiment deterministic given a seed.
+
+Public surface:
+
+* :class:`~repro.sim.engine.Engine` — the event loop and virtual clock.
+* :class:`~repro.sim.engine.Event`, :class:`~repro.sim.engine.Timeout`,
+  :class:`~repro.sim.engine.Process` — the waitable primitives.
+* :class:`~repro.sim.process.Channel` — buffered message passing between
+  processes (used by the network stack and migration streams).
+* :class:`~repro.sim.process.Resource` — counted resource with FIFO queueing.
+* :class:`~repro.sim.rng.RngRegistry` — named deterministic random streams.
+"""
+
+from repro.sim.engine import AllOf, AnyOf, Engine, Event, Interrupt, Process, Timeout
+from repro.sim.process import Channel, Resource, Stopwatch
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Channel",
+    "Engine",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "Stopwatch",
+    "Timeout",
+]

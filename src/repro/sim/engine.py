@@ -1,0 +1,373 @@
+"""The discrete-event engine: virtual clock, events, and processes.
+
+The design follows the classic event-list pattern (and will look familiar
+to SimPy users): an :class:`Engine` owns a priority queue of triggered
+events ordered by virtual time; a :class:`Process` wraps a generator that
+yields waitable :class:`Event` objects and is resumed when they fire.
+
+The engine is intentionally small — the substrates built on top (guest
+kernels, KSM daemon, migration streams) provide the domain behaviour.
+"""
+
+import heapq
+from itertools import count
+
+from repro.errors import SimulationError
+
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot waitable occurrence on the engine's timeline.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    triggers it, which schedules its callbacks to run at the current
+    virtual time.  Processes wait on events by yielding them.
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        #: True once the engine has popped the event and run its
+        #: callbacks.  Distinct from :attr:`triggered`: a Timeout is
+        #: "triggered" (value assigned) from birth but fires later.
+        self.processed = False
+
+    @property
+    def triggered(self):
+        """Whether the event has been succeeded or failed."""
+        return self._value is not _PENDING
+
+    @property
+    def ok(self):
+        """Whether the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self):
+        """The event's result value (or exception when it failed)."""
+        if self._value is _PENDING:
+            raise SimulationError("event value accessed before trigger")
+        return self._value
+
+    def succeed(self, value=None):
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.engine._enqueue(self)
+        return self
+
+    def fail(self, exception):
+        """Trigger the event with an exception, propagated to waiters."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("Event.fail() requires an exception")
+        self._ok = False
+        self._value = exception
+        self.engine._enqueue(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires automatically after a virtual-time delay."""
+
+    def __init__(self, engine, delay, value=None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(engine)
+        self._ok = True
+        self._value = value
+        engine._enqueue(self, delay=delay)
+
+
+class _Initialize(Event):
+    """Internal event used to start a process at the current time."""
+
+    def __init__(self, engine, process):
+        super().__init__(engine)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        engine._enqueue(self)
+
+
+class Process(Event):
+    """A running generator coroutine; also an event that fires on return.
+
+    The wrapped generator yields :class:`Event` objects.  When a yielded
+    event triggers, the generator is resumed with the event's value (or,
+    for failed events, the exception is thrown into it).  The process
+    itself is an event whose value is the generator's return value.
+    """
+
+    def __init__(self, engine, generator, name=None):
+        super().__init__(engine)
+        if not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"Process requires a generator, got {type(generator).__name__}"
+            )
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on = None
+        _Initialize(engine, self)
+
+    @property
+    def is_alive(self):
+        """Whether the process has not yet finished."""
+        return not self.triggered
+
+    def interrupt(self, cause=None):
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        interrupt_event = Event(self.engine)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event.callbacks.append(self._resume)
+        self.engine._enqueue(interrupt_event)
+
+    def _resume(self, event):
+        if self.triggered:
+            # The process already ended.  Stale interrupts lose the race
+            # benignly; any other failed event with no remaining waiter
+            # is a genuine lost error and must not pass silently.
+            if (
+                not event._ok
+                and not event.callbacks
+                and not isinstance(event._value, Interrupt)
+            ):
+                raise event._value
+            return
+        detach = self._waiting_on
+        if detach is not None and detach is not event:
+            try:
+                detach.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self._ok = True
+            self._value = stop.value
+            self.engine._enqueue(self)
+            return
+        except BaseException as exc:
+            self._ok = False
+            self._value = exc
+            self.engine._enqueue(self)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"
+            )
+        self._waiting_on = target
+        if target.processed:
+            # The event already fired and its callbacks ran; re-deliver
+            # its outcome to this process at the current time.
+            immediate = Event(self.engine)
+            immediate._ok = target._ok
+            immediate._value = target._value
+            immediate.callbacks.append(self._resume)
+            self.engine._enqueue(immediate)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    def __init__(self, engine, events):
+        super().__init__(engine)
+        self._events = list(events)
+        self._pending = 0
+        for event in self._events:
+            if event.processed:
+                self._observe_now(event)
+            else:
+                self._pending += 1
+                event.callbacks.append(self._observe)
+        self._check_initial()
+
+    def _observe_now(self, event):
+        raise NotImplementedError
+
+    def _observe(self, event):
+        raise NotImplementedError
+
+    def _check_initial(self):
+        raise NotImplementedError
+
+    def _results(self):
+        return [e._value for e in self._events if e.triggered and e._ok]
+
+
+class AllOf(_Condition):
+    """Fires when every given event has fired (fails fast on failure)."""
+
+    def _observe_now(self, event):
+        if not event._ok:
+            if not self.triggered:
+                self.fail(event._value)
+
+    def _observe(self, event):
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._results())
+
+    def _check_initial(self):
+        if self.triggered:
+            return
+        if self._pending == 0:
+            self.succeed(self._results())
+
+
+class AnyOf(_Condition):
+    """Fires as soon as any one of the given events fires."""
+
+    def _observe_now(self, event):
+        if not self.triggered:
+            if event._ok:
+                self.succeed(event._value)
+            else:
+                self.fail(event._value)
+
+    def _observe(self, event):
+        if self.triggered:
+            return
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    def _check_initial(self):
+        if not self.triggered and not self._events:
+            raise SimulationError("AnyOf requires at least one event")
+
+
+class Engine:
+    """The virtual clock and event loop.
+
+    All durations and timestamps are floats in *seconds of virtual time*.
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue = []
+        self._sequence = count()
+
+    @property
+    def now(self):
+        """Current virtual time in seconds."""
+        return self._now
+
+    def event(self):
+        """Create a fresh pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay, value=None):
+        """Create a :class:`Timeout` firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator, name=None):
+        """Start a :class:`Process` running ``generator`` immediately."""
+        return Process(self, generator, name=name)
+
+    def call_at(self, when, fn, *args):
+        """Run ``fn(*args)`` at absolute virtual time ``when``."""
+        if when < self._now:
+            raise SimulationError(f"call_at in the past: {when} < {self._now}")
+        marker = Timeout(self, when - self._now)
+        marker.callbacks.append(lambda _event: fn(*args))
+        return marker
+
+    def call_later(self, delay, fn, *args):
+        """Run ``fn(*args)`` after ``delay`` seconds of virtual time."""
+        marker = self.timeout(delay)
+        marker.callbacks.append(lambda _event: fn(*args))
+        return marker
+
+    def all_of(self, events):
+        """Composite event firing when all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events):
+        """Composite event firing when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def _enqueue(self, event, delay=0.0):
+        heapq.heappush(self._queue, (self._now + delay, next(self._sequence), event))
+
+    def step(self):
+        """Process the single next event; returns False when queue is empty."""
+        if not self._queue:
+            return False
+        when, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        event.processed = True
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not callbacks and not isinstance(event, Process):
+            # A failed event nobody waited for: surface the error loudly.
+            raise event._value
+        return True
+
+    def run(self, until=None):
+        """Run the event loop.
+
+        ``until`` may be ``None`` (run to quiescence), a number (absolute
+        virtual time to stop at), or an :class:`Event` (run until it
+        triggers, returning its value or raising its failure).
+        """
+        if until is None:
+            while self.step():
+                pass
+            return None
+        if isinstance(until, Event):
+            if until.processed:
+                if until._ok:
+                    return until._value
+                raise until._value
+            finished = []
+            until.callbacks.append(finished.append)
+            while not finished:
+                if not self.step():
+                    raise SimulationError(
+                        f"engine ran out of events before {getattr(until, 'name', 'event')!r} fired"
+                    )
+            if until._ok:
+                return until._value
+            raise until._value
+        deadline = float(until)
+        if deadline < self._now:
+            raise SimulationError(f"cannot run backwards to {deadline}")
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        self._now = deadline
+        return None

@@ -1,0 +1,140 @@
+"""Higher-level process utilities built on the engine primitives.
+
+* :class:`Channel` — an unbounded or bounded FIFO used for message
+  passing (packets on a link, pages on a migration stream).
+* :class:`Resource` — a counted resource with FIFO waiters (disk queue,
+  CPU slots).
+* :class:`Stopwatch` — measures elapsed virtual time across a scope.
+"""
+
+from collections import deque
+
+from repro.errors import SimulationError
+from repro.sim.engine import Event
+
+
+class ChannelClosed(SimulationError):
+    """Raised by :meth:`Channel.get` once a closed channel drains empty."""
+
+
+class Channel:
+    """A FIFO queue that simulation processes can block on.
+
+    ``put`` never blocks (the channel is unbounded); ``get`` returns an
+    event that fires when an item is available.  ``close`` causes pending
+    and future ``get`` events to fail with :class:`ChannelClosed` once the
+    buffer is empty, which lets consumers drain remaining items first.
+    """
+
+    def __init__(self, engine, name="channel"):
+        self.engine = engine
+        self.name = name
+        self._items = deque()
+        self._getters = deque()
+        self._closed = False
+
+    def __len__(self):
+        return len(self._items)
+
+    @property
+    def closed(self):
+        return self._closed
+
+    def put(self, item):
+        """Enqueue ``item``, waking one waiting getter if present."""
+        if self._closed:
+            raise ChannelClosed(f"put on closed channel {self.name!r}")
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self):
+        """Return an event yielding the next item (or failing when closed)."""
+        event = Event(self.engine)
+        if self._items:
+            event.succeed(self._items.popleft())
+        elif self._closed:
+            event.fail(ChannelClosed(f"channel {self.name!r} is closed"))
+        else:
+            self._getters.append(event)
+        return event
+
+    def close(self):
+        """Close the channel; drained getters fail with ChannelClosed."""
+        if self._closed:
+            return
+        self._closed = True
+        while self._getters:
+            self._getters.popleft().fail(
+                ChannelClosed(f"channel {self.name!r} is closed")
+            )
+
+
+class Resource:
+    """A counted resource with FIFO acquisition.
+
+    ``acquire`` returns an event that fires once a slot is free; callers
+    must pair it with ``release``.
+    """
+
+    def __init__(self, engine, capacity=1, name="resource"):
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.engine = engine
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters = deque()
+
+    @property
+    def in_use(self):
+        return self._in_use
+
+    def acquire(self):
+        """Return an event that fires when a slot is granted."""
+        event = Event(self.engine)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self):
+        """Release a previously acquired slot."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            self._waiters.popleft().succeed(self)
+        else:
+            self._in_use -= 1
+
+
+class Stopwatch:
+    """Measures elapsed virtual time between :meth:`start` and :meth:`stop`."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self._started_at = None
+        self.elapsed = 0.0
+
+    def start(self):
+        if self._started_at is not None:
+            raise SimulationError("stopwatch already running")
+        self._started_at = self.engine.now
+        return self
+
+    def stop(self):
+        if self._started_at is None:
+            raise SimulationError("stopwatch not running")
+        self.elapsed += self.engine.now - self._started_at
+        self._started_at = None
+        return self.elapsed
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+        return False

@@ -1,0 +1,43 @@
+"""Deterministic named random streams.
+
+Every component that needs randomness (workload jitter, file contents,
+network noise) asks the registry for a stream by name.  Streams are
+independent ``random.Random`` instances derived from the root seed and
+the stream name, so adding a new consumer never perturbs existing ones —
+an essential property for reproducible experiments.
+"""
+
+import hashlib
+import random
+
+
+class RngRegistry:
+    """A factory of independent, deterministically seeded RNG streams."""
+
+    def __init__(self, seed=1701):
+        self.seed = int(seed)
+        self._streams = {}
+
+    def stream(self, name):
+        """Return the ``random.Random`` for ``name``, creating it if new."""
+        if name not in self._streams:
+            digest = hashlib.sha256(
+                f"{self.seed}:{name}".encode("utf-8")
+            ).digest()
+            self._streams[name] = random.Random(int.from_bytes(digest[:8], "big"))
+        return self._streams[name]
+
+    def gauss_jitter(self, name, mean, rsd):
+        """One sample from N(mean, rsd*mean), floored at 10% of the mean.
+
+        ``rsd`` is the relative standard deviation (e.g. 0.05 for 5%).
+        The floor keeps costs and latencies strictly positive.
+        """
+        sample = self.stream(name).gauss(mean, abs(rsd * mean))
+        floor = 0.1 * abs(mean)
+        return max(sample, floor)
+
+    def page_bytes(self, name, length=64):
+        """Deterministic pseudo-random page content of ``length`` bytes."""
+        rng = self.stream(name)
+        return bytes(rng.getrandbits(8) for _ in range(length))

@@ -1,0 +1,34 @@
+"""Virtual machine introspection.
+
+VMI tools reconstruct OS-level semantics from a VM's raw memory using
+prior knowledge of the guest kernel's data-structure layout.  The paper
+leans on two of VMI's structural properties:
+
+* an attacker who controls the guest kernel can *subvert* VMI by
+  relocating/forging those structures (DKSM — §III-A, refs [16,31-33]);
+* VMI cannot reach a *nested* guest: with two semantic gaps stacked, it
+  has no idea where the inner kernel's structures live, and scanning
+  all 2^52 possible pages is infeasible (§VI-D-2) — which is why
+  CloudSkulk's impersonation defeats VMI-based fingerprinting and a
+  different detection channel (memory deduplication timing) is needed.
+"""
+
+from repro.vmi.introspect import (
+    IntrospectionReport,
+    SemanticGapError,
+    introspect,
+    introspect_nested,
+)
+from repro.vmi.kernel_structs import KERNEL_LAYOUTS, KernelLayout
+from repro.vmi.subversion import forge_process_view, restore_process_view
+
+__all__ = [
+    "IntrospectionReport",
+    "KERNEL_LAYOUTS",
+    "KernelLayout",
+    "SemanticGapError",
+    "forge_process_view",
+    "introspect",
+    "introspect_nested",
+    "restore_process_view",
+]

@@ -1,0 +1,94 @@
+"""The introspection tool: hardware view -> OS semantics.
+
+:func:`introspect` reconstructs the process/module view of the guest
+*directly hosted by* a VM.  If the attacker has forged the kernel's
+data structures (DKSM), the forged view is what introspection sees —
+the tool has no way to tell, because the forged structures are exactly
+where its priori knowledge points.
+
+:func:`introspect_nested` demonstrates the two-semantic-gap failure:
+reaching an L2 guest from the host is refused with the arithmetic the
+paper gives (2^52 candidate pages).
+"""
+
+from repro.errors import DetectionError
+from repro.vmi.kernel_structs import layout_for
+
+
+class SemanticGapError(DetectionError):
+    """VMI cannot bridge the semantic gap(s) to the requested guest."""
+
+
+class IntrospectionReport:
+    """What a VMI pass recovered from one VM."""
+
+    def __init__(self, vm_name, os_name, kernel_version):
+        self.vm_name = vm_name
+        self.os_name = os_name
+        self.kernel_version = kernel_version
+        self.processes = []  # (pid, name, user)
+        self.modules = []
+        self.subverted = False  # set by tests/ground truth only
+
+    @property
+    def process_names(self):
+        return sorted({name for _pid, name, _user in self.processes})
+
+    def fingerprint(self):
+        """The (os, kernel, process-name set) tuple fingerprint."""
+        return (self.os_name, self.kernel_version, tuple(self.process_names))
+
+    def __repr__(self):
+        return (
+            f"<IntrospectionReport {self.vm_name} "
+            f"{self.os_name}/{self.kernel_version} "
+            f"procs={len(self.processes)}>"
+        )
+
+
+#: Modules every stock build shows.
+_BASELINE_MODULES = ("ext4", "virtio_net", "virtio_blk", "ip_tables")
+
+
+def introspect(qemu_vm):
+    """Run VMI against a VM's directly hosted guest."""
+    guest = qemu_vm.guest
+    if guest is None:
+        raise DetectionError(f"{qemu_vm.name}: no guest to introspect")
+    layout_for(guest.os_name, guest.kernel_version)  # priori knowledge gate
+    report = IntrospectionReport(
+        qemu_vm.name, guest.os_name, guest.kernel_version
+    )
+    forged = guest.kernel.dksm_forged_view
+    if forged is not None:
+        # The walk lands on attacker-crafted structures.
+        report.processes = list(forged)
+        report.subverted = True
+    else:
+        report.processes = [
+            (proc.pid, proc.name, proc.user)
+            for proc in guest.kernel.table.processes()
+            if proc.alive
+        ]
+    report.modules = list(_BASELINE_MODULES)
+    if guest.kvm is not None:
+        report.modules += ["kvm", "kvm_intel"]
+    return report
+
+
+def introspect_nested(qemu_vm):
+    """Attempt to introspect a guest *nested inside* this VM's guest.
+
+    Always fails: the inner guest's physical pages are scattered through
+    the outer guest's pseudo-physical space with no locating anchor, and
+    a 64-bit address space holds 2^52 candidate pages (paper §VI-D-2).
+    """
+    guest = qemu_vm.guest
+    if guest is None:
+        raise DetectionError(f"{qemu_vm.name}: no guest to introspect")
+    candidate_pages = 2 ** (64 - 12)
+    raise SemanticGapError(
+        f"cannot introspect nested guests of {qemu_vm.name}: two stacked "
+        f"semantic gaps; no anchor for the inner kernel's structures "
+        f"among {candidate_pages} candidate pages"
+    )

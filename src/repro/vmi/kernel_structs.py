@@ -1,0 +1,63 @@
+"""Kernel data-structure layouts — VMI's prior knowledge.
+
+A real VMI tool ships per-build offsets (where ``init_task`` lives,
+field offsets inside ``task_struct``).  We model a layout as exactly
+that: a named offset table keyed by (os, kernel version).  Introspection
+only works for builds present in this database, mirroring the brittle
+priori-knowledge dependence the paper discusses.
+"""
+
+from repro.errors import DetectionError
+
+
+class KernelLayout:
+    """Struct offsets for one kernel build."""
+
+    def __init__(self, os_name, kernel_version, offsets):
+        self.os_name = os_name
+        self.kernel_version = kernel_version
+        self.offsets = dict(offsets)
+
+    @property
+    def key(self):
+        return (self.os_name, self.kernel_version)
+
+    def __repr__(self):
+        return f"<KernelLayout {self.os_name}/{self.kernel_version}>"
+
+
+_FEDORA22_OFFSETS = {
+    "init_task": 0xFFFFFFFF81C14480,
+    "task_struct.pid": 0x440,
+    "task_struct.comm": 0x608,
+    "task_struct.tasks_next": 0x390,
+    "task_struct.cred": 0x5F0,
+    "module_list": 0xFFFFFFFF81C4A490,
+}
+
+KERNEL_LAYOUTS = {
+    ("fedora22", "4.4.14-200.fc22.x86_64"): KernelLayout(
+        "fedora22", "4.4.14-200.fc22.x86_64", _FEDORA22_OFFSETS
+    ),
+    ("fedora22", "4.0.5-300.fc22.x86_64"): KernelLayout(
+        "fedora22",
+        "4.0.5-300.fc22.x86_64",
+        {**_FEDORA22_OFFSETS, "task_struct.pid": 0x438},
+    ),
+    ("centos7", "3.10.0-1160.el7.x86_64"): KernelLayout(
+        "centos7",
+        "3.10.0-1160.el7.x86_64",
+        {**_FEDORA22_OFFSETS, "init_task": 0xFFFFFFFF81A02480},
+    ),
+}
+
+
+def layout_for(os_name, kernel_version):
+    """Look up the layout for a build; raises when unknown."""
+    layout = KERNEL_LAYOUTS.get((os_name, kernel_version))
+    if layout is None:
+        raise DetectionError(
+            f"no VMI layout for {os_name}/{kernel_version} "
+            "(priori knowledge missing)"
+        )
+    return layout

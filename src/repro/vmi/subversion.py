@@ -1,0 +1,40 @@
+"""DKSM-style VMI subversion (paper §III-A, refs [16, 31]).
+
+An attacker controlling a guest kernel can relocate or duplicate the
+data structures VMI's priori knowledge points at, making introspection
+report whatever the attacker chooses while the real state lives
+elsewhere.  CloudSkulk uses this inside GuestX to complete its
+impersonation of the victim.
+"""
+
+from repro.errors import RootkitError
+
+
+def forge_process_view(system, processes):
+    """Make VMI see ``processes`` — a list of (pid, name, user) — instead
+    of the system's real process table.
+
+    Typically called with the *victim's* process list so GuestX
+    fingerprints identically to Guest0.
+    """
+    for entry in processes:
+        if len(entry) != 3:
+            raise RootkitError(
+                f"forged process entries must be (pid, name, user): {entry!r}"
+            )
+    system.kernel.dksm_forged_view = [tuple(entry) for entry in processes]
+    return system.kernel.dksm_forged_view
+
+
+def restore_process_view(system):
+    """Undo the forgery (used by tests and by attackers covering up)."""
+    system.kernel.dksm_forged_view = None
+
+
+def snapshot_for_impersonation(victim_system):
+    """The (pid, name, user) list an attacker copies from the victim."""
+    return [
+        (proc.pid, proc.name, proc.user)
+        for proc in victim_system.kernel.table.processes()
+        if proc.alive
+    ]

@@ -1,0 +1,32 @@
+"""Workload generators for the paper's evaluation.
+
+* :mod:`~repro.workloads.idle` — an inactive cloud user (Fig 4);
+* :mod:`~repro.workloads.kernel_compile` — CPU/memory-intensive
+  (Fig 2, Fig 4);
+* :mod:`~repro.workloads.netperf` — TCP bulk-stream network benchmark
+  (Fig 3);
+* :mod:`~repro.workloads.filebench` — I/O-intensive fileserver (Fig 4);
+* :mod:`~repro.workloads.lmbench` — the microbenchmark suites of
+  Tables II-IV.
+
+All workloads issue abstract operations through the guest kernel's
+charging API, so their costs — and their dirty-page footprints during
+migration — emerge from the single exit model in
+:mod:`repro.hypervisor.exits`.
+"""
+
+from repro.workloads.base import Workload, WorkloadResult
+from repro.workloads.filebench import FilebenchWorkload
+from repro.workloads.idle import IdleWorkload
+from repro.workloads.kernel_compile import KernelCompileWorkload
+from repro.workloads.netperf import NetperfServer, NetperfWorkload
+
+__all__ = [
+    "FilebenchWorkload",
+    "IdleWorkload",
+    "KernelCompileWorkload",
+    "NetperfServer",
+    "NetperfWorkload",
+    "Workload",
+    "WorkloadResult",
+]

@@ -1,0 +1,96 @@
+"""Workload plumbing.
+
+A workload is a simulation process driven by a generator.  Between
+operations it (a) respects VM pause state — migration downtime and
+auto-converge throttling must actually affect it — and (b) yields its
+accumulated operation cost as a timeout.
+"""
+
+from repro.errors import GuestError
+
+
+class WorkloadResult:
+    """Outcome of one workload run."""
+
+    def __init__(self, name, system_name):
+        self.name = name
+        self.system_name = system_name
+        self.started_at = None
+        self.finished_at = None
+        self.metrics = {}
+        self.stopped_early = False
+
+    @property
+    def elapsed(self):
+        if self.started_at is None or self.finished_at is None:
+            raise GuestError(f"workload {self.name} has not finished")
+        return self.finished_at - self.started_at
+
+    def __repr__(self):
+        return f"<WorkloadResult {self.name}@{self.system_name} {self.metrics}>"
+
+
+class Workload:
+    """Base class: pacing helpers and start/stop control."""
+
+    name = "workload"
+
+    def __init__(self):
+        self._stop_requested = False
+
+    #: Set False for workloads that mostly wait (idle) rather than burn
+    #: CPU; they do not occupy a core slot.
+    cpu_bound = True
+
+    def start(self, system, **kwargs):
+        """Run in the background; returns the engine Process.
+
+        CPU-bound workloads occupy one scheduler slot for their
+        lifetime, so co-resident busy guests stretch each other once
+        the package's logical CPUs are oversubscribed.
+        """
+        scheduler = system.machine.scheduler
+        if self.cpu_bound:
+            scheduler.occupy(self)
+        process = system.engine.process(
+            self.run(system, **kwargs), name=f"{self.name}@{system.name}"
+        )
+
+        def _release(_event):
+            if self.cpu_bound and scheduler.is_busy(self):
+                scheduler.release(self)
+
+        process.callbacks.append(_release)
+        return process
+
+    def stop(self):
+        """Ask the workload to wind down at the next operation boundary."""
+        self._stop_requested = True
+
+    def run(self, system, **kwargs):
+        raise NotImplementedError
+
+    # -- helpers for subclasses ---------------------------------------------
+
+    def _pace(self, system, cost):
+        """Generator: wait out a pause (if any), then consume ``cost``.
+
+        Reads ``system.qemu_vm`` dynamically — after a live migration
+        the same guest System continues under a different VM (possibly
+        at a different depth), and pacing must follow it.
+        """
+        vm = system.qemu_vm
+        if vm is not None and vm.paused:
+            yield vm.wait_if_paused()
+        if cost > 0:
+            yield system.engine.timeout(cost)
+
+    def _begin(self, system):
+        result = WorkloadResult(self.name, system.name)
+        result.started_at = system.engine.now
+        return result
+
+    def _finish(self, system, result):
+        result.finished_at = system.engine.now
+        result.stopped_early = self._stop_requested
+        return result

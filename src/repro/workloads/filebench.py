@@ -1,0 +1,67 @@
+"""Filebench (fileserver personality): the I/O-intensive workload.
+
+Each iteration performs the fileserver op mix — create/append a file,
+read another, stat, delete — through the guest kernel's syscall layer
+and the virtio block device.  Used as Fig 4's I/O-intensive migration
+backdrop and available as a standalone throughput benchmark.
+"""
+
+from repro.workloads.base import Workload
+
+#: Pages written per created/appended file (fileserver's ~64 KiB mean).
+PAGES_PER_FILE = 16
+#: Pages *newly dirtied* per op from the migration log's point of view —
+#: the fileserver mix mostly rewrites a bounded working set, so only a
+#: couple of pages per op are fresh dirty territory each sync interval.
+FRESH_DIRTY_PAGES_PER_OP = 1
+#: Fraction of operations that force a journal commit.
+FSYNC_RATE = 0.06
+
+
+class FilebenchWorkload(Workload):
+    """The fileserver op mix."""
+
+    name = "filebench"
+
+    def run(self, system, duration=30.0, ops=None):
+        """Run for ``duration`` seconds (or a fixed op count).
+
+        Metrics: ``ops_per_second``, ``ops``.
+        """
+        result = self._begin(system)
+        kernel = system.kernel
+        rng = system.rng.stream(f"filebench:{system.name}")
+        device = None
+        if system.qemu_vm is not None and system.qemu_vm.block_devices:
+            device = system.qemu_vm.block_devices[0]
+
+        deadline = None if ops is not None else system.engine.now + duration
+        completed = 0
+        while not self._stop_requested:
+            if ops is not None and completed >= ops:
+                break
+            if deadline is not None and system.engine.now >= deadline:
+                break
+            cost = kernel.syscall_cost("creat_meta")
+            cost += kernel.charge_syscalls("page_cache_write", PAGES_PER_FILE)
+            cost += kernel.syscall_cost("block_io_submit")
+            if device is not None:
+                cost += device.write(PAGES_PER_FILE)
+            system.memory.dirty_bulk(FRESH_DIRTY_PAGES_PER_OP)
+            # Read a previously written file.
+            cost += kernel.charge_syscalls("page_cache_read", PAGES_PER_FILE)
+            cost += kernel.syscall_cost("block_io_submit")
+            if device is not None:
+                cost += device.read(PAGES_PER_FILE)
+            cost += kernel.syscall_cost("stat")
+            cost += kernel.syscall_cost("unlink_meta")
+            if rng.random() < FSYNC_RATE:
+                cost += kernel.syscall_cost("fsync_journal")
+                if device is not None:
+                    cost += device.flush()
+            yield from self._pace(system, cost)
+            completed += 1
+        elapsed = system.engine.now - result.started_at
+        result.metrics["ops"] = completed
+        result.metrics["ops_per_second"] = completed / elapsed if elapsed else 0.0
+        return self._finish(system, result)

@@ -1,0 +1,35 @@
+"""The idle workload: a user connected to the cloud but inactive.
+
+Not perfectly silent — a real idle Linux guest still runs timers,
+journald and cron, dirtying a trickle of pages.  That trickle is what
+keeps Fig 4's idle migration from converging in literally one round.
+"""
+
+from repro.workloads.base import Workload
+
+#: Pages dirtied per second by background daemons on an idle guest.
+IDLE_DIRTY_PAGES_PER_S = 40
+#: How often the idle loop wakes.
+TICK_SECONDS = 0.5
+
+
+class IdleWorkload(Workload):
+    """Background-noise-only guest activity."""
+
+    name = "idle"
+    cpu_bound = False
+
+    def run(self, system, duration=None):
+        """Idle for ``duration`` seconds (forever when None)."""
+        result = self._begin(system)
+        deadline = None if duration is None else system.engine.now + duration
+        ticks = 0
+        while not self._stop_requested:
+            if deadline is not None and system.engine.now >= deadline:
+                break
+            cost = system.kernel.syscall_cost("context_switch")
+            system.memory.dirty_bulk(int(IDLE_DIRTY_PAGES_PER_S * TICK_SECONDS))
+            yield from self._pace(system, cost + TICK_SECONDS)
+            ticks += 1
+        result.metrics["ticks"] = ticks
+        return self._finish(system, result)

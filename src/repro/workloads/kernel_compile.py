@@ -1,0 +1,85 @@
+"""The kernel-compile workload (paper Fig 2, and Fig 4's CPU/mem case).
+
+Models decompressing and building Linux 4.0.5 with a fixed .config:
+one decompression phase, then a stream of compile units, each of which
+forks a compiler, burns TLB-heavy CPU time, and writes object/temp
+pages.  ccache is modelled explicitly because the paper's own Fig 2
+carries a 280% L0->L1 gap caused by ccache being enabled on L0 only
+(their footnote 1); reproducing the figure means reproducing the
+confound.
+"""
+
+from repro.workloads.base import Workload
+
+#: Number of compilation units in the modeled build.
+DEFAULT_UNITS = 2800
+#: Native CPU seconds per unit on the testbed CPU (cold cache).
+UNIT_CPU_SECONDS = 0.16
+#: ccache hit ratio and the residual cost of a hit, tuned to the
+#: paper's observed ~3.8x speedup on L0.
+CCACHE_HIT_RATIO = 0.78
+CCACHE_HIT_COST_FRACTION = 0.06
+#: Object/temp pages written per unit — the migration dirty-rate driver.
+PAGES_DIRTIED_PER_UNIT = 4000
+#: Decompression phase: CPU seconds and pages written.
+DECOMPRESS_CPU_SECONDS = 8.0
+DECOMPRESS_PAGES = 30000
+
+
+class KernelCompileWorkload(Workload):
+    """make -jN of a fixed tree, with optional ccache."""
+
+    name = "kernel-compile"
+
+    def __init__(
+        self,
+        units=DEFAULT_UNITS,
+        ccache_enabled=False,
+        unit_cpu_seconds=UNIT_CPU_SECONDS,
+        pages_per_unit=PAGES_DIRTIED_PER_UNIT,
+    ):
+        super().__init__()
+        self.units = units
+        self.ccache_enabled = ccache_enabled
+        self.unit_cpu_seconds = unit_cpu_seconds
+        self.pages_per_unit = pages_per_unit
+
+    def run(self, system, units=None, loop_forever=False):
+        """Build the tree once (or repeatedly, for migration backdrops).
+
+        Metrics: ``build_seconds`` (first build's wall time), ``units``.
+        """
+        result = self._begin(system)
+        kernel = system.kernel
+        total_units = self.units if units is None else units
+        rng = system.rng.stream(f"compile:{system.name}")
+
+        # Decompress the source tarball.
+        cost = kernel.charge_cpu(DECOMPRESS_CPU_SECONDS, mem_intensity=0.8)
+        system.memory.dirty_bulk(DECOMPRESS_PAGES)
+        yield from self._pace(system, cost)
+
+        first_build_seconds = None
+        build_start = system.engine.now
+        completed = 0
+        while not self._stop_requested:
+            cpu = self.unit_cpu_seconds
+            if self.ccache_enabled and rng.random() < CCACHE_HIT_RATIO:
+                cpu *= CCACHE_HIT_COST_FRACTION
+            cost = kernel.syscall_cost("fork_execve")
+            cost += kernel.charge_cpu(cpu, mem_intensity=1.0)
+            cost += kernel.syscall_cost("page_cache_write")
+            system.memory.dirty_bulk(self.pages_per_unit)
+            yield from self._pace(system, cost)
+            completed += 1
+            if completed % total_units == 0:
+                if first_build_seconds is None:
+                    first_build_seconds = system.engine.now - build_start
+                if not loop_forever:
+                    break
+
+        if first_build_seconds is None:
+            first_build_seconds = system.engine.now - build_start
+        result.metrics["build_seconds"] = first_build_seconds
+        result.metrics["units"] = completed
+        return self._finish(system, result)

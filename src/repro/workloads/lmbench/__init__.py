@@ -1,0 +1,14 @@
+"""lmbench 3.0-a9 microbenchmark suites (paper Tables II-IV)."""
+
+from repro.workloads.lmbench.arith import ARITH_OPS, LmbenchArith
+from repro.workloads.lmbench.fs import FILE_SIZES_KB, LmbenchFileOps
+from repro.workloads.lmbench.proc import PROC_OPS, LmbenchProc
+
+__all__ = [
+    "ARITH_OPS",
+    "FILE_SIZES_KB",
+    "LmbenchArith",
+    "LmbenchFileOps",
+    "LmbenchProc",
+    "PROC_OPS",
+]

@@ -1,0 +1,52 @@
+"""lmbench arithmetic latencies (paper Table II).
+
+Tight register-bound loops: virtualization costs them almost nothing,
+because there are no exits and almost no TLB pressure.  The measured
+bare-metal latencies (the paper's L0 row) are the native inputs; what
+the guest rows show is the cost model's small ``mem_intensity``-scaled
+CPU tax — about +3% at L2, matching the paper.
+"""
+
+from repro.workloads.base import Workload
+
+#: Native per-op latencies in nanoseconds: the paper's L0 row.
+ARITH_OPS = {
+    "integer bit": 0.26,
+    "integer add": 0.13,
+    "integer div": 5.94,
+    "integer mod": 6.37,
+    "float add": 0.75,
+    "float mul": 1.25,
+    "float div": 3.31,
+    "double add": 0.75,
+    "double mul": 1.25,
+    "double div": 5.06,
+}
+
+#: Effective TLB/memory sensitivity of lmbench's arithmetic loops.
+ARITH_MEM_INTENSITY = 0.12
+#: Iterations per measured op (drives the virtual time consumed).
+LOOP_ITERATIONS = 1_000_000
+
+
+class LmbenchArith(Workload):
+    """`lat_ops`-style arithmetic latency measurement."""
+
+    name = "lmbench-arith"
+
+    def run(self, system, iterations=LOOP_ITERATIONS):
+        """Measure every op; metric ``latencies_ns`` maps op -> ns."""
+        result = self._begin(system)
+        model = system.cost_model
+        depth = system.depth
+        latencies = {}
+        for op, native_ns in ARITH_OPS.items():
+            tax = model.cpu_tax_factor(depth, ARITH_MEM_INTENSITY)
+            jittered = system.rng.gauss_jitter(
+                f"arith:{system.name}:{op}", native_ns * tax, 0.004
+            )
+            latencies[op] = jittered
+            # The measurement loop itself takes real (virtual) time.
+            yield from self._pace(system, jittered * 1e-9 * iterations)
+        result.metrics["latencies_ns"] = latencies
+        return self._finish(system, result)

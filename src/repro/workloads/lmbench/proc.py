@@ -1,0 +1,44 @@
+"""lmbench process/IPC latencies (paper Table III).
+
+Times the eight operations of the paper's table by actually charging
+them through the guest kernel's syscall layer, averaged over many
+repetitions.  Everything interesting here — pipe latency exploding 19x
+at L2, fork costing the same at L0 and L1 but tripling at L2 — comes
+from the exit profiles in :mod:`repro.guest.syscalls`, not from this
+file.
+"""
+
+from repro.workloads.base import Workload
+
+#: (table column label, syscall profile, repetitions per measurement)
+PROC_OPS = (
+    ("signal handler installation", "sig_install", 10000),
+    ("signal handler overhead", "sig_handle", 10000),
+    ("protection fault", "protection_fault", 5000),
+    ("pipe latency", "pipe_latency", 2000),
+    ("AF_UNIX sock stream latency", "af_unix_latency", 2000),
+    ("fork+ exit", "fork_exit", 400),
+    ("fork+ execve", "fork_execve", 400),
+    ("fork+ /bin/sh -c", "fork_sh", 100),
+)
+
+
+class LmbenchProc(Workload):
+    """`lat_sig` / `lat_pipe` / `lat_proc` measurements."""
+
+    name = "lmbench-proc"
+
+    def run(self, system, repetition_scale=1.0):
+        """Measure every op; metric ``latencies_us`` maps label -> µs."""
+        result = self._begin(system)
+        kernel = system.kernel
+        latencies = {}
+        for label, profile, repetitions in PROC_OPS:
+            count = max(int(repetitions * repetition_scale), 10)
+            total = 0.0
+            for _ in range(count):
+                total += kernel.syscall_cost(profile)
+            yield from self._pace(system, total)
+            latencies[label] = total / count * 1e6
+        result.metrics["latencies_us"] = latencies
+        return self._finish(system, result)

@@ -1,0 +1,81 @@
+"""Netperf TCP_STREAM: bulk unidirectional transfer (paper Fig 3).
+
+The client runs inside the measured system (L0 host, L1 guest, or L2
+nested guest) and streams fixed-size messages to a netserver on a
+separate machine across the physical wire.  Sends are pipelined: the
+client is limited by its own sendmsg CPU cost, and deliveries by the
+path — so the wire stays the bottleneck at every virtualization level,
+which is precisely why the paper finds the three levels statistically
+indistinguishable.
+"""
+
+from repro.workloads.base import Workload
+
+NETSERVER_PORT = 12865
+DEFAULT_MESSAGE_BYTES = 65536
+DEFAULT_DURATION = 10.0
+
+
+class NetperfServer:
+    """netserver: accepts streams and counts delivered bytes."""
+
+    def __init__(self, node):
+        self.node = node
+        self.bytes_received = 0
+        self.listener = node.listen(NETSERVER_PORT, handler=self._on_connect)
+
+    def _on_connect(self, connection):
+        self.node.engine.process(
+            self._sink(connection.server), name="netserver-sink"
+        )
+
+    def _sink(self, endpoint):
+        from repro.sim.process import ChannelClosed
+
+        try:
+            while True:
+                packet = yield endpoint.recv()
+                self.bytes_received += packet.size_bytes
+        except ChannelClosed:
+            return
+
+
+class NetperfWorkload(Workload):
+    """TCP_STREAM from the measured system to a netserver node."""
+
+    name = "netperf"
+
+    def __init__(self, server):
+        super().__init__()
+        self.server = server
+
+    def run(self, system, duration=DEFAULT_DURATION, message_bytes=DEFAULT_MESSAGE_BYTES):
+        """One TCP_STREAM run; metric ``throughput_mbps``."""
+        result = self._begin(system)
+        kernel = system.kernel
+        node = system.net_node
+        endpoint = node.connect(self.server.node, NETSERVER_PORT)
+
+        base = self.server.bytes_received
+        deadline = system.engine.now + duration
+        messages = 0
+        #: TCP send-buffer window: this many messages may be in flight
+        #: before the sender blocks — the backpressure that makes the
+        #: client wire-bound rather than CPU-bound.
+        window = 8
+        last_delivery = None
+        while system.engine.now < deadline and not self._stop_requested:
+            cost = 0.0
+            for _ in range(window):
+                cost += kernel.syscall_cost("net_sendmsg")
+                last_delivery = endpoint.send(None, size_bytes=message_bytes)
+                messages += 1
+            system.memory.dirty_bulk(window)
+            yield from self._pace(system, cost)
+            yield last_delivery
+        elapsed = system.engine.now - result.started_at
+        delivered = self.server.bytes_received - base
+        endpoint.close()
+        result.metrics["throughput_mbps"] = delivered * 8.0 / elapsed / 1e6
+        result.metrics["messages"] = messages
+        return self._finish(system, result)

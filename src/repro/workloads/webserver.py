@@ -1,0 +1,103 @@
+"""A request/response web service and its latency probe.
+
+The paper's stealth argument (§III-A) is that the victim's *users* see
+no obvious change after the rootkit insertion — only "a performance
+change" from the extra virtualization layer.  This module makes that
+quantifiable: :class:`WebService` serves requests inside the victim
+guest, and :class:`LatencyProbe` measures client-observed RTTs, so the
+before/after distributions can be compared (see
+``benchmarks/test_ablation_user_latency.py``).
+"""
+
+from repro.errors import GuestError
+from repro.sim.process import ChannelClosed
+from repro.workloads.base import Workload
+
+DEFAULT_PORT = 80
+RESPONSE_BYTES = 16 * 1024
+#: Native CPU per request (app logic + templating).
+REQUEST_CPU_SECONDS = 2.2e-4
+
+
+class WebService:
+    """An HTTP-ish server running inside a guest system.
+
+    Tracks the guest it serves *dynamically*, so it keeps working after
+    a live migration re-homes the guest (the listener itself is carried
+    over by the VM adoption logic).
+    """
+
+    def __init__(self, guest_system, port=DEFAULT_PORT):
+        self.guest = guest_system
+        self.port = port
+        self.requests_served = 0
+        if guest_system.net_node is None:
+            raise GuestError("guest has no network attachment")
+        guest_system.net_node.listen(port, handler=self._on_connect)
+
+    def _on_connect(self, connection):
+        self.guest.engine.process(
+            self._serve(connection.server), name=f"webservice:{self.port}"
+        )
+
+    def _serve(self, endpoint):
+        try:
+            while True:
+                request = yield endpoint.recv()
+                kernel = self.guest.kernel
+                cost = kernel.syscall_cost("net_recvmsg")
+                cost += kernel.charge_cpu(
+                    REQUEST_CPU_SECONDS, mem_intensity=0.4
+                )
+                cost += kernel.syscall_cost("net_sendmsg")
+                vm = self.guest.qemu_vm
+                if vm is not None and vm.paused:
+                    yield vm.wait_if_paused()
+                yield self.guest.engine.timeout(cost)
+                self.requests_served += 1
+                endpoint.send(
+                    None, size_bytes=RESPONSE_BYTES, kind="http-response"
+                )
+                del request
+        except ChannelClosed:
+            return
+
+
+class LatencyProbe(Workload):
+    """Measures request RTTs from a client node outside the cloud."""
+
+    name = "latency-probe"
+    cpu_bound = False
+
+    def __init__(self, client_node, server_node, port):
+        super().__init__()
+        self.client_node = client_node
+        self.server_node = server_node
+        self.port = port
+
+    def run(self, system, requests=100, think_time=0.02):
+        """Issue ``requests`` over one persistent connection.
+
+        Metrics: ``rtts_ms`` (per-request list), ``median_ms``.
+        ``system`` only provides the clock (the probe runs outside any
+        guest).
+        """
+        result = self._begin(system)
+        engine = system.engine
+        endpoint = self.client_node.connect(self.server_node, self.port)
+        rtts = []
+        for _ in range(requests):
+            if self._stop_requested:
+                break
+            started = engine.now
+            endpoint.send(b"GET / HTTP/1.1", kind="http-request")
+            yield endpoint.recv()
+            rtts.append((engine.now - started) * 1e3)
+            yield engine.timeout(think_time)
+        endpoint.close()
+        rtts_sorted = sorted(rtts)
+        result.metrics["rtts_ms"] = rtts
+        result.metrics["median_ms"] = (
+            rtts_sorted[len(rtts_sorted) // 2] if rtts_sorted else 0.0
+        )
+        return self._finish(system, result)

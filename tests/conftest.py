@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro import scenarios
+from repro.hardware.machine import Machine
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+@pytest.fixture
+def machine():
+    return Machine(memory_mb=2048, seed=42)
+
+
+@pytest.fixture
+def host():
+    """A booted bare-metal host with KVM loaded."""
+    return scenarios.testbed(seed=42)
+
+
+@pytest.fixture
+def victim(host):
+    """Guest0 launched and booted on the host."""
+    return scenarios.launch_victim(host)
+
+
+@pytest.fixture
+def nested_env():
+    """(host, install_report) with CloudSkulk fully installed."""
+    return scenarios.nested_environment(seed=42)

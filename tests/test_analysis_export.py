@@ -1,0 +1,67 @@
+"""Export archive and the overhead characterization tool."""
+
+import json
+
+import pytest
+
+from repro.analysis.characterize import WorkloadOverhead, characterize_overhead
+from repro.analysis.export import ExperimentArchive, series_to_dict
+from repro.errors import ReproError
+
+
+def test_series_to_dict():
+    record = series_to_dict("L0", [1.0, 2.0, 3.0])
+    assert record["label"] == "L0"
+    assert record["n"] == 3
+    assert record["mean"] == 2.0
+    assert record["samples"] == [1.0, 2.0, 3.0]
+
+
+def test_archive_roundtrip(tmp_path):
+    archive = ExperimentArchive("demo", seed_info={"seeds": [1, 2]})
+    archive.record_series("fig2", {"L0": [1.0], "L1": [3.8]}, unit="s")
+    archive.record_table("table1", ["year", "count"], [[2015, 13]])
+    path = archive.save(tmp_path / "results.json")
+    loaded = ExperimentArchive.load(path)
+    assert loaded["title"] == "demo"
+    assert loaded["experiments"]["fig2"]["kind"] == "figure"
+    assert loaded["experiments"]["fig2"]["series"][1]["mean"] == 3.8
+    assert loaded["experiments"]["table1"]["rows"] == [[2015, 13]]
+
+
+def test_archive_rejects_duplicates():
+    archive = ExperimentArchive("demo")
+    archive.record_series("x", {"a": [1.0]})
+    with pytest.raises(ReproError):
+        archive.record_series("x", {"a": [1.0]})
+    with pytest.raises(ReproError):
+        archive.record_table("x", ["c"], [])
+
+
+def test_archive_json_is_valid():
+    archive = ExperimentArchive("demo")
+    archive.record_series("fig", {"a": [0.5, 0.7]})
+    parsed = json.loads(archive.to_json())
+    assert parsed["experiments"]["fig"]["series"][0]["n"] == 2
+
+
+def test_workload_overhead_direction():
+    slower = WorkloadOverhead("compile", 100.0, 125.0, "s", higher_is_better=False)
+    assert slower.degradation_percent == pytest.approx(25.0)
+    assert slower.noticeable
+    fewer_ops = WorkloadOverhead("io", 1000.0, 900.0, "ops/s", higher_is_better=True)
+    assert fewer_ops.degradation_percent == pytest.approx(10.0)
+    assert not fewer_ops.noticeable
+
+
+def test_characterize_overhead_shapes():
+    overheads = characterize_overhead(seed=11, compile_units=120,
+                                      filebench_seconds=4.0)
+    by_name = {o.name.split()[0]: o for o in overheads}
+    # Compile degradation lands near the paper's 25.7%.
+    assert 15 < by_name["CPU/memory"].degradation_percent < 35
+    # Interactivity (pipe latency) degrades by ~10-20x: very noticeable.
+    assert by_name["interactivity"].degradation_percent > 300
+    assert by_name["interactivity"].noticeable
+    # I/O throughput drops but far less than interactivity.
+    assert 0 < by_name["I/O"].degradation_percent < 80

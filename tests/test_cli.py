@@ -1,0 +1,42 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "CloudSkulk" in out
+
+
+def test_attack(capsys):
+    assert main(["--seed", "11", "attack"]) == 0
+    out = capsys.readouterr().out
+    assert "CloudSkulk installation: OK" in out
+    assert "step4-migrate" in out
+
+
+def test_detect(capsys):
+    assert main(["--seed", "11", "detect", "--pages", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "CLEAN" in out
+    assert "NESTED" in out
+
+
+def test_sweep(capsys):
+    assert main(["--seed", "11", "sweep"]) == 0
+    out = capsys.readouterr().out
+    assert "tenant-b     nested" in out
+
+
+def test_covert(capsys):
+    assert main(["--seed", "11", "covert", "--message", "hi"]) == 0
+    out = capsys.readouterr().out
+    assert "received b'hi'" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

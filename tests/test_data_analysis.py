@@ -1,0 +1,130 @@
+"""Table I dataset and the stats/report helpers."""
+
+import pytest
+
+from repro.analysis.report import (
+    render_comparison_labels,
+    render_figure_series,
+    render_table,
+)
+from repro.analysis.stats import (
+    overlapping_within_noise,
+    pct_decrease,
+    pct_increase,
+    summarize,
+)
+from repro.data.cve import (
+    CVE_DATABASE,
+    HYPERVISORS,
+    YEARS,
+    cves_by_hypervisor,
+    cves_by_year,
+    table1_matrix,
+)
+from repro.errors import ReproError
+
+
+# ---- Table I data -----------------------------------------------------------
+
+
+def test_totals_match_paper():
+    _matrix, totals = table1_matrix()
+    assert totals == {
+        "VMware": 29,
+        "VirtualBox": 15,
+        "Xen": 15,
+        "Hyper-V": 14,
+        "KVM/QEMU": 23,
+    }
+
+
+def test_grand_total():
+    assert len(CVE_DATABASE) == 29 + 15 + 15 + 14 + 23
+
+
+def test_spot_check_cells():
+    matrix, _totals = table1_matrix()
+    assert matrix[2015]["VMware"] == 5
+    assert matrix[2018]["VirtualBox"] == 11
+    assert matrix[2017]["Xen"] == 6
+    assert matrix[2019]["Hyper-V"] == 4
+    assert matrix[2020]["KVM/QEMU"] == 2
+    assert matrix[2016]["VirtualBox"] == 0
+
+
+def test_years_parse_from_ids():
+    for record in CVE_DATABASE:
+        assert record.cve_id.split("-")[1] == str(record.year)
+        assert record.year in YEARS
+
+
+def test_no_duplicate_cves():
+    ids = [r.cve_id for r in CVE_DATABASE]
+    assert len(ids) == len(set(ids))
+
+
+def test_query_helpers():
+    assert len(cves_by_hypervisor("Xen")) == 15
+    assert len(cves_by_year(2015)) == 5 + 0 + 1 + 2 + 5
+    assert {r.hypervisor for r in CVE_DATABASE} == set(HYPERVISORS)
+
+
+# ---- statistics ---------------------------------------------------------------
+
+
+def test_summary_mean_and_rsd():
+    summary = summarize([10.0, 12.0, 8.0, 10.0, 10.0])
+    assert summary.mean == 10.0
+    assert summary.n == 5
+    assert 10.0 < summary.rsd_percent < 20.0
+
+
+def test_summary_single_sample():
+    summary = summarize([5.0])
+    assert summary.stdev == 0.0
+    assert summary.rsd_percent == 0.0
+
+
+def test_summary_empty_rejected():
+    with pytest.raises(ReproError):
+        summarize([])
+
+
+def test_pct_increase_decrease():
+    assert pct_increase(100, 125.7) == pytest.approx(25.7)
+    assert pct_decrease(100, 75) == pytest.approx(25.0)
+    with pytest.raises(ReproError):
+        pct_increase(0, 1)
+
+
+def test_overlap_within_noise():
+    a = summarize([100, 110, 90])
+    b = summarize([105, 95, 108])
+    assert overlapping_within_noise(a, b)
+    c = summarize([500, 501, 502])
+    assert not overlapping_within_noise(a, c)
+
+
+# ---- rendering ------------------------------------------------------------------
+
+
+def test_render_table():
+    text = render_table(
+        "TABLE X", ["Config", "a", "b"], [["L0", 1.0, 2.0], ["L1", 3.0, 4.0]]
+    )
+    assert "TABLE X" in text
+    assert "L0" in text and "L1" in text
+    assert text.count("\n") >= 3
+
+
+def test_render_figure_series():
+    series = {"L0": summarize([10.0, 11.0]), "L1": summarize([40.0, 42.0])}
+    text = render_figure_series("Fig N", series, unit="s")
+    assert "L0" in text and "L1" in text
+    assert "RSD" in text
+    assert "#" in text
+
+
+def test_render_comparison_labels():
+    text = render_comparison_labels([("L0-L0", 10.0, "L0-L1", 26.0)])
+    assert "+160.0%" in text

@@ -1,0 +1,87 @@
+"""Depth-3 integration: the stack holds one level past the paper.
+
+If the victim itself runs nested workloads (the cloud-vendor use case
+for exposing VMX), CloudSkulk must still swallow it — and the victim's
+own virtualization ability must survive at depth 3.  Also checks that
+the cost model keeps ordering at depth 3 and that the VMCS scan counts
+every layer.
+"""
+
+import pytest
+
+from repro import scenarios
+from repro.core.detection.vmcs_scan import scan_for_hypervisors
+from repro.qemu.config import DriveSpec, QemuConfig
+from repro.qemu.qemu_img import host_images
+from repro.qemu.vm import launch_vm
+
+
+@pytest.fixture
+def deep_env():
+    """A vmx-enabled victim, CloudSkulked, then running its own guest."""
+    host = scenarios.testbed(seed=37)
+    config = scenarios.victim_config()
+    config.nested_vmx = True  # the vendor sold nested virtualization
+    scenarios.launch_victim(host, config)
+    report = scenarios.install_cloudskulk(host)
+    victim = report.nested_vm.guest  # depth 2 now, still has VMX
+    victim.enable_kvm()
+    images = host_images(victim)
+    images.create("/inner/tiny.qcow2", 4.0)
+    inner_config = QemuConfig(
+        "inner-l3",
+        memory_mb=128,
+        drives=[DriveSpec("/inner/tiny.qcow2")],
+        nics=[],
+    )
+    inner_vm, boot = launch_vm(victim, inner_config)
+    host.engine.run(boot)
+    return host, report, victim, inner_vm
+
+
+def test_victim_keeps_vmx_through_migration(deep_env):
+    _host, _report, victim, inner_vm = deep_env
+    assert victim.depth == 2
+    assert victim.cpu.vmx
+    assert inner_vm.guest.depth == 3
+    assert inner_vm.guest.booted
+
+
+def test_depth3_memory_resolves_to_host(deep_env):
+    host, _report, _victim, inner_vm = deep_env
+    gpfn = inner_vm.guest.memory.alloc_page()
+    inner_vm.guest.memory.write(gpfn, b"three-deep")
+    backing, host_pfn = inner_vm.guest.memory.resolve(gpfn)
+    assert backing is host.memory
+    assert host.memory.read(host_pfn) == b"three-deep"
+
+
+def test_depth3_costs_exceed_depth2(deep_env):
+    _host, report, victim, inner_vm = deep_env
+    inner_vm.guest.kernel.jitter_rsd = 0
+    victim.kernel.jitter_rsd = 0
+    l3 = inner_vm.guest.kernel.syscall_cost("pipe_latency")
+    l2 = victim.kernel.syscall_cost("pipe_latency")
+    # One more trampoline layer: each reflected exit's privileged ops
+    # are themselves nested exits now (~3x on HLT-class operations).
+    assert l3 > 2.5 * l2
+
+
+def test_vmcs_scan_counts_all_layers(deep_env):
+    host, _report, _victim, _inner_vm = deep_env
+
+    result = host.engine.run(host.engine.process(scan_for_hypervisors(host)))
+    # Host accounts only for GuestX; the nested victim AND its inner VM
+    # each contribute an unexplained VMCS page.
+    assert result.extra_vmcs_pages >= 2
+    assert result.nested_hypervisor_detected
+
+
+def test_victim_without_vmx_cannot_go_deeper():
+    host, report = scenarios.nested_environment(seed=37)
+    victim = report.nested_vm.guest
+    assert not victim.cpu.vmx  # default victim config has no +vmx
+    from repro.errors import HypervisorError
+
+    with pytest.raises(HypervisorError):
+        victim.enable_kvm()

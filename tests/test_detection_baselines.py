@@ -1,0 +1,104 @@
+"""The two baseline detectors and their structural failure modes."""
+
+import pytest
+
+from repro import scenarios
+from repro.core.detection.vmcs_scan import scan_for_hypervisors
+from repro.core.detection.vmi_fingerprint import (
+    check_fingerprint,
+    take_fingerprint,
+)
+from repro.errors import DetectionError
+
+
+def _scan(host):
+    return host.engine.run(host.engine.process(scan_for_hypervisors(host)))
+
+
+# ---- VMCS memory forensics ---------------------------------------------------
+
+
+def test_scan_clean_host(host, victim):
+    result = _scan(host)
+    assert not result.nested_hypervisor_detected
+    assert result.vmcs_pages_found == 1
+    assert result.expected_vmcs_pages == 1
+
+
+def test_scan_detects_nested_hypervisor(nested_env):
+    host, report = nested_env
+    result = _scan(host)
+    assert result.nested_hypervisor_detected
+    assert result.extra_vmcs_pages >= 1
+
+
+def test_scan_counts_every_nested_vcpu(nested_env):
+    host, report = nested_env
+    from repro.core.rootkit.services import ParallelMaliciousOs
+
+    service = ParallelMaliciousOs(report.guestx_vm)
+    host.engine.run(host.engine.process(service.launch()))
+    result = _scan(host)
+    assert result.extra_vmcs_pages >= 2  # victim + parallel OS
+
+
+def test_scan_fails_on_amd():
+    """§VI-E: the signature is VT-x-only; AMD hosts defeat the scan."""
+    from repro.guest.system import System
+    from repro.hardware.cpu import CpuPackage
+    from repro.hardware.machine import Machine
+
+    machine = Machine(cpu=CpuPackage(vendor="amd"), memory_mb=4096)
+    host = System.bare_metal(machine)
+    machine.engine.run(until=host.boot())
+    host.enable_kvm()
+    host.kvm.create_vm("amd-guest", memory_mb=64)
+    result = _scan(host)
+    assert result.scan_failed
+    assert "signature" in result.failure_reason
+    assert not result.nested_hypervisor_detected
+
+
+def test_scan_requires_l0(nested_env):
+    _host, report = nested_env
+    with pytest.raises(DetectionError):
+        next(scan_for_hypervisors(report.guestx_vm.guest))
+
+
+# ---- VMI fingerprinting --------------------------------------------------------
+
+
+def test_fingerprint_stable_on_honest_vm(host, victim):
+    baseline = take_fingerprint(victim)
+    assert check_fingerprint(victim, baseline) == []
+
+
+def test_fingerprint_detects_unexpected_process(host, victim):
+    baseline = take_fingerprint(victim)
+    victim.guest.kernel.spawn("cryptominer", "/tmp/xmrig")
+    mismatches = check_fingerprint(victim, baseline)
+    assert any(m.field == "process_names" for m in mismatches)
+
+
+def test_fingerprint_evaded_by_impersonation(nested_env):
+    """The paper's point: a careful CloudSkulk passes the VMI check.
+
+    The administrator took Guest0's fingerprint before the attack; they
+    now (unknowingly) introspect GuestX, which the attacker forged to
+    match.
+    """
+    host, report = nested_env
+    victim_fingerprint = take_fingerprint(report.nested_vm)
+    mismatches = check_fingerprint(report.guestx_vm, victim_fingerprint)
+    assert mismatches == []
+
+
+def test_fingerprint_catches_sloppy_attacker(nested_env):
+    """Without impersonation, GuestX's own processes betray it."""
+    from repro.vmi.subversion import restore_process_view
+
+    host, report = nested_env
+    victim_fingerprint = take_fingerprint(report.nested_vm)
+    restore_process_view(report.guestx_vm.guest)
+    mismatches = check_fingerprint(report.guestx_vm, victim_fingerprint)
+    assert mismatches != []

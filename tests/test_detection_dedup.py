@@ -1,0 +1,143 @@
+"""The memory-deduplication detector (Figs 5/6) and its classifier."""
+
+import statistics
+
+import pytest
+
+from repro import scenarios
+from repro.core.detection.classifier import classify
+from repro.core.detection.dedup_detector import DedupDetector
+from repro.errors import DetectionError
+
+
+def _detect(nested, **detector_kwargs):
+    host, cloud, ksm, _loc = scenarios.detection_setup(nested=nested, seed=42)
+    detector = DedupDetector(host, cloud, **detector_kwargs)
+    report = host.engine.run(host.engine.process(detector.run()))
+    return host, report
+
+
+@pytest.fixture(scope="module")
+def clean_report():
+    return _detect(nested=False)[1]
+
+
+@pytest.fixture(scope="module")
+def nested_report():
+    return _detect(nested=True)[1]
+
+
+# ---- Fig 5: no nested VM -------------------------------------------------
+
+
+def test_clean_verdict(clean_report):
+    assert clean_report.verdict.verdict == "clean"
+    assert not clean_report.verdict.nested_vm_detected
+
+
+def test_clean_t1_much_larger_than_t2(clean_report):
+    m1 = statistics.median(clean_report.t1_us)
+    m2 = statistics.median(clean_report.t2_us)
+    assert m1 > 50 * m2
+
+
+def test_clean_t2_tracks_baseline(clean_report):
+    m0 = statistics.median(clean_report.t0_us)
+    m2 = statistics.median(clean_report.t2_us)
+    assert m2 == pytest.approx(m0, rel=0.5)
+
+
+def test_series_have_one_entry_per_page(clean_report):
+    assert len(clean_report.t0_us) == 100
+    assert len(clean_report.t1_us) == 100
+    assert len(clean_report.t2_us) == 100
+
+
+# ---- Fig 6: nested VM present ---------------------------------------------
+
+
+def test_nested_verdict(nested_report):
+    assert nested_report.verdict.verdict == "nested"
+    assert nested_report.verdict.nested_vm_detected
+
+
+def test_nested_t1_and_t2_both_merged(nested_report):
+    m0 = statistics.median(nested_report.t0_us)
+    m1 = statistics.median(nested_report.t1_us)
+    m2 = statistics.median(nested_report.t2_us)
+    assert m1 > 100 * m0
+    assert m2 > 100 * m0
+
+
+def test_nested_t1_t2_statistically_indistinguishable(nested_report):
+    assert nested_report.verdict.t1_vs_t2_p_value > 0.01
+
+
+def test_explanations_mention_the_mechanism(clean_report, nested_report):
+    assert "no hidden hypervisor" in clean_report.verdict.explanation()
+    assert "CloudSkulk" in nested_report.verdict.explanation()
+
+
+# ---- protocol robustness ----------------------------------------------------
+
+
+def test_single_page_file_suffices():
+    """§VI-D: defenders can use one page."""
+    _host, report = _detect(nested=True, file_pages=1)
+    assert report.verdict.verdict == "nested"
+    _host, report = _detect(nested=False, file_pages=1)
+    assert report.verdict.verdict == "clean"
+
+
+def test_inconclusive_when_ksm_off():
+    host, cloud, ksm, _loc = scenarios.detection_setup(nested=False, seed=42)
+    ksm.stop()
+    detector = DedupDetector(host, cloud, wait_seconds=5.0)
+    report = host.engine.run(host.engine.process(detector.run()))
+    assert report.verdict.verdict == "inconclusive"
+
+
+def test_timeline_is_ordered(nested_report):
+    stamps = [t for _label, t in nested_report.timeline]
+    assert stamps == sorted(stamps)
+
+
+def test_detector_validates_pages():
+    host, cloud, _ksm, _loc = scenarios.detection_setup(nested=False, seed=42)
+    with pytest.raises(DetectionError):
+        DedupDetector(host, cloud, file_pages=0)
+
+
+# ---- classifier unit behaviour -----------------------------------------------
+
+
+def test_classify_clean_pattern():
+    verdict = classify([0.3] * 10, [400.0] * 10, [0.31] * 10)
+    assert verdict.verdict == "clean"
+    assert verdict.t1_merged and not verdict.t2_merged
+
+
+def test_classify_nested_pattern():
+    verdict = classify([0.3] * 10, [400.0] * 10, [395.0] * 10)
+    assert verdict.verdict == "nested"
+
+
+def test_classify_inconclusive_pattern():
+    verdict = classify([0.3] * 10, [0.32] * 10, [0.29] * 10)
+    assert verdict.verdict == "inconclusive"
+
+
+def test_classify_robust_to_outliers():
+    t1 = [400.0] * 9 + [0.3]  # one page failed to merge
+    verdict = classify([0.3] * 10, t1, [0.3] * 10)
+    assert verdict.verdict == "clean"
+
+
+def test_classify_empty_series_rejected():
+    with pytest.raises(DetectionError):
+        classify([], [1.0], [1.0])
+
+
+def test_classify_degenerate_baseline_rejected():
+    with pytest.raises(DetectionError):
+        classify([0.0, 0.0, 0.0], [1.0], [1.0])

@@ -1,0 +1,76 @@
+"""The exit-census detector and trampoline attribution."""
+
+import pytest
+
+from repro import scenarios
+from repro.core.detection.exit_census import exit_census
+from repro.errors import DetectionError
+from repro.hypervisor.exits import ExitReason
+from repro.workloads.filebench import FilebenchWorkload
+from repro.workloads.lmbench.proc import LmbenchProc
+
+
+def _census(host):
+    return host.engine.run(host.engine.process(exit_census(host)))
+
+
+def test_trampoline_exits_land_on_the_parent(nested_env):
+    host, report = nested_env
+    victim = report.nested_vm.guest
+    guestx_handle = report.guestx_vm.kvm_vm
+    before = guestx_handle.exit_count(ExitReason.PRIV_INSTRUCTION)
+    for _ in range(100):
+        victim.kernel.syscall_cost("pipe_latency")
+    after = guestx_handle.exit_count(ExitReason.PRIV_INSTRUCTION)
+    # 100 pipe round trips x 2 HLT exits x 20 trampoline ops each.
+    assert after - before == pytest.approx(4000, rel=0.01)
+
+
+def test_depth1_guest_generates_no_trampoline(host, victim):
+    victim.guest.kernel.syscall_cost("pipe_latency")
+    assert victim.kvm_vm.exit_count(ExitReason.PRIV_INSTRUCTION) == 0
+
+
+def test_census_flags_busy_ritm(nested_env):
+    host, report = nested_env
+    victim = report.nested_vm.guest
+    # The victim does ordinary work; GuestX does *nothing* on its own,
+    # yet its counters fill with trampoline exits.
+    host.engine.run(FilebenchWorkload().start(victim, duration=20.0))
+    result = _census(host)
+    assert result.flagged == ["guestx"]
+    assert result.hypervisor_detected
+    assert "HYPERVISOR" in result.summary()
+
+
+def test_census_quiet_on_honest_host(host):
+    """Two busy ordinary guests: plenty of exits, none privileged."""
+    vm_a = scenarios.launch_victim(host)
+    vm_b = scenarios.launch_victim(
+        host,
+        scenarios.victim_config(
+            name="other",
+            image="/var/lib/images/other.qcow2",
+            ssh_host_port=2223,
+            monitor_port=5556,
+        ),
+    )
+    host.engine.run(LmbenchProc().start(vm_a.guest, repetition_scale=0.2))
+    host.engine.run(FilebenchWorkload().start(vm_b.guest, duration=20.0))
+    result = _census(host)
+    assert result.flagged == []
+    assert all(count == 0 for count in result.per_vm.values())
+
+
+def test_census_silent_on_idle_sandwich(nested_env):
+    """Known limitation: an idle victim keeps GuestX's counters quiet —
+    which is exactly why the dedup detector (idle-friendly) is primary."""
+    host, _report = nested_env
+    result = _census(host)
+    assert result.flagged == []
+
+
+def test_census_requires_l0(nested_env):
+    _host, report = nested_env
+    with pytest.raises(DetectionError):
+        next(exit_census(report.guestx_vm.guest))

@@ -1,0 +1,116 @@
+"""Forensic evidence collection."""
+
+import pytest
+
+from repro import scenarios
+from repro.core.detection.forensics import (
+    TenantRecord,
+    collect_evidence,
+)
+from repro.errors import DetectionError
+
+INVENTORY = [
+    TenantRecord(
+        "guest0", memory_mb=1024, nested_allowed=False, public_ports=(2222,)
+    )
+]
+
+
+def _collect(host, inventory=None):
+    if inventory is None:
+        inventory = INVENTORY
+    process = host.engine.process(collect_evidence(host, inventory))
+    return host.engine.run(process)
+
+
+def test_clean_host_yields_no_critical_evidence(host, victim):
+    report = _collect(host)
+    assert not report.suspicious
+    assert report.findings == [] or all(
+        e.severity != "critical" for e in report.findings
+    )
+
+
+def test_cloudskulk_leaves_three_artifact_classes(nested_env):
+    """GuestX swapped the victim's PID but still says '-name guestx':
+    it reads as an unknown VM, with the VMCS census and the migration
+    flow as corroboration."""
+    host, _install = nested_env
+    report = _collect(host)
+    assert report.suspicious
+    kinds = {e.kind for e in report.critical}
+    assert "vmcs-census" in kinds
+    assert "unknown-vm" in kinds
+    assert "bulk-flow" in kinds
+
+
+def test_disguised_ritm_betrayed_by_size_and_exposure(nested_env):
+    """Suppose the attacker also forged a provisioning record (or hid
+    behind a legitimately-named second tenant): the RITM still runs
+    with more memory than any 1 GiB tenant and with '+vmx' nobody
+    bought."""
+    host, _install = nested_env
+    inventory = INVENTORY + [
+        TenantRecord("guestx", memory_mb=1024, nested_allowed=False)
+    ]
+    report = _collect(host, inventory=inventory)
+    oversize = report.by_kind("memory-oversize")
+    assert len(oversize) == 1
+    assert oversize[0].subject == "guestx"
+    assert "2048" in oversize[0].description
+    exposure = report.by_kind("nested-exposure")
+    assert len(exposure) == 1
+    assert exposure[0].subject == "guestx"
+
+
+def test_unknown_vm_flagged(host, victim):
+    report = _collect(host, inventory=[])
+    unknown = report.by_kind("unknown-vm")
+    assert len(unknown) == 1
+    assert unknown[0].subject == "guest0"
+
+
+def test_bulk_flow_reports_migration_bytes(nested_env):
+    host, install = nested_env
+    report = _collect(host)
+    flows = report.by_kind("bulk-flow")
+    assert flows
+    assert str(install.plan.host_port_aaaa) in flows[0].description
+
+
+def test_benign_service_traffic_not_flagged(host, victim):
+    """A big download over the published ssh port is not evidence."""
+    from repro.net.stack import Link, NetworkNode
+
+    client = NetworkNode(host.engine, "backup-client")
+    Link(client, host.net_node, 1e9, 1e-4)
+
+    def backup(e):
+        endpoint = client.connect(host.net_node, 2222)
+        for _ in range(30):
+            yield endpoint.send(None, size_bytes=8 * 1024 * 1024)
+
+    def sink(e):
+        conn = yield victim.guest.net_node.listener(22).accept()
+        while True:
+            yield conn.server.recv()
+
+    host.engine.process(sink(host.engine))
+    host.engine.run(host.engine.process(backup(host.engine)))
+    report = _collect(host, inventory=INVENTORY)
+    # 240 MB moved, but to the known ssh service port: not suspicious.
+    assert report.by_kind("bulk-flow") == []
+
+
+def test_forensics_requires_l0(nested_env):
+    _host, install = nested_env
+    with pytest.raises(DetectionError):
+        next(collect_evidence(install.guestx_vm.guest, INVENTORY))
+
+
+def test_summary_renders(nested_env):
+    host, _install = nested_env
+    report = _collect(host)
+    text = report.summary()
+    assert "forensic evidence" in text
+    assert "critical" in text

@@ -1,0 +1,79 @@
+"""Guest-side detection and the L1 timing-deception counter (§VI-A)."""
+
+import pytest
+
+from repro import scenarios
+from repro.core.detection.guest_side import (
+    GuestSideDetector,
+    apply_timing_deception,
+)
+from repro.errors import DetectionError, GuestError
+
+
+def _run(host, guest, **kwargs):
+    detector = GuestSideDetector(guest, **kwargs)
+    return host.engine.run(host.engine.process(detector.run()))
+
+
+def test_plain_guest_reads_clean():
+    host, guest = scenarios.system_at_level(1, seed=42)
+    verdict = _run(host, guest)
+    assert not verdict.nested_suspected
+    assert verdict.measured_us == pytest.approx(6.75, rel=0.15)
+
+
+def test_naive_l2_detector_spots_nesting(nested_env):
+    """Without countermeasures, the L2 timing anomaly is glaring."""
+    _host, report = nested_env
+    victim = report.nested_vm.guest
+    verdict = _run(_host, victim)
+    assert verdict.nested_suspected
+    assert verdict.measured_us > 40  # ~65us at L2
+    assert "another hypervisor" in verdict.explanation()
+
+
+def test_timing_deception_defeats_guest_side_detector(nested_env):
+    """The paper's §VI-A point: L1 controls what L2's clock says."""
+    _host, report = nested_env
+    victim = report.nested_vm.guest
+    factor = apply_timing_deception(victim)
+    assert 0 < factor < 1
+    verdict = _run(_host, victim)
+    assert not verdict.nested_suspected
+    assert "nothing suspicious" in verdict.explanation()
+
+
+def test_deception_does_not_fool_host_side_detector():
+    """The dedup detector's stopwatch lives in L0: immune by design."""
+    from repro.core.detection.dedup_detector import DedupDetector
+
+    host, cloud, _ksm, locator = scenarios.detection_setup(nested=True, seed=42)
+    apply_timing_deception(locator())
+    detector = DedupDetector(host, cloud, file_pages=20)
+    report = host.engine.run(host.engine.process(detector.run()))
+    assert report.verdict.verdict == "nested"
+
+
+def test_guest_clock_mechanics(host):
+    assert host.guest_now() == host.engine.now
+    host.set_tsc_scaling(0.5)
+    anchor_real = host.engine.now
+    anchor_guest = host.guest_now()
+    host.engine.run(until=host.engine.now + 10.0)
+    assert host.guest_now() - anchor_guest == pytest.approx(5.0)
+    # Re-scaling anchors continuously (no time jumps).
+    host.set_tsc_scaling(1.0)
+    mid = host.guest_now()
+    host.engine.run(until=host.engine.now + 2.0)
+    assert host.guest_now() - mid == pytest.approx(2.0)
+    assert host.engine.now - anchor_real == pytest.approx(12.0)
+
+
+def test_tsc_scaling_validation(host):
+    with pytest.raises(GuestError):
+        host.set_tsc_scaling(0)
+
+
+def test_detector_validation(host):
+    with pytest.raises(DetectionError):
+        GuestSideDetector(host, repetitions=0)

@@ -1,0 +1,82 @@
+"""Detection with network-path file delivery (the realistic channel).
+
+The direct-delivery mode places File-A in the guest by fiat; this mode
+streams it over the VM's public endpoint to an in-VM agent, so the
+rootkit's impersonation mirror must operate as a *packet hook* on the
+RITM's forwarding layer — no magic observers.  The detection outcome
+must be identical in both modes.
+"""
+
+import pytest
+
+from repro import scenarios
+from repro.core.detection.dedup_detector import (
+    CLOUD_AGENT_HOST_PORT,
+    DedupDetector,
+)
+from repro.errors import DetectionError
+
+
+def _detect(nested, seed=42):
+    host, cloud, _ksm, _loc = scenarios.detection_setup(
+        nested=nested, seed=seed, delivery="network"
+    )
+    detector = DedupDetector(host, cloud, file_pages=20)
+    report = host.engine.run(host.engine.process(detector.run()))
+    return host, cloud, report
+
+
+def test_network_delivery_clean_verdict():
+    _host, _cloud, report = _detect(nested=False)
+    assert report.verdict.verdict == "clean"
+
+
+def test_network_delivery_nested_verdict():
+    _host, _cloud, report = _detect(nested=True)
+    assert report.verdict.verdict == "nested"
+
+
+def test_agent_receives_over_public_endpoint():
+    host, cloud, _report = _detect(nested=False)
+    guest = cloud.victim_locator()
+    assert guest.fs.exists("/root/detect/file-a.mp3")
+
+
+def test_mirror_hook_sees_and_copies_the_stream():
+    host, cloud, _report = _detect(nested=True)
+    # Find the mirror hook on the RITM's agent-port rule.
+    from repro.core.rootkit.services import NetworkFileMirror
+
+    guestx_procs = host.kernel.table.find_by_name("qemu-system-x86_64")
+    assert guestx_procs  # GuestX wears the victim's identity
+    # The mirrored copy exists in some system's fs at depth 1 (GuestX).
+    victim = cloud.victim_locator()
+    assert victim.depth == 2
+    guestx = victim.parent
+    assert guestx.depth == 1
+    assert guestx.fs.exists("/root/detect/file-a.mp3")
+    assert "/root/detect/file-a.mp3" in guestx.kernel.page_cache
+
+
+def test_delivery_through_rootkit_still_lands_in_victim():
+    _host, cloud, _report = _detect(nested=True)
+    victim = cloud.victim_locator()
+    assert victim.fs.exists("/root/detect/file-a.mp3")
+    # The victim's copy was mutated to v2 during the protocol while the
+    # mirror's copy (in GuestX) kept the original first page.
+    guestx = victim.parent
+    victim_page = victim.fs.open("/root/detect/file-a.mp3").page_content(0)
+    mirror_page = guestx.fs.open("/root/detect/file-a.mp3").page_content(0)
+    assert victim_page != mirror_page
+
+
+def test_bad_delivery_mode_rejected(host):
+    from repro.core.detection.dedup_detector import CloudInterface
+
+    with pytest.raises(DetectionError):
+        CloudInterface(host, lambda: None, delivery="carrier-pigeon")
+
+
+def test_agent_port_forward_survives_takeover():
+    host, _cloud, _report = _detect(nested=True)
+    assert host.net_node.listener(CLOUD_AGENT_HOST_PORT) is not None

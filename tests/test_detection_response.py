@@ -1,0 +1,104 @@
+"""Incident response: eviction and recovery."""
+
+import pytest
+
+from repro import scenarios
+from repro.core.detection.forensics import TenantRecord, collect_evidence
+from repro.core.detection.response import respond_and_recover
+from repro.core.detection.vmcs_scan import scan_for_hypervisors
+from repro.errors import DetectionError
+from repro.net.stack import Link, NetworkNode
+
+RECORD = TenantRecord(
+    "guest0", memory_mb=1024, nested_allowed=False, public_ports=(2222,)
+)
+
+
+def _respond(host):
+    evidence = host.engine.run(
+        host.engine.process(collect_evidence(host, [RECORD]))
+    )
+    process = host.engine.process(
+        respond_and_recover(
+            host, evidence, RECORD, "/var/lib/images/guest0.qcow2"
+        )
+    )
+    return host.engine.run(process)
+
+
+def test_recovery_cleans_the_host(nested_env):
+    host, _install = nested_env
+    report = _respond(host)
+    assert report.terminated_vms == ["guestx"]
+    assert report.ram_state_lost  # the live RAM state existed only in GuestX
+    assert report.clean
+    scan = host.engine.run(host.engine.process(scan_for_hypervisors(host)))
+    assert not scan.nested_hypervisor_detected
+
+
+def test_recovered_tenant_serves_again(nested_env):
+    host, _install = nested_env
+    report = _respond(host)
+    vm = report.recovered_vm
+    assert vm.status == "running"
+    assert vm.guest.depth == 1
+    client = NetworkNode(host.engine, "customer")
+    Link(client, host.net_node, 941e6, 1e-4)
+
+    got = []
+
+    def sshd(e):
+        conn = yield vm.guest.net_node.listener(22).accept()
+        packet = yield conn.server.recv()
+        got.append(packet.payload)
+
+    def dial(e):
+        endpoint = client.connect(host.net_node, 2222)
+        yield endpoint.send(b"hello-again")
+
+    host.engine.process(sshd(host.engine))
+    host.engine.run(host.engine.process(dial(host.engine)))
+    host.engine.run(until=host.engine.now + 1.0)
+    assert got == [b"hello-again"]
+
+
+def test_recovery_downtime_is_boot_bounded(nested_env):
+    host, _install = nested_env
+    report = _respond(host)
+    # Kill + relaunch + boot: tens of seconds, not hours.
+    assert 5.0 < report.downtime_seconds < 60.0
+
+
+def test_response_requires_evidence(host, victim):
+    from repro.core.detection.forensics import EvidenceReport
+
+    empty = EvidenceReport(host.name)
+    with pytest.raises(DetectionError, match="no rogue VM"):
+        next(
+            respond_and_recover(
+                host, empty, RECORD, "/var/lib/images/guest0.qcow2"
+            )
+        )
+
+
+def test_response_requires_l0(nested_env):
+    _host, install = nested_env
+    from repro.core.detection.forensics import EvidenceReport
+
+    report = EvidenceReport("x")
+    report.add("unknown-vm", "critical", "x", subject="guestx")
+    with pytest.raises(DetectionError):
+        next(
+            respond_and_recover(
+                install.guestx_vm.guest, report, RECORD, "/img"
+            )
+        )
+
+
+def test_summary_renders(nested_env):
+    host, _install = nested_env
+    report = _respond(host)
+    text = report.summary()
+    assert "terminated rogue VM 'guestx'" in text
+    assert "relaunched tenant VM 'guest0'" in text
+    assert "clean" in text

@@ -1,0 +1,126 @@
+"""Detection robustness under realistic interference."""
+
+import pytest
+
+from repro import scenarios
+from repro.core.detection.dedup_detector import DedupDetector
+from repro.workloads.filebench import FilebenchWorkload
+from repro.workloads.kernel_compile import KernelCompileWorkload
+
+
+def _detect_under_load(nested, workload_factory, seed=42):
+    host, cloud, _ksm, locator = scenarios.detection_setup(nested=nested, seed=seed)
+    workload = workload_factory()
+    kwargs = (
+        {"loop_forever": True}
+        if isinstance(workload, KernelCompileWorkload)
+        else {"duration": 10_000.0}
+    )
+    workload.start(locator(), **kwargs)
+    detector = DedupDetector(host, cloud, file_pages=30)
+    report = host.engine.run(host.engine.process(detector.run()))
+    workload.stop()
+    return report
+
+
+def test_detection_correct_while_victim_compiles():
+    """A busy victim dirties pages constantly — but never File-A's."""
+    clean = _detect_under_load(False, KernelCompileWorkload)
+    assert clean.verdict.verdict == "clean"
+    nested = _detect_under_load(True, KernelCompileWorkload)
+    assert nested.verdict.verdict == "nested"
+
+
+def test_detection_correct_during_io_load():
+    clean = _detect_under_load(False, FilebenchWorkload)
+    assert clean.verdict.verdict == "clean"
+    nested = _detect_under_load(True, FilebenchWorkload)
+    assert nested.verdict.verdict == "nested"
+
+
+def test_detection_repeatable_back_to_back():
+    """Two consecutive protocol runs on the same host agree.
+
+    The second run must not be confused by the first run's leftovers
+    (mutated guest copies, broken merges).
+    """
+    host, cloud, _ksm, _loc = scenarios.detection_setup(nested=True, seed=42)
+    first = DedupDetector(host, cloud, file_pages=15, file_path="/d/one.bin")
+    second = DedupDetector(host, cloud, file_pages=15, file_path="/d/two.bin")
+    report1 = host.engine.run(host.engine.process(first.run()))
+    report2 = host.engine.run(host.engine.process(second.run()))
+    assert report1.verdict.verdict == "nested"
+    assert report2.verdict.verdict == "nested"
+
+
+def test_detection_after_benign_migration():
+    """An L0-L0 migration is not a rootkit: the verdict stays clean."""
+    from repro.qemu.config import DriveSpec
+    from repro.qemu.qemu_img import qemu_img_create
+    from repro.qemu.vm import launch_vm
+    from repro.core.detection.dedup_detector import CloudInterface
+    from repro.hypervisor.ksm import KsmDaemon
+
+    host = scenarios.testbed(seed=42)
+    vm = scenarios.launch_victim(host)
+    state = {"guest": vm.guest}
+    KsmDaemon(host.machine).start()
+    qemu_img_create(host, "/var/lib/images/benign.qcow2", 20)
+    config = vm.config.clone_for_destination(
+        "benign", incoming_port=4444, keep_hostfwds=False
+    )
+    config.drives = [DriveSpec("/var/lib/images/benign.qcow2")]
+    launch_vm(host, config)
+    vm.monitor.execute("migrate -d tcp:127.0.0.1:4444")
+    host.engine.run(vm.migration_process)
+
+    cloud = CloudInterface(host, lambda: state["guest"])
+    detector = DedupDetector(host, cloud, file_pages=20)
+    report = host.engine.run(host.engine.process(detector.run()))
+    assert state["guest"].depth == 1
+    assert report.verdict.verdict == "clean"
+
+
+def test_migration_of_ksm_shared_pages_preserves_content():
+    """Pages merged by KSM on the source migrate with correct content
+    and without disturbing the co-resident sharer."""
+    from repro.hypervisor.ksm import KsmDaemon
+    from repro.qemu.config import DriveSpec
+    from repro.qemu.qemu_img import qemu_img_create
+    from repro.qemu.vm import launch_vm
+
+    host = scenarios.testbed(seed=43)
+    vm = scenarios.launch_victim(host)
+    neighbor = scenarios.launch_victim(
+        host,
+        scenarios.victim_config(
+            name="neighbor",
+            image="/var/lib/images/neighbor.qcow2",
+            ssh_host_port=2322,
+            monitor_port=5522,
+        ),
+    )
+    KsmDaemon(host.machine).start()
+    shared_content = b"identical-across-vms"
+    a = vm.guest.memory.alloc_page()
+    vm.guest.memory.write(a, shared_content)
+    b = neighbor.guest.memory.alloc_page()
+    neighbor.guest.memory.write(b, shared_content)
+    host.engine.run(until=host.engine.now + 5.0)  # let KSM merge
+    backing_a, pfn_a = vm.guest.memory.resolve(a)
+    backing_b, pfn_b = neighbor.guest.memory.resolve(b)
+    assert backing_a.frame(pfn_a) is backing_b.frame(pfn_b)
+
+    qemu_img_create(host, "/var/lib/images/ksmdst.qcow2", 20)
+    config = vm.config.clone_for_destination(
+        "ksmdst", incoming_port=4447, keep_hostfwds=False
+    )
+    config.drives = [DriveSpec("/var/lib/images/ksmdst.qcow2")]
+    launch_vm(host, config)
+    vm.monitor.execute("migrate -d tcp:127.0.0.1:4447")
+    host.engine.run(vm.migration_process)
+
+    assert vm.guest is None  # handed off
+    migrated = host.kvm.vms["ksmdst"]
+    assert migrated.memory.read(a) == shared_content
+    assert neighbor.guest.memory.read(b) == shared_content

@@ -1,0 +1,88 @@
+"""The monitoring service: multi-tenant sweeps."""
+
+import pytest
+
+from repro import scenarios
+from repro.core.detection.service import MonitoringService
+from repro.core.rootkit.stealth import ImpersonationMirror
+from repro.errors import DetectionError
+from repro.hypervisor.ksm import KsmDaemon
+
+
+def _multi_tenant_host(compromise="tenant-b"):
+    """Three tenants; optionally one behind an installed CloudSkulk."""
+    host = scenarios.testbed(seed=64)
+    locators = {}
+    for index, name in enumerate(("tenant-a", "tenant-b", "tenant-c")):
+        config = scenarios.victim_config(
+            name=name,
+            image=f"/var/lib/images/{name}.qcow2",
+            ssh_host_port=2300 + index,
+            monitor_port=5600 + index,
+        )
+        vm = scenarios.launch_victim(host, config)
+        state = {"guest": vm.guest}
+        locators[name] = (lambda s: (lambda: s["guest"]))(state)
+    ksm = KsmDaemon(host.machine)
+    ksm.start()
+    service = MonitoringService(host, file_pages=12)
+    mirror = None
+    if compromise is not None:
+        report = scenarios.install_cloudskulk(host, target_name=compromise)
+        mirror = ImpersonationMirror(report.guestx_vm.guest)
+    for name, locator in locators.items():
+        interface = service.register_tenant(name, locator)
+        if name == compromise and mirror is not None:
+            interface.observers.append(mirror)
+    return host, service
+
+
+def test_sweep_singles_out_the_compromised_tenant():
+    host, service = _multi_tenant_host(compromise="tenant-b")
+    report = host.engine.run(host.engine.process(service.sweep()))
+    assert report.compromised_tenants == ["tenant-b"]
+    assert report.inconclusive_tenants == []
+    verdicts = {f.tenant_name: f.verdict for f in report.findings}
+    assert verdicts == {
+        "tenant-a": "clean",
+        "tenant-b": "nested",
+        "tenant-c": "clean",
+    }
+
+
+def test_sweep_clean_host_all_clean():
+    host, service = _multi_tenant_host(compromise=None)
+    report = host.engine.run(host.engine.process(service.sweep()))
+    assert report.compromised_tenants == []
+    assert all(f.verdict == "clean" for f in report.findings)
+
+
+def test_sweep_agrees_with_vmcs_scan():
+    host, service = _multi_tenant_host(compromise="tenant-b")
+    report = host.engine.run(host.engine.process(service.sweep()))
+    assert report.consistent is True
+    assert report.vmcs_scan.nested_hypervisor_detected
+
+
+def test_sweep_summary_renders():
+    host, service = _multi_tenant_host(compromise="tenant-b")
+    report = host.engine.run(host.engine.process(service.sweep()))
+    text = report.summary()
+    assert "tenant-b" in text
+    assert "nested" in text
+    assert "vmcs-scan" in text
+
+
+def test_service_validation(host):
+    service = MonitoringService(host)
+    with pytest.raises(DetectionError):
+        host.engine.run(host.engine.process(service.sweep()))
+    service.register_tenant("x", lambda: None)
+    with pytest.raises(DetectionError):
+        service.register_tenant("x", lambda: None)
+
+
+def test_service_requires_l0(nested_env):
+    _host, report = nested_env
+    with pytest.raises(DetectionError):
+        MonitoringService(report.guestx_vm.guest)

@@ -1,0 +1,78 @@
+"""The write-timing probe in isolation."""
+
+import pytest
+
+from repro.core.detection.timing import WriteTimingProbe
+from repro.errors import DetectionError
+from repro.guest.filesystem import make_random_file
+
+
+@pytest.fixture
+def probe(host):
+    return WriteTimingProbe(host)
+
+
+def _file(host, pages=10):
+    file = make_random_file("/probe/file.bin", pages, host.rng)
+    host.fs.add(file)
+    return file
+
+
+def test_probe_requires_l0(nested_env):
+    _host, report = nested_env
+    with pytest.raises(DetectionError):
+        WriteTimingProbe(report.guestx_vm.guest)
+
+
+def test_load_measure_returns_per_page_times(host, probe):
+    _file(host, pages=10)
+
+    def run(e):
+        times = yield from probe.load_wait_measure("/probe/file.bin", 1.0)
+        return times
+
+    times = host.engine.run(host.engine.process(run(host.engine)))
+    assert len(times) == 10
+    assert all(t > 0 for t in times)
+
+
+def test_measure_unloaded_rejected(host, probe):
+    _file(host)
+    with pytest.raises(DetectionError):
+        next(probe.measure("/probe/file.bin"))
+
+
+def test_negative_wait_rejected(host, probe):
+    with pytest.raises(DetectionError):
+        next(probe.wait(-1.0))
+
+
+def test_measure_consumes_virtual_time(host, probe):
+    _file(host, pages=32)
+
+    def run(e):
+        start = e.now
+        yield from probe.load_wait_measure("/probe/file.bin", 2.0)
+        return e.now - start
+
+    elapsed = host.engine.run(host.engine.process(run(host.engine)))
+    assert elapsed > 2.0
+
+
+def test_probe_writes_detect_merged_pages(host, probe):
+    """With a second identical copy + KSM, measured times jump."""
+    from repro.hypervisor.ksm import KsmDaemon
+
+    file = _file(host, pages=8)
+    ksm = KsmDaemon(host.machine, pages_to_scan=500)
+    ksm.start()
+    # A twin copy of every page, madvised.
+    for index in range(file.num_pages):
+        host.memory.allocate(file.page_content(index), mergeable=True)
+
+    def run(e):
+        times = yield from probe.load_wait_measure("/probe/file.bin", 5.0)
+        return times
+
+    times = host.engine.run(host.engine.process(run(host.engine)))
+    assert min(times) > 100.0  # every write broke CoW (µs scale)

@@ -1,0 +1,158 @@
+"""Failure paths: the library must fail loudly and precisely."""
+
+import pytest
+
+from repro import scenarios
+from repro.errors import (
+    MigrationError,
+    NetworkError,
+    ReconError,
+    RootkitError,
+    SimulationError,
+)
+from repro.qemu.config import MonitorSpec
+
+
+def test_installer_requires_victim_monitor(host):
+    """No telnet monitor on the victim: recon succeeds via ps, but the
+    installer cannot drive the migration and must say why."""
+    config = scenarios.victim_config()
+    config.monitor = None
+    scenarios.launch_victim(host, config)
+    from repro.core.rootkit.installer import CloudSkulkInstaller
+
+    installer = CloudSkulkInstaller(host)
+    process = host.engine.process(installer.install())
+    with pytest.raises((RootkitError, NetworkError, TypeError)):
+        host.engine.run(process)
+
+
+def test_recon_without_monitor_still_recovers_config(host):
+    config = scenarios.victim_config()
+    config.monitor = None
+    scenarios.launch_victim(host, config)
+    from repro.core.rootkit.recon import TargetRecon
+
+    report = host.engine.run(host.engine.process(TargetRecon(host).run()))
+    assert report.config.memory_mb == 1024
+    assert report.monitor_probes == {}
+    assert report.monitor_port is None
+
+
+def test_installer_fails_cleanly_on_occupied_bbbb(host, victim):
+    """GuestX's internal port BBBB already taken: step 3 must raise.
+
+    Choosing BBBB = 2222 collides with the nested VM's own mirrored ssh
+    forward, which binds GuestX's port 2222 before ``-incoming`` can.
+    """
+    from repro.core.rootkit.installer import CloudSkulkInstaller
+
+    installer = CloudSkulkInstaller(host, rootkit_port_bbbb=2222)
+    process = host.engine.process(installer.install())
+    with pytest.raises(NetworkError, match="port 2222"):
+        host.engine.run(process)
+
+
+def test_migration_to_vanished_destination(host, victim):
+    from repro.migration.precopy import PreCopyMigration
+
+    migration = PreCopyMigration(victim, destination_port=7777)
+    with pytest.raises(MigrationError, match="destination port"):
+        host.engine.run(migration.start())
+    assert victim.guest is not None
+    assert victim.status == "running"
+
+
+def test_double_migration_from_same_source(host, victim):
+    from repro.migration.precopy import PreCopyMigration
+    from repro.qemu.config import DriveSpec
+    from repro.qemu.qemu_img import qemu_img_create
+    from repro.qemu.vm import launch_vm
+
+    qemu_img_create(host, "/dm.qcow2", 20)
+    config = victim.config.clone_for_destination(
+        "dm", incoming_port=4444, keep_hostfwds=False
+    )
+    config.drives = [DriveSpec("/dm.qcow2")]
+    launch_vm(host, config)
+    victim.monitor.execute("migrate -d tcp:127.0.0.1:4444")
+    host.engine.run(victim.migration_process)
+    # The guest is gone; a second migrate must refuse.
+    with pytest.raises(MigrationError, match="no guest"):
+        PreCopyMigration(victim, destination_port=4445)
+
+
+def test_engine_all_of_failure_propagates(engine):
+    good = engine.timeout(1.0)
+    bad = engine.event()
+
+    def waiter(e):
+        try:
+            yield e.all_of([good, bad])
+        except RuntimeError as error:
+            return f"caught {error}"
+
+    proc = engine.process(waiter(engine))
+    engine.call_later(0.5, bad.fail, RuntimeError("component died"))
+    assert engine.run(proc) == "caught component died"
+
+
+def test_engine_any_of_failure_propagates(engine):
+    slow = engine.timeout(10.0)
+    bad = engine.event()
+
+    def waiter(e):
+        try:
+            yield e.any_of([slow, bad])
+        except ValueError:
+            return "failed-first"
+
+    proc = engine.process(waiter(engine))
+    engine.call_later(0.1, bad.fail, ValueError("nope"))
+    assert engine.run(proc) == "failed-first"
+
+
+def test_interrupt_races_completion(engine):
+    """Interrupting a process in the same instant its wait completes
+    must not corrupt engine state."""
+
+    def sleeper(e):
+        yield e.timeout(1.0)
+        return "done"
+
+    proc = engine.process(sleeper(engine))
+
+    def interrupter():
+        if proc.is_alive:
+            proc.interrupt("race")
+
+    engine.call_at(1.0, interrupter)
+    result = engine.run(proc)
+    # Either outcome is acceptable; the engine must simply survive.
+    assert result == "done" or proc.triggered
+
+
+def test_vm_quit_during_migration_fails_migration(host, victim):
+    """Killing the destination mid-stream aborts the migration."""
+    from repro.qemu.config import DriveSpec
+    from repro.qemu.qemu_img import qemu_img_create
+    from repro.qemu.vm import launch_vm
+    from repro.workloads.kernel_compile import KernelCompileWorkload
+
+    workload = KernelCompileWorkload()
+    workload.start(victim.guest, loop_forever=True)
+    qemu_img_create(host, "/qd.qcow2", 20)
+    config = victim.config.clone_for_destination(
+        "qd", incoming_port=4444, keep_hostfwds=False
+    )
+    config.drives = [DriveSpec("/qd.qcow2")]
+    dest, _ = launch_vm(host, config)
+    victim.monitor.execute("migrate -d tcp:127.0.0.1:4444")
+    host.engine.run(until=host.engine.now + 3.0)
+    # Cancel from the source side while mid-first-iteration, then make
+    # sure the guest still belongs to the (running) source.
+    victim.monitor.execute("migrate_cancel")
+    host.engine.run(until=host.engine.now + 5.0)
+    workload.stop()
+    assert victim.guest is not None
+    assert victim.migration_stats.status == "cancelled"

@@ -1,0 +1,100 @@
+"""Files with real per-page content."""
+
+import pytest
+
+from repro.errors import FileSystemError
+from repro.guest.filesystem import File, FileSystem, make_random_file
+from repro.sim.rng import RngRegistry
+
+
+def test_file_page_count():
+    assert File("/x", 0).num_pages == 0
+    assert File("/x", 1).num_pages == 1
+    assert File("/x", 4096).num_pages == 1
+    assert File("/x", 4097).num_pages == 2
+    assert File("/x", 10 * 1024).num_pages == 3
+
+
+def test_negative_size_rejected():
+    with pytest.raises(FileSystemError):
+        File("/x", -1)
+
+
+def test_page_content_deterministic_per_seed():
+    a = File("/a", 8192, content_seed="same-seed")
+    b = File("/b", 8192, content_seed="same-seed")
+    assert a.page_content(0) == b.page_content(0)
+    assert a.page_content(0) != a.page_content(1)
+
+
+def test_default_seed_is_path():
+    a = File("/a", 4096)
+    b = File("/b", 4096)
+    assert a.page_content(0) != b.page_content(0)
+
+
+def test_explicit_page_contents():
+    file = File("/x", 0, page_contents=[b"p0", b"p1"])
+    assert file.num_pages == 2
+    assert file.page_content(0) == b"p0"
+    assert file.page_content(1) == b"p1"
+
+
+def test_set_page_content():
+    file = File("/x", 8192)
+    original = file.page_content(1)
+    file.set_page_content(1, b"edited")
+    assert file.page_content(1) == b"edited"
+    assert file.page_content(0) != b"edited"
+    assert file.page_content(1) != original
+
+
+def test_page_out_of_range():
+    file = File("/x", 4096)
+    with pytest.raises(FileSystemError):
+        file.page_content(5)
+    with pytest.raises(FileSystemError):
+        file.set_page_content(5, b"x")
+
+
+def test_filesystem_crud():
+    fs = FileSystem()
+    fs.create("/etc/passwd", 1000)
+    assert fs.exists("/etc/passwd")
+    assert fs.open("/etc/passwd").size_bytes == 1000
+    fs.unlink("/etc/passwd")
+    assert not fs.exists("/etc/passwd")
+    with pytest.raises(FileSystemError):
+        fs.open("/etc/passwd")
+    with pytest.raises(FileSystemError):
+        fs.unlink("/etc/passwd")
+
+
+def test_filesystem_listdir():
+    fs = FileSystem()
+    fs.create("/var/a", 1)
+    fs.create("/var/b", 1)
+    fs.create("/etc/c", 1)
+    assert fs.listdir("/var") == ["/var/a", "/var/b"]
+    assert len(fs) == 3
+
+
+def test_distinct_file_instances_do_not_share_edits():
+    """Host and guest copies must diverge independently (File-A-v2)."""
+    pages = [b"page0", b"page1"]
+    host_copy = File("/f", 0, page_contents=list(pages))
+    guest_copy = File("/f", 0, page_contents=list(pages))
+    guest_copy.set_page_content(0, b"v2")
+    assert host_copy.page_content(0) == b"page0"
+
+
+def test_make_random_file_deterministic():
+    rng_a = RngRegistry(seed=9)
+    rng_b = RngRegistry(seed=9)
+    a = make_random_file("/m.mp3", 5, rng_a, seed_label="file-a")
+    b = make_random_file("/m.mp3", 5, rng_b, seed_label="file-a")
+    assert [a.page_content(i) for i in range(5)] == [
+        b.page_content(i) for i in range(5)
+    ]
+    # Pages are unique within the file.
+    assert len({a.page_content(i) for i in range(5)}) == 5

@@ -1,0 +1,150 @@
+"""The kernel's charging API, page cache, taps, boot."""
+
+import pytest
+
+from repro.errors import GuestError
+from repro.guest.kernel import SyscallTap
+from repro.guest.syscalls import SYSCALL_PROFILES
+
+
+@pytest.fixture
+def kernel(host):
+    host.kernel.jitter_rsd = 0.0
+    return host.kernel
+
+
+def test_l0_syscall_costs_match_paper(kernel):
+    """Table III's L0 column is the model's input: exact by design."""
+    expectations = {
+        "sig_install": 0.075,
+        "sig_handle": 0.50,
+        "protection_fault": 0.27,
+        "pipe_latency": 3.49,
+        "af_unix_latency": 3.58,
+        "fork_exit": 74.6,
+        "fork_execve": 245.8,
+        "fork_sh": 918.7,
+    }
+    for name, expected_us in expectations.items():
+        assert kernel.syscall_cost(name) * 1e6 == pytest.approx(
+            expected_us, rel=0.01
+        )
+
+
+def test_unknown_syscall_rejected(kernel):
+    with pytest.raises(GuestError):
+        kernel.syscall_cost("frobnicate")
+
+
+def test_throttle_stretches_costs(kernel):
+    base = kernel.syscall_cost("pipe_latency")
+    kernel.cpu_throttle = 0.5
+    assert kernel.syscall_cost("pipe_latency") == pytest.approx(base * 2, rel=0.01)
+    kernel.cpu_throttle = 0.0
+
+
+def test_bad_throttle_rejected(kernel):
+    kernel.cpu_throttle = 1.5
+    with pytest.raises(GuestError):
+        kernel.charge_cpu(1.0)
+    kernel.cpu_throttle = 0.0
+
+
+def test_extra_op_latency_applies(kernel):
+    base = kernel.syscall_cost("getpid")
+    kernel.extra_op_latency = 1e-3
+    assert kernel.syscall_cost("getpid") == pytest.approx(base + 1e-3, rel=0.01)
+    kernel.extra_op_latency = 0.0
+
+
+def test_charge_cpu_scales(kernel):
+    assert kernel.charge_cpu(2.0, jitter=False) == pytest.approx(
+        2 * kernel.charge_cpu(1.0, jitter=False), rel=1e-6
+    )
+
+
+def test_load_file_populates_page_cache(host, kernel):
+    host.fs.create("/data/blob", 8 * 4096, content_seed="blob")
+    pfns, cost = kernel.load_file("/data/blob")
+    assert len(pfns) == 8
+    assert cost > 0
+    assert host.memory.read(pfns[0]) == host.fs.open("/data/blob").page_content(0)
+
+
+def test_load_file_idempotent(host, kernel):
+    host.fs.create("/data/blob2", 4096)
+    first, _ = kernel.load_file("/data/blob2")
+    second, _ = kernel.load_file("/data/blob2")
+    assert first is second
+
+
+def test_evict_file(host, kernel):
+    host.fs.create("/data/tmp", 2 * 4096)
+    pfns, _ = kernel.load_file("/data/tmp")
+    kernel.evict_file("/data/tmp")
+    assert "/data/tmp" not in kernel.page_cache
+    with pytest.raises(GuestError):
+        kernel.evict_file("/data/tmp")
+
+
+def test_write_file_page_updates_cache_and_fs(host, kernel):
+    host.fs.create("/data/doc", 2 * 4096, content_seed="doc")
+    pfns, _ = kernel.load_file("/data/doc")
+    cost = kernel.write_file_page("/data/doc", 1, b"edited")
+    assert cost > 0
+    assert host.memory.read(pfns[1]) == b"edited"
+    assert host.fs.open("/data/doc").page_content(1) == b"edited"
+
+
+def test_write_page_reports_outcome(host, kernel):
+    pfns, _ = kernel.alloc_pages(1)
+    outcome, cost = kernel.write_page(pfns[0], b"x")
+    assert not outcome.cow_broken
+    assert cost > 0
+
+
+def test_syscall_tap_fires_and_charges(kernel):
+    events = []
+    tap = SyscallTap("write", lambda system, name: events.append(name))
+    kernel.install_tap(tap)
+    tapped = kernel.syscall_cost("write")
+    kernel.remove_tap(tap)
+    untapped = kernel.syscall_cost("write")
+    assert events == ["write"]
+    assert tap.hits == 1
+    # At depth 0 the tap exit is priced at depth >= 1 (hypervisor trap).
+    assert tapped > untapped
+
+
+def test_remove_missing_tap_rejected(kernel):
+    with pytest.raises(Exception):
+        kernel.remove_tap(SyscallTap("write", None))
+
+
+def test_boot_only_once(host):
+    with pytest.raises(GuestError):
+        host.kernel.boot()
+
+
+def test_boot_populates_processes(host):
+    names = {p.name for p in host.kernel.table.processes()}
+    assert "systemd" in names
+    assert "sshd" in names
+
+
+def test_spawn_and_kill_cost(host, kernel):
+    proc, cost = kernel.spawn("nginx", "/usr/sbin/nginx")
+    assert cost > 0
+    assert kernel.table.get(proc.pid).name == "nginx"
+    kill_cost = kernel.kill(proc.pid)
+    assert kill_cost > 0
+    assert kernel.table.get(proc.pid) is None
+
+
+def test_all_profiles_priced_at_all_depths():
+    from repro.hypervisor.exits import CostModel
+
+    model = CostModel()
+    for name, profile in SYSCALL_PROFILES.items():
+        base = model.cpu_cost(profile.cpu_seconds, 0, profile.mem_intensity)
+        assert base >= 0, name

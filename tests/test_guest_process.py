@@ -1,0 +1,94 @@
+"""Process table: spawn, kill, reap, and the rootkit's PID reassignment."""
+
+import pytest
+
+from repro.errors import ProcessError
+from repro.guest.process import ProcessTable
+
+
+@pytest.fixture
+def table():
+    return ProcessTable()
+
+
+def test_spawn_assigns_increasing_pids(table):
+    a = table.spawn("one")
+    b = table.spawn("two")
+    assert b.pid == a.pid + 1
+
+
+def test_kill_makes_zombie(table):
+    proc = table.spawn("victim")
+    table.kill(proc.pid, exit_code=1)
+    assert not proc.alive
+    assert proc.exit_code == 1
+    assert table.get(proc.pid) is proc  # still visible
+
+
+def test_reap_removes_zombie(table):
+    proc = table.spawn("victim")
+    table.kill(proc.pid)
+    table.reap(proc.pid)
+    assert table.get(proc.pid) is None
+
+
+def test_reap_live_process_rejected(table):
+    proc = table.spawn("alive")
+    with pytest.raises(ProcessError):
+        table.reap(proc.pid)
+
+
+def test_kill_unknown_rejected(table):
+    with pytest.raises(ProcessError):
+        table.kill(999)
+
+
+def test_reassign_pid(table):
+    victim = table.spawn("qemu-victim")
+    attacker = table.spawn("qemu-guestx")
+    old_victim_pid = victim.pid
+    table.kill(victim.pid)
+    table.reap(victim.pid)
+    moved = table.reassign_pid(attacker.pid, old_victim_pid)
+    assert moved.pid == old_victim_pid
+    assert table.get(old_victim_pid) is attacker
+
+
+def test_reassign_to_busy_pid_rejected(table):
+    a = table.spawn("a")
+    b = table.spawn("b")
+    with pytest.raises(ProcessError):
+        table.reassign_pid(a.pid, b.pid)
+
+
+def test_reassign_unknown_rejected(table):
+    with pytest.raises(ProcessError):
+        table.reassign_pid(42, 43)
+
+
+def test_pid_never_collides_after_reassign(table):
+    a = table.spawn("a")
+    table.reassign_pid(a.pid, 500)
+    fresh = table.spawn("fresh")
+    assert fresh.pid != 500
+
+
+def test_find_helpers(table):
+    table.spawn("qemu-system-x86_64", "qemu-system-x86_64 -name g0 -m 1024")
+    table.spawn("bash", "-bash")
+    assert len(table.find_by_name("qemu-system-x86_64")) == 1
+    assert len(table.find_by_cmdline_substring("-name g0")) == 1
+    assert table.find_by_name("nope") == []
+
+
+def test_contains_and_len(table):
+    proc = table.spawn("x")
+    assert proc.pid in table
+    assert len(table) == 1
+    table.remove(proc.pid)
+    assert proc.pid not in table
+
+
+def test_remove_unknown_rejected(table):
+    with pytest.raises(ProcessError):
+        table.remove(1)

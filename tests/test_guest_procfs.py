@@ -1,0 +1,58 @@
+"""/proc rendering."""
+
+import pytest
+
+from repro.errors import ProcessError
+from repro.guest import procfs
+
+
+def test_list_pids(host):
+    pids = procfs.list_pids(host)
+    assert 1 in pids
+    assert pids == sorted(pids)
+
+
+def test_cmdline_nul_separated(host, victim):
+    text = procfs.proc_cmdline(host, victim.process.pid)
+    assert "\x00-name\x00guest0\x00" in text
+    assert text.endswith("\x00")
+
+
+def test_status_fields(host):
+    text = procfs.proc_status(host, 1)
+    assert "Name:\tsystemd" in text
+    assert "State:\tR (running)" in text
+    assert "PPid:\t0" in text
+
+
+def test_missing_pid_rejected(host):
+    with pytest.raises(ProcessError):
+        procfs.proc_cmdline(host, 99999)
+    with pytest.raises(ProcessError):
+        procfs.proc_status(host, 99999)
+
+
+def test_meminfo_accounts_usage(victim):
+    text = procfs.meminfo(victim.guest)
+    lines = dict(
+        line.split(":", 1) for line in text.strip().splitlines()
+    )
+    total = int(lines["MemTotal"].strip().split()[0])
+    free = int(lines["MemFree"].strip().split()[0])
+    assert total == 1024 * 1024
+    assert 0 < free < total
+
+
+def test_cpuinfo_vmx_flag_tracks_exposure(nested_env):
+    host, report = nested_env
+    # The host and GuestX (launched with +vmx) see the flag...
+    assert " vmx" in procfs.cpuinfo(host)
+    assert " vmx" in procfs.cpuinfo(report.guestx_vm.guest)
+    # ...the victim, which never had nested exposure, does not.
+    assert " vmx" not in procfs.cpuinfo(report.nested_vm.guest)
+
+
+def test_cpuinfo_stanza_per_cpu(host):
+    text = procfs.cpuinfo(host)
+    assert text.count("processor\t:") == host.cpu.logical_cpus
+    assert "GenuineIntel" in text

@@ -1,0 +1,67 @@
+"""Shell history / ps output and the System abstraction."""
+
+import pytest
+
+from repro.errors import HypervisorError
+from repro.guest.system import System, make_testbed
+from repro.hardware.cpu import CpuPackage
+from repro.hardware.machine import Machine
+
+
+def test_history_records_and_renders(host):
+    host.shell.record("ls -la")
+    host.shell.record("qemu-system-x86_64 -name g0")
+    text = host.shell.history_text()
+    assert "1  ls -la" in text
+    assert "qemu-system-x86_64" in text
+
+
+def test_clear_history(host):
+    host.shell.record("secret")
+    host.shell.clear_history()
+    assert host.shell.history == []
+
+
+def test_ps_ef_format(host):
+    lines = host.shell.ps_ef().splitlines()
+    assert lines[0].startswith("UID")
+    assert any("systemd" in line for line in lines)
+    # PID column is numeric.
+    first = lines[1].split()
+    assert first[1].isdigit()
+
+
+def test_bare_metal_system(machine):
+    system = System.bare_metal(machine)
+    assert system.depth == 0
+    assert system.net_node is not None
+    assert not system.booted
+    assert system.paused is False
+
+
+def test_make_testbed_boots_and_loads_kvm():
+    host = make_testbed(seed=1)
+    assert host.booted
+    assert host.kvm is not None
+    assert host.engine.now > 0
+
+
+def test_enable_kvm_requires_vmx():
+    machine = Machine(cpu=CpuPackage(vmx=False), memory_mb=1024)
+    system = System.bare_metal(machine)
+    with pytest.raises(HypervisorError):
+        system.enable_kvm()
+
+
+def test_enable_kvm_idempotent(host):
+    assert host.enable_kvm() is host.kvm
+
+
+def test_lineage(nested_env):
+    host, report = nested_env
+    l2 = report.nested_vm.guest
+    chain = l2.lineage()
+    assert chain[0] is host
+    assert chain[-1] is l2
+    assert [s.depth for s in chain] == [0, 1, 2]
+    assert l2.host() is host

@@ -1,0 +1,53 @@
+"""CPU package and machine composition."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hardware.cpu import CpuPackage
+from repro.hardware.machine import Machine
+
+
+def test_default_cpu_matches_testbed():
+    cpu = CpuPackage()
+    assert "i7-4790" in cpu.model
+    assert cpu.logical_cpus == 8
+    assert cpu.vmx
+    assert cpu.vendor == "intel"
+
+
+def test_virtual_copy_without_vmx_exposure():
+    cpu = CpuPackage()
+    vcpu = cpu.virtual_copy(2, expose_vmx=False)
+    assert vcpu.cores == 2
+    assert not vcpu.vmx
+
+
+def test_virtual_copy_with_vmx_exposure():
+    vcpu = CpuPackage().virtual_copy(1, expose_vmx=True)
+    assert vcpu.vmx
+    # Exposure cannot conjure VMX the hardware lacks.
+    no_vtx = CpuPackage(vmx=False).virtual_copy(1, expose_vmx=True)
+    assert not no_vtx.vmx
+
+
+def test_vendor_propagates():
+    amd = CpuPackage(vendor="amd")
+    assert amd.virtual_copy(1, expose_vmx=True).vendor == "amd"
+
+
+def test_bad_vendor_rejected():
+    with pytest.raises(HardwareError):
+        CpuPackage(vendor="via")
+
+
+def test_zero_vcpus_rejected():
+    with pytest.raises(HardwareError):
+        CpuPackage().virtual_copy(0, expose_vmx=False)
+
+
+def test_machine_defaults():
+    machine = Machine()
+    assert machine.memory.size_mb == 16384
+    assert machine.engine.now == 0.0
+    assert machine.cost_model is not None
+    assert machine.rng.stream("x") is machine.rng.stream("x")

@@ -1,0 +1,142 @@
+"""Physical memory: frames, CoW mechanics, sharing bookkeeping."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.hardware.memory import (
+    PAGE_SIZE,
+    Frame,
+    PhysicalMemory,
+    WriteOutcome,
+    content_digest,
+)
+
+
+@pytest.fixture
+def memory():
+    return PhysicalMemory(size_mb=64)
+
+
+def test_allocate_and_read(memory):
+    pfn = memory.allocate(b"hello")
+    assert memory.read(pfn) == b"hello"
+
+
+def test_untouched_page_reads_zero(memory):
+    assert memory.read(12345) == b""
+
+
+def test_write_to_unmapped_rejected(memory):
+    with pytest.raises(MemoryError_):
+        memory.write(999, b"x")
+
+
+def test_content_size_limit():
+    with pytest.raises(MemoryError_):
+        Frame(0, b"x" * (PAGE_SIZE + 1))
+
+
+def test_write_updates_content_and_digest(memory):
+    pfn = memory.allocate(b"before")
+    frame = memory.frame(pfn)
+    old_digest = frame.digest
+    memory.write(pfn, b"after")
+    assert memory.read(pfn) == b"after"
+    assert memory.frame(pfn).digest != old_digest
+
+
+def test_digest_matches_content_digest(memory):
+    pfn = memory.allocate(b"abc")
+    assert memory.frame(pfn).digest == content_digest(b"abc")
+
+
+def test_free_unmapped_rejected(memory):
+    with pytest.raises(MemoryError_):
+        memory.free(77)
+
+
+def test_free_then_read_zero(memory):
+    pfn = memory.allocate(b"bye")
+    memory.free(pfn)
+    assert memory.read(pfn) == b""
+
+
+def test_remap_shares_frame(memory):
+    a = memory.allocate(b"same")
+    b = memory.allocate(b"same")
+    target = memory.frame(a)
+    memory.remap(b, target)
+    assert memory.frame(b) is target
+    assert target.refcount == 2
+    assert memory.allocated_pages == 2
+    assert memory.distinct_frames == 1
+    assert memory.pages_saved_by_sharing == 1
+
+
+def test_cow_break_on_shared_write(memory):
+    a = memory.allocate(b"same")
+    b = memory.allocate(b"same")
+    memory.remap(b, memory.frame(a))
+    outcome = memory.write(b, b"changed")
+    assert outcome.cow_broken
+    assert memory.read(a) == b"same"
+    assert memory.read(b) == b"changed"
+    assert memory.frame(a).refcount == 1
+
+
+def test_write_to_private_page_no_cow(memory):
+    pfn = memory.allocate(b"private")
+    outcome = memory.write(pfn, b"still private")
+    assert not outcome.cow_broken
+
+
+def test_sole_mapper_of_stable_frame_still_cows(memory):
+    pfn = memory.allocate(b"stable")
+    memory.frame(pfn).ksm_shared = True
+    outcome = memory.write(pfn, b"changed")
+    assert outcome.cow_broken
+    assert not memory.frame(pfn).ksm_shared
+
+
+def test_mergeable_generation_tracks_allocs(memory):
+    before = memory.mergeable_generation
+    memory.allocate(b"x", mergeable=False)
+    assert memory.mergeable_generation == before
+    memory.allocate(b"y", mergeable=True)
+    assert memory.mergeable_generation == before + 1
+
+
+def test_write_epoch_tracks_mergeable_writes(memory):
+    plain = memory.allocate(b"p")
+    mergeable = memory.allocate(b"m", mergeable=True)
+    before = memory.write_epoch
+    memory.write(plain, b"p2")
+    assert memory.write_epoch == before
+    memory.write(mergeable, b"m2")
+    assert memory.write_epoch == before + 1
+
+
+def test_iter_mergeable(memory):
+    memory.allocate(b"no")
+    yes = memory.allocate(b"yes", mergeable=True)
+    found = dict(memory.iter_mergeable())
+    assert list(found) == [yes]
+
+
+def test_alloc_page_counts_first_touch(memory):
+    outcome = WriteOutcome()
+    memory.alloc_page(outcome)
+    assert outcome.first_touch_levels == 1
+
+
+def test_exhaustion():
+    tiny = PhysicalMemory(size_mb=1)  # 256 pages
+    for _ in range(tiny.total_pages):
+        tiny.allocate()
+    with pytest.raises(MemoryError_):
+        tiny.allocate()
+
+
+def test_bulk_noops_at_host_level(memory):
+    assert memory.touch_bulk(100) == 0
+    memory.dirty_bulk(50)  # must not raise

@@ -1,0 +1,159 @@
+"""Guest memory: translation chains, dirty logging, bulk pages."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.hardware.memory import PhysicalMemory
+from repro.hypervisor.ept import GuestMemory
+
+
+@pytest.fixture
+def physical():
+    return PhysicalMemory(size_mb=256)
+
+
+@pytest.fixture
+def guest(physical):
+    return GuestMemory(physical, 64, name="g1")
+
+
+@pytest.fixture
+def nested(guest):
+    return GuestMemory(guest, 32, name="g2")
+
+
+def test_depths(physical, guest, nested):
+    assert physical.nesting_depth == 0
+    assert guest.nesting_depth == 1
+    assert nested.nesting_depth == 2
+
+
+def test_write_read_roundtrip(guest):
+    gpfn = guest.alloc_page()
+    guest.write(gpfn, b"data")
+    assert guest.read(gpfn) == b"data"
+
+
+def test_untouched_reads_zero(guest):
+    assert guest.read(100) == b""
+
+
+def test_nested_write_lands_in_host_frame(physical, nested):
+    gpfn = nested.alloc_page()
+    nested.write(gpfn, b"deep")
+    backing, host_pfn = nested.resolve(gpfn)
+    assert backing is physical
+    assert physical.read(host_pfn) == b"deep"
+
+
+def test_nested_write_dirties_every_level(guest, nested):
+    guest.start_dirty_log()
+    nested.start_dirty_log()
+    gpfn = nested.alloc_page()
+    nested.write(gpfn, b"x")
+    nested_dirty, _ = nested.fetch_and_reset_dirty()
+    guest_dirty, _ = guest.fetch_and_reset_dirty()
+    assert gpfn in nested_dirty
+    assert len(guest_dirty) >= 1
+
+
+def test_write_outcome_depth_and_faults(nested):
+    gpfn = nested.alloc_page()  # materializes through both levels
+    outcome = nested.write(gpfn, b"y")
+    assert outcome.depth == 2
+    assert not outcome.cow_broken
+
+
+def test_alloc_page_gpfns_unique(guest):
+    pfns = guest.alloc_pages(50)
+    assert len(set(pfns)) == 50
+
+
+def test_out_of_range_rejected(guest):
+    with pytest.raises(MemoryError_):
+        guest.write(guest.total_pages + 1, b"x")
+
+
+def test_ensure_mapped_idempotent(guest):
+    parent_a = guest.ensure_mapped(7)
+    parent_b = guest.ensure_mapped(7)
+    assert parent_a == parent_b
+
+
+def test_ensure_mapped_records_first_touch_levels(physical, nested):
+    from repro.hardware.memory import WriteOutcome
+
+    outcome = WriteOutcome()
+    nested.ensure_mapped(9, outcome)
+    assert outcome.first_touch_levels == 2  # nested + its parent
+
+
+def test_dirty_log_disabled_by_default(guest):
+    gpfn = guest.alloc_page()
+    guest.write(gpfn, b"x")
+    dirty, bulk = guest.fetch_and_reset_dirty()
+    # Writes are tracked in the set regardless; the log flag gates bulk.
+    assert gpfn in dirty
+    assert bulk == 0
+
+
+def test_bulk_touch_and_dirty(guest):
+    guest.touch_bulk(1000)
+    assert guest.bulk_touched == 1000
+    guest.start_dirty_log()
+    guest.dirty_bulk(300)
+    _dirty, bulk = guest.fetch_and_reset_dirty()
+    assert bulk == 300
+
+
+def test_bulk_dirty_capped_at_touched(guest):
+    guest.touch_bulk(100)
+    guest.start_dirty_log()
+    guest.dirty_bulk(500)
+    _dirty, bulk = guest.fetch_and_reset_dirty()
+    assert bulk == 100
+
+
+def test_bulk_negative_rejected(guest):
+    with pytest.raises(MemoryError_):
+        guest.touch_bulk(-1)
+    with pytest.raises(MemoryError_):
+        guest.dirty_bulk(-1)
+
+
+def test_untracked_pages_accounting(guest):
+    guest.alloc_pages(10)
+    guest.touch_bulk(20)
+    assert guest.untracked_pages == guest.total_pages - 30
+    assert guest.touched_pages == 10
+    assert guest.untouched_pages == guest.total_pages - 10
+
+
+def test_release_frees_backing(physical, guest):
+    before = physical.allocated_pages
+    pfns = guest.alloc_pages(5)
+    for gpfn, content in zip(pfns, [b"a", b"b", b"c", b"d", b"e"]):
+        guest.write(gpfn, content)
+    assert physical.allocated_pages == before + 5
+    guest.release()
+    assert physical.allocated_pages == before
+
+
+def test_nested_release_chains(physical, guest, nested):
+    gpfn = nested.alloc_page()
+    nested.write(gpfn, b"z")
+    base = physical.allocated_pages
+    nested.release()
+    assert physical.allocated_pages == base - 1
+
+
+def test_allocate_adapter(guest):
+    gpfn = guest.allocate(b"adapter")
+    assert guest.read(gpfn) == b"adapter"
+    guest.free(gpfn)
+    assert guest.read(gpfn) == b""
+
+
+def test_zero_size_rejected(physical):
+    with pytest.raises(MemoryError_):
+        GuestMemory(physical, 0)

@@ -1,0 +1,111 @@
+"""The calibrated cost model — the single source of every overhead."""
+
+import pytest
+
+from repro.errors import HypervisorError
+from repro.hardware.memory import WriteOutcome
+from repro.hypervisor.exits import CostModel, ExitReason
+
+
+@pytest.fixture
+def model():
+    return CostModel()
+
+
+def test_bare_metal_exits_free(model):
+    for reason in ExitReason:
+        assert model.exit_cost(reason, 0) == 0.0
+
+
+def test_depth1_cost_is_base_plus_handler(model):
+    cost = model.exit_cost(ExitReason.HLT, 1)
+    assert cost == pytest.approx(
+        model.base_exit_cost + model.handler_cost[ExitReason.HLT]
+    )
+
+
+def test_nested_exits_multiply(model):
+    """The Turtles trampoline: L2 exits cost an order of magnitude more."""
+    for reason in (ExitReason.HLT, ExitReason.IO_PORT, ExitReason.VIRTIO_KICK):
+        d1 = model.exit_cost(reason, 1)
+        d2 = model.exit_cost(reason, 2)
+        assert d2 > 5 * d1
+
+
+def test_ept_violation_has_fast_path(model):
+    """Shadow-EPT refills resolve mostly in L0: small nested multiplier."""
+    ept_ratio = model.exit_cost(ExitReason.EPT_VIOLATION, 2) / model.exit_cost(
+        ExitReason.EPT_VIOLATION, 1
+    )
+    hlt_ratio = model.exit_cost(ExitReason.HLT, 2) / model.exit_cost(
+        ExitReason.HLT, 1
+    )
+    assert ept_ratio < hlt_ratio / 2
+
+
+def test_cost_grows_with_depth(model):
+    for reason in ExitReason:
+        costs = [model.exit_cost(reason, d) for d in range(4)]
+        assert costs == sorted(costs)
+        assert costs[3] > costs[2] > costs[1]
+
+
+def test_unknown_reason_rejected(model):
+    with pytest.raises(HypervisorError):
+        model.exit_cost("not-a-reason", 1)
+
+
+def test_cpu_tax_register_bound_work_nearly_free(model):
+    """Table II's claim: arithmetic is virtualization-insensitive."""
+    assert model.cpu_tax_factor(2, 0.12) < 1.04
+    assert model.cpu_tax_factor(1, 0.12) < 1.01
+
+
+def test_cpu_tax_tlb_heavy_work_pays_at_depth2(model):
+    """Fig 2's claim: compile-class work pays ~25% at L2."""
+    tax = model.cpu_tax_factor(2, 1.0)
+    assert 1.2 < tax < 1.35
+    assert model.cpu_tax_factor(1, 1.0) < 1.05
+
+
+def test_cpu_tax_extends_beyond_table(model):
+    assert model.cpu_tax_factor(3, 1.0) > model.cpu_tax_factor(2, 1.0)
+
+
+def test_cpu_tax_validates_intensity(model):
+    with pytest.raises(HypervisorError):
+        model.cpu_tax_factor(1, 1.5)
+
+
+def test_cpu_cost_includes_timer_exits(model):
+    pure = 1.0 * model.cpu_tax_factor(1, 0.0)
+    with_timer = model.cpu_cost(1.0, 1, mem_intensity=0.0)
+    expected_timer = model.timer_hz * model.exit_cost(ExitReason.TIMER, 1)
+    assert with_timer == pytest.approx(pure + expected_timer)
+
+
+def test_cpu_cost_negative_rejected(model):
+    with pytest.raises(HypervisorError):
+        model.cpu_cost(-1.0, 0)
+
+
+def test_write_outcome_plain(model):
+    outcome = WriteOutcome()
+    assert model.write_outcome_cost(outcome, 0) == pytest.approx(
+        model.page_write_cost
+    )
+
+
+def test_write_outcome_cow_dominates(model):
+    outcome = WriteOutcome()
+    outcome.cow_broken = True
+    cost = model.write_outcome_cost(outcome, 0)
+    assert cost > 1000 * model.page_write_cost
+
+
+def test_write_outcome_first_touch_charges_per_level(model):
+    one = WriteOutcome()
+    one.first_touch_levels = 1
+    two = WriteOutcome()
+    two.first_touch_levels = 2
+    assert model.write_outcome_cost(two, 2) > model.write_outcome_cost(one, 2)

@@ -1,0 +1,95 @@
+"""The KVM facade: VM creation, nesting gates, VMCS pages."""
+
+import pytest
+
+from repro.errors import HypervisorError
+from repro.hypervisor.exits import ExitReason
+from repro.hypervisor.vmcs import VMCS_REVISION_MAGIC, VMCB_MAGIC, looks_like_vmcs
+
+
+def test_create_vm(host):
+    vm = host.kvm.create_vm("t1", vcpus=2, memory_mb=512)
+    assert vm.depth == 1
+    assert len(vm.vmcs) == 2
+    assert vm.memory.size_mb == 512
+
+
+def test_duplicate_name_rejected(host):
+    host.kvm.create_vm("dup")
+    with pytest.raises(HypervisorError):
+        host.kvm.create_vm("dup")
+
+
+def test_zero_vcpus_rejected(host):
+    with pytest.raises(HypervisorError):
+        host.kvm.create_vm("bad", vcpus=0)
+
+
+def test_vmcs_pages_carry_signature(host):
+    vm = host.kvm.create_vm("sig")
+    content = host.memory.read(vm.vmcs[0].backing_pfn)
+    assert looks_like_vmcs(content)
+    assert content.startswith(VMCS_REVISION_MAGIC)
+
+
+def test_amd_vmcb_not_vmcs_signature():
+    from repro.guest.system import make_testbed
+    from repro.hardware.cpu import CpuPackage
+    from repro.hardware.machine import Machine
+    from repro.guest.system import System
+
+    machine = Machine(cpu=CpuPackage(vendor="amd"), memory_mb=2048)
+    host = System.bare_metal(machine)
+    cost = host.boot()
+    machine.engine.run(until=cost)
+    host.enable_kvm()
+    vm = host.kvm.create_vm("amd-vm")
+    content = host.memory.read(vm.vmcs[0].backing_pfn)
+    assert content.startswith(VMCB_MAGIC)
+    assert not looks_like_vmcs(content)
+
+
+def test_vpids_unique_and_reused(host):
+    a = host.kvm.create_vm("a", vcpus=2)
+    b = host.kvm.create_vm("b", vcpus=2)
+    vpids = [v.vpid for v in a.vmcs + b.vmcs]
+    assert len(set(vpids)) == 4
+    a.destroy()
+    c = host.kvm.create_vm("c", vcpus=1)
+    assert c.vmcs[0].vpid in {1, 2}
+
+
+def test_destroy_releases_memory_and_vmcs(host):
+    before = host.memory.allocated_pages
+    vm = host.kvm.create_vm("temp", memory_mb=64)
+    gpfn = vm.memory.alloc_page()
+    vm.memory.write(gpfn, b"payload")
+    vm.destroy()
+    assert host.memory.allocated_pages == before
+    assert "temp" not in host.kvm.vms
+    vm.destroy()  # idempotent
+
+
+def test_destroy_unknown_rejected(host):
+    with pytest.raises(HypervisorError):
+        host.kvm.destroy_vm("ghost")
+
+
+def test_exit_accounting(host):
+    vm = host.kvm.create_vm("counts")
+    vm.record_exit(ExitReason.HLT, 3)
+    vm.record_exit(ExitReason.HLT, 0.5)
+    assert vm.exit_count(ExitReason.HLT) == pytest.approx(3.5)
+    assert vm.total_exits == pytest.approx(3.5)
+
+
+def test_kvm_requires_vmx():
+    from repro.hardware.cpu import CpuPackage
+    from repro.hardware.machine import Machine
+    from repro.guest.system import System
+    from repro.hypervisor.kvm import Kvm
+
+    machine = Machine(cpu=CpuPackage(vmx=False), memory_mb=1024)
+    host = System.bare_metal(machine)
+    with pytest.raises(HypervisorError):
+        Kvm(host)

@@ -1,0 +1,162 @@
+"""Grand end-to-end lifecycle with cross-module conservation invariants.
+
+One simulation, the whole story: multi-tenant host, attack with live
+services, detection by three channels, incident response, and recovery
+— asserting along the way that the substrate conserves what it should
+(memory, ports, processes).
+"""
+
+import pytest
+
+from repro import scenarios
+from repro.core.detection.dedup_detector import CloudInterface, DedupDetector
+from repro.core.detection.exit_census import exit_census
+from repro.core.detection.forensics import TenantRecord, collect_evidence
+from repro.core.detection.response import respond_and_recover
+from repro.core.detection.vmcs_scan import scan_for_hypervisors
+from repro.core.rootkit.services import KeystrokeLogger, PacketCaptureService
+from repro.core.rootkit.stealth import ImpersonationMirror
+from repro.hypervisor.ksm import KsmDaemon
+from repro.net.stack import Link, NetworkNode
+from repro.workloads.filebench import FilebenchWorkload
+
+
+@pytest.fixture(scope="module")
+def story():
+    """Run the full narrative once; tests assert different facets."""
+    facts = {}
+    host = scenarios.testbed(seed=777)
+    engine = host.engine
+
+    # Two tenants; tenant-a will be attacked.
+    vm_a = scenarios.launch_victim(host)
+    vm_b = scenarios.launch_victim(
+        host,
+        scenarios.victim_config(
+            name="tenant-b",
+            image="/var/lib/images/tenant-b.qcow2",
+            ssh_host_port=2223,
+            monitor_port=5560,
+        ),
+    )
+    state = {"guest": vm_a.guest}
+    KsmDaemon(host.machine).start()
+    facts["pages_after_setup"] = host.memory.allocated_pages
+
+    # The attack, with services.
+    install = scenarios.install_cloudskulk(host, target_name="guest0")
+    victim = install.nested_vm.guest
+    facts["install"] = install
+    rule = next(
+        r for nic in install.guestx_vm.nics for r in nic.forward_rules
+        if r.outer_port == 2222
+    )
+    capture = PacketCaptureService()
+    rule.add_hook(capture)
+    logger = KeystrokeLogger()
+    logger.install(victim)
+
+    # The victim works; a customer logs in; the attacker records it all.
+    workload = FilebenchWorkload()
+    workload.start(victim, duration=30.0)
+    customer = NetworkNode(engine, "customer")
+    Link(customer, host.net_node, 941e6, 1e-4)
+
+    def session(e):
+        endpoint = customer.connect(host.net_node, 2222)
+        yield endpoint.send(b"PASS=s3cret")
+
+    def sshd(e):
+        conn = yield victim.net_node.listener(22).accept()
+        while True:
+            yield conn.server.recv()
+
+    engine.process(sshd(engine))
+    engine.run(engine.process(session(engine)))
+    # The user types into a shell inside the victim: write(2) calls the
+    # L1 tap sees.
+    for _ in range(12):
+        victim.kernel.syscall_cost("write")
+    engine.run(until=engine.now + 35.0)
+    facts["capture"] = capture
+    facts["logger"] = logger
+
+    # Detection: three channels.
+    cloud = CloudInterface(host, lambda: state["guest"])
+    cloud.observers.append(ImpersonationMirror(install.guestx_vm.guest))
+    detector = DedupDetector(host, cloud, file_pages=15)
+    facts["dedup"] = engine.run(engine.process(detector.run())).verdict
+    facts["census"] = engine.run(engine.process(exit_census(host)))
+    facts["scan"] = engine.run(engine.process(scan_for_hypervisors(host)))
+
+    # Response.
+    record = TenantRecord("guest0", 1024, public_ports=(2222,))
+    record_b = TenantRecord("tenant-b", 1024, public_ports=(2223,))
+    evidence = engine.run(
+        engine.process(collect_evidence(host, [record, record_b]))
+    )
+    facts["evidence"] = evidence
+    recovery = engine.run(
+        engine.process(
+            respond_and_recover(
+                host, evidence, record, "/var/lib/images/guest0.qcow2"
+            )
+        )
+    )
+    facts["recovery"] = recovery
+    facts["host"] = host
+    facts["vm_b"] = vm_b
+    return facts
+
+
+def test_attack_phase_worked(story):
+    assert story["install"].success
+    assert b"PASS=s3cret" in story["capture"].payloads("inbound")
+    assert story["logger"].keystrokes_logged > 0
+
+
+def test_all_three_channels_agreed(story):
+    assert story["dedup"].verdict == "nested"
+    assert story["census"].flagged == ["guestx"]
+    assert story["scan"].nested_hypervisor_detected
+
+
+def test_evidence_names_everything(story):
+    kinds = {e.kind for e in story["evidence"].critical}
+    assert {"vmcs-census", "unknown-vm", "bulk-flow"} <= kinds
+    # The innocent tenant drew no evidence.
+    subjects = {e.subject for e in story["evidence"].critical}
+    assert "tenant-b" not in subjects
+
+
+def test_recovery_restored_service(story):
+    recovery = story["recovery"]
+    assert recovery.clean
+    assert recovery.recovered_vm.guest.depth == 1
+
+
+def test_innocent_tenant_untouched_throughout(story):
+    vm_b = story["vm_b"]
+    assert vm_b.status == "running"
+    assert vm_b.guest.depth == 1
+    assert vm_b.guest.booted
+    assert story["host"].net_node.listener(2223) is not None
+
+
+def test_memory_conservation(story):
+    """After eviction + relaunch, host memory is near the two-tenant
+    baseline: the rootkit stack's pages were all reclaimed."""
+    host = story["host"]
+    # Allow slack for the detector's artifacts and recovered-VM deltas.
+    assert host.memory.allocated_pages < story["pages_after_setup"] * 1.3
+
+
+def test_final_process_table_clean(story):
+    host = story["host"]
+    qemu_procs = [
+        p for p in host.kernel.table.find_by_name("qemu-system-x86_64")
+        if p.alive
+    ]
+    assert len(qemu_procs) == 2  # tenant-b + recovered guest0
+    names = {p.cmdline.split("-name ")[1].split()[0] for p in qemu_procs}
+    assert names == {"guest0", "tenant-b"}

@@ -1,0 +1,26 @@
+"""The KSM sysfs surface."""
+
+from repro.hardware.machine import Machine
+from repro.hypervisor.ksm import KsmDaemon
+
+
+def test_sysfs_text_reflects_state():
+    machine = Machine(memory_mb=512, seed=3)
+    ksm = KsmDaemon(machine, pages_to_scan=200, sleep_millisecs=20)
+    text = ksm.sysfs_text()
+    assert "run: 0" in text
+    assert "pages_to_scan: 200" in text
+    assert "sleep_millisecs: 20" in text
+
+    ksm.start()
+    machine.memory.allocate(b"pair", mergeable=True)
+    machine.memory.allocate(b"pair", mergeable=True)
+    machine.engine.run(until=machine.engine.now + 1.0)
+    text = ksm.sysfs_text()
+    assert "run: 1" in text
+    assert "pages_shared: 1" in text
+    assert "pages_sharing: 1" in text
+    assert "full_scans:" in text
+    ksm.stop()
+    machine.engine.run(until=machine.engine.now + 0.1)
+    assert "run: 0" in ksm.sysfs_text()

@@ -1,0 +1,139 @@
+"""lmbench suites: L0 fidelity and the paper's L1/L2 shapes."""
+
+import pytest
+
+from repro import scenarios
+from repro.workloads.lmbench.arith import ARITH_OPS, LmbenchArith
+from repro.workloads.lmbench.fs import LmbenchFileOps
+from repro.workloads.lmbench.proc import LmbenchProc
+
+
+@pytest.fixture(scope="module")
+def levels():
+    """Proc/arith/fs metrics at L0, L1, L2 (computed once: L2 needs a
+    full CloudSkulk install)."""
+    data = {}
+    for level in (0, 1, 2):
+        host, system = scenarios.system_at_level(level, seed=42)
+        arith = host.engine.run(LmbenchArith().start(system, iterations=100))
+        proc = host.engine.run(
+            LmbenchProc().start(system, repetition_scale=0.05)
+        )
+        fs = host.engine.run(LmbenchFileOps().start(system, files_per_size=120))
+        data[level] = {
+            "arith": arith.metrics["latencies_ns"],
+            "proc": proc.metrics["latencies_us"],
+            "fs_create": fs.metrics["creations_per_s"],
+            "fs_delete": fs.metrics["deletions_per_s"],
+        }
+    return data
+
+
+# ---- Table II -----------------------------------------------------------
+
+
+def test_arith_l0_matches_paper(levels):
+    for op, expected_ns in ARITH_OPS.items():
+        assert levels[0]["arith"][op] == pytest.approx(expected_ns, rel=0.05)
+
+
+def test_arith_virtualization_nearly_free(levels):
+    """Table II: L1 within ~1%, L2 within ~5% of native."""
+    for op in ARITH_OPS:
+        assert levels[1]["arith"][op] < levels[0]["arith"][op] * 1.02
+        assert levels[2]["arith"][op] < levels[0]["arith"][op] * 1.06
+        assert levels[2]["arith"][op] > levels[0]["arith"][op] * 1.005
+
+
+# ---- Table III ----------------------------------------------------------
+
+
+def test_proc_l0_matches_paper(levels):
+    paper_l0 = {
+        "signal handler installation": 0.075,
+        "signal handler overhead": 0.50,
+        "protection fault": 0.27,
+        "pipe latency": 3.49,
+        "AF_UNIX sock stream latency": 3.58,
+        "fork+ exit": 74.6,
+        "fork+ execve": 245.8,
+        "fork+ /bin/sh -c": 918.7,
+    }
+    for label, expected in paper_l0.items():
+        assert levels[0]["proc"][label] == pytest.approx(expected, rel=0.10)
+
+
+def test_pipe_latency_explodes_at_l2(levels):
+    """The headline Table III effect: ~10-20x pipe blowup at L2."""
+    l1 = levels[1]["proc"]["pipe latency"]
+    l2 = levels[2]["proc"]["pipe latency"]
+    assert 5 < l2 / l1 < 25
+    assert l2 == pytest.approx(65.49, rel=0.25)
+
+
+def test_fork_same_at_l1_triples_at_l2(levels):
+    l0 = levels[0]["proc"]["fork+ exit"]
+    l1 = levels[1]["proc"]["fork+ exit"]
+    l2 = levels[2]["proc"]["fork+ exit"]
+    assert l1 == pytest.approx(l0, rel=0.10)  # EPT makes L1 fork ~free
+    assert 2.5 < l2 / l1 < 4.5  # extra traps at L2 ([38])
+
+
+def test_fork_sh_l2_shape(levels):
+    l2 = levels[2]["proc"]["fork+ /bin/sh -c"]
+    assert l2 == pytest.approx(1826.0, rel=0.25)
+
+
+def test_proc_costs_monotone_in_depth(levels):
+    for label in levels[0]["proc"]:
+        assert (
+            levels[2]["proc"][label]
+            > levels[0]["proc"][label] * 0.95
+        )
+
+
+# ---- Table IV -----------------------------------------------------------
+
+
+def test_fs_l0_matches_paper(levels):
+    paper = {0: 126418, 1: 99112, 4: 99627, 10: 79869}
+    for size_kb, expected in paper.items():
+        assert levels[0]["fs_create"][size_kb] == pytest.approx(
+            expected, rel=0.20
+        )
+
+
+def test_fs_l1_matches_baseline(levels):
+    """Table IV: L1 file ops track L0 closely."""
+    for size_kb in (0, 1, 4, 10):
+        ratio = levels[1]["fs_create"][size_kb] / levels[0]["fs_create"][size_kb]
+        assert 0.85 < ratio < 1.05
+
+
+def test_fs_l2_zero_k_create_anomaly(levels):
+    """The paper's Table IV outlier: L2 0K creation collapses ~50x."""
+    l2_zero = levels[2]["fs_create"][0]
+    assert l2_zero == pytest.approx(2430, rel=0.35)
+    assert levels[1]["fs_create"][0] / l2_zero > 20
+
+
+def test_fs_l2_sized_creates_stay_reasonable(levels):
+    """Creates that write data amortize the journal: no collapse."""
+    assert levels[2]["fs_create"][1] == pytest.approx(62933, rel=0.30)
+    assert levels[2]["fs_create"][1] / levels[2]["fs_create"][0] > 10
+
+
+def test_fs_deletions_never_collapse(levels):
+    for level in (0, 1, 2):
+        for size_kb in (0, 1, 4, 10):
+            assert levels[level]["fs_delete"][size_kb] > 100_000
+
+
+def test_fs_anomaly_switchable_off():
+    host, system = scenarios.system_at_level(2, seed=43)
+    result = host.engine.run(
+        LmbenchFileOps(emulate_l2_sync_anomaly=False).start(
+            system, files_per_size=100
+        )
+    )
+    assert result.metrics["creations_per_s"][0] > 50_000

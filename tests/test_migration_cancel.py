@@ -1,0 +1,85 @@
+"""Migration cancellation and stream failure (failure injection)."""
+
+import pytest
+
+from repro.qemu.config import DriveSpec
+from repro.qemu.qemu_img import qemu_img_create
+from repro.qemu.vm import launch_vm
+from repro.workloads.idle import IdleWorkload
+from repro.workloads.kernel_compile import KernelCompileWorkload
+
+
+def _destination(host, source_vm, name="dest0", port=4444):
+    qemu_img_create(host, f"/var/lib/images/{name}.qcow2", 20)
+    config = source_vm.config.clone_for_destination(
+        name, incoming_port=port, keep_hostfwds=False
+    )
+    config.drives = [DriveSpec(f"/var/lib/images/{name}.qcow2")]
+    vm, _ = launch_vm(host, config)
+    return vm
+
+
+def test_cancel_mid_migration_leaves_guest_running(host, victim):
+    workload = KernelCompileWorkload()
+    workload.start(victim.guest, loop_forever=True)
+    dest = _destination(host, victim)
+    victim.monitor.execute("migrate -d tcp:127.0.0.1:4444")
+    # Let a few seconds of the first iteration pass, then cancel.
+    host.engine.run(until=host.engine.now + 5.0)
+    out = victim.monitor.execute("migrate_cancel")
+    assert out == ""
+    host.engine.run(until=host.engine.now + 3.0)
+    workload.stop()
+
+    assert victim.migration_stats.status == "cancelled"
+    assert victim.status == "running"
+    assert victim.guest is not None
+    assert not victim.paused
+    assert victim.guest.kernel.cpu_throttle == 0.0
+    # The destination QEMU exits on the broken stream (as -incoming does).
+    assert dest.status == "terminated"
+
+
+def test_cancelled_source_can_retry(host, victim):
+    _destination(host, victim, name="dest-a", port=4444)
+    victim.monitor.execute("migrate -d tcp:127.0.0.1:4444")
+    host.engine.run(until=host.engine.now + 2.0)
+    victim.monitor.execute("migrate_cancel")
+    host.engine.run(until=host.engine.now + 2.0)
+
+    # Retry toward a fresh destination.
+    dest_b = _destination(host, victim, name="dest-b", port=4445)
+    victim.monitor.execute("migrate -d tcp:127.0.0.1:4445")
+    host.engine.run(victim.migration_process)
+    assert victim.migration_stats.status == "completed"
+    assert dest_b.guest is victim_guest_of(dest_b)
+    assert dest_b.status == "running"
+
+
+def victim_guest_of(dest_vm):
+    return dest_vm.guest
+
+
+def test_cancel_without_migration(host, victim):
+    assert victim.monitor.execute("migrate_cancel") == "No migration in progress"
+
+
+def test_cancel_after_completion_refused(host, victim):
+    _destination(host, victim)
+    victim.monitor.execute("migrate -d tcp:127.0.0.1:4444")
+    host.engine.run(victim.migration_process)
+    out = victim.monitor.execute("migrate_cancel")
+    assert "cannot be cancelled" in out or out == "No migration in progress"
+    assert victim.migration_stats.status == "completed"
+
+
+def test_info_migrate_shows_cancelled(host, victim):
+    _destination(host, victim)
+    workload = IdleWorkload()
+    workload.start(victim.guest)
+    victim.monitor.execute("migrate -d tcp:127.0.0.1:4444")
+    host.engine.run(until=host.engine.now + 2.0)
+    victim.monitor.execute("migrate_cancel")
+    host.engine.run(until=host.engine.now + 1.0)
+    workload.stop()
+    assert "Migration status: cancelled" in victim.monitor.execute("info migrate")

@@ -1,0 +1,167 @@
+"""Pre-copy live migration: convergence, downtime, identity transfer."""
+
+import pytest
+
+from repro.errors import MigrationError
+from repro.migration.precopy import PreCopyMigration
+from repro.qemu.config import DriveSpec
+from repro.qemu.qemu_img import qemu_img_create
+from repro.qemu.vm import launch_vm
+from repro.workloads.idle import IdleWorkload
+from repro.workloads.kernel_compile import KernelCompileWorkload
+from repro import scenarios
+
+
+def _destination(host, source_vm, name="dest0", port=4444):
+    qemu_img_create(host, f"/var/lib/images/{name}.qcow2", 20)
+    config = source_vm.config.clone_for_destination(
+        name, incoming_port=port, keep_hostfwds=False
+    )
+    config.drives = [DriveSpec(f"/var/lib/images/{name}.qcow2")]
+    vm, _ = launch_vm(host, config)
+    return vm
+
+
+def _migrate(host, vm, port=4444):
+    start = host.engine.now
+    vm.monitor.execute(f"migrate -d tcp:127.0.0.1:{port}")
+    host.engine.run(vm.migration_process)
+    return host.engine.now - start
+
+
+def test_idle_migration_completes(host, victim):
+    dest = _destination(host, victim)
+    elapsed = _migrate(host, victim)
+    stats = victim.migration_stats
+    assert stats.status == "completed"
+    assert victim.status == "postmigrate"
+    assert dest.status == "running"
+    assert 5.0 < elapsed < 60.0
+
+
+def test_guest_identity_preserved(host, victim):
+    guest = victim.guest
+    guest.fs.create("/home/user/notes.txt", 4096, content_seed="notes")
+    pfns, _ = guest.kernel.load_file("/home/user/notes.txt")
+    original = guest.memory.read(pfns[0])
+    dest = _destination(host, victim)
+    _migrate(host, victim)
+    assert dest.guest is guest
+    assert guest.depth == 1
+    assert guest.qemu_vm is dest
+    # Page-cache pfns still resolve to the same content on the new side.
+    assert guest.memory.read(pfns[0]) == original
+    assert guest.kernel.booted
+
+
+def test_downtime_under_cap(host, victim):
+    _destination(host, victim)
+    _migrate(host, victim)
+    assert victim.migration_stats.downtime < 0.5
+
+
+def test_dirty_workload_forces_iterations(host, victim):
+    workload = IdleWorkload()
+    workload.start(victim.guest)
+    _destination(host, victim)
+    _migrate(host, victim)
+    workload.stop()
+    assert victim.migration_stats.iterations >= 2
+
+
+def test_compile_workload_triggers_auto_converge(host, victim):
+    workload = KernelCompileWorkload()
+    workload.start(victim.guest, loop_forever=True)
+    _destination(host, victim)
+    elapsed = _migrate(host, victim)
+    workload.stop()
+    stats = victim.migration_stats
+    assert stats.throttle_percentage >= 20
+    assert stats.iterations > 5
+    assert elapsed > 100.0
+    # Throttle released after completion.
+    assert victim.migration_stats.status == "completed"
+
+
+def test_throttle_reset_after_migration(host, victim):
+    workload = KernelCompileWorkload()
+    workload.start(victim.guest, loop_forever=True)
+    dest = _destination(host, victim)
+    _migrate(host, victim)
+    workload.stop()
+    assert dest.guest.kernel.cpu_throttle == 0.0
+
+
+def test_workload_survives_switchover(host, victim):
+    workload = IdleWorkload()
+    process = workload.start(victim.guest)
+    dest = _destination(host, victim)
+    _migrate(host, victim)
+    ticks_at_switch = None
+    host.engine.run(until=host.engine.now + 10.0)
+    workload.stop()
+    result = host.engine.run(process)
+    assert result.metrics["ticks"] > 0
+    assert dest.guest.qemu_vm is dest
+
+
+def test_migrate_without_guest_rejected(host, victim):
+    dest = _destination(host, victim)
+    with pytest.raises(MigrationError):
+        PreCopyMigration(dest)  # destination has no guest yet
+
+
+def test_migrate_to_missing_port_fails(host, victim):
+    migration = PreCopyMigration(victim, destination_port=9999)
+    process = migration.start()
+    with pytest.raises(MigrationError):
+        host.engine.run(process)
+    assert migration.stats.status == "failed"
+
+
+def test_info_migrate_reports_progress(host, victim):
+    _destination(host, victim)
+    victim.monitor.execute("migrate -d tcp:127.0.0.1:4444")
+    host.engine.run(victim.migration_process)
+    text = victim.monitor.execute("info migrate")
+    assert "Migration status: completed" in text
+    assert "dirty sync count:" in text
+    assert "transferred ram:" in text
+
+
+def test_zero_pages_cheap(host, victim):
+    """Never-touched RAM must not dominate the transfer volume."""
+    _destination(host, victim)
+    _migrate(host, victim)
+    stats = victim.migration_stats
+    memory_bytes = victim.config.memory_mb * 1024 * 1024
+    assert stats.zero_pages > 0
+    assert stats.ram_bytes < memory_bytes  # zeros compressed to headers
+
+
+def test_bandwidth_cap_respected(host, victim):
+    _destination(host, victim)
+    victim.monitor.execute("migrate_set_speed 8m")
+    elapsed_slow = _migrate(host, victim)
+    # 8 MiB/s over ~650 MB of resident pages takes > 60 s.
+    assert elapsed_slow > 60.0
+
+
+def test_faster_speed_shortens_migration(host):
+    times = {}
+    for speed, port in (("32m", 4444), ("128m", 4445)):
+        vm = scenarios.launch_victim(
+            host,
+            scenarios.victim_config(
+                name=f"v{port}",
+                image=f"/var/lib/images/v{port}.qcow2",
+                ssh_host_port=20000 + port,
+                monitor_port=30000 + port,
+            ),
+        )
+        _destination(host, vm, name=f"d{port}", port=port)
+        vm.monitor.execute(f"migrate_set_speed {speed}")
+        vm.monitor.execute(f"migrate -d tcp:127.0.0.1:{port}")
+        host.engine.run(vm.migration_process)
+        times[speed] = vm.migration_stats.total_time
+    assert times["128m"] < times["32m"] / 2

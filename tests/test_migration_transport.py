@@ -1,0 +1,62 @@
+"""Migration wire-format accounting."""
+
+import pytest
+
+from repro.migration.transport import (
+    ACK_BYTES,
+    Complete,
+    DeviceState,
+    PAGE_WIRE_BYTES,
+    RamChunk,
+    ZERO_WIRE_BYTES,
+)
+
+
+def test_real_pages_cost_full_size():
+    chunk = RamChunk(entries=[(0, b"a"), (1, b"b")])
+    assert chunk.wire_bytes == 2 * PAGE_WIRE_BYTES + 16
+    assert chunk.page_count == 2
+
+
+def test_zero_pages_cost_headers_only():
+    chunk = RamChunk(zero_pages=1000)
+    assert chunk.wire_bytes == 1000 * ZERO_WIRE_BYTES + 16
+    assert chunk.page_count == 0
+
+
+def test_bulk_pages_cost_full_size():
+    chunk = RamChunk(bulk_pages=10)
+    assert chunk.wire_bytes == 10 * PAGE_WIRE_BYTES + 16
+
+
+def test_mixed_chunk_sums():
+    chunk = RamChunk(entries=[(0, b"x")], bulk_pages=3, zero_pages=100)
+    expected = 4 * PAGE_WIRE_BYTES + 100 * ZERO_WIRE_BYTES + 16
+    assert chunk.wire_bytes == expected
+    assert chunk.page_count == 4
+
+
+def test_wire_bytes_never_negative():
+    chunk = RamChunk(bulk_pages=1, xbzrle_pages=1000)  # absurd over-claim
+    assert chunk.wire_bytes >= 32
+
+
+def test_zero_page_savings_dominate():
+    """A mostly-empty 1 GiB guest must not cost 1 GiB on the wire."""
+    chunk = RamChunk(bulk_pages=1000, zero_pages=200_000)
+    assert chunk.wire_bytes < 0.01 * (201_000 * PAGE_WIRE_BYTES)
+
+
+def test_device_state_default_size():
+    assert DeviceState().size_bytes == 256 * 1024
+
+
+def test_complete_carries_handoff():
+    complete = Complete("guest-obj", alloc_floor=500, bulk_pages_total=42)
+    assert complete.guest_system == "guest-obj"
+    assert complete.alloc_floor == 500
+    assert complete.bulk_pages_total == 42
+
+
+def test_ack_is_small():
+    assert ACK_BYTES < 4096

@@ -1,0 +1,163 @@
+"""Edge cases across modules that the main suites don't reach."""
+
+import pytest
+
+from repro import scenarios
+from repro.errors import ConfigError, ReproError
+
+
+# ---- qemu config parser corners -------------------------------------------
+
+
+def test_parse_monitor_variants():
+    from repro.qemu.config import _parse_monitor
+
+    spec = _parse_monitor("telnet:0.0.0.0:5601,server,nowait")
+    assert spec.host == "0.0.0.0"
+    assert spec.port == 5601
+    with pytest.raises(ConfigError):
+        _parse_monitor("vc:80Cx24C")
+
+
+def test_parse_incoming_variants():
+    from repro.qemu.config import _parse_incoming
+
+    assert _parse_incoming("tcp:0:4444") == 4444
+    with pytest.raises(ConfigError):
+        _parse_incoming("rdma:0:4444")
+
+
+def test_dangling_flag_rejected():
+    from repro.qemu.config import QemuConfig
+
+    with pytest.raises(ConfigError):
+        QemuConfig.from_command_line("qemu-system-x86_64 -m")
+
+
+def test_drive_without_file_rejected():
+    from repro.qemu.config import QemuConfig
+
+    with pytest.raises(ConfigError):
+        QemuConfig.from_command_line(
+            "qemu-system-x86_64 -drive if=virtio,format=qcow2"
+        )
+
+
+def test_netdev_requires_user_and_id():
+    from repro.qemu.config import QemuConfig
+
+    with pytest.raises(ConfigError):
+        QemuConfig.from_command_line("qemu-system-x86_64 -netdev tap,id=n0")
+    with pytest.raises(ConfigError):
+        QemuConfig.from_command_line("qemu-system-x86_64 -netdev user,net=10.0.2.0")
+
+
+# ---- shell formatting --------------------------------------------------------
+
+
+def test_stime_wraps_at_midnight():
+    from repro.guest.shell import _format_stime
+
+    assert _format_stime(0.0) == "00:00"
+    assert _format_stime(3600.0) == "01:00"
+    assert _format_stime(25 * 3600.0) == "01:00"  # wraps a day
+
+
+# ---- migration stats ---------------------------------------------------------
+
+
+def test_migration_stats_failure_text(engine):
+    from repro.migration.stats import MigrationStats
+
+    stats = MigrationStats(engine)
+    stats.fail(RuntimeError("link down"))
+    text = stats.monitor_text()
+    assert "Migration status: failed" in text
+    assert "error: link down" in text
+
+
+def test_migration_stats_throughput_zero_elapsed(engine):
+    from repro.migration.stats import MigrationStats
+
+    stats = MigrationStats(engine)
+    assert stats.throughput_mbps == 0.0
+
+
+# ---- workloads ---------------------------------------------------------------
+
+
+def test_pace_zero_cost(host):
+    from repro.workloads.idle import IdleWorkload
+
+    workload = IdleWorkload()
+
+    def run(e):
+        yield from workload._pace(host, 0.0)
+        return "ok"
+
+    assert host.engine.run(host.engine.process(run(host.engine))) == "ok"
+
+
+def test_charge_syscalls_scales_linearly(host):
+    kernel = host.kernel
+    kernel.jitter_rsd = 0.0
+    one = kernel.charge_syscalls("stat", 1)
+    ten = kernel.charge_syscalls("stat", 10)
+    assert ten == pytest.approx(10 * one, rel=0.05)
+
+
+def test_kernel_alloc_pages_cost_grows_with_depth(nested_env):
+    _host, report = nested_env
+    l1 = report.guestx_vm.guest.kernel
+    l2 = report.nested_vm.guest.kernel
+    l1.jitter_rsd = l2.jitter_rsd = 0.0
+    _pfns1, cost1 = l1.alloc_pages(10)
+    _pfns2, cost2 = l2.alloc_pages(10)
+    assert cost2 > cost1
+
+
+# ---- analysis ---------------------------------------------------------------
+
+
+def test_render_comparison_negative_change():
+    from repro.analysis.report import render_comparison_labels
+
+    text = render_comparison_labels([("a", 100.0, "b", 80.0)])
+    assert "-20.0%" in text
+
+
+def test_summary_rsd_of_constant_series():
+    from repro.analysis.stats import summarize
+
+    assert summarize([5.0, 5.0, 5.0]).rsd_percent == 0.0
+
+
+# ---- scenario internals --------------------------------------------------------
+
+
+def test_host_lineage_is_self(host):
+    assert host.lineage() == [host]
+    assert host.host() is host
+
+
+def test_victim_config_customization():
+    config = scenarios.victim_config(
+        name="x", memory_mb=2048, ssh_host_port=4000, monitor_port=4001
+    )
+    assert config.memory_mb == 2048
+    assert config.nics[0].hostfwds == [("tcp", 4000, 22)]
+    assert config.monitor.port == 4001
+
+
+def test_errors_form_one_hierarchy():
+    import repro.errors as errors
+
+    roots = [
+        getattr(errors, name)
+        for name in dir(errors)
+        if isinstance(getattr(errors, name), type)
+        and issubclass(getattr(errors, name), Exception)
+    ]
+    for exc_type in roots:
+        if exc_type is not ReproError:
+            assert issubclass(exc_type, ReproError) or exc_type is ReproError

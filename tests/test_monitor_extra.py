@@ -1,0 +1,51 @@
+"""The newer monitor commands: hostfwd_add/remove, info cpus/kvm."""
+
+import pytest
+
+from repro.errors import MonitorError
+from repro.net.stack import Link, NetworkNode
+
+
+def test_info_cpus(victim):
+    out = victim.monitor.execute("info cpus")
+    assert "CPU #0" in out
+    assert out.count("CPU #") == victim.config.smp
+
+
+def test_info_kvm(victim):
+    assert victim.monitor.execute("info kvm") == "kvm support: enabled"
+
+
+def test_hostfwd_add_makes_guest_reachable(host, victim):
+    victim.monitor.execute("hostfwd_add tcp::8080-:80")
+    victim.guest.net_node.listen(80)
+    client = NetworkNode(host.engine, "web-client")
+    Link(client, host.net_node, 1e9, 1e-4)
+    endpoint = client.connect(host.net_node, 8080)
+    assert endpoint is not None
+    assert ("tcp", 8080, 80) in victim.nics[0].spec.hostfwds
+    # info network reflects the runtime addition.
+    assert "hostfwd=tcp::8080-:80" in victim.monitor.execute("info network")
+
+
+def test_hostfwd_remove(host, victim):
+    victim.monitor.execute("hostfwd_remove tcp::2222")
+    assert victim.nics[0].spec.hostfwds == []
+    assert host.net_node.listener(2222) is None
+    with pytest.raises(MonitorError):
+        victim.monitor.execute("hostfwd_remove tcp::2222")
+
+
+def test_hostfwd_add_validation(victim):
+    with pytest.raises(MonitorError):
+        victim.monitor.execute("hostfwd_add nonsense")
+    with pytest.raises(MonitorError):
+        victim.monitor.execute("hostfwd_add")
+    with pytest.raises(MonitorError):
+        victim.monitor.execute("hostfwd_remove tcp::abc")
+
+
+def test_command_log_records_everything(victim):
+    victim.monitor.execute("info status")
+    victim.monitor.execute("info kvm")
+    assert victim.monitor.command_log[-2:] == ["info status", "info kvm"]

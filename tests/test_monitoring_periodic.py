@@ -1,0 +1,71 @@
+"""Periodic monitoring: detection latency bounded by the sweep interval."""
+
+import pytest
+
+from repro import scenarios
+from repro.core.detection.service import MonitoringService
+from repro.core.rootkit.stealth import ImpersonationMirror
+from repro.errors import DetectionError
+from repro.hypervisor.ksm import KsmDaemon
+
+
+def test_periodic_sweeps_catch_a_mid_stream_attack():
+    host = scenarios.testbed(seed=73)
+    vm = scenarios.launch_victim(host)
+    state = {"guest": vm.guest}
+    KsmDaemon(host.machine).start()
+
+    service = MonitoringService(host, file_pages=10)
+    interface = service.register_tenant("guest0", lambda: state["guest"])
+    alerts = []
+    process = service.run_periodic(
+        interval_seconds=120.0,
+        alert_callback=alerts.append,
+        max_sweeps=4,
+    )
+
+    # Let sweep 0 complete clean, then attack between sweeps.
+    host.engine.run(until=host.engine.now + 90.0)
+    assert len(service.sweep_history) == 1
+    assert service.sweep_history[0].compromised_tenants == []
+
+    report = scenarios.install_cloudskulk(host)
+    interface.observers.append(ImpersonationMirror(report.guestx_vm.guest))
+
+    host.engine.run(process)
+    verdict_series = [
+        sweep.compromised_tenants for sweep in service.sweep_history
+    ]
+    assert verdict_series[0] == []
+    # Every sweep after the installation flags the tenant.
+    assert all(v == ["guest0"] for v in verdict_series[1:])
+    assert alerts and alerts[0].compromised_tenants == ["guest0"]
+
+
+def test_detection_latency_bounded_by_interval():
+    host = scenarios.testbed(seed=74)
+    vm = scenarios.launch_victim(host)
+    state = {"guest": vm.guest}
+    KsmDaemon(host.machine).start()
+    service = MonitoringService(host, file_pages=10)
+    interface = service.register_tenant("guest0", lambda: state["guest"])
+    alerts = []
+    interval = 200.0
+    service.run_periodic(
+        interval_seconds=interval, alert_callback=alerts.append, max_sweeps=3
+    )
+    host.engine.run(until=host.engine.now + 50.0)
+    attack_time = host.engine.now
+    report = scenarios.install_cloudskulk(host)
+    interface.observers.append(ImpersonationMirror(report.guestx_vm.guest))
+    host.engine.run(until=host.engine.now + 3 * interval + 300)
+    assert alerts
+    latency = alerts[0].finished_at - attack_time
+    # One interval + one protocol duration (3 waits + install tail).
+    assert latency < interval + 200.0
+
+
+def test_periodic_interval_validated(host):
+    service = MonitoringService(host)
+    with pytest.raises(DetectionError):
+        service.run_periodic(interval_seconds=0)

@@ -1,0 +1,152 @@
+"""Port forwarding rules and packet hooks — the RITM's vantage point."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.nat import ForwardRule, PacketHook
+from repro.net.stack import Link, NetworkNode
+
+
+@pytest.fixture
+def topology(engine):
+    client = NetworkNode(engine, "client")
+    host = NetworkNode(engine, "host")
+    guest = NetworkNode(engine, "guest")
+    Link(client, host, 1e9, 1e-4)
+    Link(host, guest, 5e9, 5e-5, inbound_allowed=False)
+    return client, host, guest
+
+
+def _echo_server(engine, node, port):
+    listener = node.listen(port)
+
+    def server(e):
+        conn = yield listener.accept()
+        while True:
+            packet = yield conn.server.recv()
+            conn.server.send(b"echo:" + packet.payload)
+
+    engine.process(server(engine))
+    return listener
+
+
+def _request(engine, client, host, port, payload=b"hello"):
+    def run(e):
+        ep = client.connect(host, port)
+        ep.send(payload)
+        reply = yield ep.recv()
+        return reply.payload
+
+    return engine.run(engine.process(run(engine)))
+
+
+def test_forward_rule_splices(engine, topology):
+    client, host, guest = topology
+    _echo_server(engine, guest, 22)
+    rule = ForwardRule(host, 2222, guest, 22)
+    assert _request(engine, client, host, 2222) == b"echo:hello"
+    assert rule.stats.connections == 1
+    assert rule.stats.packets["inbound"] == 1
+    assert rule.stats.packets["outbound"] == 1
+
+
+def test_hook_observes_both_directions(engine, topology):
+    client, host, guest = topology
+    _echo_server(engine, guest, 22)
+    rule = ForwardRule(host, 2222, guest, 22)
+    seen = []
+
+    class Spy(PacketHook):
+        def on_packet(self, packet, direction, rule):
+            seen.append((direction, packet.payload))
+            return packet
+
+    rule.add_hook(Spy())
+    _request(engine, client, host, 2222)
+    assert ("inbound", b"hello") in seen
+    assert ("outbound", b"echo:hello") in seen
+
+
+def test_hook_can_drop(engine, topology):
+    client, host, guest = topology
+    _echo_server(engine, guest, 22)
+    rule = ForwardRule(host, 2222, guest, 22)
+
+    class DropAll(PacketHook):
+        def on_packet(self, packet, direction, rule):
+            return None if direction == "inbound" else packet
+
+    rule.add_hook(DropAll())
+
+    def run(e):
+        ep = client.connect(host, 2222)
+        ep.send(b"never-arrives")
+        timeout = e.timeout(1.0, value="timed-out")
+        result = yield e.any_of([ep.recv(), timeout])
+        return result
+
+    assert engine.run(engine.process(run(engine))) == "timed-out"
+    assert rule.stats.dropped == 1
+
+
+def test_hook_can_modify(engine, topology):
+    client, host, guest = topology
+    _echo_server(engine, guest, 22)
+    rule = ForwardRule(host, 2222, guest, 22)
+
+    class Rewrite(PacketHook):
+        def on_packet(self, packet, direction, rule):
+            if direction == "inbound":
+                return packet.replace(payload=b"tampered")
+            return packet
+
+    rule.add_hook(Rewrite())
+    assert _request(engine, client, host, 2222) == b"echo:tampered"
+    assert rule.stats.modified == 1
+
+
+def test_hooks_chain_in_order(engine, topology):
+    client, host, guest = topology
+    _echo_server(engine, guest, 22)
+    rule = ForwardRule(host, 2222, guest, 22)
+
+    class Append(PacketHook):
+        def __init__(self, tag):
+            self.tag = tag
+
+        def on_packet(self, packet, direction, rule):
+            if direction == "inbound":
+                return packet.replace(payload=packet.payload + self.tag)
+            return packet
+
+    rule.add_hook(Append(b"-a"))
+    rule.add_hook(Append(b"-b"))
+    assert _request(engine, client, host, 2222) == b"echo:hello-a-b"
+
+
+def test_remove_hook(engine, topology):
+    _client, host, guest = topology
+    rule = ForwardRule(host, 2222, guest, 22)
+    hook = PacketHook()
+    rule.add_hook(hook)
+    rule.remove_hook(hook)
+    with pytest.raises(NetworkError):
+        rule.remove_hook(hook)
+
+
+def test_rule_remove_frees_port(engine, topology):
+    _client, host, guest = topology
+    rule = ForwardRule(host, 2222, guest, 22)
+    rule.remove()
+    ForwardRule(host, 2222, guest, 22)  # rebind works
+    rule.remove()  # idempotent on the first rule
+
+
+def test_chained_rules_reach_nested_guest(engine, topology):
+    client, host, guest = topology
+    nested = NetworkNode(engine, "nested")
+    Link(guest, nested, 5e9, 5e-5, inbound_allowed=False)
+    _echo_server(engine, nested, 22)
+    ForwardRule(guest, 3333, nested, 22)
+    ForwardRule(host, 2222, guest, 3333)
+    assert _request(engine, client, host, 2222) == b"echo:hello"

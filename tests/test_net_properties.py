@@ -1,0 +1,121 @@
+"""Property-based tests on the network stack."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.net.nat import ForwardRule, PacketHook
+from repro.net.stack import Link, NetworkNode
+from repro.sim.engine import Engine
+
+_net_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+sizes = st.lists(
+    st.integers(min_value=1, max_value=512 * 1024), min_size=1, max_size=30
+)
+
+
+@_net_settings
+@given(payload_sizes=sizes, bandwidth_mbps=st.integers(1, 10_000))
+def test_delivery_is_fifo_regardless_of_sizes(payload_sizes, bandwidth_mbps):
+    """A connection delivers packets in send order whatever their sizes
+    and whatever the link speed."""
+    engine = Engine()
+    a = NetworkNode(engine, "a")
+    b = NetworkNode(engine, "b")
+    Link(a, b, bandwidth_mbps * 1e6, 1e-4)
+    listener = b.listen(1)
+    received = []
+
+    def server(e):
+        conn = yield listener.accept()
+        for _ in payload_sizes:
+            packet = yield conn.server.recv()
+            received.append(packet.payload)
+
+    def client(e):
+        endpoint = a.connect(b, 1)
+        for index, size in enumerate(payload_sizes):
+            endpoint.send(index, size_bytes=size)
+        yield e.timeout(3600.0)
+
+    engine.process(server(engine))
+    engine.process(client(engine))
+    engine.run(until=7200.0)
+    assert received == list(range(len(payload_sizes)))
+
+
+@_net_settings
+@given(payload_sizes=sizes)
+def test_delivery_time_lower_bounded_by_serialization(payload_sizes):
+    """Total delivery time >= total bytes / bandwidth."""
+    engine = Engine()
+    a = NetworkNode(engine, "a")
+    b = NetworkNode(engine, "b")
+    bandwidth = 1e8  # 100 Mbit
+    Link(a, b, bandwidth, 0.0)
+    listener = b.listen(1)
+    done = []
+
+    def server(e):
+        conn = yield listener.accept()
+        for _ in payload_sizes:
+            yield conn.server.recv()
+        done.append(e.now)
+
+    def client(e):
+        endpoint = a.connect(b, 1)
+        for size in payload_sizes:
+            endpoint.send(None, size_bytes=size)
+        yield e.timeout(0)
+
+    engine.process(server(engine))
+    engine.process(client(engine))
+    engine.run(until=7200.0)
+    assert done
+    minimum = sum(payload_sizes) * 8.0 / bandwidth
+    assert done[0] >= minimum * 0.999
+
+
+@_net_settings
+@given(
+    drop_mask=st.lists(st.booleans(), min_size=1, max_size=25),
+)
+def test_forward_rule_accounting_consistent(drop_mask):
+    """packets_forwarded + dropped == packets offered, for any drop
+    pattern a hook applies."""
+    engine = Engine()
+    client = NetworkNode(engine, "c")
+    host = NetworkNode(engine, "h")
+    guest = NetworkNode(engine, "g")
+    Link(client, host, 1e9, 1e-5)
+    Link(host, guest, 1e9, 1e-5, inbound_allowed=False)
+    guest.listen(9)
+    rule = ForwardRule(host, 99, guest, 9)
+
+    class MaskDrop(PacketHook):
+        def __init__(self, mask):
+            self.mask = list(mask)
+            self.index = 0
+
+        def on_packet(self, packet, direction, rule):
+            drop = self.mask[self.index % len(self.mask)]
+            self.index += 1
+            return None if drop else packet
+
+    rule.add_hook(MaskDrop(drop_mask))
+
+    def run(e):
+        endpoint = client.connect(host, 99)
+        for _ in drop_mask:
+            endpoint.send(b"x")
+        yield e.timeout(10.0)
+
+    engine.process(run(engine))
+    engine.run(until=20.0)
+    offered = len(drop_mask)
+    assert rule.stats.packets["inbound"] + rule.stats.dropped == offered
+    assert rule.stats.dropped == sum(drop_mask)

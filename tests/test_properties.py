@@ -1,0 +1,205 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.guest.filesystem import File
+from repro.hardware.memory import PAGE_SIZE, PhysicalMemory, content_digest
+from repro.hypervisor.ept import GuestMemory
+from repro.hypervisor.exits import CostModel, ExitReason
+from repro.qemu.config import DriveSpec, MonitorSpec, NicSpec, QemuConfig
+from repro.sim.engine import Engine
+
+contents = st.binary(min_size=0, max_size=128)
+
+
+# ---- memory ----------------------------------------------------------------
+
+
+@given(st.lists(contents, min_size=1, max_size=40))
+def test_write_read_roundtrip(payloads):
+    memory = PhysicalMemory(size_mb=16)
+    pfns = [memory.allocate(c) for c in payloads]
+    for pfn, content in zip(pfns, payloads):
+        assert memory.read(pfn) == content
+
+
+@given(st.lists(contents, min_size=2, max_size=30))
+def test_refcounts_match_mappings(payloads):
+    """Sum of refcounts over distinct frames == number of mappings,
+    no matter how pages are merged."""
+    memory = PhysicalMemory(size_mb=16)
+    pfns = [memory.allocate(c, mergeable=True) for c in payloads]
+    # Merge every identical pair the way KSM would.
+    by_content = {}
+    for pfn in pfns:
+        frame = memory.frame(pfn)
+        key = frame.content
+        if key in by_content:
+            memory.remap(pfn, by_content[key])
+        else:
+            by_content[key] = frame
+    frames = {id(memory.frame(p)): memory.frame(p) for p in pfns}
+    assert sum(f.refcount for f in frames.values()) == len(pfns)
+
+
+@given(st.lists(contents, min_size=2, max_size=30), st.data())
+def test_cow_preserves_other_mappers(payloads, data):
+    memory = PhysicalMemory(size_mb=16)
+    shared_content = payloads[0]
+    pfns = [memory.allocate(shared_content, mergeable=True) for _ in range(4)]
+    target = memory.frame(pfns[0])
+    for pfn in pfns[1:]:
+        memory.remap(pfn, target)
+    writer = data.draw(st.sampled_from(pfns))
+    new_content = data.draw(contents)
+    memory.write(writer, new_content)
+    for pfn in pfns:
+        expected = new_content if pfn == writer else shared_content
+        assert memory.read(pfn) == expected
+
+
+@given(st.binary(min_size=0, max_size=PAGE_SIZE))
+def test_digest_deterministic_and_content_sensitive(content):
+    assert content_digest(content) == content_digest(content)
+    if content:
+        flipped = bytes([content[0] ^ 1]) + content[1:]
+        assert content_digest(flipped) != content_digest(content)
+
+
+@given(
+    st.integers(min_value=1, max_value=3),
+    st.lists(contents, min_size=1, max_size=20),
+)
+def test_nested_memory_roundtrip_any_depth(depth, payloads):
+    memory = PhysicalMemory(size_mb=64)
+    domain = memory
+    for level in range(depth):
+        domain = GuestMemory(domain, 8, name=f"g{level}")
+    pfns = []
+    for content in payloads:
+        gpfn = domain.alloc_page()
+        domain.write(gpfn, content)
+        pfns.append(gpfn)
+    for gpfn, content in zip(pfns, payloads):
+        assert domain.read(gpfn) == content
+        backing, host_pfn = domain.resolve(gpfn)
+        assert backing is memory
+        assert memory.read(host_pfn) == content
+
+
+# ---- cost model --------------------------------------------------------------
+
+
+@given(
+    st.sampled_from(list(ExitReason)),
+    st.integers(min_value=0, max_value=4),
+)
+def test_exit_costs_positive_and_monotone(reason, depth):
+    model = CostModel()
+    cost = model.exit_cost(reason, depth)
+    assert cost >= 0
+    assert model.exit_cost(reason, depth + 1) > cost or depth == 0 and cost == 0 or (
+        model.exit_cost(reason, depth + 1) > 0
+    )
+
+
+@given(
+    st.floats(min_value=0.0, max_value=100.0),
+    st.integers(min_value=0, max_value=3),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_cpu_cost_at_least_native(seconds, depth, intensity):
+    model = CostModel()
+    assert model.cpu_cost(seconds, depth, intensity) >= seconds * 0.999
+
+
+# ---- engine ordering -----------------------------------------------------------
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30))
+def test_engine_fires_in_time_order(delays):
+    engine = Engine()
+    fired = []
+    for delay in delays:
+        engine.call_later(delay, fired.append, delay)
+    engine.run()
+    assert fired == sorted(delays)
+    assert engine.now == max(delays)
+
+
+# ---- qemu config round trip ------------------------------------------------------
+
+
+config_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd")),
+    min_size=1,
+    max_size=12,
+)
+ports = st.integers(min_value=1024, max_value=60000)
+
+
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(
+    name=config_names,
+    memory_mb=st.integers(min_value=64, max_value=16384),
+    smp=st.integers(min_value=1, max_value=8),
+    nested=st.booleans(),
+    fwd_pairs=st.lists(st.tuples(ports, ports), max_size=3, unique_by=lambda t: t[0]),
+    monitor_port=st.one_of(st.none(), ports),
+    incoming=st.one_of(st.none(), ports),
+)
+def test_config_command_line_roundtrip(
+    name, memory_mb, smp, nested, fwd_pairs, monitor_port, incoming
+):
+    config = QemuConfig(
+        name=name,
+        memory_mb=memory_mb,
+        smp=smp,
+        drives=[DriveSpec(f"/img/{name}.qcow2")],
+        nics=[NicSpec("net0", hostfwds=[("tcp", h, g) for h, g in fwd_pairs])],
+        monitor=MonitorSpec(port=monitor_port) if monitor_port else None,
+        nested_vmx=nested,
+        incoming_port=incoming,
+    )
+    parsed = QemuConfig.from_command_line(config.to_command_line())
+    assert parsed.name == name
+    assert parsed.memory_mb == memory_mb
+    assert parsed.smp == smp
+    assert parsed.nested_vmx == nested
+    assert parsed.nics == config.nics
+    assert parsed.monitor == config.monitor
+    assert parsed.incoming_port == incoming
+    assert config.mismatches(parsed) == []
+
+
+# ---- file paging -------------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=64 * 1024))
+def test_file_page_count_covers_size(size_bytes):
+    file = File("/f", size_bytes)
+    if size_bytes == 0:
+        assert file.num_pages == 0
+    else:
+        assert (file.num_pages - 1) * PAGE_SIZE < size_bytes <= file.num_pages * PAGE_SIZE
+
+
+# ---- classifier ----------------------------------------------------------------------
+
+
+@given(
+    base=st.floats(min_value=0.1, max_value=2.0),
+    merged=st.floats(min_value=100.0, max_value=1000.0),
+    noise=st.floats(min_value=0.8, max_value=1.2),
+)
+def test_classifier_verdicts_partition(base, merged, noise):
+    from repro.core.detection.classifier import classify
+
+    t0 = [base] * 10
+    both = classify(t0, [merged * noise] * 10, [merged] * 10)
+    assert both.verdict == "nested"
+    only_t1 = classify(t0, [merged] * 10, [base * noise] * 10)
+    assert only_t1.verdict == "clean"
+    neither = classify(t0, [base * noise] * 10, [base] * 10)
+    assert neither.verdict == "inconclusive"

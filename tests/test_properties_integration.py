@@ -1,0 +1,99 @@
+"""Property-based tests on whole-system invariants (hypothesis)."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import scenarios
+from repro.hardware.machine import Machine
+from repro.hypervisor.ksm import KsmDaemon
+from repro.qemu.config import DriveSpec
+from repro.qemu.qemu_img import qemu_img_create
+from repro.qemu.vm import launch_vm
+
+contents = st.binary(min_size=1, max_size=64)
+
+_slow = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@_slow
+@given(pages=st.lists(contents, min_size=1, max_size=25), seed=st.integers(1, 10_000))
+def test_migration_preserves_arbitrary_memory(pages, seed):
+    """Whatever the guest wrote before migration reads back identically
+    at the destination, page for page."""
+    host = scenarios.testbed(seed=seed)
+    vm = scenarios.launch_victim(host)
+    guest = vm.guest
+    gpfns = []
+    for content in pages:
+        gpfn = guest.memory.alloc_page()
+        guest.memory.write(gpfn, content)
+        gpfns.append(gpfn)
+
+    qemu_img_create(host, "/var/lib/images/dst.qcow2", 20)
+    config = vm.config.clone_for_destination(
+        "dst", incoming_port=4444, keep_hostfwds=False
+    )
+    config.drives = [DriveSpec("/var/lib/images/dst.qcow2")]
+    dest, _ = launch_vm(host, config)
+    vm.monitor.execute("migrate -d tcp:127.0.0.1:4444")
+    host.engine.run(vm.migration_process)
+
+    assert dest.guest is guest
+    for gpfn, content in zip(gpfns, pages):
+        assert guest.memory.read(gpfn) == content
+
+
+@_slow
+@given(
+    operations=st.lists(
+        st.tuples(st.integers(0, 11), contents), min_size=5, max_size=60
+    )
+)
+def test_ksm_never_corrupts_logical_content(operations):
+    """Under an arbitrary interleaving of writes and KSM scans, every
+    page always reads back the last value written to it."""
+    machine = Machine(memory_mb=256, seed=5)
+    ksm = KsmDaemon(machine, pages_to_scan=50, sleep_millisecs=10)
+    ksm.start()
+    pfns = [machine.memory.allocate(b"init", mergeable=True) for _ in range(12)]
+    expected = {pfn: b"init" for pfn in pfns}
+    for slot, content in operations:
+        pfn = pfns[slot]
+        machine.memory.write(pfn, content)
+        expected[pfn] = content
+        machine.engine.run(until=machine.engine.now + 0.05)
+    machine.engine.run(until=machine.engine.now + 2.0)
+    for pfn, content in expected.items():
+        assert machine.memory.read(pfn) == content
+    ksm.stop()
+
+
+@_slow
+@given(
+    edits=st.lists(st.tuples(st.integers(0, 9), contents), min_size=1, max_size=20),
+    seed=st.integers(1, 10_000),
+)
+def test_file_pages_survive_the_attack(edits, seed):
+    """Arbitrary guest file edits made before the CloudSkulk migration
+    are intact afterwards — the rootkit must not corrupt the victim."""
+    host = scenarios.testbed(seed=seed)
+    vm = scenarios.launch_victim(host)
+    guest = vm.guest
+    guest.fs.create("/data/db.bin", 10 * 4096, content_seed="db")
+    guest.kernel.load_file("/data/db.bin")
+    expected = {}
+    for page_index, content in edits:
+        guest.kernel.write_file_page("/data/db.bin", page_index, content)
+        expected[page_index] = content
+
+    report = scenarios.install_cloudskulk(host)
+    migrated = report.nested_vm.guest
+    assert migrated is guest
+    pfns = migrated.kernel.page_cache["/data/db.bin"]
+    for page_index, content in expected.items():
+        assert migrated.memory.read(pfns[page_index]) == content
+        assert migrated.fs.open("/data/db.bin").page_content(page_index) == content

@@ -1,0 +1,123 @@
+"""QemuConfig: rendering, parsing, matching — the recon round trip."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.qemu.config import (
+    DriveSpec,
+    MonitorSpec,
+    NicSpec,
+    QemuConfig,
+)
+
+
+@pytest.fixture
+def config():
+    return QemuConfig(
+        name="guest0",
+        memory_mb=1024,
+        smp=2,
+        drives=[DriveSpec("/var/lib/images/guest0.qcow2")],
+        nics=[NicSpec("net0", hostfwds=[("tcp", 2222, 22), ("tcp", 8080, 80)])],
+        monitor=MonitorSpec(port=5555),
+        nested_vmx=True,
+    )
+
+
+def test_command_line_round_trip(config):
+    cmdline = config.to_command_line()
+    parsed = QemuConfig.from_command_line(cmdline)
+    assert parsed.name == "guest0"
+    assert parsed.memory_mb == 1024
+    assert parsed.smp == 2
+    assert parsed.enable_kvm
+    assert parsed.nested_vmx
+    assert parsed.drives == config.drives
+    assert parsed.nics == config.nics
+    assert parsed.monitor == config.monitor
+    assert config.mismatches(parsed) == []
+
+
+def test_command_line_contents(config):
+    cmdline = config.to_command_line()
+    assert "-m 1024" in cmdline
+    assert "-enable-kvm" in cmdline
+    assert "-cpu host,+vmx" in cmdline
+    assert "hostfwd=tcp::2222-:22" in cmdline
+    assert "-monitor telnet:127.0.0.1:5555,server,nowait" in cmdline
+
+
+def test_incoming_rendered_and_parsed(config):
+    config.incoming_port = 4444
+    parsed = QemuConfig.from_command_line(config.to_command_line())
+    assert parsed.incoming_port == 4444
+
+
+def test_non_qemu_cmdline_rejected():
+    with pytest.raises(ConfigError):
+        QemuConfig.from_command_line("ls -la /tmp")
+
+
+def test_unknown_flag_rejected():
+    with pytest.raises(ConfigError):
+        QemuConfig.from_command_line("qemu-system-x86_64 -frobnicate yes")
+
+
+def test_bad_hostfwd_rejected():
+    with pytest.raises(ConfigError):
+        QemuConfig.from_command_line(
+            "qemu-system-x86_64 -netdev user,id=n0,hostfwd=junk"
+        )
+
+
+def test_device_with_unknown_netdev_rejected():
+    with pytest.raises(ConfigError):
+        QemuConfig.from_command_line(
+            "qemu-system-x86_64 -device virtio-net-pci,netdev=ghost"
+        )
+
+
+def test_mismatches_detect_memory_and_smp(config):
+    other = QemuConfig(
+        "dest",
+        memory_mb=2048,
+        smp=1,
+        drives=[DriveSpec("/other.qcow2")],
+        nics=[NicSpec("net0")],
+    )
+    problems = config.mismatches(other)
+    assert any("memory" in p for p in problems)
+    assert any("smp" in p for p in problems)
+
+
+def test_mismatches_ignore_cosmetic_differences(config):
+    clone = config.clone_for_destination("renamed", incoming_port=9999)
+    clone.drives = [DriveSpec("/different/path.qcow2")]  # path may differ
+    assert config.mismatches(clone) == []
+
+
+def test_mismatches_catch_drive_type(config):
+    clone = config.clone_for_destination("dest")
+    clone.drives = [DriveSpec("/x.raw", interface="ide", fmt="raw")]
+    assert any("drive type" in p for p in config.mismatches(clone))
+
+
+def test_clone_strips_hostfwds_when_asked(config):
+    clone = config.clone_for_destination("dest", keep_hostfwds=False)
+    assert clone.nics[0].hostfwds == []
+    kept = config.clone_for_destination("dest2", keep_hostfwds=True)
+    assert kept.nics[0].hostfwds == config.nics[0].hostfwds
+
+
+def test_validation_rejects_nonsense():
+    with pytest.raises(ConfigError):
+        QemuConfig("x", memory_mb=0)
+    with pytest.raises(ConfigError):
+        QemuConfig("x", smp=0)
+
+
+def test_hda_legacy_flag():
+    parsed = QemuConfig.from_command_line(
+        "qemu-system-x86_64 -name old -m 512 -hda /old.img"
+    )
+    assert parsed.drives[0].interface == "ide"

@@ -1,0 +1,75 @@
+"""Device models: virtio block and net."""
+
+import pytest
+
+from repro.errors import QemuError
+
+
+@pytest.fixture
+def block(victim):
+    return victim.block_devices[0]
+
+
+def test_block_read_write_accounting(block):
+    block.read(8)
+    block.write(4)
+    block.write(4)
+    assert block.rd_ops == 1
+    assert block.wr_ops == 2
+    assert block.rd_bytes == 8 * 4096
+    assert block.wr_bytes == 8 * 4096
+
+
+def test_block_latency_scales_with_size(block):
+    small = block.read(1)
+    large = block.read(64)
+    assert large > small
+    assert small > 0
+
+
+def test_block_flush(block):
+    cost = block.flush()
+    assert cost > 0
+    assert block.flush_ops == 1
+
+
+def test_block_negative_rejected(block):
+    with pytest.raises(QemuError):
+        block.read(-1)
+    with pytest.raises(QemuError):
+        block.write(-1)
+
+
+def test_blockstats_line_format(block):
+    block.write(2)
+    line = block.blockstats_line(0)
+    assert line.startswith("virtio0:")
+    assert "wr_bytes=8192" in line
+
+
+def test_nic_info_line(victim):
+    line = victim.nics[0].info_line()
+    assert "type=user" in line
+    assert "hostfwd=tcp::2222-:22" in line
+    assert "virtio-net-pci" in line
+
+
+def test_nic_depth_scales_per_packet_cost(nested_env):
+    _host, report = nested_env
+    outer = report.guestx_vm.nics[0].link.per_packet_cost
+    inner = report.nested_vm.nics[0].link.per_packet_cost
+    assert inner == pytest.approx(2 * outer)
+
+
+def test_nic_teardown_frees_all_ports(host, victim):
+    nic = victim.nics[0]
+    nic.add_hostfwd("tcp", 9100, 9100)
+    assert host.net_node.listener(9100) is not None
+    nic.teardown()
+    assert host.net_node.listener(2222) is None
+    assert host.net_node.listener(9100) is None
+    assert nic.forward_rules == []
+
+
+def test_remove_hostfwd_missing_returns_false(victim):
+    assert victim.nics[0].remove_hostfwd("tcp", 65001) is False

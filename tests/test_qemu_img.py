@@ -1,0 +1,52 @@
+"""Disk images and qemu-img."""
+
+import pytest
+
+from repro.errors import QemuError
+from repro.qemu.qemu_img import (
+    host_images,
+    qemu_img_create,
+    qemu_img_info,
+)
+
+
+def test_create_and_info(host):
+    qemu_img_create(host, "/var/lib/images/test.qcow2", 20)
+    info = qemu_img_info(host, "/var/lib/images/test.qcow2")
+    assert "file format: qcow2" in info
+    assert "virtual size: 20G" in info
+    assert "disk size:" in info
+
+
+def test_backing_file_reported(host):
+    registry = host_images(host)
+    registry.create("/base.qcow2", 10)
+    registry.create("/overlay.qcow2", 10, backing_file="/base.qcow2")
+    info = qemu_img_info(host, "/overlay.qcow2")
+    assert "backing file: /base.qcow2" in info
+
+
+def test_duplicate_create_rejected(host):
+    qemu_img_create(host, "/dup.qcow2", 5)
+    with pytest.raises(QemuError):
+        qemu_img_create(host, "/dup.qcow2", 5)
+
+
+def test_missing_info_rejected(host):
+    with pytest.raises(QemuError):
+        qemu_img_info(host, "/nothing.qcow2")
+
+
+def test_zero_size_rejected(host):
+    with pytest.raises(QemuError):
+        qemu_img_create(host, "/zero.qcow2", 0)
+
+
+def test_registry_scoped_per_system(nested_env):
+    """GuestX's images are invisible to the L0 registry and vice versa."""
+    host, report = nested_env
+    inner = host_images(report.guestx_vm.guest)
+    outer = host_images(host)
+    assert inner is not outer
+    assert inner.exists("/srv/images/nested.qcow2")
+    assert not outer.exists("/srv/images/nested.qcow2")

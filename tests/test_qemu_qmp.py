@@ -1,0 +1,133 @@
+"""The QMP structured monitor."""
+
+import pytest
+
+from repro.errors import MonitorError
+from repro.qemu.qmp import QmpClient, QmpServer
+
+
+@pytest.fixture
+def qmp(host, victim):
+    return QmpServer(victim, 4600)
+
+
+def _drive(host, generator):
+    return host.engine.run(host.engine.process(generator))
+
+
+def test_greeting_and_negotiation(host, victim, qmp):
+    def run(e):
+        client = QmpClient(host.net_node, host.net_node, 4600)
+        greeting = yield from client.open()
+        client.close()
+        return greeting
+
+    greeting = _drive(host, run(host.engine))
+    assert greeting["QMP"]["version"]["qemu"]["major"] == 2
+
+
+def test_command_before_negotiation_rejected(host, victim, qmp):
+    def run(e):
+        client = QmpClient(host.net_node, host.net_node, 4600)
+        yield client.endpoint.recv()  # greeting, skip negotiation
+        try:
+            yield from client.execute("query-status")
+        except MonitorError as error:
+            return str(error)
+
+    assert "negotiation" in _drive(host, run(host.engine))
+
+
+def test_query_status_and_kvm(host, victim, qmp):
+    def run(e):
+        client = QmpClient(host.net_node, host.net_node, 4600)
+        yield from client.open()
+        status = yield from client.execute("query-status")
+        kvm = yield from client.execute("query-kvm")
+        client.close()
+        return status, kvm
+
+    status, kvm = _drive(host, run(host.engine))
+    assert status == {"status": "running", "running": True, "singlestep": False}
+    assert kvm == {"enabled": True, "present": True}
+
+
+def test_query_block(host, victim, qmp):
+    def run(e):
+        client = QmpClient(host.net_node, host.net_node, 4600)
+        yield from client.open()
+        blocks = yield from client.execute("query-block")
+        client.close()
+        return blocks
+
+    blocks = _drive(host, run(host.engine))
+    assert blocks[0]["inserted"]["file"] == "/var/lib/images/guest0.qcow2"
+    assert blocks[0]["inserted"]["drv"] == "qcow2"
+
+
+def test_stop_cont_over_qmp(host, victim, qmp):
+    def run(e):
+        client = QmpClient(host.net_node, host.net_node, 4600)
+        yield from client.open()
+        yield from client.execute("stop")
+        paused = victim.paused
+        yield from client.execute("cont")
+        client.close()
+        return paused, victim.paused
+
+    paused, resumed = _drive(host, run(host.engine))
+    assert paused is True
+    assert resumed is False
+
+
+def test_migrate_over_qmp(host, victim, qmp):
+    from repro.qemu.config import DriveSpec
+    from repro.qemu.qemu_img import qemu_img_create
+    from repro.qemu.vm import launch_vm
+
+    qemu_img_create(host, "/qmp-dest.img", 20)
+    config = victim.config.clone_for_destination(
+        "qmpdest", incoming_port=4444, keep_hostfwds=False
+    )
+    config.drives = [DriveSpec("/qmp-dest.img")]
+    dest, _ = launch_vm(host, config)
+
+    def run(e):
+        client = QmpClient(host.net_node, host.net_node, 4600)
+        yield from client.open()
+        yield from client.execute("migrate", {"uri": "tcp:127.0.0.1:4444"})
+        yield victim.migration_process
+        info = yield from client.execute("query-migrate")
+        client.close()
+        return info
+
+    info = _drive(host, run(host.engine))
+    assert info["status"] == "completed"
+    assert info["ram"]["transferred"] > 0
+    assert dest.guest is not None
+
+
+def test_unknown_command(host, victim, qmp):
+    def run(e):
+        client = QmpClient(host.net_node, host.net_node, 4600)
+        yield from client.open()
+        try:
+            yield from client.execute("query-flux-capacitor")
+        except MonitorError as error:
+            return str(error)
+
+    assert "has not been found" in _drive(host, run(host.engine))
+
+
+def test_invalid_json(host, victim, qmp):
+    import json
+
+    def run(e):
+        endpoint = host.net_node.connect(host.net_node, 4600)
+        yield endpoint.recv()  # greeting
+        endpoint.send(b"this is not json", kind="qmp")
+        packet = yield endpoint.recv()
+        return json.loads(packet.payload.decode("ascii"))
+
+    response = _drive(host, run(host.engine))
+    assert response["error"]["class"] == "GenericError"

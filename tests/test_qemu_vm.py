@@ -1,0 +1,172 @@
+"""QemuVm lifecycle, monitor commands, telnet monitor."""
+
+import pytest
+
+from repro.errors import MonitorError, QemuError
+from repro.qemu.config import DriveSpec, QemuConfig
+from repro.qemu.qemu_img import qemu_img_create
+from repro.qemu.vm import QemuVm, launch_vm
+from repro import scenarios
+
+
+def test_launch_creates_host_process(host, victim):
+    procs = host.kernel.table.find_by_name("qemu-system-x86_64")
+    assert len(procs) == 1
+    assert "-name guest0" in procs[0].cmdline
+
+
+def test_launch_records_history(host, victim):
+    assert any("qemu-system-x86_64" in line for line in host.shell.history)
+
+
+def test_guest_boots_at_depth_one(victim):
+    assert victim.status == "running"
+    assert victim.guest.depth == 1
+    assert victim.guest.booted
+
+
+def test_monitor_info_status(victim):
+    assert victim.monitor.execute("info status") == "VM status: running"
+    victim.pause()
+    assert "paused" in victim.monitor.execute("info status")
+    victim.resume()
+
+
+def test_monitor_info_qtree_lists_devices(victim):
+    out = victim.monitor.execute("info qtree")
+    assert "virtio-blk-pci" in out
+    assert "guest0.qcow2" in out
+    assert "virtio-net-pci" in out
+
+
+def test_monitor_info_blockstats(victim):
+    out = victim.monitor.execute("info blockstats")
+    assert "rd_bytes=" in out
+    assert "wr_operations=" in out
+
+
+def test_monitor_info_mtree_reports_size(victim):
+    out = victim.monitor.execute("info mtree")
+    assert "size: 1024 MiB" in out
+    assert "pc.ram" in out
+
+
+def test_monitor_info_network_shows_hostfwd(victim):
+    out = victim.monitor.execute("info network")
+    assert "hostfwd=tcp::2222-:22" in out
+
+
+def test_monitor_info_mem(victim):
+    out = victim.monitor.execute("info mem")
+    assert "resident pages:" in out
+
+
+def test_monitor_unknown_command(victim):
+    with pytest.raises(MonitorError):
+        victim.monitor.execute("explode")
+    with pytest.raises(MonitorError):
+        victim.monitor.execute("info nonsense")
+
+
+def test_monitor_migrate_set_speed_parses_sizes(victim):
+    victim.monitor.execute("migrate_set_speed 64m")
+    assert victim.migration_max_bandwidth == 64 * 1024 * 1024
+    victim.monitor.execute("migrate_set_speed 1g")
+    assert victim.migration_max_bandwidth == 1024**3
+    with pytest.raises(MonitorError):
+        victim.monitor.execute("migrate_set_speed lots")
+
+
+def test_monitor_info_migrate_before_any(victim):
+    assert "No migration" in victim.monitor.execute("info migrate")
+
+
+def test_pause_resume_wait(host, victim):
+    waited = []
+
+    def waiter(e):
+        yield victim.wait_if_paused()
+        waited.append(e.now)
+
+    victim.pause()
+    host.engine.process(waiter(host.engine))
+    host.engine.call_later(2.0, victim.resume)
+    host.engine.run()
+    assert waited and waited[0] == pytest.approx(host.engine.now)
+
+
+def test_wait_if_paused_immediate_when_running(host, victim):
+    done = []
+
+    def waiter(e):
+        yield victim.wait_if_paused()
+        done.append(True)
+
+    host.engine.process(waiter(host.engine))
+    host.engine.run()
+    assert done == [True]
+
+
+def test_quit_tears_down(host, victim):
+    pid = victim.process.pid
+    victim.monitor.execute("quit")
+    assert victim.status == "terminated"
+    assert pid not in host.kernel.table
+    assert victim.kvm_vm.destroyed
+    # Host port freed.
+    assert host.net_node.listener(2222) is None
+    victim.quit()  # idempotent
+
+
+def test_requires_booted_host(machine):
+    from repro.guest.system import System
+
+    host = System.bare_metal(machine)
+    with pytest.raises(QemuError):
+        QemuVm(host, scenarios.victim_config())
+
+
+def test_enable_kvm_required(host):
+    qemu_img_create(host, "/no-kvm.img", 5)
+    config = QemuConfig("nokvm", 256, drives=[DriveSpec("/no-kvm.img")])
+    host_kvm = host.kvm
+    host.kvm = None
+    try:
+        with pytest.raises(QemuError):
+            QemuVm(host, config)
+    finally:
+        host.kvm = host_kvm
+
+
+def test_missing_image_rejected(host):
+    config = QemuConfig("noimg", 256, drives=[DriveSpec("/ghost.qcow2")])
+    with pytest.raises(QemuError):
+        QemuVm(host, config)
+
+
+def test_incoming_vm_starts_paused_without_guest(host):
+    qemu_img_create(host, "/dest.img", 5)
+    config = QemuConfig(
+        "dest", 512, drives=[DriveSpec("/dest.img")], incoming_port=4444
+    )
+    vm, ready = launch_vm(host, config)
+    assert vm.status == "inmigrate"
+    assert vm.guest is None
+    assert vm.paused
+
+
+def test_telnet_monitor_session(host, victim):
+    from repro.qemu.devices.serial import TelnetClient
+
+    def run(e):
+        client = TelnetClient(host.net_node, host.net_node, 5555)
+        banner = yield from client.open()
+        status = yield from client.command("info status")
+        bad = yield from client.command("explode")
+        client.close()
+        return banner, status, bad
+
+    banner, status, bad = host.engine.run(host.engine.process(run(host.engine)))
+    assert "QEMU" in banner
+    assert status == "VM status: running"
+    assert bad.startswith("error:")

@@ -1,0 +1,76 @@
+"""Reboot survival — the §VII comparison with SubVirt/BluePill.
+
+"even if in the future system administrators decide to reboot,
+CloudSkulk will still survive."
+"""
+
+import pytest
+
+from repro import scenarios
+from repro.errors import GuestError
+
+
+def test_reboot_mechanics(host, victim):
+    guest = victim.guest
+    guest.fs.create("/tmp/scratch", 4096)
+    guest.kernel.load_file("/tmp/scratch")
+    guest.kernel.spawn("leftover", "/usr/bin/leftover")
+    pages_before = host.memory.allocated_pages
+    cost = guest.kernel.reboot()
+    assert cost > 10.0
+    assert guest.kernel.booted
+    assert guest.kernel.page_cache == {}
+    assert guest.kernel.table.find_by_name("leftover") == []
+    assert guest.kernel.table.find_by_name("systemd")
+    # No memory leak: the old boot working set was freed.
+    assert host.memory.allocated_pages <= pages_before + 100
+
+
+def test_double_boot_rejected(host):
+    with pytest.raises(GuestError):
+        host.kernel.boot()
+
+
+def test_cloudskulk_survives_victim_reboot(nested_env):
+    host, report = nested_env
+    victim = report.nested_vm.guest
+    cost = victim.kernel.reboot()
+    host.engine.run(until=host.engine.now + cost)
+
+    # The victim came back up — still at depth 2, still inside GuestX.
+    assert victim.kernel.booted
+    assert victim.depth == 2
+    assert victim.qemu_vm is report.nested_vm
+    assert victim.parent is report.guestx_vm.guest
+    # The RITM's network position is untouched.
+    assert host.net_node.listener(2222) is not None
+    # GuestX still wears the victim's PID.
+    assert report.guestx_vm.process.pid == report.victim_pid
+
+
+def test_keystroke_logger_survives_victim_reboot(nested_env):
+    """Hypervisor-side taps live below the guest kernel: reboots don't
+    clear them (unlike in-guest rootkit hooks)."""
+    from repro.core.rootkit.services import KeystrokeLogger
+
+    host, report = nested_env
+    victim = report.nested_vm.guest
+    logger = KeystrokeLogger()
+    logger.install(victim)
+    victim.kernel.syscall_cost("write")
+    victim.kernel.reboot()
+    victim.kernel.syscall_cost("write")
+    assert logger.keystrokes_logged == 2
+
+
+def test_guestx_impersonation_needs_reapplying_after_its_own_reboot(nested_env):
+    """The DKSM forgery lives in GuestX's kernel structures: if GuestX
+    itself reboots, the attacker must re-forge — an operational cost of
+    the impersonation, worth knowing for both sides."""
+    from repro.vmi.introspect import introspect
+
+    _host, report = nested_env
+    guestx = report.guestx_vm.guest
+    assert introspect(report.guestx_vm).subverted
+    guestx.kernel.reboot()
+    assert not introspect(report.guestx_vm).subverted

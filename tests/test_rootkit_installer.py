@@ -1,0 +1,145 @@
+"""The four-step installation, end to end."""
+
+import pytest
+
+from repro import scenarios
+from repro.core.rootkit.ritm import plan_ritm
+from repro.errors import RootkitError
+from repro.net.stack import Link, NetworkNode
+
+
+def test_install_succeeds(nested_env):
+    _host, report = nested_env
+    assert report.success
+    assert [step for step, _s, _e in report.steps] == [
+        "step1-recon",
+        "step2-guestx",
+        "step3-nested",
+        "step4-migrate",
+        "step5-cleanup",
+    ]
+
+
+def test_victim_lands_at_depth_two(nested_env):
+    _host, report = nested_env
+    guest = report.nested_vm.guest
+    assert guest.depth == 2
+    assert guest.qemu_vm is report.nested_vm
+    assert guest.booted
+
+
+def test_ritm_topology(nested_env):
+    _host, report = nested_env
+    assert report.guestx_vm.guest.kvm is not None
+    assert report.nested_vm.host_system is report.guestx_vm.guest
+    assert report.guestx_vm.kvm_vm.depth == 1
+    assert report.nested_vm.kvm_vm.depth == 2
+
+
+def test_pid_swap(nested_env):
+    host, report = nested_env
+    assert report.guestx_vm.process.pid == report.victim_pid
+    qemu_procs = host.kernel.table.find_by_name("qemu-system-x86_64")
+    assert len(qemu_procs) == 1  # original victim process is gone
+
+
+def test_port_takeover_reaches_victim(nested_env):
+    host, report = nested_env
+    engine = host.engine
+    client = NetworkNode(engine, "customer")
+    Link(client, host.net_node, 941e6, 1e-4)
+    got = []
+
+    victim_guest = report.nested_vm.guest
+    listener = victim_guest.net_node.listener(22)
+    assert listener is not None
+
+    def sshd(e):
+        conn = yield listener.accept()
+        packet = yield conn.server.recv()
+        got.append(packet.payload)
+
+    def customer(e):
+        endpoint = client.connect(host.net_node, 2222)
+        yield endpoint.send(b"SSH-2.0-OpenSSH")
+
+    engine.process(sshd(engine))
+    engine.run(engine.process(customer(engine)))
+    engine.run(until=engine.now + 1.0)
+    assert got == [b"SSH-2.0-OpenSSH"]
+
+
+def test_history_scrubbed(nested_env):
+    host, report = nested_env
+    assert report.history_lines_removed > 0
+    assert not any("qemu" in line for line in host.shell.history)
+
+
+def test_impersonation_forged(nested_env):
+    from repro.vmi.introspect import introspect
+
+    _host, report = nested_env
+    assert report.impersonated
+    guestx_view = introspect(report.guestx_vm)
+    assert guestx_view.subverted
+    # GuestX introspects like a plain Fedora guest, not like a hypervisor
+    # host: the victim's process list, no QEMU process visible.
+    assert "qemu-system-x86_64" not in guestx_view.process_names
+
+
+def test_install_time_in_paper_band(nested_env):
+    """§V-A: installation on an idle guest lands around a minute."""
+    _host, report = nested_env
+    assert report.total_seconds < 90.0
+    assert report.migration_seconds < 60.0
+
+
+def test_migration_dominates_install(nested_env):
+    _host, report = nested_env
+    assert report.migration_seconds > 0.4 * report.total_seconds
+
+
+def test_source_vm_terminated(nested_env):
+    host, _report = nested_env
+    # Only GuestX's monitor port remains on the host node.
+    assert host.net_node.listener(5555) is None
+
+
+def test_plan_requires_kvm_victim(host, victim):
+    from repro.core.rootkit.recon import ReconReport
+
+    report = ReconReport("guest0")
+    report.config = scenarios.victim_config()
+    report.config.enable_kvm = False
+    with pytest.raises(RootkitError):
+        plan_ritm(report)
+
+
+def test_plan_port_choreography(host, victim):
+    from repro.core.rootkit.recon import TargetRecon
+
+    recon = host.engine.run(host.engine.process(TargetRecon(host).run()))
+    plan = plan_ritm(recon)
+    assert plan.guestx_config.nested_vmx
+    assert plan.guestx_config.memory_mb > recon.config.memory_mb
+    assert plan.nested_config.incoming_port == plan.rootkit_port_bbbb
+    assert plan.nested_config.memory_mb == recon.config.memory_mb
+    assert plan.victim_hostfwds == [("tcp", 2222, 22)]
+    # GuestX starts with NO victim forwards (no collision with the
+    # still-running victim).
+    assert plan.guestx_config.nics[0].hostfwds == []
+
+
+def test_install_against_second_tenant(host):
+    """Recon + install picks the named target among several VMs."""
+    scenarios.launch_victim(host)
+    other_cfg = scenarios.victim_config(
+        name="tenant-b",
+        image="/var/lib/images/tenant-b.qcow2",
+        ssh_host_port=2223,
+        monitor_port=5560,
+    )
+    scenarios.launch_victim(host, other_cfg)
+    report = scenarios.install_cloudskulk(host, target_name="tenant-b")
+    assert report.success
+    assert report.recon.target_name == "tenant-b"

@@ -1,0 +1,91 @@
+"""CloudSkulk over post-copy migration (§II-A: "applies to both")."""
+
+import pytest
+
+from repro import scenarios
+from repro.core.rootkit.installer import CloudSkulkInstaller
+from repro.errors import RootkitError
+from repro.workloads.kernel_compile import KernelCompileWorkload
+
+
+def _install(host, **kwargs):
+    installer = CloudSkulkInstaller(host)
+    process = host.engine.process(installer.install(**kwargs))
+    return host.engine.run(process)
+
+
+def test_postcopy_install_succeeds():
+    host = scenarios.testbed(seed=91)
+    scenarios.launch_victim(host)
+    report = _install(host, migration_mode="postcopy")
+    assert report.success
+    victim = report.nested_vm.guest
+    assert victim.depth == 2
+    assert victim.kernel.extra_op_latency == 0.0  # fully resident again
+    assert report.nested_vm.status == "running"
+
+
+def test_postcopy_install_fast_even_under_compile():
+    """The pre-copy install fights the dirty rate for minutes; the
+    post-copy install is immune."""
+    times = {}
+    for mode in ("precopy", "postcopy"):
+        host = scenarios.testbed(seed=92)
+        vm = scenarios.launch_victim(host)
+        workload = KernelCompileWorkload()
+        workload.start(vm.guest, loop_forever=True)
+        report = _install(host, migration_mode=mode)
+        workload.stop()
+        times[mode] = report.migration_seconds
+    assert times["postcopy"] < 60.0
+    assert times["precopy"] > 200.0
+    assert times["postcopy"] < times["precopy"] / 4
+
+
+def test_postcopy_victim_reachable_after_install():
+    from repro.net.stack import Link, NetworkNode
+
+    host = scenarios.testbed(seed=93)
+    scenarios.launch_victim(host)
+    report = _install(host, migration_mode="postcopy")
+    client = NetworkNode(host.engine, "customer")
+    Link(client, host.net_node, 941e6, 1e-4)
+    victim = report.nested_vm.guest
+    got = []
+
+    def sshd(e):
+        conn = yield victim.net_node.listener(22).accept()
+        packet = yield conn.server.recv()
+        got.append(packet.payload)
+
+    def dial(e):
+        endpoint = client.connect(host.net_node, 2222)
+        yield endpoint.send(b"post-copy-hello")
+
+    host.engine.process(sshd(host.engine))
+    host.engine.run(host.engine.process(dial(host.engine)))
+    host.engine.run(until=host.engine.now + 1.0)
+    assert got == [b"post-copy-hello"]
+
+
+def test_unknown_migration_mode_rejected(host, victim):
+    installer = CloudSkulkInstaller(host)
+    with pytest.raises(RootkitError):
+        next(installer.install(migration_mode="teleport"))
+
+
+def test_detection_still_works_after_postcopy_install():
+    from repro.core.detection.dedup_detector import CloudInterface, DedupDetector
+    from repro.core.rootkit.stealth import ImpersonationMirror
+    from repro.hypervisor.ksm import KsmDaemon
+
+    host = scenarios.testbed(seed=94)
+    vm = scenarios.launch_victim(host)
+    state = {"guest": vm.guest}
+    KsmDaemon(host.machine).start()
+    report = _install(host, migration_mode="postcopy")
+    cloud = CloudInterface(host, lambda: state["guest"])
+    cloud.observers.append(ImpersonationMirror(report.guestx_vm.guest))
+    detector = DedupDetector(host, cloud, file_pages=20)
+    result = host.engine.run(host.engine.process(detector.run()))
+    assert result.verdict.verdict == "nested"

@@ -1,0 +1,85 @@
+"""Reconnaissance: recovering the victim's config by the paper's means."""
+
+import pytest
+
+from repro.core.rootkit.recon import TargetRecon
+from repro.errors import ReconError
+
+
+def _run_recon(host, **kwargs):
+    recon = TargetRecon(host)
+    return host.engine.run(host.engine.process(recon.run(**kwargs)))
+
+
+def test_recon_finds_target_via_ps(host, victim):
+    report = _run_recon(host)
+    assert report.target_name == "guest0"
+    assert report.target_pid == victim.process.pid
+    assert "qemu-system-x86_64" in report.cmdline
+
+
+def test_recon_recovers_full_config(host, victim):
+    report = _run_recon(host)
+    config = report.config
+    assert config.memory_mb == 1024
+    assert config.smp == 1
+    assert config.nics[0].hostfwds == [("tcp", 2222, 22)]
+    assert config.monitor.port == 5555
+    assert victim.config.mismatches(config) == []
+
+
+def test_recon_prefers_history(host, victim):
+    report = _run_recon(host)
+    assert report.config_source == "history"
+
+
+def test_recon_falls_back_to_ps_when_history_cleared(host, victim):
+    host.shell.clear_history()
+    report = _run_recon(host)
+    assert report.config_source == "ps"
+    assert report.config.memory_mb == 1024
+
+
+def test_recon_probes_monitor(host, victim):
+    report = _run_recon(host)
+    assert report.monitor_port == 5555
+    assert "VM status: running" in report.monitor_probes["info status"]
+    assert "size: 1024 MiB" in report.monitor_probes["info mtree"]
+    assert "hostfwd" in report.monitor_probes["info network"]
+
+
+def test_recon_collects_disk_info(host, victim):
+    report = _run_recon(host)
+    info = report.disk_info["/var/lib/images/guest0.qcow2"]
+    assert "virtual size: 20G" in info
+
+
+def test_recon_monitor_validation_corrects_memory(host, victim):
+    """If history lies about memory, the monitor's answer wins."""
+    host.shell.clear_history()
+    lying = victim.config.to_command_line().replace("-m 1024", "-m 512")
+    host.shell.record(lying)
+    report = _run_recon(host)
+    assert report.config.memory_mb == 1024
+    assert any("memory mismatch" in note for note in report.validation_notes)
+
+
+def test_recon_excludes_attacker_vms(host, victim):
+    recon = TargetRecon(host)
+    processes = recon.qemu_processes(exclude_names=("guest0",))
+    assert processes == []
+
+
+def test_recon_no_qemu_rejected(host):
+    with pytest.raises(ReconError):
+        _run_recon(host)
+
+
+def test_recon_unknown_name_rejected(host, victim):
+    with pytest.raises(ReconError):
+        _run_recon(host, target_name="ghost")
+
+
+def test_recon_by_explicit_name(host, victim):
+    report = _run_recon(host, target_name="guest0")
+    assert report.target_name == "guest0"

@@ -1,0 +1,223 @@
+"""Malicious services on an installed CloudSkulk (§IV-B)."""
+
+import pytest
+
+from repro.core.rootkit.services import (
+    ActiveTamperService,
+    KeystrokeLogger,
+    PacketCaptureService,
+    PageSyncEvasion,
+    ParallelMaliciousOs,
+)
+from repro.errors import RootkitError
+from repro.net.stack import Link, NetworkNode
+
+
+@pytest.fixture
+def attacked(nested_env):
+    """(host, report, the GuestX-level forward rule carrying victim ssh)."""
+    host, report = nested_env
+    rule = next(
+        rule
+        for nic in report.guestx_vm.nics
+        for rule in nic.forward_rules
+        if rule.outer_port == 2222
+    )
+    return host, report, rule
+
+
+def _client(host):
+    client = NetworkNode(host.engine, "customer")
+    Link(client, host.net_node, 941e6, 1e-4)
+    return client
+
+
+def _session(host, client, payloads, collect_replies=False):
+    """Dial the victim's public port, send payloads, return replies."""
+    replies = []
+
+    def run(e):
+        endpoint = client.connect(host.net_node, 2222)
+        for payload in payloads:
+            endpoint.send(payload)
+            if collect_replies:
+                reply = yield endpoint.recv()
+                replies.append(reply.payload)
+        yield e.timeout(0.5)
+
+    host.engine.run(host.engine.process(run(host.engine)))
+    return replies
+
+
+def test_packet_capture_sees_victim_traffic(attacked):
+    host, report, rule = attacked
+    capture = PacketCaptureService()
+    rule.add_hook(capture)
+    victim = report.nested_vm.guest
+    victim.net_node.listener(22)  # sshd carried over
+
+    def sshd(e):
+        conn = yield victim.net_node.listener(22).accept()
+        while True:
+            yield conn.server.recv()
+
+    host.engine.process(sshd(host.engine))
+    _session(host, _client(host), [b"user=admin", b"pass=hunter2"])
+    assert b"pass=hunter2" in capture.payloads("inbound")
+    assert capture.bytes_seen > 0
+
+
+def test_capture_truncates_at_cap(attacked):
+    host, _report, rule = attacked
+    capture = PacketCaptureService(max_entries=1)
+    rule.add_hook(capture)
+    victim_guest = _echo_on_victim(host, _report)
+    _session(host, _client(host), [b"a", b"b", b"c"])
+    assert len(capture.log) == 1
+    assert capture.truncated
+
+
+def _echo_on_victim(host, report):
+    victim = report.nested_vm.guest
+
+    def sshd(e):
+        conn = yield victim.net_node.listener(22).accept()
+        while True:
+            packet = yield conn.server.recv()
+            conn.server.send(b"ok:" + packet.payload)
+
+    host.engine.process(sshd(host.engine))
+    return victim
+
+
+def test_keystroke_logger_traps_writes(nested_env):
+    host, report = nested_env
+    victim = report.nested_vm.guest
+    logger = KeystrokeLogger()
+    logger.install(victim)
+    for _ in range(5):
+        victim.kernel.syscall_cost("write")
+    victim.kernel.syscall_cost("read")  # not trapped
+    assert logger.keystrokes_logged == 5
+    logger.remove()
+    victim.kernel.syscall_cost("write")
+    assert logger.keystrokes_logged == 5
+
+
+def test_keystroke_logger_single_install(nested_env):
+    _host, report = nested_env
+    logger = KeystrokeLogger()
+    logger.install(report.nested_vm.guest)
+    with pytest.raises(RootkitError):
+        logger.install(report.nested_vm.guest)
+
+
+def test_active_drop(attacked):
+    host, report, rule = attacked
+    _echo_on_victim(host, report)
+    tamper = ActiveTamperService(
+        match=lambda packet, direction: direction == "inbound"
+        and b"DELETE" in (packet.payload or b""),
+        action="drop",
+    )
+    rule.add_hook(tamper)
+    client = _client(host)
+
+    def run(e):
+        endpoint = client.connect(host.net_node, 2222)
+        endpoint.send(b"GET /inbox")
+        first = yield endpoint.recv()
+        endpoint.send(b"DELETE /inbox/1")
+        race = yield e.any_of([endpoint.recv(), e.timeout(1.0, "dropped")])
+        return first.payload, race
+
+    first, second = host.engine.run(host.engine.process(run(host.engine)))
+    assert first == b"ok:GET /inbox"
+    assert second == "dropped"
+    assert tamper.hits == 1
+
+
+def test_active_modify(attacked):
+    host, report, rule = attacked
+    _echo_on_victim(host, report)
+    tamper = ActiveTamperService(
+        match=lambda packet, direction: direction == "outbound",
+        action="modify",
+        transform=lambda packet: packet.replace(
+            payload=packet.payload.replace(b"ok:", b"FORGED:")
+        ),
+    )
+    rule.add_hook(tamper)
+    replies = _session(
+        host, _client(host), [b"balance?"], collect_replies=True
+    )
+    assert replies == [b"FORGED:balance?"]
+
+
+def test_tamper_validation():
+    with pytest.raises(RootkitError):
+        ActiveTamperService(match=lambda p, d: True, action="explode")
+    with pytest.raises(RootkitError):
+        ActiveTamperService(match=lambda p, d: True, action="modify")
+
+
+def test_parallel_malicious_os(nested_env):
+    host, report = nested_env
+    service = ParallelMaliciousOs(report.guestx_vm, service_port=8080)
+    vm = host.engine.run(host.engine.process(service.launch()))
+    assert vm.guest.depth == 2  # runs beside the victim, under GuestX
+    # The phishing page answers through GuestX's forward.
+    client = _client(host)
+    report.guestx_vm.nics[0].add_hostfwd("tcp", 8080, 8080)
+
+    def browse(e):
+        endpoint = client.connect(host.net_node, 8080)
+        endpoint.send(b"GET / HTTP/1.1")
+        page = yield endpoint.recv()
+        return page.payload
+
+    page = host.engine.run(host.engine.process(browse(host.engine)))
+    assert b"login" in page
+    assert service.requests_served == 1
+
+
+def test_page_sync_evasion_mirrors_changes(nested_env):
+    host, report = nested_env
+    victim = report.nested_vm.guest
+    guestx = report.guestx_vm.guest
+    victim.fs.create("/data/tracked", 3 * 4096, content_seed="tracked")
+    victim.kernel.load_file("/data/tracked")
+    evasion = PageSyncEvasion(victim, guestx, ["/data/tracked"])
+    evasion.enable()
+    cost = victim.kernel.write_file_page("/data/tracked", 1, b"changed")
+    assert evasion.syncs == 1
+    assert cost > PageSyncEvasion.SYNC_COST_PER_PAGE
+    # The mirrored content landed in GuestX's memory.
+    pfn = evasion._mirror_pfns[("/data/tracked", 1)]
+    assert guestx.memory.read(pfn) == b"changed"
+    # The hook itself is a detectable L1 modification (§VI-D).
+    assert guestx.kernel.hypervisor_code_modified
+    evasion.disable()
+    victim.kernel.write_file_page("/data/tracked", 2, b"untracked-now")
+    assert evasion.syncs == 1
+
+
+def test_page_sync_evasion_does_not_scale(nested_env):
+    """The paper's argument: syncing millions of pages is unrealistic."""
+    host, report = nested_env
+    evasion = PageSyncEvasion(
+        report.nested_vm.guest, report.guestx_vm.guest, []
+    )
+    # A million tracked pages changing once a minute each:
+    burn = evasion.projected_cost_per_second(1_000_000, 1 / 60)
+    assert burn > 5.0  # >5 CPU-seconds per second: impossible to hide
+
+
+def test_page_sync_double_enable_rejected(nested_env):
+    _host, report = nested_env
+    evasion = PageSyncEvasion(report.nested_vm.guest, report.guestx_vm.guest, [])
+    evasion.enable()
+    with pytest.raises(RootkitError):
+        evasion.enable()
+    evasion.disable()
+    evasion.disable()  # idempotent

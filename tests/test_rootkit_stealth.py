@@ -1,0 +1,65 @@
+"""Stealth actions: PID swap, history scrub, impersonation mirror."""
+
+import pytest
+
+from repro.core.rootkit.stealth import (
+    ImpersonationMirror,
+    impersonate_fingerprint,
+    scrub_history,
+    swap_pid,
+)
+from repro.errors import RootkitError
+from repro.guest.filesystem import make_random_file
+
+
+def test_swap_pid(host, victim):
+    original = victim.process.pid
+    swap_pid(host, victim, 4242)
+    assert victim.process.pid == 4242
+    assert host.kernel.table.get(4242) is victim.process
+    assert host.kernel.table.get(original) is None
+
+
+def test_swap_pid_same_is_noop(host, victim):
+    swap_pid(host, victim, victim.process.pid)
+    assert victim.process.pid == victim.process.pid
+
+
+def test_swap_pid_busy_target_rejected(host, victim):
+    with pytest.raises(RootkitError):
+        swap_pid(host, victim, 1)  # systemd
+
+
+def test_scrub_history_removes_attack_commands(host):
+    host.shell.record("qemu-system-x86_64 -name guestx ...")
+    host.shell.record("telnet 127.0.0.1 5555")
+    host.shell.record("qemu-img create /tmp/x.qcow2 20G")
+    host.shell.record("vim /etc/motd")
+    removed = scrub_history(host)
+    assert removed == 3
+    assert host.shell.history == ["vim /etc/motd"]
+
+
+def test_impersonate_fingerprint_copies_victim(nested_env):
+    from repro.vmi.introspect import introspect
+
+    _host, report = nested_env
+    victim = report.nested_vm.guest
+    victim.kernel.spawn("postgres", "/usr/bin/postgres")
+    impersonate_fingerprint(report.guestx_vm.guest, victim)
+    view = introspect(report.guestx_vm)
+    assert "postgres" in view.process_names
+
+
+def test_mirror_loads_delivered_file(nested_env):
+    host, report = nested_env
+    guestx = report.guestx_vm.guest
+    mirror = ImpersonationMirror(guestx)
+    file = make_random_file("/delivered.bin", 4, host.rng)
+    mirror(file, report.nested_vm.guest)
+    assert guestx.fs.exists("/delivered.bin")
+    assert "/delivered.bin" in guestx.kernel.page_cache
+    assert mirror.mirrored_paths == ["/delivered.bin"]
+    # The mirrored copy is byte-identical but a distinct object.
+    assert guestx.fs.open("/delivered.bin") is not file
+    assert guestx.fs.open("/delivered.bin").page_content(0) == file.page_content(0)

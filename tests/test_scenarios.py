@@ -1,0 +1,54 @@
+"""The scenarios module: the shared experiment plumbing."""
+
+import pytest
+
+from repro import scenarios
+from repro.workloads.idle import IdleWorkload
+
+
+def test_system_at_levels():
+    for level in (0, 1, 2):
+        _host, system = scenarios.system_at_level(level, seed=42)
+        assert system.depth == level
+        assert system.booted
+
+
+def test_system_at_bad_level():
+    with pytest.raises(ValueError):
+        scenarios.system_at_level(7)
+
+
+def test_run_level_returns_metrics():
+    result = scenarios.run_level(1, IdleWorkload(), duration=3.0)
+    assert result.metrics["ticks"] > 0
+
+
+def test_launch_victim_idempotent_images(host):
+    vm = scenarios.launch_victim(host)
+    assert vm.status == "running"
+
+
+def test_detection_setup_clean():
+    host, cloud, ksm, locator = scenarios.detection_setup(nested=False, seed=42)
+    assert locator().depth == 1
+    assert ksm.running
+    assert cloud.observers == []
+
+
+def test_detection_setup_nested():
+    host, cloud, ksm, locator = scenarios.detection_setup(nested=True, seed=42)
+    assert locator().depth == 2
+    assert len(cloud.observers) == 1  # the impersonation mirror
+
+
+def test_nested_environment_determinism():
+    _h1, r1 = scenarios.nested_environment(seed=7)
+    _h2, r2 = scenarios.nested_environment(seed=7)
+    assert r1.total_seconds == pytest.approx(r2.total_seconds, rel=1e-9)
+    assert r1.migration_seconds == pytest.approx(r2.migration_seconds, rel=1e-9)
+
+
+def test_seed_changes_timings():
+    _h1, r1 = scenarios.nested_environment(seed=7)
+    _h2, r2 = scenarios.nested_environment(seed=8)
+    assert r1.total_seconds != r2.total_seconds

@@ -1,0 +1,72 @@
+"""Host CPU contention: co-residence interference."""
+
+import pytest
+
+from repro import scenarios
+from repro.errors import HypervisorError
+from repro.hypervisor.scheduler import CpuScheduler
+from repro.workloads.idle import IdleWorkload
+from repro.workloads.kernel_compile import KernelCompileWorkload
+
+
+def test_scheduler_basic():
+    from repro.hardware.cpu import CpuPackage
+
+    scheduler = CpuScheduler(CpuPackage(cores=2, threads_per_core=1))
+    assert scheduler.slowdown_factor() == 1.0
+    scheduler.occupy("a")
+    scheduler.occupy("b")
+    assert scheduler.slowdown_factor() == 1.0
+    scheduler.occupy("c")
+    assert scheduler.slowdown_factor() == pytest.approx(1.5)
+    scheduler.release("c")
+    assert scheduler.slowdown_factor() == 1.0
+    with pytest.raises(HypervisorError):
+        scheduler.release("c")
+    with pytest.raises(HypervisorError):
+        scheduler.occupy("a")
+
+
+def test_undersubscribed_host_no_interference(host, victim):
+    """One busy guest on 8 logical CPUs runs at full speed."""
+    workload = KernelCompileWorkload(units=50)
+    result = host.engine.run(workload.start(victim.guest))
+    solo = result.metrics["build_seconds"]
+    assert host.machine.scheduler.busy_count == 0  # released at finish
+    assert solo > 0
+
+
+def test_oversubscription_stretches_cpu_work(host, victim):
+    """Nine busy tenants on eight logical CPUs: ~9/8 slowdown."""
+    scheduler = host.machine.scheduler
+    hogs = [object() for _ in range(8)]
+    for hog in hogs:
+        scheduler.occupy(hog)
+    try:
+        workload = KernelCompileWorkload(units=50)
+        result = host.engine.run(workload.start(victim.guest))
+        contended = result.metrics["build_seconds"]
+    finally:
+        for hog in hogs:
+            scheduler.release(hog)
+    solo = host.engine.run(
+        KernelCompileWorkload(units=50).start(victim.guest)
+    ).metrics["build_seconds"]
+    assert contended / solo == pytest.approx(9 / 8, rel=0.05)
+
+
+def test_idle_workload_occupies_no_slot(host, victim):
+    workload = IdleWorkload()
+    process = workload.start(victim.guest, duration=2.0)
+    assert host.machine.scheduler.busy_count == 0
+    host.engine.run(process)
+
+
+def test_slot_released_on_stop(host, victim):
+    workload = KernelCompileWorkload()
+    process = workload.start(victim.guest, loop_forever=True)
+    assert host.machine.scheduler.busy_count == 1
+    host.engine.run(until=host.engine.now + 5.0)
+    workload.stop()
+    host.engine.run(process)
+    assert host.machine.scheduler.busy_count == 0

@@ -1,0 +1,103 @@
+"""Telnet monitor server/client edge cases."""
+
+import pytest
+
+from repro.qemu.devices.serial import PROMPT, TelnetClient, TelnetMonitorServer
+
+
+def test_banner_carries_version_and_prompt(host, victim):
+    def run(e):
+        client = TelnetClient(host.net_node, host.net_node, 5555)
+        banner = yield from client.open()
+        client.close()
+        return banner
+
+    banner = host.engine.run(host.engine.process(run(host.engine)))
+    assert "QEMU" in banner
+    assert banner.endswith(PROMPT)
+
+
+def test_multiple_sequential_sessions(host, victim):
+    def run(e):
+        outputs = []
+        for _ in range(3):
+            client = TelnetClient(host.net_node, host.net_node, 5555)
+            yield from client.open()
+            out = yield from client.command("info status")
+            outputs.append(out)
+            client.close()
+        return outputs
+
+    outputs = host.engine.run(host.engine.process(run(host.engine)))
+    assert outputs == ["VM status: running"] * 3
+
+
+def test_concurrent_sessions(host, victim):
+    results = []
+
+    def session(e, tag):
+        client = TelnetClient(host.net_node, host.net_node, 5555)
+        yield from client.open()
+        out = yield from client.command("info kvm")
+        results.append((tag, out))
+        client.close()
+
+    host.engine.process(session(host.engine, "a"))
+    host.engine.process(session(host.engine, "b"))
+    host.engine.run(until=host.engine.now + 2.0)
+    assert sorted(results) == [
+        ("a", "kvm support: enabled"),
+        ("b", "kvm support: enabled"),
+    ]
+
+
+def test_error_reply_format(host, victim):
+    def run(e):
+        client = TelnetClient(host.net_node, host.net_node, 5555)
+        yield from client.open()
+        out = yield from client.command("bogus_command")
+        client.close()
+        return out
+
+    out = host.engine.run(host.engine.process(run(host.engine)))
+    assert out.startswith("error:")
+    assert "bogus_command" in out
+
+
+def test_empty_command_returns_prompt_only(host, victim):
+    def run(e):
+        client = TelnetClient(host.net_node, host.net_node, 5555)
+        yield from client.open()
+        out = yield from client.command("")
+        client.close()
+        return out
+
+    assert host.engine.run(host.engine.process(run(host.engine))) == ""
+
+
+def test_server_close_idempotent_and_frees_port(host, victim):
+    server = victim.monitor_server
+    server.close()
+    server.close()
+    assert host.net_node.listener(5555) is None
+    # A fresh server can rebind the port.
+    TelnetMonitorServer(host.net_node, 5555, victim.monitor)
+    assert host.net_node.listener(5555) is not None
+
+
+def test_client_close_does_not_kill_server(host, victim):
+    def run(e):
+        first = TelnetClient(host.net_node, host.net_node, 5555)
+        yield from first.open()
+        first.close()
+        yield e.timeout(0.1)
+        second = TelnetClient(host.net_node, host.net_node, 5555)
+        yield from second.open()
+        out = yield from second.command("info status")
+        second.close()
+        return out
+
+    assert (
+        host.engine.run(host.engine.process(run(host.engine)))
+        == "VM status: running"
+    )

@@ -1,0 +1,105 @@
+"""The dedup covert channel."""
+
+import pytest
+
+from repro import scenarios
+from repro.errors import ReproError
+from repro.hypervisor.ksm import KsmDaemon
+from repro.sidechannel import ChannelReceiver, ChannelSender, DedupCovertChannel
+from repro.sidechannel.dedup_channel import page_content
+
+
+@pytest.fixture
+def pair():
+    host = scenarios.testbed(seed=99)
+    sender = scenarios.launch_victim(
+        host,
+        scenarios.victim_config(
+            name="s", image="/i/s.qcow2", ssh_host_port=2301, monitor_port=5601
+        ),
+    )
+    receiver = scenarios.launch_victim(
+        host,
+        scenarios.victim_config(
+            name="r", image="/i/r.qcow2", ssh_host_port=2302, monitor_port=5602
+        ),
+    )
+    ksm = KsmDaemon(host.machine)
+    ksm.start()
+    return host, sender.guest, receiver.guest, ksm
+
+
+def _transmit(host, channel, payload, settle=6.0):
+    process = host.engine.process(channel.transmit(payload, settle_seconds=settle))
+    return host.engine.run(process)
+
+
+def test_codebook_deterministic_and_unique():
+    assert page_content("k", 0, 0) == page_content("k", 0, 0)
+    pages = {page_content("k", f, b) for f in range(3) for b in range(8)}
+    assert len(pages) == 24
+    assert page_content("k", 0, 0) != page_content("other", 0, 0)
+
+
+def test_roundtrip_bytes(pair):
+    host, sender, receiver, _ksm = pair
+    channel = DedupCovertChannel(sender, receiver, seed="x", bits_per_frame=8)
+    received, elapsed, bps = _transmit(host, channel, b"EXFIL")
+    assert received == b"EXFIL"
+    assert elapsed > 0
+    assert 0.1 < bps < 10
+
+
+def test_all_zero_and_all_one_frames(pair):
+    host, sender, receiver, _ksm = pair
+    channel = DedupCovertChannel(sender, receiver, seed="y", bits_per_frame=8)
+    received, _e, _b = _transmit(host, channel, b"\x00\xff")
+    assert received == b"\x00\xff"
+
+
+def test_channel_dead_without_ksm(pair):
+    host, sender, receiver, ksm = pair
+    ksm.stop()
+    channel = DedupCovertChannel(sender, receiver, seed="z", bits_per_frame=8)
+    received, _e, _b = _transmit(host, channel, b"\xff")
+    assert received == b"\x00"  # every bit reads as 'no merge'
+
+
+def test_wrong_seed_reads_zero(pair):
+    """A receiver without the rendezvous secret sees nothing."""
+    host, sender, receiver, _ksm = pair
+    tx = ChannelSender(sender, "right-seed", 8)
+    rx = ChannelReceiver(receiver, "wrong-seed", 8)
+
+    def run(e):
+        yield from tx.send_frame(0, [1] * 8)
+        yield e.timeout(6.0)
+        bits = yield from rx.receive_frame(0, 6.0)
+        return bits
+
+    bits = host.engine.run(host.engine.process(run(host.engine)))
+    assert bits == [0] * 8
+
+
+def test_frames_do_not_leak_between_indices(pair):
+    host, sender, receiver, _ksm = pair
+    tx = ChannelSender(sender, "s", 4)
+    rx = ChannelReceiver(receiver, "s", 4)
+
+    def run(e):
+        yield from tx.send_frame(0, [1, 1, 1, 1])
+        yield e.timeout(6.0)
+        # Probe a *different* frame index: its codebook differs.
+        bits = yield from rx.receive_frame(1, 6.0)
+        return bits
+
+    assert host.engine.run(host.engine.process(run(host.engine))) == [0] * 4
+
+
+def test_frame_size_validated(pair):
+    _host, sender, receiver, _ksm = pair
+    tx = ChannelSender(sender, "s", 8)
+    with pytest.raises(ReproError):
+        next(tx.send_frame(0, [1, 0]))
+    with pytest.raises(ReproError):
+        ChannelSender(sender, "s", 0)

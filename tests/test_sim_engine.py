@@ -1,0 +1,254 @@
+"""The discrete-event engine: events, processes, composition, time."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine, Event, Interrupt, Timeout
+
+
+def test_clock_starts_at_zero(engine):
+    assert engine.now == 0.0
+
+
+def test_timeout_advances_clock(engine):
+    fired = []
+
+    def proc(e):
+        yield e.timeout(2.5)
+        fired.append(e.now)
+        return "done"
+
+    result = engine.run(engine.process(proc(engine)))
+    assert result == "done"
+    assert fired == [2.5]
+
+
+def test_timeouts_fire_in_order(engine):
+    order = []
+    for delay in (3.0, 1.0, 2.0):
+        engine.call_later(delay, order.append, delay)
+    engine.run()
+    assert order == [1.0, 2.0, 3.0]
+
+
+def test_same_time_events_fifo(engine):
+    order = []
+    for tag in range(5):
+        engine.call_later(1.0, order.append, tag)
+    engine.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_negative_timeout_rejected(engine):
+    with pytest.raises(SimulationError):
+        engine.timeout(-0.1)
+
+
+def test_event_succeed_value(engine):
+    event = engine.event()
+
+    def waiter(e, ev):
+        value = yield ev
+        return value * 2
+
+    proc = engine.process(waiter(engine, event))
+    engine.call_later(1.0, event.succeed, 21)
+    assert engine.run(proc) == 42
+
+
+def test_event_double_trigger_rejected(engine):
+    event = engine.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_event_fail_propagates_into_process(engine):
+    event = engine.event()
+
+    def waiter(e, ev):
+        try:
+            yield ev
+        except ValueError as error:
+            return f"caught {error}"
+
+    proc = engine.process(waiter(engine, event))
+    engine.call_later(0.5, event.fail, ValueError("boom"))
+    assert engine.run(proc) == "caught boom"
+
+
+def test_event_fail_requires_exception(engine):
+    event = engine.event()
+    with pytest.raises(SimulationError):
+        event.fail("not an exception")
+
+
+def test_process_exception_surfaces_via_run(engine):
+    def exploder(e):
+        yield e.timeout(1.0)
+        raise RuntimeError("kaput")
+
+    proc = engine.process(exploder(engine))
+    with pytest.raises(RuntimeError, match="kaput"):
+        engine.run(proc)
+
+
+def test_process_requires_generator(engine):
+    with pytest.raises(SimulationError):
+        engine.process(lambda: None)
+
+
+def test_process_yielding_non_event_is_error(engine):
+    def bad(e):
+        yield 42
+
+    proc = engine.process(bad(engine))
+    with pytest.raises(SimulationError):
+        engine.run(proc)
+
+
+def test_nested_processes(engine):
+    def inner(e):
+        yield e.timeout(1.0)
+        return "inner-done"
+
+    def outer(e):
+        result = yield e.process(inner(e))
+        yield e.timeout(1.0)
+        return result + "+outer"
+
+    assert engine.run(engine.process(outer(engine))) == "inner-done+outer"
+    assert engine.now == 2.0
+
+
+def test_yield_already_processed_event(engine):
+    marker = engine.timeout(0.5, value="early")
+
+    def late_waiter(e):
+        yield e.timeout(2.0)
+        value = yield marker  # fired long ago
+        return value
+
+    assert engine.run(engine.process(late_waiter(engine))) == "early"
+    assert engine.now == 2.0  # no extra wait
+
+
+def test_interrupt(engine):
+    def sleeper(e):
+        try:
+            yield e.timeout(100.0)
+        except Interrupt as interrupt:
+            return ("interrupted", interrupt.cause, e.now)
+        return "slept"
+
+    proc = engine.process(sleeper(engine))
+    engine.call_later(1.0, proc.interrupt, "wake up")
+    assert engine.run(proc) == ("interrupted", "wake up", 1.0)
+
+
+def test_interrupt_finished_process_rejected(engine):
+    def quick(e):
+        yield e.timeout(0.1)
+
+    proc = engine.process(quick(engine))
+    engine.run(proc)
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_all_of_waits_for_everything(engine):
+    def waiter(e):
+        results = yield e.all_of([e.timeout(1.0, "a"), e.timeout(3.0, "b")])
+        return (e.now, sorted(results))
+
+    assert engine.run(engine.process(waiter(engine))) == (3.0, ["a", "b"])
+
+
+def test_any_of_fires_on_first(engine):
+    def waiter(e):
+        value = yield e.any_of([e.timeout(5.0, "slow"), e.timeout(1.0, "fast")])
+        return (e.now, value)
+
+    assert engine.run(engine.process(waiter(engine))) == (1.0, "fast")
+
+
+def test_any_of_empty_rejected(engine):
+    with pytest.raises(SimulationError):
+        engine.any_of([])
+
+
+def test_run_until_absolute_time(engine):
+    hits = []
+    for delay in (1.0, 2.0, 3.0):
+        engine.call_later(delay, hits.append, delay)
+    engine.run(until=2.5)
+    assert hits == [1.0, 2.0]
+    assert engine.now == 2.5
+    engine.run()
+    assert hits == [1.0, 2.0, 3.0]
+
+
+def test_run_backwards_rejected(engine):
+    engine.run(until=5.0)
+    with pytest.raises(SimulationError):
+        engine.run(until=1.0)
+
+
+def test_run_until_event_exhausted_queue_is_error(engine):
+    never = engine.event()
+    with pytest.raises(SimulationError):
+        engine.run(never)
+
+
+def test_call_at(engine):
+    stamps = []
+    engine.call_at(4.0, stamps.append, "x")
+    engine.run()
+    assert stamps == ["x"]
+    assert engine.now == 4.0
+
+
+def test_call_at_past_rejected(engine):
+    engine.run(until=2.0)
+    with pytest.raises(SimulationError):
+        engine.call_at(1.0, lambda: None)
+
+
+def test_determinism_two_engines():
+    def trace(engine):
+        log = []
+
+        def ticker(e, tag, period):
+            for _ in range(5):
+                yield e.timeout(period)
+                log.append((round(e.now, 9), tag))
+
+        engine.process(ticker(engine, "a", 0.3))
+        engine.process(ticker(engine, "b", 0.7))
+        engine.run()
+        return log
+
+    assert trace(Engine()) == trace(Engine())
+
+
+def test_unwaited_failed_event_raises_loudly(engine):
+    event = engine.event()
+    event.fail(RuntimeError("nobody listening"))
+    with pytest.raises(RuntimeError, match="nobody listening"):
+        engine.run()
+
+
+def test_timeout_carries_value(engine):
+    timeout = Timeout(engine, 1.0, value="payload")
+
+    def waiter(e, t):
+        value = yield t
+        return value
+
+    assert engine.run(engine.process(waiter(engine, timeout))) == "payload"
+
+
+def test_event_value_before_trigger_rejected(engine):
+    event = Event(engine)
+    with pytest.raises(SimulationError):
+        _ = event.value

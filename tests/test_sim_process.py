@@ -1,0 +1,163 @@
+"""Channels, resources, stopwatch."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.process import Channel, ChannelClosed, Resource, Stopwatch
+
+
+def test_channel_put_then_get(engine):
+    channel = Channel(engine)
+    channel.put("a")
+    channel.put("b")
+
+    def consumer(e, ch):
+        first = yield ch.get()
+        second = yield ch.get()
+        return [first, second]
+
+    assert engine.run(engine.process(consumer(engine, channel))) == ["a", "b"]
+
+
+def test_channel_get_blocks_until_put(engine):
+    channel = Channel(engine)
+
+    def consumer(e, ch):
+        item = yield ch.get()
+        return (item, e.now)
+
+    proc = engine.process(consumer(engine, channel))
+    engine.call_later(2.0, channel.put, "late")
+    assert engine.run(proc) == ("late", 2.0)
+
+
+def test_channel_fifo_across_getters(engine):
+    channel = Channel(engine)
+    results = []
+
+    def consumer(e, ch, tag):
+        item = yield ch.get()
+        results.append((tag, item))
+
+    engine.process(consumer(engine, channel, "first"))
+    engine.process(consumer(engine, channel, "second"))
+    engine.call_later(1.0, channel.put, "x")
+    engine.call_later(2.0, channel.put, "y")
+    engine.run()
+    assert results == [("first", "x"), ("second", "y")]
+
+
+def test_channel_close_drains_then_fails(engine):
+    channel = Channel(engine)
+    channel.put("leftover")
+    channel.close()
+
+    def consumer(e, ch):
+        item = yield ch.get()
+        try:
+            yield ch.get()
+        except ChannelClosed:
+            return (item, "closed")
+
+    assert engine.run(engine.process(consumer(engine, channel))) == (
+        "leftover",
+        "closed",
+    )
+
+
+def test_channel_close_wakes_pending_getters(engine):
+    channel = Channel(engine)
+
+    def consumer(e, ch):
+        try:
+            yield ch.get()
+        except ChannelClosed:
+            return "woken"
+
+    proc = engine.process(consumer(engine, channel))
+    engine.call_later(1.0, channel.close)
+    assert engine.run(proc) == "woken"
+
+
+def test_channel_put_after_close_rejected(engine):
+    channel = Channel(engine)
+    channel.close()
+    with pytest.raises(ChannelClosed):
+        channel.put("too late")
+
+
+def test_channel_len(engine):
+    channel = Channel(engine)
+    assert len(channel) == 0
+    channel.put(1)
+    channel.put(2)
+    assert len(channel) == 2
+
+
+def test_resource_serializes(engine):
+    resource = Resource(engine, capacity=1)
+    order = []
+
+    def user(e, res, tag, hold):
+        yield res.acquire()
+        order.append(("in", tag, e.now))
+        yield e.timeout(hold)
+        order.append(("out", tag, e.now))
+        res.release()
+
+    engine.process(user(engine, resource, "a", 2.0))
+    engine.process(user(engine, resource, "b", 1.0))
+    engine.run()
+    assert order == [
+        ("in", "a", 0.0),
+        ("out", "a", 2.0),
+        ("in", "b", 2.0),
+        ("out", "b", 3.0),
+    ]
+
+
+def test_resource_capacity_two(engine):
+    resource = Resource(engine, capacity=2)
+    entered = []
+
+    def user(e, res, tag):
+        yield res.acquire()
+        entered.append((tag, e.now))
+        yield e.timeout(1.0)
+        res.release()
+
+    for tag in ("a", "b", "c"):
+        engine.process(user(engine, resource, tag))
+    engine.run()
+    assert entered == [("a", 0.0), ("b", 0.0), ("c", 1.0)]
+
+
+def test_resource_release_idle_rejected(engine):
+    resource = Resource(engine)
+    with pytest.raises(SimulationError):
+        resource.release()
+
+
+def test_resource_bad_capacity(engine):
+    with pytest.raises(SimulationError):
+        Resource(engine, capacity=0)
+
+
+def test_stopwatch(engine):
+    watch = Stopwatch(engine)
+
+    def proc(e):
+        with watch:
+            yield e.timeout(3.5)
+        return watch.elapsed
+
+    assert engine.run(engine.process(proc(engine))) == pytest.approx(3.5)
+
+
+def test_stopwatch_misuse(engine):
+    watch = Stopwatch(engine)
+    with pytest.raises(SimulationError):
+        watch.stop()
+    watch.start()
+    with pytest.raises(SimulationError):
+        watch.start()

@@ -1,0 +1,85 @@
+"""VMI: introspection, DKSM subversion, the nested semantic gap."""
+
+import pytest
+
+from repro.errors import DetectionError
+from repro.vmi.introspect import SemanticGapError, introspect, introspect_nested
+from repro.vmi.kernel_structs import layout_for
+from repro.vmi.subversion import (
+    forge_process_view,
+    restore_process_view,
+    snapshot_for_impersonation,
+)
+
+
+def test_introspect_reports_real_processes(victim):
+    report = introspect(victim)
+    assert report.kernel_version == victim.guest.kernel_version
+    names = report.process_names
+    assert "systemd" in names
+    assert "sshd" in names
+    assert not report.subverted
+
+
+def test_introspect_sees_new_process(victim):
+    victim.guest.kernel.spawn("nginx", "/usr/sbin/nginx")
+    report = introspect(victim)
+    assert "nginx" in report.process_names
+
+
+def test_kvm_modules_visible_when_loaded(nested_env):
+    _host, report = nested_env
+    guestx_report = introspect(report.guestx_vm)
+    assert "kvm" in guestx_report.modules
+
+
+def test_forged_view_replaces_reality(victim):
+    forge_process_view(victim.guest, [(1, "systemd", "root"), (99, "decoy", "root")])
+    report = introspect(victim)
+    assert report.subverted
+    assert report.process_names == ["decoy", "systemd"]
+    restore_process_view(victim.guest)
+    assert not introspect(victim).subverted
+
+
+def test_forge_validates_entries(victim):
+    from repro.errors import RootkitError
+
+    with pytest.raises(RootkitError):
+        forge_process_view(victim.guest, [("bad",)])
+
+
+def test_snapshot_for_impersonation(victim):
+    snapshot = snapshot_for_impersonation(victim.guest)
+    assert (1, "systemd", "root") in snapshot
+
+
+def test_nested_introspection_refused(nested_env):
+    _host, report = nested_env
+    with pytest.raises(SemanticGapError, match="semantic gap"):
+        introspect_nested(report.guestx_vm)
+
+
+def test_unknown_layout_rejected():
+    with pytest.raises(DetectionError):
+        layout_for("plan9", "4e")
+
+
+def test_known_layouts_have_offsets():
+    layout = layout_for("fedora22", "4.4.14-200.fc22.x86_64")
+    assert "init_task" in layout.offsets
+    assert "task_struct.pid" in layout.offsets
+
+
+def test_introspect_requires_guest(host):
+    from repro.qemu.config import DriveSpec, QemuConfig
+    from repro.qemu.qemu_img import qemu_img_create
+    from repro.qemu.vm import launch_vm
+
+    qemu_img_create(host, "/vmi-dest.img", 5)
+    config = QemuConfig(
+        "vmi-dest", 256, drives=[DriveSpec("/vmi-dest.img")], incoming_port=4700
+    )
+    vm, _ = launch_vm(host, config)
+    with pytest.raises(DetectionError):
+        introspect(vm)

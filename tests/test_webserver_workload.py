@@ -1,0 +1,72 @@
+"""The web service workload and latency probe."""
+
+import pytest
+
+from repro.errors import GuestError
+from repro.net.stack import Link, NetworkNode
+from repro.workloads.webserver import LatencyProbe, WebService
+
+
+@pytest.fixture
+def served(host):
+    from repro import scenarios
+
+    config = scenarios.victim_config()
+    config.nics[0].hostfwds.append(("tcp", 8080, 80))
+    vm = scenarios.launch_victim(host, config)
+    service = WebService(vm.guest, port=80)
+    client = NetworkNode(host.engine, "browser")
+    Link(client, host.net_node, 941e6, 1.2e-4)
+    return host, vm, service, client
+
+
+def test_requests_round_trip(served):
+    host, _vm, service, client = served
+    probe = LatencyProbe(client, host.net_node, 8080)
+    result = host.engine.run(probe.start(host, requests=20))
+    assert len(result.metrics["rtts_ms"]) == 20
+    assert service.requests_served == 20
+    assert result.metrics["median_ms"] > 0
+
+
+def test_latency_plausible(served):
+    host, _vm, _service, client = served
+    probe = LatencyProbe(client, host.net_node, 8080)
+    result = host.engine.run(probe.start(host, requests=30))
+    median = result.metrics["median_ms"]
+    assert 0.3 < median < 5.0
+
+
+def test_service_blocks_while_vm_paused(served):
+    host, vm, service, client = served
+    vm.pause()
+    probe = LatencyProbe(client, host.net_node, 8080)
+    process = probe.start(host, requests=1)
+    host.engine.run(until=host.engine.now + 5.0)
+    assert service.requests_served == 0
+    vm.resume()
+    result = host.engine.run(process)
+    assert service.requests_served == 1
+    # That first request waited out the pause.
+    assert result.metrics["rtts_ms"][0] > 1000
+
+
+def test_probe_stop(served):
+    host, _vm, _service, client = served
+    probe = LatencyProbe(client, host.net_node, 8080)
+    process = probe.start(host, requests=10_000)
+    host.engine.call_later(1.0, probe.stop)
+    result = host.engine.run(process)
+    assert result.stopped_early
+    assert 0 < len(result.metrics["rtts_ms"]) < 10_000
+
+
+def test_service_requires_network():
+    from repro.guest.system import System
+    from repro.hardware.machine import Machine
+
+    machine = Machine(memory_mb=1024)
+    system = System.bare_metal(machine)
+    system.net_node = None
+    with pytest.raises(GuestError):
+        WebService(system)

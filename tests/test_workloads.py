@@ -1,0 +1,102 @@
+"""Workload generators: metrics, pacing, pause interaction."""
+
+import pytest
+
+from repro.net.stack import Link, NetworkNode
+from repro.workloads.filebench import FilebenchWorkload
+from repro.workloads.idle import IdleWorkload
+from repro.workloads.kernel_compile import KernelCompileWorkload
+from repro.workloads.netperf import NetperfServer, NetperfWorkload
+
+
+def test_idle_runs_for_duration(host, victim):
+    result = host.engine.run(IdleWorkload().start(victim.guest, duration=10.0))
+    assert result.metrics["ticks"] == pytest.approx(20, abs=2)
+    assert result.elapsed == pytest.approx(10.0, rel=0.1)
+
+
+def test_idle_stop(host, victim):
+    workload = IdleWorkload()
+    process = workload.start(victim.guest)
+    host.engine.call_later(5.0, workload.stop)
+    result = host.engine.run(process)
+    assert result.stopped_early
+
+
+def test_compile_build_seconds_sane(host, victim):
+    workload = KernelCompileWorkload(units=100)
+    result = host.engine.run(workload.start(victim.guest))
+    assert result.metrics["units"] == 100
+    assert result.metrics["build_seconds"] > 10.0
+
+
+def test_compile_ccache_speeds_up(host):
+    slow = host.engine.run(
+        KernelCompileWorkload(units=150, ccache_enabled=False).start(host)
+    )
+    fast = host.engine.run(
+        KernelCompileWorkload(units=150, ccache_enabled=True).start(host)
+    )
+    ratio = slow.metrics["build_seconds"] / fast.metrics["build_seconds"]
+    assert 3.0 < ratio < 5.0  # the paper's ~3.8x ccache confound
+
+
+def test_compile_dirties_guest_memory(host, victim):
+    victim.kvm_vm.memory.start_dirty_log()
+    host.engine.run(KernelCompileWorkload(units=20).start(victim.guest))
+    _dirty, bulk = victim.kvm_vm.memory.fetch_and_reset_dirty()
+    assert bulk > 10000
+
+
+def test_netperf_wire_bound(host, victim):
+    peer = NetworkNode(host.engine, "netserver")
+    Link(peer, host.net_node, 941e6, 1.2e-4)
+    server = NetperfServer(peer)
+    result = host.engine.run(
+        NetperfWorkload(server).start(victim.guest, duration=5.0)
+    )
+    mbps = result.metrics["throughput_mbps"]
+    assert 700 < mbps < 941
+
+
+def test_filebench_reports_ops(host, victim):
+    result = host.engine.run(
+        FilebenchWorkload().start(victim.guest, duration=5.0)
+    )
+    assert result.metrics["ops"] > 100
+    assert result.metrics["ops_per_second"] > 50
+
+
+def test_filebench_fixed_op_count(host, victim):
+    result = host.engine.run(FilebenchWorkload().start(victim.guest, ops=50))
+    assert result.metrics["ops"] == 50
+
+
+def test_filebench_touches_block_device(host, victim):
+    device = victim.block_devices[0]
+    host.engine.run(FilebenchWorkload().start(victim.guest, ops=30))
+    assert device.wr_ops >= 30
+    assert device.rd_ops >= 30
+
+
+def test_workload_blocks_while_paused(host, victim):
+    workload = IdleWorkload()
+    process = workload.start(victim.guest, duration=30.0)
+    host.engine.run(until=host.engine.now + 2.0)
+    victim.pause()
+    paused_at = host.engine.now
+    host.engine.run(until=paused_at + 10.0)
+    ticks_during_pause = None
+    victim.resume()
+    result = host.engine.run(process)
+    # 10 of the 30 seconds were frozen: far fewer ticks than 60.
+    assert result.metrics["ticks"] < 50
+
+
+def test_result_elapsed_requires_finish(host):
+    from repro.workloads.base import WorkloadResult
+    from repro.errors import GuestError
+
+    result = WorkloadResult("w", "s")
+    with pytest.raises(GuestError):
+        _ = result.elapsed
