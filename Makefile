@@ -1,0 +1,13 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-quick
+
+test:
+	$(PYTHON) -m pytest -x -q --durations=10
+
+bench:
+	$(PYTHON) benchmarks/perf_report.py
+
+bench-quick:
+	$(PYTHON) benchmarks/perf_report.py --quick

@@ -1,0 +1,241 @@
+#!/usr/bin/env python
+"""Hot-path performance report: time three canonical scenarios.
+
+Runs the scenarios the perf work is judged on —
+
+* ``detection_under_io``     — the dedup detection protocol (clean and
+  nested) with a Filebench workload hammering the guest (Figs 5/6
+  under load);
+* ``fig4_migration_filebench`` — the Fig 4 pre-copy live migration of a
+  Filebench-loaded victim;
+* ``lmbench_l2_proc``        — Table 3 process-latency microbenchmarks
+  in an L2 (nested) guest —
+
+and writes wall-clock timings, virtual-time fingerprints, and the
+engine's perf counters to ``BENCH_core.json`` so later PRs have a
+trajectory to beat.
+
+Each scenario's *fingerprint* captures the virtual-time results
+(verdicts, medians, MigrationStats totals, latencies).  Optimizations
+must leave fingerprints byte-identical to :data:`BASELINE` — a wall
+clock win that changes simulated results is a correctness bug, not a
+speedup.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_report.py            # all three
+    PYTHONPATH=src python benchmarks/perf_report.py --quick    # detection only
+    PYTHONPATH=src python benchmarks/perf_report.py -o out.json
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+#: Pre-change reference, recorded on the commit preceding the hot-path
+#: overhaul (same machine, same scenario code, best of two runs).  The
+#: fingerprints are the ground truth the optimized engine must still
+#: produce bit-for-bit.
+BASELINE = {
+    "detection_under_io": {
+        "wall_seconds": 7.393,
+        "fingerprint": {
+            "clean": {
+                "verdict": "clean",
+                "median_t0": 0.25121138130938825,
+                "median_t1": 379.21856694542475,
+                "median_t2": 0.2502517481053238,
+                "virtual_now": 89.26796287360868,
+            },
+            "nested": {
+                "verdict": "nested",
+                "median_t0": 0.25121138130938825,
+                "median_t1": 379.21856694542475,
+                "median_t2": 380.63290886819743,
+                "virtual_now": 131.31306111988857,
+            },
+        },
+    },
+    "fig4_migration_filebench": {
+        "wall_seconds": 1.739,
+        "fingerprint": {
+            "status": "completed",
+            "ram_bytes": 958629800,
+            "pages_transferred": 233396,
+            "zero_pages": 96115,
+            "iterations": 5,
+            "downtime": 0.00208560000001512,
+            "migration_virtual_seconds": 29.599723616053378,
+        },
+    },
+    "lmbench_l2_proc": {
+        "wall_seconds": 0.128,
+        "fingerprint": {
+            "latencies_us": {
+                "AF_UNIX sock stream latency": 40.955226277960996,
+                "fork+ /bin/sh -c": 2032.6331245589731,
+                "fork+ execve": 596.0382541469006,
+                "fork+ exit": 250.6445163207815,
+                "pipe latency": 65.55697754452488,
+                "protection fault": 0.3464310272261916,
+                "signal handler installation": 0.11728802613223249,
+                "signal handler overhead": 0.629748239360108,
+            },
+        },
+    },
+}
+
+
+def scenario_detection_io():
+    from repro import scenarios
+    from repro.core.detection.dedup_detector import DedupDetector
+    from repro.workloads.filebench import FilebenchWorkload
+
+    fingerprint = {}
+    perf = {}
+    started = time.perf_counter()
+    for nested in (False, True):
+        host, cloud, _ksm, locator = scenarios.detection_setup(
+            nested=nested, seed=42
+        )
+        workload = FilebenchWorkload()
+        workload.start(locator(), duration=10_000.0)
+        detector = DedupDetector(host, cloud, file_pages=30)
+        report = host.engine.run(host.engine.process(detector.run()))
+        workload.stop()
+        verdict = report.verdict
+        key = "nested" if nested else "clean"
+        fingerprint[key] = {
+            "verdict": verdict.verdict,
+            "median_t0": verdict.median_t0,
+            "median_t1": verdict.median_t1,
+            "median_t2": verdict.median_t2,
+            "virtual_now": host.engine.now,
+        }
+        perf[key] = host.engine.perf.as_dict()
+    return time.perf_counter() - started, fingerprint, perf
+
+
+def scenario_fig4_migration():
+    from repro import scenarios
+    from repro.qemu.config import DriveSpec
+    from repro.qemu.qemu_img import qemu_img_create
+    from repro.qemu.vm import launch_vm
+    from repro.workloads.filebench import FilebenchWorkload
+
+    started = time.perf_counter()
+    host = scenarios.testbed(seed=42)
+    vm = scenarios.launch_victim(host)
+    workload = FilebenchWorkload()
+    workload.start(vm.guest)
+    qemu_img_create(host, "/var/lib/images/dest.qcow2", 20)
+    config = vm.config.clone_for_destination(
+        "dest0", incoming_port=4444, keep_hostfwds=False
+    )
+    config.drives = [DriveSpec("/var/lib/images/dest.qcow2")]
+    launch_vm(host, config)
+    migration_started = host.engine.now
+    vm.monitor.execute("migrate -d tcp:127.0.0.1:4444")
+    host.engine.run(vm.migration_process)
+    workload.stop()
+    stats = vm.migration_stats
+    fingerprint = {
+        "status": stats.status,
+        "ram_bytes": stats.ram_bytes,
+        "pages_transferred": stats.pages_transferred,
+        "zero_pages": stats.zero_pages,
+        "iterations": stats.iterations,
+        "downtime": stats.downtime,
+        "migration_virtual_seconds": host.engine.now - migration_started,
+    }
+    return time.perf_counter() - started, fingerprint, host.engine.perf.as_dict()
+
+
+def scenario_lmbench_l2():
+    from repro import scenarios
+    from repro.workloads.lmbench.proc import LmbenchProc
+
+    started = time.perf_counter()
+    host, system = scenarios.system_at_level(2, seed=123)
+    result = host.engine.run(LmbenchProc().start(system, repetition_scale=0.25))
+    fingerprint = {"latencies_us": result.metrics["latencies_us"]}
+    return time.perf_counter() - started, fingerprint, host.engine.perf.as_dict()
+
+
+SCENARIOS = (
+    ("detection_under_io", scenario_detection_io),
+    ("fig4_migration_filebench", scenario_fig4_migration),
+    ("lmbench_l2_proc", scenario_lmbench_l2),
+)
+
+
+def run_report(quick=False):
+    report = {}
+    for name, fn in SCENARIOS:
+        if quick and name != "detection_under_io":
+            continue
+        print(f"[bench] {name} ...", flush=True)
+        wall, fingerprint, perf = fn()
+        base = BASELINE[name]
+        entry = {
+            "wall_seconds": round(wall, 3),
+            "baseline_wall_seconds": base["wall_seconds"],
+            "improvement_pct": round(
+                100.0 * (1.0 - wall / base["wall_seconds"]), 1
+            ),
+            "fingerprint": fingerprint,
+            "fingerprint_matches_baseline": fingerprint == base["fingerprint"],
+            "perf_counters": perf,
+        }
+        report[name] = entry
+        match = "match" if entry["fingerprint_matches_baseline"] else "MISMATCH"
+        print(
+            f"[bench] {name}: {wall:.3f}s vs baseline "
+            f"{base['wall_seconds']:.3f}s "
+            f"({entry['improvement_pct']:+.1f}% faster), fingerprint {match}"
+        )
+    return report
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run only the detection-under-IO scenario",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help=(
+            "where to write the JSON report (default: repo-root "
+            "BENCH_core.json, or BENCH_core.quick.json with --quick so a "
+            "quick run never clobbers the full trajectory)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.output is None:
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        name = "BENCH_core.quick.json" if args.quick else "BENCH_core.json"
+        args.output = os.path.join(repo_root, name)
+    report = run_report(quick=args.quick)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[bench] wrote {args.output}")
+    mismatched = [
+        name
+        for name, entry in report.items()
+        if not entry["fingerprint_matches_baseline"]
+    ]
+    if mismatched:
+        print(f"[bench] FINGERPRINT MISMATCH: {', '.join(mismatched)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

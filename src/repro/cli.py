@@ -18,6 +18,13 @@ import argparse
 from repro import __version__, scenarios
 
 
+def _report_perf(args, engine, label="engine"):
+    """Print the engine's perf counters when ``--perf`` was given."""
+    if getattr(args, "perf", False):
+        print(f"[perf] {label}")
+        print(engine.perf.format())
+
+
 def cmd_attack(args):
     host = scenarios.testbed(seed=args.seed)
     scenarios.launch_victim(host)
@@ -29,6 +36,7 @@ def cmd_attack(args):
         f"(victim's old pid {report.victim_pid}); "
         f"{report.history_lines_removed} history lines scrubbed"
     )
+    _report_perf(args, host.engine)
     return 0
 
 
@@ -49,6 +57,7 @@ def cmd_detect(args):
             f"t2={verdict.median_t2:.2f}us -> {verdict.verdict.upper()}"
         )
         print(f"  {verdict.explanation()}\n")
+        _report_perf(args, host.engine, label=label)
     return 0
 
 
@@ -80,6 +89,7 @@ def cmd_sweep(args):
     report = host.engine.run(host.engine.process(service.sweep()))
     print(report.summary())
     print(f"\ncompromised: {report.compromised_tenants}")
+    _report_perf(args, host.engine)
     return 0 if report.compromised_tenants == ["tenant-b"] else 1
 
 
@@ -110,6 +120,7 @@ def cmd_covert(args):
     print(f"sent     {payload!r}")
     print(f"received {received!r}")
     print(f"{elapsed:.0f}s virtual, {bps:.2f} bit/s")
+    _report_perf(args, host.engine)
     return 0 if received == payload else 1
 
 
@@ -127,6 +138,11 @@ def build_parser():
         prog="repro", description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
     )
     parser.add_argument("--seed", type=int, default=1701)
+    parser.add_argument(
+        "--perf",
+        action="store_true",
+        help="print the engine's performance counters after the run",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("attack").set_defaults(func=cmd_attack)
     detect = sub.add_parser("detect")

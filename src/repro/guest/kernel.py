@@ -81,6 +81,15 @@ class Kernel:
         #: patched (e.g. the §VI-D page-sync evasion) — the tell-tale an
         #: integrity monitor would catch.
         self.hypervisor_code_modified = False
+        # Hot-path caches.  The syscall cache maps (name, depth) to the
+        # precomputed deterministic cost plus the exit-recording plan;
+        # it is keyed to the cost model object so a migration onto a
+        # host with a different model rebuilds it.  The jitter cache
+        # holds the per-label RNG stream so the per-syscall path skips
+        # the registry's name hashing (same streams, same draw order).
+        self._syscall_cache = {}
+        self._syscall_cache_cm = None
+        self._jitter_streams = {}
 
     # ------------------------------------------------------------------
     # cost primitives
@@ -104,9 +113,15 @@ class Kernel:
     def _jitter(self, cost, label):
         if self.jitter_rsd <= 0:
             return cost
-        return self.system.rng.gauss_jitter(
-            f"{self.system.name}:{label}", cost, self.jitter_rsd
-        )
+        rng = self._jitter_streams.get(label)
+        if rng is None:
+            rng = self.system.rng.stream(f"{self.system.name}:{label}")
+            self._jitter_streams[label] = rng
+        # Same math as RngRegistry.gauss_jitter, minus the per-call
+        # stream lookup: one N(cost, rsd*cost) sample floored at 10%.
+        sample = rng.gauss(cost, abs(self.jitter_rsd * cost))
+        floor = 0.1 * abs(cost)
+        return sample if sample >= floor else floor
 
     def _record_exits(self, reason, count):
         handle = self.system.vm_handle
@@ -149,35 +164,74 @@ class Kernel:
         )
         return self._throttled(cost)
 
-    def syscall_cost(self, name, jitter=True):
-        """Cost of one syscall described by its profile."""
+    def _build_syscall_entry(self, name, depth):
+        """Precompute the deterministic part of one syscall's cost.
+
+        Returns ``(base_cost, records, label)`` where ``records`` is the
+        exit-recording plan: ``(reason, count, trampoline_count)`` per
+        exit class, with ``trampoline_count`` the pre-multiplied number
+        of PRIV_INSTRUCTION exits the L1 parent absorbs (0 below depth
+        2).  The additions happen in the same order as the original
+        per-call computation, so the cached scalar is bit-identical.
+        """
         profile = SYSCALL_PROFILES.get(name)
         if profile is None:
             raise GuestError(f"unknown syscall profile: {name!r}")
         cm = self._cost_model
-        depth = self.depth
         cost = cm.cpu_cost(profile.cpu_seconds, depth, profile.mem_intensity)
         cost += profile.per_depth_cpu * depth
         cost += cm.syscall_depth_tax * depth
-        for reason, n in profile.exits.items():
-            if depth >= 1:
+        records = []
+        if depth >= 1:
+            nested = depth >= 2
+            for reason, n in profile.exits.items():
                 cost += n * cm.exit_cost(reason, depth)
-                self._record_exits(reason, n)
-                self._record_trampoline(reason, n)
-        if depth >= 2:
-            for reason, n in profile.nested_exits.items():
-                cost += n * cm.exit_cost(reason, depth)
-                self._record_exits(reason, n)
-                self._record_trampoline(reason, n)
-        for tap in self.syscall_taps:
-            if tap.syscall_name == name:
-                tap.hits += 1
-                cost += cm.exit_cost(tap.extra_exit, max(depth, 1))
-                if tap.callback is not None:
-                    tap.callback(self.system, name)
+                ops = cm.nested_priv_ops.get(reason, 0) if nested else 0
+                records.append((reason, n, n * ops))
+            if nested:
+                for reason, n in profile.nested_exits.items():
+                    cost += n * cm.exit_cost(reason, depth)
+                    ops = cm.nested_priv_ops.get(reason, 0)
+                    records.append((reason, n, n * ops))
+        return cost, tuple(records), f"sys:{name}"
+
+    def syscall_cost(self, name, jitter=True):
+        """Cost of one syscall described by its profile."""
+        cm = self.system.cost_model
+        if cm is not self._syscall_cache_cm:
+            self._syscall_cache_cm = cm
+            self._syscall_cache = {}
+        depth = self.depth
+        entry = self._syscall_cache.get((name, depth))
+        if entry is None:
+            entry = self._build_syscall_entry(name, depth)
+            self._syscall_cache[(name, depth)] = entry
+        cost, records, label = entry
+        if records:
+            system = self.system
+            handle = system.vm_handle
+            parent_handle = None
+            if depth >= 2 and system.parent is not None:
+                parent_handle = system.parent.vm_handle
+            for reason, n, trampoline in records:
+                if handle is not None:
+                    handle.record_exit(reason, n)
+                if trampoline and parent_handle is not None:
+                    # The Turtles reflection runs in the L1 parent — see
+                    # _record_trampoline for the attribution rationale.
+                    parent_handle.record_exit(
+                        ExitReason.PRIV_INSTRUCTION, trampoline
+                    )
+        if self.syscall_taps:
+            for tap in self.syscall_taps:
+                if tap.syscall_name == name:
+                    tap.hits += 1
+                    cost += cm.exit_cost(tap.extra_exit, max(depth, 1))
+                    if tap.callback is not None:
+                        tap.callback(self.system, name)
         cost += self.extra_op_latency
         if jitter:
-            cost = self._jitter(cost, f"sys:{name}")
+            cost = self._jitter(cost, label)
         return self._throttled(cost)
 
     def charge_syscalls(self, name, times=1):

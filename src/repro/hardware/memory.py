@@ -106,6 +106,15 @@ class MemoryDomain:
         """Return the logical content of page ``pfn`` (b'' if untouched)."""
         raise NotImplementedError
 
+    def read_many(self, pfns):
+        """Return ``[(pfn, content), ...]`` for ``pfns`` in order.
+
+        Bulk read used by the migration stream; subclasses override it
+        with a loop-hoisted fast path.
+        """
+        read = self.read
+        return [(pfn, read(pfn)) for pfn in pfns]
+
     def write(self, pfn, content, outcome=None):
         """Write ``content`` to page ``pfn``; returns a WriteOutcome."""
         raise NotImplementedError
@@ -133,6 +142,12 @@ class PhysicalMemory(MemoryDomain):
         self.size_mb = size_mb
         self.total_pages = size_mb * 1024 * 1024 // PAGE_SIZE
         self._frames = {}
+        # Incremental index of mergeable pfns (dict used as an ordered
+        # set): maintained on allocate/free so the KSM daemon never
+        # rebuilds an O(all-frames) candidate list per pass.  Pfns are
+        # handed out monotonically and never reused, so insertion order
+        # here matches the _frames iteration order the scan relied on.
+        self._mergeable = {}
         self._next_pfn = count()
         self._next_fid = count()
         self._ksm = None
@@ -169,6 +184,7 @@ class PhysicalMemory(MemoryDomain):
             raise MemoryError_("physical memory exhausted")
         self._frames[pfn] = Frame(next(self._next_fid), content, mergeable)
         if mergeable:
+            self._mergeable[pfn] = None
             self._mergeable_generation += 1
         return pfn
 
@@ -199,6 +215,9 @@ class PhysicalMemory(MemoryDomain):
         if frame.refcount <= 0 and self._ksm is not None and frame.ksm_shared:
             self._ksm.forget_frame(frame)
         if frame.mergeable:
+            self._mergeable.pop(pfn, None)
+            if self._ksm is not None:
+                self._ksm.forget_pfn(pfn)
             self._mergeable_generation += 1
 
     def frame(self, pfn):
@@ -221,6 +240,13 @@ class PhysicalMemory(MemoryDomain):
     def read(self, pfn):
         frame = self._frames.get(pfn)
         return frame.content if frame is not None else b""
+
+    def read_many(self, pfns):
+        frames_get = self._frames.get
+        return [
+            (pfn, frame.content if (frame := frames_get(pfn)) is not None else b"")
+            for pfn in pfns
+        ]
 
     def write(self, pfn, content, outcome=None):
         if outcome is None:
@@ -259,9 +285,17 @@ class PhysicalMemory(MemoryDomain):
 
     def iter_mergeable(self):
         """Yield (pfn, frame) for every mergeable materialized page."""
-        for pfn, frame in self._frames.items():
-            if frame.mergeable:
-                yield pfn, frame
+        frames = self._frames
+        for pfn in self._mergeable:
+            yield pfn, frames[pfn]
+
+    def mergeable_pfns(self):
+        """Snapshot list of mergeable pfns, in allocation order.
+
+        O(mergeable pages) via the incremental index — the KSM daemon
+        builds its per-pass cursor from this.
+        """
+        return list(self._mergeable)
 
     @property
     def mergeable_generation(self):

@@ -110,6 +110,23 @@ class GuestMemory(MemoryDomain):
             return b""
         return self.parent.read(parent_pfn)
 
+    def read_many(self, gpfns):
+        """Bulk read for the migration stream.
+
+        Hoists the mapping and parent-domain lookups out of the
+        per-page loop; never-materialized gpfns read as zero pages.
+        """
+        mapping_get = self._mapping.get
+        parent_read = self.parent.read
+        return [
+            (
+                gpfn,
+                b"" if (parent_pfn := mapping_get(gpfn)) is None
+                else parent_read(parent_pfn),
+            )
+            for gpfn in gpfns
+        ]
+
     def write(self, gpfn, content, outcome=None):
         if outcome is None:
             outcome = WriteOutcome()

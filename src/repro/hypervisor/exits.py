@@ -26,6 +26,11 @@ from repro.errors import HypervisorError
 class ExitReason(Enum):
     """Why a guest exited to its hypervisor."""
 
+    # Identity-based hashing: members are singletons, so the default
+    # Enum hash-by-name only adds string-hashing cost on every counter
+    # and cost-table lookup (millions per scenario).
+    __hash__ = object.__hash__
+
     EPT_VIOLATION = "ept_violation"      # first touch / shadow paging fault
     IO_PORT = "io_port"                  # programmed I/O
     MMIO = "mmio"                        # device register access
@@ -111,10 +116,31 @@ class CostModel:
     #: Cost of mapping a fresh anonymous page (minor fault, zeroing).
     minor_fault_cost = 9.0e-7
 
+    def __init__(self):
+        # Exit and tax-factor costs are pure functions of the class
+        # constants, and the engine asks for the same handful of
+        # (reason, depth) pairs millions of times per scenario — memoize
+        # per instance.  Call :meth:`invalidate_caches` after mutating
+        # any constant on a live instance.
+        self._exit_cost_cache = {}
+        self._tax_factor_cache = {}
+
+    def invalidate_caches(self):
+        """Drop memoized costs (after mutating calibration constants)."""
+        self._exit_cost_cache.clear()
+        self._tax_factor_cache.clear()
+
     def exit_cost(self, reason, depth):
         """Cost of one exit of ``reason`` taken by a guest at ``depth``."""
         if depth <= 0:
             return 0.0
+        cost = self._exit_cost_cache.get((reason, depth))
+        if cost is None:
+            cost = self._compute_exit_cost(reason, depth)
+            self._exit_cost_cache[(reason, depth)] = cost
+        return cost
+
+    def _compute_exit_cost(self, reason, depth):
         if not isinstance(reason, ExitReason):
             raise HypervisorError(f"unknown exit reason {reason!r}")
         handler = self.handler_cost[reason]
@@ -137,14 +163,18 @@ class CostModel:
         ``mem_intensity`` in [0, 1]: ~0.1 for register-bound loops
         (lmbench arithmetic), 1.0 for TLB-heavy work (kernel compile).
         """
-        if not 0.0 <= mem_intensity <= 1.0:
-            raise HypervisorError(f"mem_intensity out of range: {mem_intensity}")
-        if depth in self.tlb_tax:
-            tax = self.tlb_tax[depth]
-        else:
-            extra = depth - max(self.tlb_tax)
-            tax = self.tlb_tax[max(self.tlb_tax)] + extra * self.tlb_tax_extra_depth
-        return 1.0 + tax * mem_intensity
+        factor = self._tax_factor_cache.get((depth, mem_intensity))
+        if factor is None:
+            if not 0.0 <= mem_intensity <= 1.0:
+                raise HypervisorError(f"mem_intensity out of range: {mem_intensity}")
+            if depth in self.tlb_tax:
+                tax = self.tlb_tax[depth]
+            else:
+                extra = depth - max(self.tlb_tax)
+                tax = self.tlb_tax[max(self.tlb_tax)] + extra * self.tlb_tax_extra_depth
+            factor = 1.0 + tax * mem_intensity
+            self._tax_factor_cache[(depth, mem_intensity)] = factor
+        return factor
 
     def cpu_cost(self, seconds, depth, mem_intensity=0.5):
         """Virtual time to execute ``seconds`` of native CPU work.

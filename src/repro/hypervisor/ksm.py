@@ -110,16 +110,23 @@ class KsmDaemon:
             self._idle = False
         if not self._cursor:
             self._begin_pass()
+        cursor = self._cursor
         budget = self.pages_to_scan
-        while budget > 0 and self._cursor:
-            pfn = self._cursor.pop()
-            budget -= 1
-            self._scan_one(pfn)
-        if not self._cursor:
+        # Detach this wake's batch in one slice (the cursor is consumed
+        # from the tail, matching the historical pop() order).
+        if budget >= len(cursor):
+            batch = cursor[::-1]
+            del cursor[:]
+        else:
+            batch = cursor[: -budget - 1 : -1]
+            del cursor[-budget:]
+        self._scan_batch(batch)
+        self.engine.perf.ksm_pages_scanned += len(batch)
+        if not cursor:
             self._end_pass()
 
     def _begin_pass(self):
-        self._cursor = [pfn for pfn, _frame in self.memory.iter_mergeable()]
+        self._cursor = self.memory.mergeable_pfns()
         self._unstable.clear()
         self._pass_merges = 0
         self._pass_new_seen = 0
@@ -127,6 +134,7 @@ class KsmDaemon:
 
     def _end_pass(self):
         self.stats.full_scans += 1
+        self.engine.perf.ksm_passes += 1
         if (
             self._pass_merges == 0
             and self._pass_new_seen == 0
@@ -138,44 +146,73 @@ class KsmDaemon:
             self._idle_marks = self._pass_start_marks
 
     def _scan_one(self, pfn):
-        frame = self.memory.frame(pfn)
-        if frame is None or not frame.mergeable or frame.ksm_shared:
-            return
-        digest = frame.digest
-        previous = self._seen.get(pfn)
-        self._seen[pfn] = digest
-        if previous != digest:
-            # A newly seen or freshly rewritten page: it may stabilize
-            # and merge next pass, so the daemon must not go idle yet.
-            self._pass_new_seen += 1
-            # Volatility filter: content changed since the last pass (or
-            # page is new); give it a full pass to stabilize.
-            return
-        stable_frame = self._stable.get(digest)
-        if stable_frame is not None and stable_frame.refcount > 0:
-            if stable_frame is frame:
-                return
-            self.memory.remap(pfn, stable_frame)
-            self.stats.pages_merged_total += 1
-            self._pass_merges += 1
-            return
-        other_pfn = self._unstable.get(digest)
-        if other_pfn is not None and other_pfn != pfn:
-            other_frame = self.memory.frame(other_pfn)
-            if (
-                other_frame is not None
-                and not other_frame.ksm_shared
-                and other_frame.digest == digest
-            ):
-                # Promote this frame to the stable tree and fold the
-                # unstable partner into it.
-                frame.ksm_shared = True
-                self._stable[digest] = frame
-                self.memory.remap(other_pfn, frame)
-                self.stats.pages_merged_total += 1
-                self._pass_merges += 1
-                return
-        self._unstable[digest] = pfn
+        """Scan a single page (kept for targeted tests and callers)."""
+        self._scan_batch((pfn,))
+
+    def _scan_batch(self, pfns):
+        """Scan a batch of pages with the pass state hoisted to locals.
+
+        The stable/unstable/seen structures are bound once per batch —
+        one dict snapshot for the digest lookups instead of attribute
+        dereferences per page.  The dict objects themselves are live
+        (merges performed mid-batch are observed by later pages, same
+        as the historical one-page-at-a-time loop).
+        """
+        memory = self.memory
+        frame_of = memory.frame
+        remap = memory.remap
+        seen = self._seen
+        seen_get = seen.get
+        stable = self._stable
+        stable_get = stable.get
+        unstable = self._unstable
+        unstable_get = unstable.get
+        stats = self.stats
+        merges = 0
+        new_seen = 0
+        for pfn in pfns:
+            frame = frame_of(pfn)
+            if frame is None or not frame.mergeable or frame.ksm_shared:
+                continue
+            digest = frame.digest
+            previous = seen_get(pfn)
+            seen[pfn] = digest
+            if previous != digest:
+                # A newly seen or freshly rewritten page: it may
+                # stabilize and merge next pass, so the daemon must not
+                # go idle yet.
+                new_seen += 1
+                # Volatility filter: content changed since the last
+                # pass (or page is new); give it a full pass to
+                # stabilize.
+                continue
+            stable_frame = stable_get(digest)
+            if stable_frame is not None and stable_frame.refcount > 0:
+                if stable_frame is frame:
+                    continue
+                remap(pfn, stable_frame)
+                stats.pages_merged_total += 1
+                merges += 1
+                continue
+            other_pfn = unstable_get(digest)
+            if other_pfn is not None and other_pfn != pfn:
+                other_frame = frame_of(other_pfn)
+                if (
+                    other_frame is not None
+                    and not other_frame.ksm_shared
+                    and other_frame.digest == digest
+                ):
+                    # Promote this frame to the stable tree and fold the
+                    # unstable partner into it.
+                    frame.ksm_shared = True
+                    stable[digest] = frame
+                    remap(other_pfn, frame)
+                    stats.pages_merged_total += 1
+                    merges += 1
+                    continue
+            unstable[digest] = pfn
+        self._pass_merges += merges
+        self._pass_new_seen += new_seen
 
     def sysfs_text(self):
         """The /sys/kernel/mm/ksm/* view an administrator reads."""
@@ -196,3 +233,12 @@ class KsmDaemon:
         if self._stable.get(digest) is frame:
             del self._stable[digest]
         frame.ksm_shared = False
+
+    def forget_pfn(self, pfn):
+        """A mergeable pfn was freed: drop its volatility-filter state.
+
+        Without this the ``_seen`` map grows monotonically with every
+        mergeable page that ever existed — unbounded under alloc/free
+        churn (guest reboots, short-lived VMs).
+        """
+        self._seen.pop(pfn, None)

@@ -97,6 +97,7 @@ class PostCopyMigration:
         real_pages = list(memory.iter_touched())
         bulk_total = memory.bulk_touched
         zero_total = memory.untracked_pages
+        perf = self.engine.perf
         index = 0
         remaining_bulk = bulk_total
         remaining_zero = zero_total
@@ -108,7 +109,7 @@ class PostCopyMigration:
             remaining_bulk -= bulk_now
             zero_now = min(remaining_zero, max((room - bulk_now) * 64, 0))
             remaining_zero -= zero_now
-            entries = [(gpfn, memory.read(gpfn)) for gpfn in batch]
+            entries = memory.read_many(batch)
             chunk = RamChunk(entries, bulk_pages=bulk_now, zero_pages=zero_now)
             pace = self.engine.timeout(chunk.wire_bytes / self.max_bandwidth)
             delivery = endpoint.send(
@@ -120,6 +121,8 @@ class PostCopyMigration:
             self.stats.pages_transferred += chunk.page_count
             self.stats.zero_pages += zero_now
             self.stats.iterations = 1
+            perf.migration_chunks += 1
+            perf.migration_pages += chunk.page_count
 
         yield endpoint.send(Packet(32, payload=PostCopyDone(), kind="migration"))
         yield self._expect_ack(endpoint)

@@ -78,7 +78,6 @@ class PreCopyMigration:
         self._pages_sent_before = set()
         self._bulk_sent_once = False
         self.xbzrle_pages = 0
-        self.chunk_pages = chunk_pages
         self.stats = MigrationStats(self.engine)
         self.cancelled = False
         self._switchover_started = False
@@ -264,6 +263,8 @@ class PreCopyMigration:
         if scan_cost > 0:
             yield self.engine.timeout(scan_cost)
 
+        perf = self.engine.perf
+        sent_before = self._pages_sent_before
         index = 0
         remaining_bulk = bulk_pages
         remaining_zero = zero_pages
@@ -276,17 +277,17 @@ class PreCopyMigration:
             room -= bulk_now
             zero_now = min(remaining_zero, max(room * 64, 0))
             remaining_zero -= zero_now
-            entries = [(gpfn, memory.read(gpfn)) for gpfn in batch]
+            entries = memory.read_many(batch)
             xbzrle_now = 0
             if self.xbzrle:
-                resent = sum(
-                    1 for gpfn in batch if gpfn in self._pages_sent_before
-                )
+                # Chunk-local set intersection instead of a per-gpfn
+                # membership loop against the full sent-pages set.
+                resent = len(sent_before.intersection(batch))
                 if self._bulk_sent_once:
                     resent += bulk_now
                 xbzrle_now = int(resent * self.xbzrle_hit_ratio)
                 self.xbzrle_pages += xbzrle_now
-            self._pages_sent_before.update(batch)
+            sent_before.update(batch)
             chunk = RamChunk(
                 entries,
                 bulk_pages=bulk_now,
@@ -306,6 +307,8 @@ class PreCopyMigration:
             self.stats.ram_bytes += chunk.wire_bytes
             self.stats.pages_transferred += chunk.page_count
             self.stats.zero_pages += zero_now
+            perf.migration_chunks += 1
+            perf.migration_pages += chunk.page_count
         return sent_bytes
 
     def _expect_ack(self, endpoint):

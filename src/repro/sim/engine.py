@@ -7,12 +7,19 @@ yields waitable :class:`Event` objects and is resumed when they fire.
 
 The engine is intentionally small — the substrates built on top (guest
 kernels, KSM daemon, migration streams) provide the domain behaviour.
+
+Every class on the dispatch path uses ``__slots__``, timeouts defer
+building their callback list until a waiter actually attaches, and a
+process that yields an already-processed event is resumed inline rather
+than through a throwaway queue entry.  :attr:`Engine.perf` counts the
+work done (see :mod:`repro.sim.perf`).
 """
 
 import heapq
 from itertools import count
 
 from repro.errors import SimulationError
+from repro.sim.perf import PerfCounters
 
 _PENDING = object()
 
@@ -35,7 +42,13 @@ class Event:
     An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
     triggers it, which schedules its callbacks to run at the current
     virtual time.  Processes wait on events by yielding them.
+
+    ``callbacks`` may be ``None`` (no waiter ever attached — the timer
+    fast-path) or a list; internal code attaches waiters through
+    :meth:`_add_callback`, which materializes the list on demand.
     """
+
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "processed")
 
     def __init__(self, engine):
         self.engine = engine
@@ -64,9 +77,17 @@ class Event:
             raise SimulationError("event value accessed before trigger")
         return self._value
 
+    def _add_callback(self, fn):
+        """Attach a waiter, materializing the callback list lazily."""
+        callbacks = self.callbacks
+        if callbacks is None:
+            self.callbacks = [fn]
+        else:
+            callbacks.append(fn)
+
     def succeed(self, value=None):
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError("event already triggered")
         self._ok = True
         self._value = value
@@ -75,7 +96,7 @@ class Event:
 
     def fail(self, exception):
         """Trigger the event with an exception, propagated to waiters."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError("event already triggered")
         if not isinstance(exception, BaseException):
             raise SimulationError("Event.fail() requires an exception")
@@ -86,25 +107,37 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires automatically after a virtual-time delay."""
+    """An event that fires automatically after a virtual-time delay.
+
+    Bare ``engine.timeout(d)`` yields are the single most common event
+    in every scenario, so the constructor bypasses ``Event.__init__``
+    and leaves ``callbacks`` as ``None`` until a waiter attaches.
+    """
+
+    __slots__ = ()
 
     def __init__(self, engine, delay, value=None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(engine)
+        self.engine = engine
+        self.callbacks = None
         self._ok = True
         self._value = value
+        self.processed = False
         engine._enqueue(self, delay=delay)
 
 
 class _Initialize(Event):
     """Internal event used to start a process at the current time."""
 
+    __slots__ = ()
+
     def __init__(self, engine, process):
-        super().__init__(engine)
+        self.engine = engine
+        self.callbacks = [process._resume]
         self._ok = True
         self._value = None
-        self.callbacks.append(process._resume)
+        self.processed = False
         engine._enqueue(self)
 
 
@@ -116,6 +149,8 @@ class Process(Event):
     for failed events, the exception is thrown into it).  The process
     itself is an event whose value is the generator's return value.
     """
+
+    __slots__ = ("_generator", "name", "_waiting_on")
 
     def __init__(self, engine, generator, name=None):
         super().__init__(engine)
@@ -144,7 +179,7 @@ class Process(Event):
         self.engine._enqueue(interrupt_event)
 
     def _resume(self, event):
-        if self.triggered:
+        if self._value is not _PENDING:
             # The process already ended.  Stale interrupts lose the race
             # benignly; any other failed event with no remaining waiter
             # is a genuine lost error and must not pass silently.
@@ -159,43 +194,52 @@ class Process(Event):
         if detach is not None and detach is not event:
             try:
                 detach.callbacks.remove(self._resume)
-            except ValueError:
+            except (ValueError, AttributeError):
                 pass
         self._waiting_on = None
-        try:
-            if event._ok:
-                target = self._generator.send(event._value)
-            else:
-                target = self._generator.throw(event._value)
-        except StopIteration as stop:
-            self._ok = True
-            self._value = stop.value
-            self.engine._enqueue(self)
+        generator = self._generator
+        engine = self.engine
+        perf = engine.perf
+        ok = event._ok
+        value = event._value
+        while True:
+            perf.processes_resumed += 1
+            try:
+                if ok:
+                    target = generator.send(value)
+                else:
+                    target = generator.throw(value)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                engine._enqueue(self)
+                return
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                engine._enqueue(self)
+                return
+            if not isinstance(target, Event):
+                raise SimulationError(
+                    f"process {self.name!r} yielded non-event {target!r}"
+                )
+            if target.processed:
+                # The event already fired and its callbacks ran: deliver
+                # its outcome inline (queue-less immediate path) instead
+                # of enqueueing a throwaway redelivery event.
+                perf.immediate_resumes += 1
+                ok = target._ok
+                value = target._value
+                continue
+            self._waiting_on = target
+            target._add_callback(self._resume)
             return
-        except BaseException as exc:
-            self._ok = False
-            self._value = exc
-            self.engine._enqueue(self)
-            return
-        if not isinstance(target, Event):
-            raise SimulationError(
-                f"process {self.name!r} yielded non-event {target!r}"
-            )
-        self._waiting_on = target
-        if target.processed:
-            # The event already fired and its callbacks ran; re-deliver
-            # its outcome to this process at the current time.
-            immediate = Event(self.engine)
-            immediate._ok = target._ok
-            immediate._value = target._value
-            immediate.callbacks.append(self._resume)
-            self.engine._enqueue(immediate)
-        else:
-            target.callbacks.append(self._resume)
 
 
 class _Condition(Event):
     """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("_events", "_pending")
 
     def __init__(self, engine, events):
         super().__init__(engine)
@@ -206,7 +250,7 @@ class _Condition(Event):
                 self._observe_now(event)
             else:
                 self._pending += 1
-                event.callbacks.append(self._observe)
+                event._add_callback(self._observe)
         self._check_initial()
 
     def _observe_now(self, event):
@@ -224,6 +268,8 @@ class _Condition(Event):
 
 class AllOf(_Condition):
     """Fires when every given event has fired (fails fast on failure)."""
+
+    __slots__ = ()
 
     def _observe_now(self, event):
         if not event._ok:
@@ -250,6 +296,8 @@ class AllOf(_Condition):
 class AnyOf(_Condition):
     """Fires as soon as any one of the given events fires."""
 
+    __slots__ = ()
+
     def _observe_now(self, event):
         if not self.triggered:
             if event._ok:
@@ -274,12 +322,15 @@ class Engine:
     """The virtual clock and event loop.
 
     All durations and timestamps are floats in *seconds of virtual time*.
+    :attr:`perf` exposes always-on work counters (events dispatched,
+    heap pushes, processes resumed, ...) — see :mod:`repro.sim.perf`.
     """
 
     def __init__(self):
         self._now = 0.0
         self._queue = []
         self._sequence = count()
+        self.perf = PerfCounters()
 
     @property
     def now(self):
@@ -303,13 +354,13 @@ class Engine:
         if when < self._now:
             raise SimulationError(f"call_at in the past: {when} < {self._now}")
         marker = Timeout(self, when - self._now)
-        marker.callbacks.append(lambda _event: fn(*args))
+        marker._add_callback(lambda _event: fn(*args))
         return marker
 
     def call_later(self, delay, fn, *args):
         """Run ``fn(*args)`` after ``delay`` seconds of virtual time."""
         marker = self.timeout(delay)
-        marker.callbacks.append(lambda _event: fn(*args))
+        marker._add_callback(lambda _event: fn(*args))
         return marker
 
     def all_of(self, events):
@@ -321,21 +372,30 @@ class Engine:
         return AnyOf(self, events)
 
     def _enqueue(self, event, delay=0.0):
+        self.perf.heap_pushes += 1
         heapq.heappush(self._queue, (self._now + delay, next(self._sequence), event))
 
     def step(self):
         """Process the single next event; returns False when queue is empty."""
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             return False
-        when, _seq, event = heapq.heappop(self._queue)
+        when, _seq, event = heapq.heappop(queue)
         self._now = when
         event.processed = True
-        callbacks, event.callbacks = event.callbacks, []
-        for callback in callbacks:
-            callback(event)
-        if not event._ok and not callbacks and not isinstance(event, Process):
-            # A failed event nobody waited for: surface the error loudly.
-            raise event._value
+        perf = self.perf
+        perf.events_dispatched += 1
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        else:
+            perf.timer_fast_path += 1
+            if event._ok is False and not isinstance(event, Process):
+                # A failed event nobody waited for: surface the error
+                # loudly.
+                raise event._value
         return True
 
     def run(self, until=None):
@@ -346,7 +406,8 @@ class Engine:
         triggers, returning its value or raising its failure).
         """
         if until is None:
-            while self.step():
+            step = self.step
+            while step():
                 pass
             return None
         if isinstance(until, Event):
@@ -355,9 +416,10 @@ class Engine:
                     return until._value
                 raise until._value
             finished = []
-            until.callbacks.append(finished.append)
+            until._add_callback(finished.append)
+            step = self.step
             while not finished:
-                if not self.step():
+                if not step():
                     raise SimulationError(
                         f"engine ran out of events before {getattr(until, 'name', 'event')!r} fired"
                     )
@@ -367,7 +429,9 @@ class Engine:
         deadline = float(until)
         if deadline < self._now:
             raise SimulationError(f"cannot run backwards to {deadline}")
-        while self._queue and self._queue[0][0] <= deadline:
-            self.step()
+        queue = self._queue
+        step = self.step
+        while queue and queue[0][0] <= deadline:
+            step()
         self._now = deadline
         return None

@@ -1,0 +1,80 @@
+"""Always-on performance counters for the simulation core.
+
+The counters are *host-side* observability: they measure how much work
+the Python simulation performs (events dispatched, heap pushes, pages
+scanned), never virtual time.  They exist so perf regressions in the
+hot paths — :meth:`repro.sim.engine.Engine.step`, the KSM scan loop,
+the migration stream — are visible per run without a profiler, and so
+``benchmarks/perf_report.py`` can record a trajectory for later PRs to
+beat.
+
+Incrementing a slotted int attribute costs a few tens of nanoseconds,
+cheap enough to keep the counters unconditionally on.
+"""
+
+
+class PerfCounters:
+    """Cheap always-on counters surfaced through ``Engine.perf``.
+
+    Fields (all plain ints, reset with :meth:`reset`):
+
+    * ``events_dispatched`` — events popped and processed by
+      :meth:`Engine.step`;
+    * ``heap_pushes`` — entries pushed onto the event heap;
+    * ``processes_resumed`` — generator resumptions (``send``/``throw``)
+      across all :class:`Process` instances;
+    * ``immediate_resumes`` — resumptions delivered inline because the
+      yielded event had already been processed (the queue-less path);
+    * ``timer_fast_path`` — timeouts that fired with no waiter ever
+      attached (their callback list was never materialized);
+    * ``ksm_pages_scanned`` — pages examined by the KSM daemon;
+    * ``ksm_passes`` — completed KSM full scans;
+    * ``migration_chunks`` — RAM chunks sent by migration sources;
+    * ``migration_pages`` — pages carried by those chunks.
+    """
+
+    __slots__ = (
+        "events_dispatched",
+        "heap_pushes",
+        "processes_resumed",
+        "immediate_resumes",
+        "timer_fast_path",
+        "ksm_pages_scanned",
+        "ksm_passes",
+        "migration_chunks",
+        "migration_pages",
+    )
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self):
+        """Zero every counter."""
+        self.events_dispatched = 0
+        self.heap_pushes = 0
+        self.processes_resumed = 0
+        self.immediate_resumes = 0
+        self.timer_fast_path = 0
+        self.ksm_pages_scanned = 0
+        self.ksm_passes = 0
+        self.migration_chunks = 0
+        self.migration_pages = 0
+
+    def as_dict(self):
+        """Counters as a plain dict (the BENCH_core.json field order)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def format(self, indent="  "):
+        """Human-readable multi-line rendering for ``repro --perf``."""
+        width = max(len(name) for name in self.__slots__)
+        return "\n".join(
+            f"{indent}{name:<{width}}  {getattr(self, name):>12,}"
+            for name in self.__slots__
+        )
+
+    def __repr__(self):
+        return (
+            f"<PerfCounters events={self.events_dispatched} "
+            f"resumes={self.processes_resumed} "
+            f"ksm_scanned={self.ksm_pages_scanned}>"
+        )

@@ -140,3 +140,19 @@ def test_exhaustion():
 def test_bulk_noops_at_host_level(memory):
     assert memory.touch_bulk(100) == 0
     memory.dirty_bulk(50)  # must not raise
+
+
+def test_read_many_matches_read(memory):
+    pfns = [memory.allocate(f"page-{i}".encode()) for i in range(8)]
+    probe = pfns + [424242]  # include a never-allocated pfn
+    assert memory.read_many(probe) == [(pfn, memory.read(pfn)) for pfn in probe]
+
+
+def test_mergeable_pfns_tracks_allocate_and_free(memory):
+    plain = memory.allocate(b"plain", mergeable=False)
+    merge_a = memory.allocate(b"a", mergeable=True)
+    merge_b = memory.allocate(b"b", mergeable=True)
+    assert memory.mergeable_pfns() == [merge_a, merge_b]
+    assert plain not in memory.mergeable_pfns()
+    memory.free(merge_a)
+    assert memory.mergeable_pfns() == [merge_b]

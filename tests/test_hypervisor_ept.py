@@ -157,3 +157,11 @@ def test_allocate_adapter(guest):
 def test_zero_size_rejected(physical):
     with pytest.raises(MemoryError_):
         GuestMemory(physical, 0)
+
+
+def test_read_many_matches_read(nested):
+    gpfns = nested.alloc_pages(4)
+    for i, gpfn in enumerate(gpfns):
+        nested.write(gpfn, f"nested-{i}".encode())
+    probe = gpfns + [nested.total_pages - 1]  # never materialized: zero page
+    assert nested.read_many(probe) == [(g, nested.read(g)) for g in probe]

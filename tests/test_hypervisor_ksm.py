@@ -160,3 +160,22 @@ def test_freed_stable_frame_forgotten(machine, ksm):
     machine.memory.free(a)
     machine.memory.free(b)
     assert ksm.pages_shared == 0 or shared.digest not in ksm._stable
+
+
+def test_seen_filter_bounded_under_alloc_free_churn(machine, ksm):
+    baseline = len(ksm._seen)
+    high_water = 0
+    for round_no in range(5):
+        pfns = [
+            machine.memory.allocate(
+                f"churn-{round_no}-{page}".encode(), mergeable=True
+            )
+            for page in range(40)
+        ]
+        _settle(machine, 2.0)
+        high_water = max(high_water, len(ksm._seen))
+        for pfn in pfns:
+            machine.memory.free(pfn)
+        # Freed pfns must leave the volatility filter immediately.
+        assert len(ksm._seen) == baseline
+    assert high_water >= baseline + 40

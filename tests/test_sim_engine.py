@@ -252,3 +252,89 @@ def test_event_value_before_trigger_rejected(engine):
     event = Event(engine)
     with pytest.raises(SimulationError):
         _ = event.value
+
+
+def test_yield_already_processed_event_resumes_inline(engine):
+    marker = engine.timeout(0.5, value="early")
+
+    def late_waiter(e):
+        yield e.timeout(2.0)
+        value = yield marker  # fired long ago; delivered inline
+        return value
+
+    before = engine.perf.immediate_resumes
+    assert engine.run(engine.process(late_waiter(engine))) == "early"
+    assert engine.perf.immediate_resumes == before + 1
+
+
+def test_yield_already_processed_failed_event_throws(engine):
+    boom = engine.event()
+    boom.fail(RuntimeError("late boom"))
+
+    def absorber(e):
+        try:
+            yield boom
+        except RuntimeError:
+            return "absorbed"
+
+    def late(e):
+        yield e.timeout(1.0)
+        yield boom  # processed and failed: the exception is thrown inline
+        return "unreachable"
+
+    engine.process(absorber(engine))
+    late_proc = engine.process(late(engine))
+    with pytest.raises(RuntimeError, match="late boom"):
+        engine.run(late_proc)
+
+
+def test_any_of_mixed_processed_and_pending(engine):
+    early = engine.timeout(0.5, value="early")
+    never = engine.event()
+
+    def waiter(e):
+        yield e.timeout(2.0)  # let `early` fire and be processed
+        value = yield e.any_of([early, never])
+        return (value, e.now)
+
+    assert engine.run(engine.process(waiter(engine))) == ("early", 2.0)
+
+
+def test_all_of_mixed_processed_and_pending(engine):
+    early = engine.timeout(0.5, value="a")
+
+    def waiter(e):
+        yield e.timeout(2.0)  # `early` is already processed here
+        late = e.timeout(1.0, value="b")
+        results = yield e.all_of([early, late])
+        return (sorted(results), e.now)
+
+    assert engine.run(engine.process(waiter(engine))) == (["a", "b"], 3.0)
+
+
+def test_stale_interrupt_after_completion_is_benign(engine):
+    proc_holder = []
+
+    def rival(e):
+        yield e.timeout(1.0)
+        # The target is still alive at this instant; its own timeout
+        # (same timestamp, later in FIFO order) completes it before the
+        # interrupt event is dispatched.
+        proc_holder[0].interrupt("stale")
+
+    def sleeper(e):
+        yield e.timeout(1.0)
+        return "slept"
+
+    engine.process(rival(engine))
+    proc_holder.append(engine.process(sleeper(engine)))
+    assert engine.run(proc_holder[0]) == "slept"
+    engine.run()  # drain the stale interrupt event; must not raise
+
+
+def test_bare_timeout_uses_timer_fast_path(engine):
+    engine.timeout(1.0)
+    engine.run()
+    assert engine.perf.timer_fast_path == 1
+    assert engine.perf.events_dispatched == 1
+    assert engine.now == 1.0
