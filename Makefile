@@ -1,10 +1,21 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-quick
+.PHONY: test bench bench-quick lint
 
 test:
 	$(PYTHON) -m pytest -x -q --durations=10
+
+# ruff (configured in pyproject.toml) when available; otherwise fall
+# back to a byte-compile pass so the target still catches syntax errors
+# on minimal toolchains.
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; falling back to compileall"; \
+		$(PYTHON) -m compileall -q src tests benchmarks examples; \
+	fi
 
 bench:
 	$(PYTHON) benchmarks/perf_report.py

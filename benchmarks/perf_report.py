@@ -9,7 +9,10 @@ Runs the scenarios the perf work is judged on —
 * ``fig4_migration_filebench`` — the Fig 4 pre-copy live migration of a
   Filebench-loaded victim;
 * ``lmbench_l2_proc``        — Table 3 process-latency microbenchmarks
-  in an L2 (nested) guest —
+  in an L2 (nested) guest;
+* ``fleet_sweep_4x12``       — a `repro.cloud` control-plane run: 12
+  churning tenants on 4 hosts, one cross-host migration, one injected
+  CloudSkulk campaign, one fleet-wide detection sweep —
 
 and writes wall-clock timings, virtual-time fingerprints, and the
 engine's perf counters to ``BENCH_core.json`` so later PRs have a
@@ -68,6 +71,17 @@ BASELINE = {
             "iterations": 5,
             "downtime": 0.00208560000001512,
             "migration_virtual_seconds": 29.599723616053378,
+        },
+    },
+    "fleet_sweep_4x12": {
+        "wall_seconds": 1.417,
+        "fingerprint": {
+            "virtual_now": 538.6211645267207,
+            "placements": 15,
+            "migrations": 1,
+            "tenants_probed": 13,
+            "compromised": ["t000@h02"],
+            "recall": 1.0,
         },
     },
     "lmbench_l2_proc": {
@@ -153,6 +167,34 @@ def scenario_fig4_migration():
     return time.perf_counter() - started, fingerprint, host.engine.perf.as_dict()
 
 
+def scenario_fleet_sweep():
+    from repro.cloud import run_fleet
+
+    started = time.perf_counter()
+    result = run_fleet(
+        hosts=4,
+        tenants=12,
+        seed=42,
+        churn_operations=6,
+        rebalance_moves=1,
+        campaigns=1,
+        sweeps=1,
+        file_pages=12,
+        wait_seconds=10.0,
+    )
+    engine = result.datacenter.engine
+    sweep = result.monitor.reports[0]
+    fingerprint = {
+        "virtual_now": engine.now,
+        "placements": engine.perf.cloud_placements,
+        "migrations": engine.perf.cloud_migrations,
+        "tenants_probed": sweep.tenants_probed,
+        "compromised": [f"{t}@{h}" for t, h in sweep.compromised],
+        "recall": result.recall,
+    }
+    return time.perf_counter() - started, fingerprint, engine.perf.as_dict()
+
+
 def scenario_lmbench_l2():
     from repro import scenarios
     from repro.workloads.lmbench.proc import LmbenchProc
@@ -168,6 +210,7 @@ SCENARIOS = (
     ("detection_under_io", scenario_detection_io),
     ("fig4_migration_filebench", scenario_fig4_migration),
     ("lmbench_l2_proc", scenario_lmbench_l2),
+    ("fleet_sweep_4x12", scenario_fleet_sweep),
 )
 
 

@@ -10,6 +10,8 @@ Commands:
   tenant hidden among three;
 * ``covert``  — exfiltrate a message between co-resident VMs over the
   KSM timing channel (refs [41, 42]);
+* ``fleet``   — multi-host cloud control plane experiments
+  (``fleet run`` / ``fleet sweep`` / ``fleet status``);
 * ``info``    — print the library's system inventory and versions.
 """
 
@@ -124,6 +126,56 @@ def cmd_covert(args):
     return 0 if received == payload else 1
 
 
+def _run_fleet_from_args(args, **overrides):
+    from repro.cloud import run_fleet
+
+    params = dict(
+        hosts=args.hosts,
+        tenants=args.tenants,
+        seed=args.seed,
+        churn_operations=getattr(args, "churn", 0),
+        rebalance_moves=getattr(args, "migrations", 0),
+        campaigns=getattr(args, "campaigns", 0),
+        sweeps=getattr(args, "sweeps", 0),
+    )
+    params.update(overrides)
+    return run_fleet(**params)
+
+
+def cmd_fleet_run(args):
+    result = _run_fleet_from_args(args)
+    print(result.summary())
+    _report_perf(args, result.datacenter.engine, label="fleet")
+    if args.campaigns and result.detected_campaigns < 1:
+        return 1
+    return 0
+
+
+def cmd_fleet_sweep(args):
+    """One campaign, one fleet sweep — no churn tail, no rebalancing."""
+    result = _run_fleet_from_args(
+        args, churn_operations=0, rebalance_moves=0, campaigns=1, sweeps=1
+    )
+    for report in result.monitor.reports:
+        print(report.summary())
+    print(f"\nrecall: {result.recall:.2f}")
+    _report_perf(args, result.datacenter.engine, label="fleet")
+    return 0 if result.detected_campaigns >= 1 else 1
+
+
+def cmd_fleet_status(args):
+    """Provision the fleet and print the inventory — no attack, no sweep."""
+    result = _run_fleet_from_args(
+        args, churn_operations=0, rebalance_moves=0, campaigns=0, sweeps=0
+    )
+    datacenter = result.datacenter
+    print(repr(datacenter))
+    for line in datacenter.inventory_lines():
+        print(line)
+    _report_perf(args, datacenter.engine, label="fleet")
+    return 0
+
+
 def cmd_info(_args):
     print(f"repro {__version__} — CloudSkulk reproduction (DSN 2021)")
     print("systems: sim engine, hardware, KVM hypervisor (nested), KSM,")
@@ -152,6 +204,27 @@ def build_parser():
     covert = sub.add_parser("covert")
     covert.add_argument("--message", default="EXFIL")
     covert.set_defaults(func=cmd_covert)
+    fleet = sub.add_parser("fleet", help="multi-host cloud control plane")
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    def _fleet_common(sub_parser, hosts, tenants):
+        sub_parser.add_argument("--hosts", type=int, default=hosts)
+        sub_parser.add_argument("--tenants", type=int, default=tenants)
+        sub_parser.add_argument("--seed", type=int, default=1701)
+
+    fleet_run = fleet_sub.add_parser("run")
+    _fleet_common(fleet_run, hosts=8, tenants=64)
+    fleet_run.add_argument("--churn", type=int, default=24)
+    fleet_run.add_argument("--migrations", type=int, default=2)
+    fleet_run.add_argument("--campaigns", type=int, default=1)
+    fleet_run.add_argument("--sweeps", type=int, default=1)
+    fleet_run.set_defaults(func=cmd_fleet_run)
+    fleet_sweep = fleet_sub.add_parser("sweep")
+    _fleet_common(fleet_sweep, hosts=4, tenants=12)
+    fleet_sweep.set_defaults(func=cmd_fleet_sweep)
+    fleet_status = fleet_sub.add_parser("status")
+    _fleet_common(fleet_status, hosts=8, tenants=16)
+    fleet_status.set_defaults(func=cmd_fleet_status)
     sub.add_parser("info").set_defaults(func=cmd_info)
     return parser
 

@@ -1,0 +1,40 @@
+"""repro.cloud — a simulated multi-host cloud control plane.
+
+Scales the paper's single-host testbed to a datacenter: racks of
+heterogeneous hosts share one discrete-event engine, a bin-packing
+scheduler places churning tenants, live migrations cross the switch
+fabric, and fleet-wide monitoring sweeps hunt injected CloudSkulk
+campaigns under a detection budget.
+"""
+
+from repro.cloud.campaign import AttackCampaign, CampaignEvent
+from repro.cloud.datacenter import Datacenter
+from repro.cloud.fleet import FleetRunResult, run_fleet
+from repro.cloud.fleet_monitor import FleetMonitor, FleetReport
+from repro.cloud.inventory import Host, HostSpec, heterogeneous_specs
+from repro.cloud.migration_orchestrator import (
+    MigrationOrchestrator,
+    MigrationRecord,
+)
+from repro.cloud.placement import BinPackingPlacer, PlacementDecision
+from repro.cloud.tenants import Tenant, TenantChurn, TenantSpec
+
+__all__ = [
+    "AttackCampaign",
+    "BinPackingPlacer",
+    "CampaignEvent",
+    "Datacenter",
+    "FleetMonitor",
+    "FleetReport",
+    "FleetRunResult",
+    "Host",
+    "HostSpec",
+    "MigrationOrchestrator",
+    "MigrationRecord",
+    "PlacementDecision",
+    "Tenant",
+    "TenantChurn",
+    "TenantSpec",
+    "heterogeneous_specs",
+    "run_fleet",
+]

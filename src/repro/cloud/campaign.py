@@ -1,0 +1,137 @@
+"""Attack-campaign injection: CloudSkulk against sampled tenants.
+
+The ground-truth generator for fleet detection experiments: pick
+tenants with a seeded stream, run the full four-step RITM installation
+against each (recon from shell history, GuestX launch, nested
+destination, live-migrate the victim in, scrub), and record *when* each
+install completed.  The fleet monitor's alerts are then scored against
+this record — recall (campaigns detected / campaigns installed) and
+detection latency (first alert minus install time) are the paper's
+operational detection metrics lifted to fleet scale.
+
+One campaign per host: the RITM choreography uses fixed host-side
+ports (the paper's AAAA/BBBB convention plus the GuestX monitor), so a
+second install on the same host would collide exactly as two real
+CloudSkulk instances would.
+"""
+
+from repro.core.rootkit.installer import CloudSkulkInstaller
+from repro.core.rootkit.stealth import ImpersonationMirror
+from repro.errors import CloudError
+
+
+class CampaignEvent:
+    """One CloudSkulk installation, as ground truth knows it."""
+
+    def __init__(self, tenant_name, host_name):
+        self.tenant_name = tenant_name
+        self.host_name = host_name
+        self.installed_at = None
+        self.install_report = None
+        self.detected_at = None
+
+    @property
+    def detected(self):
+        return self.detected_at is not None
+
+    @property
+    def detection_latency(self):
+        if self.detected_at is None or self.installed_at is None:
+            return None
+        return self.detected_at - self.installed_at
+
+    def __repr__(self):
+        state = "detected" if self.detected else "undetected"
+        return f"<CampaignEvent {self.tenant_name}@{self.host_name} {state}>"
+
+
+class AttackCampaign:
+    """Installs CloudSkulk on sampled tenants; keeps ground truth."""
+
+    def __init__(self, datacenter, count=1, migration_mode="precopy"):
+        self.datacenter = datacenter
+        self.count = count
+        self.migration_mode = migration_mode
+        self.rng = datacenter.rng.stream("cloud.campaign")
+        self.events = []
+
+    def _sample_targets(self):
+        """Seeded pick of ≤count tenants, at most one per host."""
+        compromised_hosts = {
+            event.host_name for event in self.events
+        }
+        by_host = {}
+        for tenant in self.datacenter.running_tenants():
+            host = tenant.host
+            if (
+                tenant.compromised
+                or host is None
+                or host.state != "up"
+                or host.name in compromised_hosts
+            ):
+                continue
+            by_host.setdefault(host.name, []).append(tenant)
+        targets = []
+        host_names = sorted(by_host)
+        self.rng.shuffle(host_names)
+        for host_name in host_names[: self.count - len(self.events)]:
+            candidates = sorted(by_host[host_name], key=lambda t: t.name)
+            targets.append(self.rng.choice(candidates))
+        return sorted(targets, key=lambda t: t.name)
+
+    def run(self):
+        """Generator: install CloudSkulk on each sampled tenant.
+
+        Returns the list of :class:`CampaignEvent`.  Raises CloudError
+        when no eligible tenant exists at all (a fleet with zero
+        running tenants can't host an experiment).
+        """
+        engine = self.datacenter.engine
+        targets = self._sample_targets()
+        if not targets and not self.events:
+            raise CloudError("attack campaign: no eligible tenants")
+        for tenant in targets:
+            host = tenant.host
+            event = CampaignEvent(tenant.name, host.name)
+            installer = CloudSkulkInstaller(
+                host.system,
+                guestx_name=f"gx-{tenant.name}",
+                guestx_image=f"/var/lib/images/gx-{tenant.name}.qcow2",
+                nested_image=f"/srv/images/nested-{tenant.name}.qcow2",
+            )
+            report = yield from installer.install(
+                target_name=tenant.name,
+                migration_mode=self.migration_mode,
+            )
+            event.install_report = report
+            event.installed_at = engine.now
+            # The control plane's record now points at the nested VM —
+            # exactly the paper's stealth property: the public endpoint
+            # still answers, so the tenant looks healthy.
+            tenant.vm = report.nested_vm
+            tenant.compromised_at = engine.now
+            tenant.mirror = ImpersonationMirror(report.guestx_vm.guest)
+            self.events.append(event)
+        return self.events
+
+    def score(self, alerts):
+        """Fold the fleet monitor's alerts into the ground truth.
+
+        ``alerts`` is the monitor's ``(tenant, host, time)`` list; each
+        campaign event gets its first-detection time.  Returns
+        ``(recall, latencies)``.
+        """
+        first_alert = {}
+        for tenant_name, _host_name, at in alerts:
+            first_alert.setdefault(tenant_name, at)
+        detected = 0
+        latencies = []
+        for event in self.events:
+            at = first_alert.get(event.tenant_name)
+            if at is None:
+                continue
+            event.detected_at = at
+            detected += 1
+            latencies.append(event.detection_latency)
+        recall = detected / len(self.events) if self.events else 0.0
+        return recall, latencies

@@ -1,0 +1,126 @@
+"""End-to-end fleet experiment: churn, rebalance, attack, sweep, score.
+
+This is the cloud-scale version of the paper's experiment loop.  One
+seeded run:
+
+1. provisions ``tenants`` VMs across ``hosts`` lazily-booted hosts
+   (placement exercises packing, anti-affinity, and KSM co-location);
+2. applies a churn tail (create/stop/delete/resize);
+3. rebalances with real cross-host live migrations;
+4. injects CloudSkulk campaigns against sampled tenants;
+5. fleet-sweeps under the detection budget and scores recall and
+   detection latency against ground truth.
+
+Everything runs inside one control process on one engine; two runs with
+the same parameters produce byte-identical summaries.
+"""
+
+from repro.cloud.campaign import AttackCampaign
+from repro.cloud.datacenter import Datacenter
+from repro.cloud.fleet_monitor import (
+    FLEET_FILE_PAGES,
+    FLEET_WAIT_SECONDS,
+    FleetMonitor,
+)
+from repro.cloud.migration_orchestrator import MigrationOrchestrator
+from repro.cloud.placement import BinPackingPlacer
+from repro.cloud.tenants import TenantChurn
+
+
+class FleetRunResult:
+    """Everything one fleet run produced, with a deterministic summary."""
+
+    def __init__(self, datacenter, placer, churn, orchestrator, monitor, campaign):
+        self.datacenter = datacenter
+        self.placer = placer
+        self.churn = churn
+        self.orchestrator = orchestrator
+        self.monitor = monitor
+        self.campaign = campaign
+        self.recall = 0.0
+        self.detection_latencies = []
+
+    @property
+    def detected_campaigns(self):
+        return sum(1 for e in self.campaign.events if e.detected)
+
+    def summary(self):
+        dc = self.datacenter
+        perf = dc.engine.perf
+        lines = [
+            f"fleet run: hosts={len(dc.hosts)} seed={dc.seed}",
+            f"  virtual time     {dc.engine.now:.3f}s",
+            f"  placements       {perf.cloud_placements}",
+            f"  migrations       {perf.cloud_migrations}",
+            f"  churn events     {len(self.churn.events)}",
+            f"  tenants running  {len(dc.running_tenants())}",
+            f"  fleet sweeps     {perf.fleet_sweeps}",
+            f"  campaigns        {len(self.campaign.events)}",
+            f"  detected         {self.detected_campaigns}"
+            f" (recall {self.recall:.2f})",
+        ]
+        for event in self.campaign.events:
+            latency = (
+                f"{event.detection_latency:.3f}s"
+                if event.detection_latency is not None
+                else "n/a"
+            )
+            lines.append(
+                f"  campaign         {event.tenant_name}@{event.host_name} "
+                f"installed={event.installed_at:.3f}s latency={latency}"
+            )
+        for host_line in dc.inventory_lines():
+            lines.append(f"  {host_line}")
+        for report in self.monitor.reports:
+            lines.append(report.summary())
+        return "\n".join(lines)
+
+
+def run_fleet(
+    hosts=8,
+    tenants=64,
+    seed=1701,
+    churn_operations=24,
+    rebalance_moves=2,
+    campaigns=1,
+    sweeps=1,
+    sweeps_per_hour=2.0,
+    max_concurrent_probes=2,
+    file_pages=FLEET_FILE_PAGES,
+    wait_seconds=FLEET_WAIT_SECONDS,
+    migration_mode="precopy",
+    overcommit=1.0,
+):
+    """Run one complete fleet experiment; returns a FleetRunResult."""
+    datacenter = Datacenter(hosts=hosts, seed=seed, overcommit=overcommit)
+    placer = BinPackingPlacer(datacenter)
+    churn = TenantChurn(datacenter, placer)
+    orchestrator = MigrationOrchestrator(datacenter)
+    monitor = FleetMonitor(
+        datacenter,
+        sweeps_per_hour=sweeps_per_hour,
+        max_concurrent_probes=max_concurrent_probes,
+        file_pages=file_pages,
+        wait_seconds=wait_seconds,
+    )
+    campaign = AttackCampaign(
+        datacenter, count=campaigns, migration_mode=migration_mode
+    )
+
+    def control():
+        yield from churn.bring_up(tenants)
+        yield from churn.run(churn_operations)
+        if rebalance_moves:
+            yield from orchestrator.rebalance(placer, moves=rebalance_moves)
+        if campaigns:
+            yield from campaign.run()
+        if sweeps:
+            yield monitor.run_periodic(max_sweeps=sweeps)
+
+    engine = datacenter.engine
+    engine.run(engine.process(control(), name="fleet-control"))
+    result = FleetRunResult(
+        datacenter, placer, churn, orchestrator, monitor, campaign
+    )
+    result.recall, result.detection_latencies = campaign.score(monitor.alerts)
+    return result

@@ -1,0 +1,202 @@
+"""Fleet-wide CloudSkulk sweeps under a detection budget.
+
+:class:`~repro.core.detection.service.MonitoringService` sweeps one
+host; the fleet monitor fans it across the datacenter.  The operator's
+knobs form a *detection budget*:
+
+* ``sweeps_per_hour`` — how often the whole fleet is re-checked (the
+  dominant term in detection latency: a rootkit installed just after a
+  sweep hides until the next one);
+* ``max_concurrent_probes`` — how many hosts may run the dedup
+  protocol at once.  Each probe costs real guest-visible time (KSM
+  settle waits, page-fault storms on the timing measurements), so
+  operators cap the blast radius; the sweep then proceeds in waves.
+
+Each fleet sweep rebuilds the per-host services from the control
+plane's current tenant placement — registrations follow migrations and
+deletions automatically, and any attacker mirror attached to a tenant
+re-registers on the vendor channel exactly as the RITM would.
+"""
+
+from repro.core.detection.service import MonitoringService
+
+#: Small File-A keeps an 8-host fleet sweep tractable; the single-host
+#: experiments use the paper's 100 pages.
+FLEET_FILE_PAGES = 25
+FLEET_WAIT_SECONDS = 20.0
+
+
+class FleetReport:
+    """Aggregate outcome of one fleet-wide sweep."""
+
+    def __init__(self, sweep_id):
+        self.sweep_id = sweep_id
+        self.started_at = None
+        self.finished_at = None
+        #: host name -> HostSweepReport, insertion-ordered by host name.
+        self.host_reports = {}
+
+    def _collect(self, attribute):
+        pairs = []
+        for host_name in sorted(self.host_reports):
+            for tenant in getattr(self.host_reports[host_name], attribute):
+                pairs.append((tenant, host_name))
+        return sorted(pairs)
+
+    @property
+    def compromised(self):
+        """Sorted (tenant_name, host_name) pairs flagged nested."""
+        return self._collect("compromised_tenants")
+
+    @property
+    def inconclusive(self):
+        return self._collect("inconclusive_tenants")
+
+    @property
+    def unreachable(self):
+        return self._collect("unreachable_tenants")
+
+    @property
+    def tenants_probed(self):
+        return sum(len(r.findings) for r in self.host_reports.values())
+
+    def summary(self):
+        """Deterministic text summary (byte-identical across same-seed
+        runs — the fleet determinism test diffs exactly this)."""
+        lines = [
+            f"fleet sweep {self.sweep_id}: hosts={len(self.host_reports)} "
+            f"tenants={self.tenants_probed} "
+            f"compromised={len(self.compromised)} "
+            f"inconclusive={len(self.inconclusive)} "
+            f"unreachable={len(self.unreachable)} "
+            f"elapsed={self.finished_at - self.started_at:.3f}s"
+        ]
+        for host_name in sorted(self.host_reports):
+            report = self.host_reports[host_name]
+            for finding in sorted(report.findings, key=lambda f: f.tenant_name):
+                lines.append(
+                    f"  {host_name} {finding.tenant_name:<12} {finding.verdict}"
+                )
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (
+            f"<FleetReport sweep={self.sweep_id} "
+            f"hosts={len(self.host_reports)} "
+            f"compromised={len(self.compromised)}>"
+        )
+
+
+class FleetMonitor:
+    """Schedules MonitoringService sweeps across every up host."""
+
+    def __init__(
+        self,
+        datacenter,
+        sweeps_per_hour=2.0,
+        max_concurrent_probes=2,
+        file_pages=FLEET_FILE_PAGES,
+        wait_seconds=FLEET_WAIT_SECONDS,
+    ):
+        if sweeps_per_hour <= 0:
+            raise ValueError("sweeps_per_hour must be positive")
+        if max_concurrent_probes < 1:
+            raise ValueError("max_concurrent_probes must be >= 1")
+        self.datacenter = datacenter
+        self.sweeps_per_hour = sweeps_per_hour
+        self.max_concurrent_probes = max_concurrent_probes
+        self.file_pages = file_pages
+        self.wait_seconds = wait_seconds
+        self.reports = []
+        #: (tenant_name, host_name, virtual_time) per first detection.
+        self.alerts = []
+        self._alerted = set()
+
+    @property
+    def sweep_interval_s(self):
+        return 3600.0 / self.sweeps_per_hour
+
+    def _build_host_services(self):
+        """One MonitoringService per up host with tenants, rebuilt from
+        the placement of record (so migrations re-home probes)."""
+        services = []
+        for host in self.datacenter.up_hosts:
+            occupants = {
+                name: tenant
+                for name, tenant in host.tenants.items()
+                if tenant.vm is not None
+            }
+            if not occupants:
+                continue
+            service = MonitoringService(
+                host.system,
+                file_pages=self.file_pages,
+                wait_seconds=self.wait_seconds,
+            )
+            for name in sorted(occupants):
+                tenant = occupants[name]
+                interface = service.register_tenant(name, tenant.locator())
+                if tenant.mirror is not None:
+                    # The RITM watches the vendor channel (stealth layer);
+                    # without this hookup the detector's job would be
+                    # trivial and the experiment meaningless.
+                    interface.observers.append(tenant.mirror)
+            services.append((host.name, service))
+        return services
+
+    def sweep_fleet(self, sweep_id=0):
+        """Generator: one fleet-wide sweep in concurrency-capped waves.
+
+        Returns the :class:`FleetReport`.
+        """
+        engine = self.datacenter.engine
+        report = FleetReport(sweep_id)
+        report.started_at = engine.now
+        services = self._build_host_services()
+        for start in range(0, len(services), self.max_concurrent_probes):
+            wave = services[start : start + self.max_concurrent_probes]
+            processes = [
+                engine.process(
+                    service.sweep(sweep_id=sweep_id),
+                    name=f"fleet-sweep:{host_name}",
+                )
+                for host_name, service in wave
+            ]
+            results = yield engine.all_of(processes)
+            for (host_name, _service), host_report in zip(wave, results):
+                report.host_reports[host_name] = host_report
+        report.finished_at = engine.now
+        self.reports.append(report)
+        engine.perf.fleet_sweeps += 1
+        self._record_alerts(report)
+        return report
+
+    def _record_alerts(self, report):
+        engine = self.datacenter.engine
+        for tenant_name, host_name in report.compromised:
+            engine.perf.fleet_detections += 1
+            if tenant_name in self._alerted:
+                continue
+            self._alerted.add(tenant_name)
+            self.alerts.append((tenant_name, host_name, engine.now))
+
+    def run_periodic(self, max_sweeps, alert_callback=None):
+        """Start periodic fleet sweeping; returns the engine Process.
+
+        Bounded (``max_sweeps``) because per-host KSM daemons keep the
+        event queue alive forever — fleet runs are driven to a horizon,
+        never to quiescence.
+        """
+
+        def _loop():
+            last = None
+            for sweep_id in range(max_sweeps):
+                report = yield from self.sweep_fleet(sweep_id=sweep_id)
+                if report.compromised and alert_callback is not None:
+                    alert_callback(report)
+                last = report
+                if sweep_id + 1 < max_sweeps:
+                    yield self.datacenter.engine.timeout(self.sweep_interval_s)
+            return last
+
+        return self.datacenter.engine.process(_loop(), name="fleet-monitor")

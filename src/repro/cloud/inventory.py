@@ -1,0 +1,211 @@
+"""Fleet inventory: racks of heterogeneous hosts, booted lazily.
+
+A :class:`HostSpec` describes a physical machine shape; a :class:`Host`
+is the control plane's handle on one such machine.  Hosts start
+``offline`` and are brought up on demand — the paper's Dell T1700 is one
+shape among several, because a real IaaS fleet is never uniform and the
+placement trade-offs (bin packing, KSM co-location) only appear once
+capacities differ.
+
+Every host lives on the *shared* datacenter engine: one virtual clock
+orders boot, churn, migration, and detection events across the whole
+fleet, which is what makes fleet-wide detection latency a measurable
+quantity rather than a per-host anecdote.
+"""
+
+from repro.errors import CloudError
+from repro.guest.system import System
+from repro.hardware.cpu import CpuPackage
+from repro.hardware.machine import Machine
+from repro.hypervisor.ksm import KsmDaemon
+
+#: The catalogue of machine shapes a fleet cycles through.  The first
+#: entry is the paper's testbed; the others bracket it above and below.
+HOST_SHAPES = (
+    {"model": "t1700", "memory_mb": 16384, "cores": 4, "threads_per_core": 2},
+    {"model": "r640", "memory_mb": 32768, "cores": 8, "threads_per_core": 2},
+    {"model": "r340", "memory_mb": 8192, "cores": 4, "threads_per_core": 1},
+)
+
+#: Hosts per rack when generating a default inventory.
+RACK_WIDTH = 4
+
+
+class HostSpec:
+    """The shape of one physical host."""
+
+    def __init__(
+        self,
+        name,
+        memory_mb=16384,
+        cores=4,
+        threads_per_core=2,
+        rack="rack0",
+        model="t1700",
+    ):
+        if memory_mb <= 0:
+            raise CloudError(f"host {name}: memory_mb must be positive")
+        if cores < 1 or threads_per_core < 1:
+            raise CloudError(f"host {name}: needs at least one CPU thread")
+        self.name = name
+        self.memory_mb = memory_mb
+        self.cores = cores
+        self.threads_per_core = threads_per_core
+        self.rack = rack
+        self.model = model
+
+    @property
+    def logical_cpus(self):
+        return self.cores * self.threads_per_core
+
+    def __repr__(self):
+        return (
+            f"<HostSpec {self.name} {self.model} {self.memory_mb}MB "
+            f"{self.logical_cpus}cpu {self.rack}>"
+        )
+
+
+def heterogeneous_specs(count, rack_width=RACK_WIDTH):
+    """A deterministic ``count``-host inventory cycling the shape catalogue."""
+    if count < 1:
+        raise CloudError("a fleet needs at least one host")
+    specs = []
+    for index in range(count):
+        shape = HOST_SHAPES[index % len(HOST_SHAPES)]
+        specs.append(
+            HostSpec(
+                name=f"h{index:02d}",
+                rack=f"rack{index // rack_width}",
+                **shape,
+            )
+        )
+    return specs
+
+
+class Host:
+    """One fleet host: spec + lifecycle + capacity bookkeeping.
+
+    States: ``offline`` (never booted) -> ``booting`` -> ``up``;
+    ``draining`` marks an up host the placer must avoid (its tenants are
+    being evacuated).  The backing :class:`~repro.guest.system.System`
+    exists only from ``booting`` onward.
+    """
+
+    def __init__(self, spec, datacenter, seed):
+        self.spec = spec
+        self.datacenter = datacenter
+        self.seed = seed
+        self.state = "offline"
+        self.system = None
+        self.ksm = None
+        self.uplink = None
+        #: tenant name -> Tenant currently placed here.
+        self.tenants = {}
+        #: Monotonic per-host counter for ssh/monitor/incoming ports —
+        #: never reused, so a relaunched tenant can't collide with a
+        #: half-closed listener.
+        self._port_cursor = 0
+
+    # -- capacity ----------------------------------------------------------
+
+    @property
+    def name(self):
+        return self.spec.name
+
+    @property
+    def committed_mb(self):
+        return sum(t.spec.memory_mb for t in self.tenants.values())
+
+    def free_mb(self, overcommit=1.0):
+        return self.spec.memory_mb * overcommit - self.committed_mb
+
+    def can_fit(self, memory_mb, overcommit=1.0):
+        return self.free_mb(overcommit) >= memory_mb
+
+    @property
+    def utilization(self):
+        return self.committed_mb / self.spec.memory_mb
+
+    def next_port_block(self):
+        """Allocate a fresh (ssh, monitor, incoming) port triple."""
+        base = self._port_cursor
+        self._port_cursor += 1
+        return (2300 + base, 5600 + base, 9000 + base)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def bring_up(self):
+        """Generator: boot this host on the shared engine.
+
+        Mirrors :func:`repro.guest.system.make_testbed` — same kernel
+        jitter, same KVM bring-up — but pays the boot cost as a yielded
+        timeout so lazy boots can happen mid-simulation, and attaches
+        the host to the datacenter switch plus starts its ksmd (the
+        dedup detector's substrate is per-host physical memory).
+        """
+        if self.state == "up":
+            return self.system
+        if self.state == "booting":
+            raise CloudError(f"{self.name}: concurrent bring_up")
+        engine = self.datacenter.engine
+        self.state = "booting"
+        machine = Machine(
+            name=self.name,
+            engine=engine,
+            cpu=CpuPackage(
+                cores=self.spec.cores,
+                threads_per_core=self.spec.threads_per_core,
+            ),
+            memory_mb=self.spec.memory_mb,
+            seed=self.seed,
+        )
+        system = System.bare_metal(machine, name=self.name)
+        system.kernel.jitter_rsd = 0.015
+        boot_cost = system.boot()
+        yield engine.timeout(boot_cost)
+        system.enable_kvm()
+        self.system = system
+        self.uplink = self.datacenter.attach(self)
+        self.ksm = KsmDaemon(
+            machine, pages_to_scan=self.datacenter.ksm_pages_to_scan
+        )
+        self.ksm.start()
+        self.state = "up"
+        return system
+
+    # -- network fault injection ------------------------------------------
+
+    @property
+    def partitioned(self):
+        return self.uplink is not None and self.uplink.a is None
+
+    def partition(self):
+        """Detach the host's uplink (switch failure / miscabled ToR).
+
+        Migrations targeting or leaving this host fail at connect time
+        with a NetworkError until :meth:`heal` — the transport-failure
+        path the migration orchestrator retries through.
+        """
+        if self.uplink is None or self.partitioned:
+            return
+        link = self.uplink
+        switch = self.datacenter.switch
+        switch._links.remove(link)
+        self.system.net_node._links.remove(link)
+        self._severed = (link.a, link.b)
+        link.a = None
+
+    def heal(self):
+        """Reattach a partitioned uplink."""
+        if self.uplink is None or not self.partitioned:
+            return
+        link = self.uplink
+        link.a, link.b = self._severed
+        self.datacenter.switch._links.append(link)
+        self.system.net_node._links.append(link)
+
+    def __repr__(self):
+        return (
+            f"<Host {self.name} {self.state} tenants={len(self.tenants)} "
+            f"committed={self.committed_mb}/{self.spec.memory_mb}MB>"
+        )

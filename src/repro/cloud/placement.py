@@ -1,0 +1,136 @@
+"""Tenant placement: bin packing with anti-affinity and KSM awareness.
+
+The scheduler answers one question — *which host should run this VM* —
+under three pressures that pull in different directions:
+
+* **packing** — fewer, fuller hosts (best-fit: smallest remaining
+  capacity that still fits), so the fleet boots lazily and capacity
+  fragments slowly;
+* **anti-affinity** — tenants sharing an ``anti_affinity_group`` (an HA
+  pair, a customer's replicas) must land on different hosts;
+* **KSM co-location** — tenants running the same ``image_profile``
+  share page content, so co-locating them is where memory deduplication
+  pays (and exactly where the paper's dedup side channel, the covert
+  channel, *and* the detector get interesting: co-residence is both the
+  attack surface and the detection opportunity).
+
+The score is deterministic and totally ordered (ties break on host
+name), so identical-seed fleet runs place identically.
+"""
+
+from repro.errors import PlacementError
+
+#: Score weight for each co-resident tenant sharing the image profile.
+KSM_AFFINITY_WEIGHT = 4096.0
+
+
+class PlacementDecision:
+    """Why one tenant landed on one host."""
+
+    def __init__(self, tenant_name, host_name, at, reason):
+        self.tenant_name = tenant_name
+        self.host_name = host_name
+        self.at = at
+        self.reason = reason
+
+    def __repr__(self):
+        return (
+            f"<PlacementDecision {self.tenant_name}->{self.host_name} "
+            f"({self.reason})>"
+        )
+
+
+class BinPackingPlacer:
+    """Best-fit-decreasing bin packing over the datacenter's hosts."""
+
+    def __init__(self, datacenter, ksm_affinity=True):
+        self.datacenter = datacenter
+        self.ksm_affinity = ksm_affinity
+        self.decisions = []
+
+    # -- constraint checks --------------------------------------------------
+
+    def _violates_anti_affinity(self, spec, host):
+        group = spec.anti_affinity_group
+        if group is None:
+            return False
+        return any(
+            t.spec.anti_affinity_group == group
+            and t.state != "deleted"
+            and t.name != spec.name
+            for t in host.tenants.values()
+        )
+
+    def _candidates(self, spec, allow_offline=True, exclude=()):
+        overcommit = self.datacenter.overcommit
+        for name in sorted(self.datacenter.hosts):
+            host = self.datacenter.hosts[name]
+            if host in exclude or host.state == "draining":
+                continue
+            if not allow_offline and host.state != "up":
+                continue
+            if not host.can_fit(spec.memory_mb, overcommit):
+                continue
+            if self._violates_anti_affinity(spec, host):
+                continue
+            yield host
+
+    # -- scoring ------------------------------------------------------------
+
+    def _score(self, spec, host):
+        """Higher is better; fully deterministic.
+
+        Prefers up hosts over offline ones (boots are lazy), then KSM
+        profile-mates, then the tightest remaining fit.
+        """
+        score = 0.0
+        if host.state == "up":
+            score += 1e9  # never boot a new host while an up one fits
+        if self.ksm_affinity:
+            mates = sum(
+                1
+                for t in host.tenants.values()
+                if t.spec.image_profile == spec.image_profile
+                and t.state == "running"
+            )
+            score += KSM_AFFINITY_WEIGHT * mates
+        # Best fit: less free memory after placement scores higher.
+        score -= host.free_mb(self.datacenter.overcommit) - spec.memory_mb
+        return score
+
+    def place(self, spec, exclude=()):
+        """Choose a host for ``spec``; returns the Host (maybe offline).
+
+        ``exclude`` removes hosts from consideration (the source of an
+        eviction, a partitioned rack).  Raises
+        :class:`~repro.errors.PlacementError` when nothing fits.
+        """
+        best = None
+        best_score = None
+        for host in self._candidates(spec, exclude=exclude):
+            score = self._score(spec, host)
+            # Strict > with name-sorted candidates = deterministic ties.
+            if best_score is None or score > best_score:
+                best, best_score = host, score
+        if best is None:
+            raise PlacementError(
+                f"no host fits tenant {spec.name!r} "
+                f"({spec.memory_mb}MB, group={spec.anti_affinity_group})"
+            )
+        reason = "up-host-fit" if best.state == "up" else "cold-boot"
+        decision = PlacementDecision(
+            spec.name, best.name, self.datacenter.engine.now, reason
+        )
+        self.decisions.append(decision)
+        self.datacenter.engine.perf.cloud_placements += 1
+        return best
+
+    def most_loaded_up_host(self, exclude=()):
+        """The up host with the highest memory utilization (ties by name)."""
+        best = None
+        for host in self.datacenter.up_hosts:
+            if host in exclude or not host.tenants:
+                continue
+            if best is None or host.utilization > best.utilization:
+                best = host
+        return best

@@ -1,0 +1,277 @@
+"""Tenant lifecycle: specs, VM launch, and a seeded churn generator.
+
+A :class:`Tenant` is the control plane's record of one customer VM —
+its spec, the host it currently runs on, the QemuVm serving it (which
+changes across live migrations and CloudSkulk installations), and the
+attacker's mirror when the tenant is compromised.
+
+:class:`TenantChurn` is the arrival process: seeded create/resize/stop/
+delete operations with exponential inter-arrival times, each create
+starting a real :mod:`repro.workloads` generator inside the tenant's
+guest — so fleet memory pressure, dirty rates, and CPU contention all
+emerge from the same cost model the single-host experiments use.
+"""
+
+from repro.errors import CloudError, PlacementError
+from repro.qemu.config import DriveSpec, MonitorSpec, NicSpec, QemuConfig
+from repro.qemu.qemu_img import host_images, qemu_img_create
+from repro.qemu.vm import launch_vm
+from repro.workloads import (
+    FilebenchWorkload,
+    IdleWorkload,
+    KernelCompileWorkload,
+)
+
+#: Flavor catalogue: (memory_mb, vcpus).
+FLAVORS = ((512, 1), (1024, 1), (2048, 2))
+#: Image profiles (what KSM can merge across co-resident tenants).
+IMAGE_PROFILES = ("lamp", "batch", "cache")
+#: Workload mix; weights keep the fleet mostly I/O + idle so large
+#: simulations stay tractable.
+WORKLOADS = ("idle", "filebench", "kernel-compile")
+WORKLOAD_WEIGHTS = (5, 4, 1)
+
+
+class TenantSpec:
+    """What the customer asked for."""
+
+    def __init__(
+        self,
+        name,
+        memory_mb=1024,
+        vcpus=1,
+        image_profile="lamp",
+        workload="idle",
+        anti_affinity_group=None,
+    ):
+        self.name = name
+        self.memory_mb = memory_mb
+        self.vcpus = vcpus
+        self.image_profile = image_profile
+        self.workload = workload
+        self.anti_affinity_group = anti_affinity_group
+
+    def __repr__(self):
+        return (
+            f"<TenantSpec {self.name} {self.memory_mb}MB "
+            f"{self.image_profile}/{self.workload}>"
+        )
+
+
+def sample_spec(name, rng, anti_affinity_group=None):
+    """Draw a deterministic spec from the fleet's tenant stream."""
+    memory_mb, vcpus = rng.choice(FLAVORS)
+    return TenantSpec(
+        name,
+        memory_mb=memory_mb,
+        vcpus=vcpus,
+        image_profile=rng.choice(IMAGE_PROFILES),
+        workload=rng.choices(WORKLOADS, weights=WORKLOAD_WEIGHTS)[0],
+        anti_affinity_group=anti_affinity_group,
+    )
+
+
+class Tenant:
+    """One customer VM as the control plane tracks it."""
+
+    def __init__(self, spec, host):
+        self.spec = spec
+        self.host = host
+        self.vm = None
+        self.state = "provisioning"  # -> running | stopped | deleted
+        self.workload = None
+        self.workload_process = None
+        self.created_at = None
+        #: Attacker state, set by the campaign layer: the RITM's
+        #: impersonation mirror watching the vendor channel, and when
+        #: the install finished (ground truth for detection latency).
+        self.mirror = None
+        self.compromised_at = None
+
+    @property
+    def name(self):
+        return self.spec.name
+
+    @property
+    def guest(self):
+        """The System currently answering at the tenant's endpoint.
+
+        Tracks the VM across migrations and CloudSkulk installations:
+        ``None`` while a handoff is in flight or after deletion — the
+        monitoring sweep records such tenants as unreachable.
+        """
+        if self.vm is None:
+            return None
+        return self.vm.guest
+
+    def locator(self):
+        """A victim locator closure for CloudInterface registration."""
+        return lambda: self.guest
+
+    @property
+    def compromised(self):
+        return self.compromised_at is not None
+
+    def __repr__(self):
+        host = self.host.name if self.host else "-"
+        return f"<Tenant {self.name}@{host} {self.state}>"
+
+
+def tenant_config(tenant, host):
+    """The QemuConfig for launching ``tenant`` on ``host``."""
+    ssh_port, monitor_port, _incoming = host.next_port_block()
+    return QemuConfig(
+        name=tenant.name,
+        memory_mb=tenant.spec.memory_mb,
+        smp=tenant.spec.vcpus,
+        drives=[DriveSpec(f"/var/lib/images/{tenant.name}.qcow2")],
+        nics=[NicSpec("net0", hostfwds=[("tcp", ssh_port, 22)])],
+        monitor=MonitorSpec(port=monitor_port),
+    )
+
+
+def make_workload(spec):
+    """Instantiate the spec's workload with fleet-scale-bounded cost."""
+    if spec.workload == "idle":
+        return IdleWorkload(), {"duration": 60.0}
+    if spec.workload == "filebench":
+        return FilebenchWorkload(), {"ops": 150}
+    if spec.workload == "kernel-compile":
+        return KernelCompileWorkload(units=6), {}
+    raise CloudError(f"unknown workload {spec.workload!r}")
+
+
+class TenantChurn:
+    """Seeded tenant arrival/departure processes for one datacenter."""
+
+    def __init__(
+        self,
+        datacenter,
+        placer,
+        mean_interarrival_s=2.0,
+        anti_affinity_every=8,
+    ):
+        self.datacenter = datacenter
+        self.placer = placer
+        self.mean_interarrival_s = mean_interarrival_s
+        self.anti_affinity_every = anti_affinity_every
+        self.rng = datacenter.rng.stream("cloud.tenants")
+        self.arrival_rng = datacenter.rng.stream("cloud.churn")
+        self.created = 0
+        self.events = []  # (virtual_time, op, tenant_name)
+
+    # -- primitives ---------------------------------------------------------
+
+    def provision(self, spec):
+        """Generator: place, boot (host if needed), launch, start work."""
+        dc = self.datacenter
+        host = self.placer.place(spec)
+        yield from dc.ensure_up(host)
+        tenant = Tenant(spec, host)
+        dc.register_tenant(tenant)
+        config = tenant_config(tenant, host)
+        if not host_images(host.system).exists(config.drives[0].path):
+            qemu_img_create(host.system, config.drives[0].path, 20.0)
+        vm, boot = launch_vm(host.system, config)
+        tenant.vm = vm
+        yield boot
+        if vm.guest is not None:
+            vm.guest.net_node.listen(22)
+        tenant.workload, kwargs = make_workload(spec)
+        tenant.workload_process = tenant.workload.start(vm.guest, **kwargs)
+        tenant.state = "running"
+        tenant.created_at = dc.engine.now
+        self.events.append((dc.engine.now, "create", tenant.name))
+        return tenant
+
+    def stop(self, tenant):
+        """Stop the VM in place (capacity stays committed)."""
+        if tenant.state != "running":
+            raise CloudError(f"cannot stop tenant in state {tenant.state!r}")
+        if tenant.workload is not None:
+            tenant.workload.stop()
+        tenant.vm.pause()
+        tenant.state = "stopped"
+        self.events.append((self.datacenter.engine.now, "stop", tenant.name))
+
+    def delete(self, tenant):
+        """Tear the tenant down and release its capacity."""
+        if tenant.workload is not None:
+            tenant.workload.stop()
+        if tenant.vm is not None:
+            tenant.vm.resume()  # wake pace-blocked workload so it can exit
+            tenant.vm.quit()
+        tenant.vm = None
+        tenant.state = "deleted"
+        self.datacenter.forget_tenant(tenant)
+        self.events.append((self.datacenter.engine.now, "delete", tenant.name))
+
+    def resize(self, tenant, memory_mb):
+        """Generator: stop, re-place at the new size, relaunch."""
+        self.delete(tenant)
+        spec = tenant.spec
+        spec.memory_mb = memory_mb
+        yield from self.provision(spec)
+        self.events.append((self.datacenter.engine.now, "resize", spec.name))
+
+    # -- arrival processes --------------------------------------------------
+
+    def _next_spec(self):
+        index = self.created
+        self.created += 1
+        group = None
+        if self.anti_affinity_every and index % self.anti_affinity_every == 1:
+            group = f"ha{index // self.anti_affinity_every}"
+        return sample_spec(f"t{index:03d}", self.rng, anti_affinity_group=group)
+
+    def bring_up(self, count):
+        """Generator: provision ``count`` tenants back to back."""
+        tenants = []
+        for _ in range(count):
+            delay = self.arrival_rng.expovariate(
+                1.0 / self.mean_interarrival_s
+            )
+            yield self.datacenter.engine.timeout(delay)
+            tenants.append((yield from self.provision(self._next_spec())))
+        return tenants
+
+    def run(self, operations):
+        """Generator: a seeded mixed churn sequence.
+
+        Compromised tenants are never churned away — the campaign
+        installed state must survive until the sweep measures it.
+        """
+        rng = self.arrival_rng
+        for _ in range(operations):
+            delay = rng.expovariate(1.0 / self.mean_interarrival_s)
+            yield self.datacenter.engine.timeout(delay)
+            op = rng.choices(
+                ("create", "stop", "delete", "resize"), weights=(4, 2, 2, 2)
+            )[0]
+            victims = [
+                t
+                for t in self.datacenter.running_tenants()
+                if not t.compromised
+            ]
+            if op == "create" or not victims:
+                spec = self._next_spec()
+                try:
+                    yield from self.provision(spec)
+                except PlacementError:
+                    # A full fleet rejects the request; churn goes on.
+                    self.events.append(
+                        (self.datacenter.engine.now, "reject", spec.name)
+                    )
+            elif op == "stop":
+                self.stop(rng.choice(victims))
+            elif op == "delete":
+                self.delete(rng.choice(victims))
+            else:
+                tenant = rng.choice(victims)
+                memory_mb, _ = rng.choice(FLAVORS)
+                try:
+                    yield from self.resize(tenant, memory_mb)
+                except PlacementError:
+                    self.events.append(
+                        (self.datacenter.engine.now, "reject", tenant.name)
+                    )

@@ -166,6 +166,8 @@ class GuestAgent:
     def load_file(self, path):
         """Generator: page the file into guest memory."""
         guest = self.cloud.victim_locator()
+        if guest is None:
+            raise DetectionError("guest agent: customer VM unreachable")
         pfns, cost = guest.kernel.load_file(path, mergeable=True)
         yield guest.engine.timeout(cost)
         return pfns
@@ -173,6 +175,8 @@ class GuestAgent:
     def mutate_all_pages(self, path):
         """Generator: File-A -> File-A-v2 (change every page slightly)."""
         guest = self.cloud.victim_locator()
+        if guest is None:
+            raise DetectionError("guest agent: customer VM unreachable")
         file = guest.fs.open(path)
         total_cost = 0.0
         for index in range(file.num_pages):

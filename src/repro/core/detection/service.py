@@ -50,6 +50,14 @@ class HostSweepReport:
         ]
 
     @property
+    def unreachable_tenants(self):
+        """Tenants whose probe could not complete (deleted mid-sweep,
+        endpoint gone) — counted separately from inconclusive timing."""
+        return [
+            f.tenant_name for f in self.findings if f.verdict == "unreachable"
+        ]
+
+    @property
     def consistent(self):
         """Do the dedup sweep and the VMCS scan agree about nesting?
 
@@ -98,6 +106,16 @@ class MonitoringService:
         self._tenants[name] = interface
         return interface
 
+    def deregister_tenant(self, name):
+        """Remove a tenant (deleted, or migrated off this host).
+
+        Safe to call while a sweep is in flight: the sweep iterates a
+        snapshot and skips entries deregistered before their turn.
+        """
+        if name not in self._tenants:
+            raise DetectionError(f"tenant {name!r} not registered")
+        del self._tenants[name]
+
     @property
     def tenant_names(self):
         return sorted(self._tenants)
@@ -108,7 +126,11 @@ class MonitoringService:
             raise DetectionError("no tenants registered")
         report = HostSweepReport(self.host.name)
         report.started_at = self.host.engine.now
+        # Snapshot: tenants deregistered mid-sweep are skipped when their
+        # turn comes; ones deleted mid-probe come back "unreachable".
         for index, (name, interface) in enumerate(sorted(self._tenants.items())):
+            if name not in self._tenants:
+                continue
             finding = TenantFinding(name)
             detector = DedupDetector(
                 self.host,
@@ -117,8 +139,11 @@ class MonitoringService:
                 wait_seconds=self.wait_seconds,
                 file_path=f"/root/detect/sweep-{sweep_id}-{index}-{name}.bin",
             )
-            finding.detection_report = yield from detector.run()
-            finding.verdict = finding.detection_report.verdict.verdict
+            try:
+                finding.detection_report = yield from detector.run()
+                finding.verdict = finding.detection_report.verdict.verdict
+            except DetectionError:
+                finding.verdict = "unreachable"
             report.findings.append(finding)
         report.vmcs_scan = yield from scan_for_hypervisors(self.host)
         report.finished_at = self.host.engine.now

@@ -74,3 +74,11 @@ class ReconError(RootkitError):
 
 class DetectionError(ReproError):
     """Raised when a detector cannot collect the measurements it needs."""
+
+
+class CloudError(ReproError):
+    """Raised for cloud control-plane failures (placement, fleet ops)."""
+
+
+class PlacementError(CloudError):
+    """Raised when no host can satisfy a tenant placement request."""

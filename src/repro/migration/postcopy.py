@@ -53,12 +53,17 @@ class PostCopyMigration:
     mode).
     """
 
-    def __init__(self, vm, destination_port, max_bandwidth=None):
+    def __init__(
+        self, vm, destination_port, max_bandwidth=None, destination_node=None
+    ):
         if vm.guest is None:
             raise MigrationError(f"{vm.name}: no guest to migrate")
         self.vm = vm
         self.engine = vm.engine
         self.destination_port = destination_port
+        #: Cross-host migration: the destination's NetworkNode (None =
+        #: same-host loopback, as the monitor's tcp:127.0.0.1 URI).
+        self.destination_node = destination_node
         self.max_bandwidth = max_bandwidth or DEFAULT_POSTCOPY_BANDWIDTH
         self.stats = MigrationStats(self.engine)
         vm.migration_stats = self.stats
@@ -72,7 +77,15 @@ class PostCopyMigration:
         vm = self.vm
         memory = vm.kvm_vm.memory
         node = vm.host_system.net_node
-        endpoint = node.connect(node, self.destination_port)
+        target = self.destination_node if self.destination_node is not None else node
+        try:
+            endpoint = node.connect(target, self.destination_port)
+        except Exception as error:
+            self.stats.fail(error)
+            raise MigrationError(
+                f"cannot reach migration destination port "
+                f"{self.destination_port}: {error}"
+            ) from error
         self.stats.status = "active"
 
         # Immediate switchover: device state + guest handoff.

@@ -57,6 +57,7 @@ class PreCopyMigration:
         max_bandwidth=None,
         max_downtime=None,
         chunk_pages=CHUNK_PAGES,
+        destination_node=None,
     ):
         if vm.guest is None:
             raise MigrationError(f"{vm.name}: no guest to migrate")
@@ -64,6 +65,9 @@ class PreCopyMigration:
         self.engine = vm.engine
         self.destination_host = destination_host
         self.destination_port = destination_port
+        #: Cross-host migration: the destination's NetworkNode.  None
+        #: keeps QEMU's same-host loopback behaviour (tcp:127.0.0.1).
+        self.destination_node = destination_node
         self.max_bandwidth = max_bandwidth or DEFAULT_MAX_BANDWIDTH
         self.max_downtime = max_downtime or DEFAULT_MAX_DOWNTIME
         self.chunk_pages = chunk_pages
@@ -144,8 +148,9 @@ class PreCopyMigration:
         tracker = DirtyTracker(memory, self.engine)
         self._tracker = tracker
         node = vm.host_system.net_node
+        target = self.destination_node if self.destination_node is not None else node
         try:
-            endpoint = node.connect(node, self.destination_port)
+            endpoint = node.connect(target, self.destination_port)
         except Exception as error:
             self.stats.fail(error)
             raise MigrationError(

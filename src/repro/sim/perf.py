@@ -30,7 +30,13 @@ class PerfCounters:
     * ``ksm_pages_scanned`` — pages examined by the KSM daemon;
     * ``ksm_passes`` — completed KSM full scans;
     * ``migration_chunks`` — RAM chunks sent by migration sources;
-    * ``migration_pages`` — pages carried by those chunks.
+    * ``migration_pages`` — pages carried by those chunks;
+    * ``cloud_placements`` — tenant placement decisions by the fleet
+      scheduler;
+    * ``cloud_migrations`` — completed cross-host tenant migrations;
+    * ``fleet_sweeps`` — fleet-wide monitoring sweeps completed;
+    * ``fleet_detections`` — compromised-tenant verdicts across fleet
+      sweeps (repeat detections of the same tenant count).
     """
 
     __slots__ = (
@@ -43,6 +49,10 @@ class PerfCounters:
         "ksm_passes",
         "migration_chunks",
         "migration_pages",
+        "cloud_placements",
+        "cloud_migrations",
+        "fleet_sweeps",
+        "fleet_detections",
     )
 
     def __init__(self):
@@ -59,6 +69,10 @@ class PerfCounters:
         self.ksm_passes = 0
         self.migration_chunks = 0
         self.migration_pages = 0
+        self.cloud_placements = 0
+        self.cloud_migrations = 0
+        self.fleet_sweeps = 0
+        self.fleet_detections = 0
 
     def as_dict(self):
         """Counters as a plain dict (the BENCH_core.json field order)."""

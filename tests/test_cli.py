@@ -40,3 +40,38 @@ def test_covert(capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_fleet_status(capsys):
+    assert main(["fleet", "status", "--hosts", "2", "--tenants", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "<Datacenter hosts=2" in out
+    assert "h00" in out and "h01" in out
+
+
+def test_fleet_run_detects_campaign(capsys):
+    assert (
+        main(
+            [
+                "fleet", "run", "--hosts", "2", "--tenants", "3",
+                "--seed", "17", "--churn", "2", "--migrations", "1",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "fleet run: hosts=2 seed=17" in out
+    assert "detected         1 (recall 1.00)" in out
+    assert "nested" in out
+
+
+def test_fleet_sweep_command(capsys):
+    assert main(["fleet", "sweep", "--hosts", "2", "--tenants", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "fleet sweep 0:" in out
+    assert "recall: 1.00" in out
+
+
+def test_fleet_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fleet"])

@@ -1,0 +1,122 @@
+"""Fleet inventory, lazy host boot, fabric fault injection."""
+
+import pytest
+
+from repro.cloud.datacenter import Datacenter
+from repro.cloud.inventory import HOST_SHAPES, HostSpec, heterogeneous_specs
+from repro.cloud.tenants import Tenant, TenantSpec
+from repro.errors import CloudError, NetworkError
+
+
+def test_heterogeneous_specs_cycle_shapes_and_racks():
+    specs = heterogeneous_specs(6, rack_width=4)
+    assert [s.name for s in specs] == ["h00", "h01", "h02", "h03", "h04", "h05"]
+    assert [s.rack for s in specs] == ["rack0"] * 4 + ["rack1"] * 2
+    assert specs[0].model == HOST_SHAPES[0]["model"]
+    assert specs[3].model == HOST_SHAPES[0]["model"]  # cycles mod 3
+    # Deterministic: same call, same inventory.
+    again = heterogeneous_specs(6, rack_width=4)
+    assert [(s.name, s.model, s.memory_mb) for s in specs] == [
+        (s.name, s.model, s.memory_mb) for s in again
+    ]
+
+
+def test_host_spec_validation():
+    with pytest.raises(CloudError):
+        HostSpec("bad", memory_mb=0)
+    with pytest.raises(CloudError):
+        HostSpec("bad", cores=0)
+    with pytest.raises(CloudError):
+        heterogeneous_specs(0)
+
+
+def test_capacity_accounting_and_overcommit():
+    dc = Datacenter(hosts=1, seed=3)
+    host = dc.host("h00")
+    assert host.free_mb() == host.spec.memory_mb
+    tenant = Tenant(TenantSpec("t0", memory_mb=4096), host)
+    tenant.host = host
+    dc.register_tenant(tenant)
+    assert host.committed_mb == 4096
+    assert host.can_fit(host.spec.memory_mb - 4096)
+    assert not host.can_fit(host.spec.memory_mb - 4095)
+    # 1.5x overcommit opens headroom beyond physical.
+    assert host.can_fit(host.spec.memory_mb, overcommit=1.5)
+    assert host.utilization == pytest.approx(4096 / host.spec.memory_mb)
+
+
+def test_port_blocks_are_monotonic_and_disjoint():
+    dc = Datacenter(hosts=1, seed=3)
+    host = dc.host("h00")
+    blocks = [host.next_port_block() for _ in range(4)]
+    flat = [port for block in blocks for port in block]
+    assert len(set(flat)) == len(flat)
+    assert blocks[0] == (2300, 5600, 9000)
+    assert blocks[3] == (2303, 5603, 9003)
+
+
+def test_lazy_boot_attaches_fabric_and_ksm():
+    dc = Datacenter(hosts=2, seed=5)
+    host = dc.host("h00")
+    assert host.state == "offline" and host.system is None
+    engine = dc.engine
+    engine.run(engine.process(dc.ensure_up(host)))
+    assert host.state == "up"
+    assert host.system.depth == 0
+    assert host.system.kvm is not None
+    assert host.ksm is not None and host.ksm.running
+    assert host.uplink is not None
+    # Second ensure_up is a no-op, not a re-boot.
+    system = host.system
+    engine.run(engine.process(dc.ensure_up("h00")))
+    assert host.system is system
+    assert dc.host("h01").state == "offline"
+
+
+def test_unknown_host_and_duplicate_tenant_raise():
+    dc = Datacenter(hosts=1, seed=5)
+    with pytest.raises(CloudError):
+        dc.host("h99")
+    host = dc.host("h00")
+    tenant = Tenant(TenantSpec("t0"), host)
+    dc.register_tenant(tenant)
+    with pytest.raises(CloudError):
+        dc.register_tenant(Tenant(TenantSpec("t0"), host))
+
+
+def test_move_and_forget_tenant_rehome_registry():
+    dc = Datacenter(hosts=2, seed=5)
+    a, b = dc.host("h00"), dc.host("h01")
+    tenant = Tenant(TenantSpec("t0", memory_mb=2048), a)
+    dc.register_tenant(tenant)
+    assert "t0" in a.tenants
+    dc.move_tenant(tenant, b)
+    assert "t0" not in a.tenants and "t0" in b.tenants
+    assert tenant.host is b
+    assert a.committed_mb == 0 and b.committed_mb == 2048
+    dc.forget_tenant(tenant)
+    assert not b.tenants and not dc.tenants
+
+
+def test_partition_and_heal_toggle_fabric_reachability():
+    dc = Datacenter(hosts=2, seed=9)
+    engine = dc.engine
+
+    def bring_both():
+        yield from dc.ensure_up("h00")
+        yield from dc.ensure_up("h01")
+
+    engine.run(engine.process(bring_both()))
+    a, b = dc.host("h00"), dc.host("h01")
+    b.system.net_node.listen(9999)
+    # Reachable across the switch fabric.
+    endpoint = a.system.net_node.connect(b.system.net_node, 9999)
+    endpoint.close()
+    b.partition()
+    assert b.partitioned
+    with pytest.raises(NetworkError):
+        a.system.net_node.connect(b.system.net_node, 9999)
+    b.heal()
+    assert not b.partitioned
+    endpoint = a.system.net_node.connect(b.system.net_node, 9999)
+    endpoint.close()

@@ -1,0 +1,256 @@
+"""Fleet sweeps, campaign scoring, determinism, and sweep edge cases."""
+
+import pytest
+
+from repro.cloud import run_fleet
+from repro.cloud.campaign import AttackCampaign
+from repro.cloud.datacenter import Datacenter
+from repro.cloud.fleet_monitor import FleetMonitor
+from repro.cloud.placement import BinPackingPlacer
+from repro.cloud.tenants import TenantChurn, TenantSpec
+from repro.errors import CloudError
+
+FAST = dict(file_pages=6, wait_seconds=8.0)
+
+
+def _fleet(hosts=2, seed=53):
+    dc = Datacenter(hosts=hosts, seed=seed)
+    placer = BinPackingPlacer(dc)
+    churn = TenantChurn(dc, placer)
+    monitor = FleetMonitor(dc, **FAST)
+    return dc, placer, churn, monitor
+
+
+def _run(dc, generator):
+    return dc.engine.run(dc.engine.process(generator))
+
+
+def test_fleet_sweep_finds_the_injected_campaign():
+    dc, _placer, churn, monitor = _fleet(seed=53)
+    campaign = AttackCampaign(dc, count=1)
+
+    def control():
+        yield from churn.bring_up(4)
+        events = yield from campaign.run()
+        report = yield from monitor.sweep_fleet()
+        return events, report
+
+    events, report = _run(dc, control())
+    assert len(events) == 1
+    compromised = report.compromised
+    assert [name for name, _host in compromised] == [events[0].tenant_name]
+    assert compromised[0][1] == events[0].host_name
+    # Everyone else is clean — no false positives among innocents.
+    assert report.inconclusive == [] and report.unreachable == []
+    recall, latencies = campaign.score(monitor.alerts)
+    assert recall == 1.0
+    assert len(latencies) == 1 and latencies[0] > 0
+    assert events[0].detected
+    assert dc.engine.perf.fleet_sweeps == 1
+    assert dc.engine.perf.fleet_detections == 1
+
+
+def test_concurrency_budget_serializes_host_probes():
+    dc, _placer, churn, monitor = _fleet(hosts=3, seed=59)
+    monitor.max_concurrent_probes = 1
+
+    def control():
+        # Force tenants onto distinct hosts so three probes exist.
+        for index, host_name in enumerate(sorted(dc.hosts)):
+            target = dc.host(host_name)
+            yield from dc.ensure_up(target)
+            hidden = [
+                h for h in dc.up_hosts if h is not target
+            ]
+            for host in hidden:
+                host.state = "draining"
+            yield from churn.provision(TenantSpec(f"t{index}", memory_mb=512))
+            for host in hidden:
+                host.state = "up"
+            assert f"t{index}" in target.tenants
+        report = yield from monitor.sweep_fleet()
+        return report
+
+    report = _run(dc, control())
+    assert len(report.host_reports) == 3
+    # max_concurrent_probes=1: host sweep windows must not overlap.
+    windows = sorted(
+        (r.started_at, r.finished_at) for r in report.host_reports.values()
+    )
+    for (_s1, e1), (s2, _e2) in zip(windows, windows[1:]):
+        assert s2 >= e1
+
+
+def test_identical_seed_fleet_runs_are_byte_identical():
+    kwargs = dict(
+        hosts=3,
+        tenants=5,
+        seed=1701,
+        churn_operations=3,
+        rebalance_moves=1,
+        campaigns=1,
+        sweeps=1,
+        **FAST,
+    )
+    first = run_fleet(**kwargs)
+    second = run_fleet(**kwargs)
+    assert first.summary() == second.summary()
+    assert first.summary().encode() == second.summary().encode()
+    report_a, report_b = first.monitor.reports[0], second.monitor.reports[0]
+    assert report_a.summary() == report_b.summary()
+    # And a different seed genuinely changes the trajectory.
+    third = run_fleet(**{**kwargs, "seed": 1702})
+    assert third.summary() != first.summary()
+
+
+def test_campaign_requires_running_tenants():
+    dc, _placer, _churn, _monitor = _fleet(seed=61)
+    campaign = AttackCampaign(dc, count=1)
+
+    def control():
+        with pytest.raises(CloudError):
+            yield from campaign.run()
+        return True
+
+    assert _run(dc, control())
+
+
+def test_campaign_installs_at_most_one_per_host():
+    dc, _placer, churn, _monitor = _fleet(hosts=2, seed=67)
+    campaign = AttackCampaign(dc, count=4)
+
+    def control():
+        yield from churn.bring_up(4)
+        events = yield from campaign.run()
+        return events
+
+    events = _run(dc, control())
+    hosts_hit = [event.host_name for event in events]
+    assert len(hosts_hit) == len(set(hosts_hit))
+    assert 1 <= len(events) <= 2
+
+
+def test_periodic_fleet_sweeps_accumulate_reports():
+    dc, _placer, churn, monitor = _fleet(seed=71)
+    monitor.sweeps_per_hour = 60.0  # one a minute keeps the test quick
+    campaign = AttackCampaign(dc, count=1)
+    alerts = []
+
+    def control():
+        yield from churn.bring_up(3)
+        yield from campaign.run()
+        yield monitor.run_periodic(max_sweeps=2, alert_callback=alerts.append)
+
+    _run(dc, control())
+    assert len(monitor.reports) == 2
+    assert [r.sweep_id for r in monitor.reports] == [0, 1]
+    assert len(alerts) == 2  # both sweeps saw the standing compromise
+    # First-detection bookkeeping records the tenant exactly once.
+    assert len(monitor.alerts) == 1
+    assert dc.engine.perf.fleet_detections == 2
+
+
+def test_mixed_compromised_inconclusive_and_unreachable_tenants():
+    """One sweep, four verdict classes at once.
+
+    A tenant whose registration went stale (its guest now lives on a
+    *different* host's memory) must come back inconclusive — KSM can't
+    merge across physical machines — and a deleted tenant unreachable;
+    neither may mask the real detection or flag an innocent.
+    """
+    dc, _placer, churn, monitor = _fleet(hosts=2, seed=73)
+    campaign = AttackCampaign(dc, count=1)
+
+    def control():
+        yield from churn.bring_up(4)
+        events = yield from campaign.run()
+        home = dc.host(events[0].host_name)
+        other = next(h for h in dc.hosts.values() if h is not home)
+        yield from dc.ensure_up(other)
+        # Force "stray" onto the other machine, then probe it from
+        # home's service — a stale registration after a migration.
+        home.state = "draining"
+        stray = yield from churn.provision(TenantSpec("stray", memory_mb=512))
+        home.state = "up"
+        assert stray.host is other
+        ghost = yield from churn.provision(TenantSpec("ghost", memory_mb=512))
+        churn.delete(ghost)
+        from repro.core.detection.service import MonitoringService
+
+        service = MonitoringService(
+            home.system,
+            file_pages=monitor.file_pages,
+            wait_seconds=monitor.wait_seconds,
+        )
+        for name in sorted(home.tenants):
+            tenant = home.tenants[name]
+            interface = service.register_tenant(name, tenant.locator())
+            if tenant.mirror is not None:
+                interface.observers.append(tenant.mirror)
+        service.register_tenant("stray", stray.locator())
+        service.register_tenant("ghost", ghost.locator())
+        report = yield from service.sweep()
+        return events, report
+
+    events, report = _run(dc, control())
+    verdicts = {f.tenant_name: f.verdict for f in report.findings}
+    assert verdicts[events[0].tenant_name] == "nested"
+    assert verdicts["ghost"] == "unreachable"
+    assert verdicts["stray"] == "inconclusive"
+    clean = [
+        name
+        for name in verdicts
+        if name not in (events[0].tenant_name, "ghost", "stray")
+    ]
+    assert clean and all(verdicts[name] == "clean" for name in clean)
+    assert report.unreachable_tenants == ["ghost"]
+    assert report.inconclusive_tenants == ["stray"]
+    assert report.compromised_tenants == [events[0].tenant_name]
+
+
+def test_deregistered_tenant_skipped_mid_sweep():
+    dc, _placer, churn, monitor = _fleet(hosts=1, seed=79)
+
+    def control():
+        yield from churn.bring_up(3)
+        host = dc.up_hosts[0]
+        services = monitor._build_host_services()
+        assert len(services) == 1
+        _name, service = services[0]
+        names = service.tenant_names
+        assert len(names) == 3
+
+        def dropper():
+            # Wait until the sweep is mid-flight, then pull the last
+            # tenant (sorted order: its turn has not come yet).
+            yield dc.engine.timeout(monitor.wait_seconds / 2)
+            service.deregister_tenant(names[-1])
+
+        dc.engine.process(dropper(), name="dropper")
+        report = yield from service.sweep()
+        return host, names, report
+
+    _host, names, report = _run(dc, control())
+    probed = [f.tenant_name for f in report.findings]
+    assert names[-1] not in probed
+    assert probed == names[:-1]
+
+
+def test_deregister_unknown_tenant_raises():
+    from repro.core.detection.service import MonitoringService
+    from repro.errors import DetectionError
+
+    dc, _placer, _churn, _monitor = _fleet(hosts=1, seed=83)
+
+    def control():
+        host = yield from dc.ensure_up("h00")
+        return host
+
+    host = _run(dc, control())
+    service = MonitoringService(host.system)
+    with pytest.raises(DetectionError):
+        service.deregister_tenant("nobody")
+    service.register_tenant("t0", lambda: None)
+    service.deregister_tenant("t0")
+    with pytest.raises(DetectionError):
+        service.deregister_tenant("t0")

@@ -1,0 +1,170 @@
+"""Cross-host migration: happy path, transport failure -> retry, rebalance."""
+
+import pytest
+
+from repro.cloud.datacenter import Datacenter
+from repro.cloud.migration_orchestrator import MigrationOrchestrator
+from repro.cloud.placement import BinPackingPlacer
+from repro.cloud.tenants import TenantChurn, TenantSpec
+from repro.errors import CloudError
+
+
+def _fleet(hosts=2, seed=11):
+    dc = Datacenter(hosts=hosts, seed=seed)
+    placer = BinPackingPlacer(dc)
+    churn = TenantChurn(dc, placer)
+    orchestrator = MigrationOrchestrator(dc)
+    return dc, placer, churn, orchestrator
+
+
+def _run(dc, generator):
+    return dc.engine.run(dc.engine.process(generator))
+
+
+def test_cross_host_migration_rehomes_tenant(mode="precopy"):
+    dc, _placer, churn, orchestrator = _fleet()
+
+    def control():
+        tenant = yield from churn.provision(TenantSpec("t0", memory_mb=512))
+        source = tenant.host
+        dest = next(h for h in dc.hosts.values() if h is not source)
+        source_vm = tenant.vm
+        record = yield from orchestrator.migrate_tenant(tenant, dest, mode=mode)
+        return tenant, source, dest, source_vm, record
+
+    tenant, source, dest, source_vm, record = _run(dc, control())
+    assert record.status == "completed"
+    assert record.attempt_count == 1
+    assert tenant.host is dest
+    assert tenant.name in dest.tenants and tenant.name not in source.tenants
+    assert tenant.guest is not None
+    assert tenant.vm is not source_vm
+    assert source_vm.status == "terminated"
+    assert tenant.vm.host_system is dest.system
+    assert dc.engine.perf.cloud_migrations == 1
+
+
+def test_cross_host_postcopy_migration():
+    test_cross_host_migration_rehomes_tenant(mode="postcopy")
+
+
+def test_migrating_to_same_host_or_deleted_tenant_raises():
+    dc, _placer, churn, orchestrator = _fleet()
+
+    def control():
+        tenant = yield from churn.provision(TenantSpec("t0", memory_mb=512))
+        with pytest.raises(CloudError):
+            yield from orchestrator.migrate_tenant(tenant, tenant.host)
+        with pytest.raises(CloudError):
+            yield from orchestrator.migrate_tenant(
+                tenant, tenant.host, mode="warp"
+            )
+        churn.delete(tenant)
+        other = next(h for h in dc.hosts.values())
+        with pytest.raises(CloudError):
+            yield from orchestrator.migrate_tenant(tenant, other)
+        return True
+
+    assert _run(dc, control())
+
+
+def test_transport_failure_retries_until_fabric_heals():
+    dc, _placer, churn, orchestrator = _fleet(seed=23)
+    orchestrator.max_retries = 4
+
+    def control():
+        tenant = yield from churn.provision(TenantSpec("t0", memory_mb=512))
+        dest = next(h for h in dc.hosts.values() if h is not tenant.host)
+        yield from dc.ensure_up(dest)
+        dest.partition()
+
+        def healer():
+            yield dc.engine.timeout(5.0)
+            dest.heal()
+
+        dc.engine.process(healer(), name="healer")
+        record = yield from orchestrator.migrate_tenant(tenant, dest)
+        return tenant, dest, record
+
+    tenant, dest, record = _run(dc, control())
+    assert record.status == "completed"
+    assert record.attempt_count >= 2
+    # Every failed attempt logged the transport error; the last is "ok".
+    assert all(
+        outcome is not None for _at, outcome in record.attempts
+    )
+    assert record.attempts[-1][1] == "ok"
+    for _at, outcome in record.attempts[:-1]:
+        assert "destination port" in outcome
+    assert tenant.host is dest
+    assert tenant.guest is not None
+
+
+def test_transport_failure_exhausts_retries():
+    dc, _placer, churn, orchestrator = _fleet(seed=29)
+    orchestrator.max_retries = 1
+    orchestrator.backoff_base_s = 0.5
+
+    def control():
+        tenant = yield from churn.provision(TenantSpec("t0", memory_mb=512))
+        source = tenant.host
+        dest = next(h for h in dc.hosts.values() if h is not source)
+        yield from dc.ensure_up(dest)
+        dest.partition()
+        with pytest.raises(CloudError) as excinfo:
+            yield from orchestrator.migrate_tenant(tenant, dest)
+        return tenant, source, dest, excinfo.value
+
+    tenant, source, dest, error = _run(dc, control())
+    record = orchestrator.records[-1]
+    assert record.status == "failed"
+    assert record.attempt_count == 2  # initial + one retry
+    assert "failed after 2 attempts" in str(error)
+    # The tenant stays where it was, still serving.
+    assert tenant.host is source
+    assert tenant.guest is not None
+    assert dc.engine.perf.cloud_migrations == 0
+    # The destination holds no half-migrated orphan VM.
+    assert tenant.name not in dest.system.kvm.vms
+
+
+def test_evacuate_drains_every_tenant():
+    dc, placer, churn, orchestrator = _fleet(hosts=3, seed=31)
+
+    def control():
+        tenants = []
+        for index in range(2):
+            tenants.append(
+                (
+                    yield from churn.provision(
+                        TenantSpec(f"t{index}", memory_mb=512)
+                    )
+                )
+            )
+        source = tenants[0].host
+        records = yield from orchestrator.evacuate(source, placer)
+        return tenants, source, records
+
+    tenants, source, records = _run(dc, control())
+    moved = [t for t in tenants if t.host is not source]
+    assert len(records) == len(moved) >= 1
+    assert not source.tenants
+    for tenant in moved:
+        assert tenant.guest is not None
+
+
+def test_rebalance_moves_from_most_loaded_host():
+    dc, placer, churn, orchestrator = _fleet(hosts=2, seed=37)
+
+    def control():
+        for index in range(3):
+            yield from churn.provision(TenantSpec(f"t{index}", memory_mb=1024))
+        loaded = placer.most_loaded_up_host()
+        before = len(loaded.tenants)
+        records = yield from orchestrator.rebalance(placer, moves=1)
+        return loaded, before, records
+
+    loaded, before, records = _run(dc, control())
+    assert len(records) == 1
+    assert records[0].source == loaded.name
+    assert len(loaded.tenants) == before - 1

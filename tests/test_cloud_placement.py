@@ -1,0 +1,122 @@
+"""The bin-packing placer: packing, anti-affinity, KSM co-location."""
+
+import pytest
+
+from repro.cloud.datacenter import Datacenter
+from repro.cloud.placement import BinPackingPlacer
+from repro.cloud.tenants import Tenant, TenantSpec
+from repro.errors import PlacementError
+
+
+def _place_and_register(placer, spec, state="running"):
+    host = placer.place(spec)
+    tenant = Tenant(spec, host)
+    tenant.state = state
+    placer.datacenter.register_tenant(tenant)
+    return host, tenant
+
+
+def test_first_placement_picks_a_deterministic_host():
+    dc = Datacenter(hosts=3, seed=1)
+    placer = BinPackingPlacer(dc)
+    host = placer.place(TenantSpec("t0", memory_mb=1024))
+    again = BinPackingPlacer(Datacenter(hosts=3, seed=1)).place(
+        TenantSpec("t0", memory_mb=1024)
+    )
+    assert host.name == again.name
+    assert placer.decisions[-1].reason == "cold-boot"
+    assert dc.engine.perf.cloud_placements == 1
+
+
+def test_up_host_preferred_over_cold_boot():
+    dc = Datacenter(hosts=3, seed=1)
+    placer = BinPackingPlacer(dc)
+    first, _ = _place_and_register(placer, TenantSpec("t0", memory_mb=1024))
+    dc.engine.run(dc.engine.process(dc.ensure_up(first)))
+    # Plenty of offline capacity exists; the up host still wins.
+    second = placer.place(TenantSpec("t1", memory_mb=1024))
+    assert second is first
+    assert placer.decisions[-1].reason == "up-host-fit"
+
+
+def test_anti_affinity_spreads_group_and_can_exhaust():
+    dc = Datacenter(hosts=2, seed=1)
+    placer = BinPackingPlacer(dc)
+    used = set()
+    for index in range(2):
+        spec = TenantSpec(
+            f"ha{index}", memory_mb=512, anti_affinity_group="web"
+        )
+        host, _ = _place_and_register(placer, spec)
+        used.add(host.name)
+    assert len(used) == 2  # spread across both hosts
+    with pytest.raises(PlacementError):
+        placer.place(TenantSpec("ha2", memory_mb=512, anti_affinity_group="web"))
+
+
+def test_ksm_affinity_colocates_profile_mates():
+    dc = Datacenter(hosts=3, seed=1)
+    placer = BinPackingPlacer(dc)
+    engine = dc.engine
+    # Seed two up hosts with different profiles.
+    lamp_host, _ = _place_and_register(
+        placer, TenantSpec("t0", memory_mb=512, image_profile="lamp")
+    )
+    engine.run(engine.process(dc.ensure_up(lamp_host)))
+    cache_spec = TenantSpec("t1", memory_mb=512, image_profile="cache")
+    cache_host = next(
+        h for h in dc.hosts.values() if h is not lamp_host
+    )
+    tenant = Tenant(cache_spec, cache_host)
+    tenant.state = "running"
+    dc.register_tenant(tenant)
+    engine.run(engine.process(dc.ensure_up(cache_host)))
+    # A new lamp tenant lands with its profile mate, not the cache host,
+    # even when the cache host would be the tighter best-fit.
+    chosen = placer.place(TenantSpec("t2", memory_mb=512, image_profile="lamp"))
+    assert chosen is lamp_host
+    # With KSM affinity off, pure best-fit decides instead.
+    unaware = BinPackingPlacer(dc, ksm_affinity=False)
+    smaller = min(
+        (lamp_host, cache_host), key=lambda h: h.free_mb(dc.overcommit)
+    )
+    assert unaware.place(TenantSpec("t3", memory_mb=512)) is smaller
+
+
+def test_capacity_exhaustion_raises_placement_error():
+    dc = Datacenter(hosts=1, seed=1)
+    placer = BinPackingPlacer(dc)
+    big = dc.host("h00").spec.memory_mb
+    _place_and_register(placer, TenantSpec("t0", memory_mb=big))
+    with pytest.raises(PlacementError):
+        placer.place(TenantSpec("t1", memory_mb=512))
+
+
+def test_exclude_and_draining_hosts_are_skipped():
+    dc = Datacenter(hosts=2, seed=1)
+    placer = BinPackingPlacer(dc)
+    a, b = dc.host("h00"), dc.host("h01")
+    assert placer.place(TenantSpec("t0", memory_mb=512), exclude=(a,)) is b
+    a.state = "draining"
+    assert placer.place(TenantSpec("t1", memory_mb=512)) is b
+    a.state = "offline"
+
+
+def test_most_loaded_up_host():
+    dc = Datacenter(hosts=2, seed=1)
+    placer = BinPackingPlacer(dc)
+    assert placer.most_loaded_up_host() is None
+    engine = dc.engine
+
+    def both():
+        yield from dc.ensure_up("h00")
+        yield from dc.ensure_up("h01")
+
+    engine.run(engine.process(both()))
+    a, b = dc.host("h00"), dc.host("h01")
+    for name, host, mb in (("t0", a, 512), ("t1", b, 4096)):
+        tenant = Tenant(TenantSpec(name, memory_mb=mb), host)
+        tenant.state = "running"
+        dc.register_tenant(tenant)
+    assert placer.most_loaded_up_host() is b
+    assert placer.most_loaded_up_host(exclude=(b,)) is a

@@ -1,0 +1,50 @@
+"""The ``repro`` console-script entry point and module execution."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _project_scripts():
+    import tomllib
+
+    with open(ROOT / "pyproject.toml", "rb") as handle:
+        return tomllib.load(handle)["project"]["scripts"]
+
+
+def test_entry_point_is_declared():
+    scripts = _project_scripts()
+    assert scripts == {"repro": "repro.cli:main"}
+
+
+def test_entry_point_target_resolves_and_runs(capsys):
+    """Drive exactly what the console script would: the declared callable."""
+    import importlib
+
+    target = _project_scripts()["repro"]
+    module_name, _, attr = target.partition(":")
+    main = getattr(importlib.import_module(module_name), attr)
+    assert callable(main)
+    assert main(["info"]) == 0
+    assert "CloudSkulk" in capsys.readouterr().out
+
+
+def test_python_dash_m_repro_smoke():
+    env = dict(os.environ)
+    src = str(ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "info"],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=ROOT,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "CloudSkulk" in result.stdout
