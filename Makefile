@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-quick lint
+.PHONY: test bench bench-quick lint trace-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q --durations=10
@@ -22,3 +22,13 @@ bench:
 
 bench-quick:
 	$(PYTHON) benchmarks/perf_report.py --quick
+
+# Traced end-to-end run + schema validation of the exported trace.
+# CI runs this and uploads trace-smoke.json as an artifact (open it in
+# ui.perfetto.dev).
+trace-smoke:
+	$(PYTHON) -m repro --seed 42 --trace-out trace-smoke.json \
+		detect --pages 12
+	$(PYTHON) -m repro.obs.validate trace-smoke.json \
+		--require vm_exit --require ksm.pass --require migration. \
+		--require detect.

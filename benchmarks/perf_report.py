@@ -16,7 +16,9 @@ Runs the scenarios the perf work is judged on —
 
 and writes wall-clock timings, virtual-time fingerprints, and the
 engine's perf counters to ``BENCH_core.json`` so later PRs have a
-trajectory to beat.
+trajectory to beat.  Every run (including ``--quick``) also measures
+``tracer_overhead_fleet``: fleet_sweep_4x12 traced vs untraced, held
+to :data:`TRACER_OVERHEAD_BUDGET_PCT`.
 
 Each scenario's *fingerprint* captures the virtual-time results
 (verdicts, medians, MigrationStats totals, latencies).  Optimizations
@@ -167,21 +169,35 @@ def scenario_fig4_migration():
     return time.perf_counter() - started, fingerprint, host.engine.perf.as_dict()
 
 
-def scenario_fleet_sweep():
+#: Fleet-sweep parameters shared by the timing scenario and the
+#: tracer-overhead check, so the two measure the same workload.
+FLEET_SWEEP_PARAMS = dict(
+    hosts=4,
+    tenants=12,
+    seed=42,
+    churn_operations=6,
+    rebalance_moves=1,
+    campaigns=1,
+    sweeps=1,
+    file_pages=12,
+    wait_seconds=10.0,
+)
+
+#: Ceiling on the wall-clock cost of tracing fleet_sweep_4x12, as a
+#: percentage over the untraced run in the same process.  Measured
+#: overhead is ~0-3% (decimated hot paths); the budget leaves headroom
+#: for CI timing noise while still catching an accidental per-event
+#: hot-path regression (undecimated step tracing costs >100%).
+TRACER_OVERHEAD_BUDGET_PCT = 25.0
+
+
+def _run_fleet_sweep(trace=False):
+    """One fleet_sweep_4x12 run; returns (wall, fingerprint, result)."""
     from repro.cloud import run_fleet
 
     started = time.perf_counter()
-    result = run_fleet(
-        hosts=4,
-        tenants=12,
-        seed=42,
-        churn_operations=6,
-        rebalance_moves=1,
-        campaigns=1,
-        sweeps=1,
-        file_pages=12,
-        wait_seconds=10.0,
-    )
+    result = run_fleet(trace=trace, **FLEET_SWEEP_PARAMS)
+    wall = time.perf_counter() - started
     engine = result.datacenter.engine
     sweep = result.monitor.reports[0]
     fingerprint = {
@@ -192,7 +208,38 @@ def scenario_fleet_sweep():
         "compromised": [f"{t}@{h}" for t, h in sweep.compromised],
         "recall": result.recall,
     }
-    return time.perf_counter() - started, fingerprint, engine.perf.as_dict()
+    return wall, fingerprint, result
+
+
+def scenario_fleet_sweep():
+    wall, fingerprint, result = _run_fleet_sweep()
+    return wall, fingerprint, result.datacenter.engine.perf.as_dict()
+
+
+def tracer_overhead_entry():
+    """Benchmark tracing overhead on fleet_sweep_4x12.
+
+    Runs the scenario untraced then traced in the same process and
+    holds the slowdown to :data:`TRACER_OVERHEAD_BUDGET_PCT`.  Also
+    asserts the traced run's virtual-time fingerprint is identical —
+    observability must never perturb the simulation.
+    """
+    untraced_wall, untraced_fp, _ = _run_fleet_sweep(trace=False)
+    traced_wall, traced_fp, traced = _run_fleet_sweep(trace=True)
+    overhead_pct = 100.0 * (traced_wall / untraced_wall - 1.0)
+    return {
+        "untraced_wall_seconds": round(untraced_wall, 3),
+        "traced_wall_seconds": round(traced_wall, 3),
+        "overhead_pct": round(overhead_pct, 1),
+        "overhead_budget_pct": TRACER_OVERHEAD_BUDGET_PCT,
+        "within_budget": overhead_pct <= TRACER_OVERHEAD_BUDGET_PCT,
+        "trace_events": len(traced.tracer.events()),
+        "dropped_events": traced.tracer.dropped_events,
+        "fingerprint_matches_baseline": traced_fp == untraced_fp,
+        # The traced run's full metric registry — deterministic, so the
+        # dump doubles as a regression fingerprint for the tracepoints.
+        "metrics": traced.tracer.metrics.as_dict(),
+    }
 
 
 def scenario_lmbench_l2():
@@ -239,6 +286,20 @@ def run_report(quick=False):
             f"{base['wall_seconds']:.3f}s "
             f"({entry['improvement_pct']:+.1f}% faster), fingerprint {match}"
         )
+    # Tracer overhead runs in quick mode too: `make bench-quick` is the
+    # gate that keeps observability off the hot path.
+    print("[bench] tracer_overhead_fleet ...", flush=True)
+    entry = tracer_overhead_entry()
+    report["tracer_overhead_fleet"] = entry
+    budget = "within budget" if entry["within_budget"] else "OVER BUDGET"
+    print(
+        f"[bench] tracer_overhead_fleet: traced "
+        f"{entry['traced_wall_seconds']:.3f}s vs untraced "
+        f"{entry['untraced_wall_seconds']:.3f}s "
+        f"({entry['overhead_pct']:+.1f}%, budget "
+        f"{entry['overhead_budget_pct']:.0f}%) {budget}, "
+        f"{entry['trace_events']} events"
+    )
     return report
 
 
@@ -276,6 +337,14 @@ def main(argv=None):
     ]
     if mismatched:
         print(f"[bench] FINGERPRINT MISMATCH: {', '.join(mismatched)}")
+        return 1
+    over_budget = [
+        name
+        for name, entry in report.items()
+        if not entry.get("within_budget", True)
+    ]
+    if over_budget:
+        print(f"[bench] TRACER OVERHEAD OVER BUDGET: {', '.join(over_budget)}")
         return 1
     return 0
 

@@ -16,15 +16,26 @@ Commands:
 """
 
 import argparse
+import json
+import sys
 
-from repro import __version__, scenarios
+from repro import __version__, obs, scenarios
 
 
 def _report_perf(args, engine, label="engine"):
-    """Print the engine's perf counters when ``--perf`` was given."""
+    """Report the engine's perf counters on stderr when asked.
+
+    Diagnostics go to stderr so the commands' stdout stays exactly the
+    experiment output (scriptable, diff-able).  ``--perf`` prints the
+    human table; ``--perf-json`` prints one JSON object per engine.
+    """
     if getattr(args, "perf", False):
-        print(f"[perf] {label}")
-        print(engine.perf.format())
+        print(f"[perf] {label}", file=sys.stderr)
+        print(engine.perf.format(), file=sys.stderr)
+    if getattr(args, "perf_json", False):
+        record = {"label": label}
+        record.update(engine.perf.snapshot())
+        print(json.dumps(record, sort_keys=True), file=sys.stderr)
 
 
 def cmd_attack(args):
@@ -193,7 +204,32 @@ def build_parser():
     parser.add_argument(
         "--perf",
         action="store_true",
-        help="print the engine's performance counters after the run",
+        help="print the engine's performance counters to stderr after the run",
+    )
+    parser.add_argument(
+        "--perf-json",
+        action="store_true",
+        help="print the performance counters as one JSON object per engine "
+        "to stderr",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="record a virtual-time trace and write Chrome/Perfetto JSON "
+        "to PATH (open in ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the run's metric registry (counters/gauges/histograms) "
+        "to stderr",
+    )
+    parser.add_argument(
+        "--trace-ring",
+        type=int,
+        metavar="N",
+        help="cap the trace buffer at N events (oldest drop, counted); "
+        "for long fleet runs",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("attack").set_defaults(func=cmd_attack)
@@ -232,4 +268,25 @@ def build_parser():
 def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    tracing = bool(args.trace_out or args.metrics)
+    if tracing:
+        # Engines are built deep inside scenario helpers; the process-wide
+        # default is how the flag reaches them.  Every engine the command
+        # creates comes up traced and self-registers for the merged export.
+        obs.configure(enabled=True, ring_capacity=args.trace_ring)
+    try:
+        status = args.func(args)
+        if tracing:
+            if args.trace_out:
+                trace = obs.write_chrome_trace(args.trace_out)
+                print(
+                    f"[trace] wrote {len(trace['traceEvents'])} events "
+                    f"to {args.trace_out}",
+                    file=sys.stderr,
+                )
+            if args.metrics:
+                print(obs.metrics_text(), file=sys.stderr)
+        return status
+    finally:
+        if tracing:
+            obs.reset()

@@ -41,6 +41,19 @@ class FleetRunResult:
         self.detection_latencies = []
 
     @property
+    def tracer(self):
+        """The fleet engine's tracer (fleet-wide trace + metrics)."""
+        return self.datacenter.engine.tracer
+
+    def write_trace(self, path, include_wall=False):
+        """Export the fleet-wide Chrome/Perfetto trace to ``path``."""
+        from repro.obs.export import write_chrome_trace
+
+        return write_chrome_trace(
+            path, tracers=[self.tracer], include_wall=include_wall
+        )
+
+    @property
     def detected_campaigns(self):
         return sum(1 for e in self.campaign.events if e.detected)
 
@@ -90,9 +103,20 @@ def run_fleet(
     wait_seconds=FLEET_WAIT_SECONDS,
     migration_mode="precopy",
     overcommit=1.0,
+    trace=False,
+    trace_ring_capacity=None,
 ):
-    """Run one complete fleet experiment; returns a FleetRunResult."""
+    """Run one complete fleet experiment; returns a FleetRunResult.
+
+    ``trace=True`` enables the fleet engine's tracer for the whole run
+    (placements, churn-driven migrations, sweep waves, per-tenant
+    probes); read it back via ``result.tracer`` or export with
+    ``result.write_trace(path)``.  ``trace_ring_capacity`` bounds the
+    event buffer for long runs (oldest events drop, counted).
+    """
     datacenter = Datacenter(hosts=hosts, seed=seed, overcommit=overcommit)
+    if trace:
+        datacenter.engine.tracer.enable(ring_capacity=trace_ring_capacity)
     placer = BinPackingPlacer(datacenter)
     churn = TenantChurn(datacenter, placer)
     orchestrator = MigrationOrchestrator(datacenter)

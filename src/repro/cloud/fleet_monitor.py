@@ -150,11 +150,13 @@ class FleetMonitor:
         Returns the :class:`FleetReport`.
         """
         engine = self.datacenter.engine
+        tracer = engine.tracer
         report = FleetReport(sweep_id)
         report.started_at = engine.now
         services = self._build_host_services()
         for start in range(0, len(services), self.max_concurrent_probes):
             wave = services[start : start + self.max_concurrent_probes]
+            wave_started = engine.now
             processes = [
                 engine.process(
                     service.sweep(sweep_id=sweep_id),
@@ -165,10 +167,38 @@ class FleetMonitor:
             results = yield engine.all_of(processes)
             for (host_name, _service), host_report in zip(wave, results):
                 report.host_reports[host_name] = host_report
+            if tracer.enabled:
+                tracer.complete(
+                    "fleet.sweep_wave",
+                    "cloud",
+                    wave_started,
+                    track="fleet",
+                    args={
+                        "sweep_id": sweep_id,
+                        "hosts": [host_name for host_name, _ in wave],
+                    },
+                )
         report.finished_at = engine.now
         self.reports.append(report)
         engine.perf.fleet_sweeps += 1
         self._record_alerts(report)
+        if tracer.enabled:
+            tracer.complete(
+                "fleet.sweep",
+                "cloud",
+                report.started_at,
+                track="fleet",
+                args={
+                    "sweep_id": sweep_id,
+                    "hosts": len(report.host_reports),
+                    "tenants_probed": report.tenants_probed,
+                    "compromised": len(report.compromised),
+                },
+            )
+            tracer.metrics.counter("fleet.sweeps").inc()
+            tracer.metrics.counter("fleet.compromised_verdicts").inc(
+                len(report.compromised)
+            )
         return report
 
     def _record_alerts(self, report):

@@ -91,6 +91,8 @@ class MigrationOrchestrator:
             tenant.name, source_host.name, dest_host.name, mode
         )
         self.records.append(record)
+        tracer = engine.tracer
+        move_started = engine.now
 
         for attempt in range(self.max_retries + 1):
             record.attempts.append([engine.now, None])
@@ -109,6 +111,17 @@ class MigrationOrchestrator:
             except (MigrationError, NetworkError) as error:
                 record.attempts[-1][1] = str(error) or type(error).__name__
                 self._cleanup_failed_attempt(dest_host, dest_vm, incoming_port)
+                if tracer.enabled:
+                    tracer.instant(
+                        "fleet.migrate_retry",
+                        "cloud",
+                        track="fleet",
+                        args={
+                            "tenant": tenant.name,
+                            "attempt": record.attempt_count,
+                            "error": record.attempts[-1][1],
+                        },
+                    )
                 if attempt == self.max_retries:
                     record.status = "failed"
                     raise CloudError(
@@ -124,6 +137,22 @@ class MigrationOrchestrator:
             tenant.vm = dest_vm
             dc.move_tenant(tenant, dest_host)
             engine.perf.cloud_migrations += 1
+            if tracer.enabled:
+                tracer.complete(
+                    "fleet.migrate",
+                    "cloud",
+                    move_started,
+                    track="fleet",
+                    args={
+                        "tenant": tenant.name,
+                        "source": record.source,
+                        "dest": record.dest,
+                        "mode": mode,
+                        "attempts": record.attempt_count,
+                        "ram_bytes": stats.ram_bytes,
+                    },
+                )
+                tracer.metrics.counter("fleet.migrations", mode=mode).inc()
             return record
         raise AssertionError("unreachable")
 

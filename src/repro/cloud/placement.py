@@ -122,7 +122,22 @@ class BinPackingPlacer:
             spec.name, best.name, self.datacenter.engine.now, reason
         )
         self.decisions.append(decision)
-        self.datacenter.engine.perf.cloud_placements += 1
+        engine = self.datacenter.engine
+        engine.perf.cloud_placements += 1
+        tracer = engine.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "fleet.place",
+                "cloud",
+                track="fleet",
+                args={
+                    "tenant": spec.name,
+                    "host": best.name,
+                    "reason": reason,
+                    "memory_mb": spec.memory_mb,
+                },
+            )
+            tracer.metrics.counter("fleet.placements", host=best.name).inc()
         return best
 
     def most_loaded_up_host(self, exclude=()):

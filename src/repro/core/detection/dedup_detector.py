@@ -231,18 +231,52 @@ class DedupDetector:
         self.wait_seconds = wait_seconds
         self.file_path = file_path
 
+    def _trace_phase(self, phase, started_at, times_us, perf_before):
+        """Record one measurement phase: span + write-fault histogram.
+
+        The histogram (``detect.write_fault_us``, labelled by phase) is
+        the raw material of Figs 5/6 — the bimodal private-write vs
+        CoW-break split reads straight off its log2 buckets.  The span
+        args carry the per-phase engine work (counter deltas), so a
+        slow probe is attributable from the timeline alone.
+        """
+        engine = self.host.engine
+        tracer = engine.tracer
+        delta = engine.perf.delta(perf_before)
+        tracer.metrics.histogram("detect.write_fault_us", phase=phase).record_many(
+            times_us
+        )
+        tracer.complete(
+            f"detect.{phase}",
+            "detection",
+            started_at,
+            track=f"detect:{self.host.name}",
+            args={
+                "pages": len(times_us),
+                "file": self.file_path,
+                "ksm_pages_scanned": delta["ksm_pages_scanned"],
+                "events_dispatched": delta["events_dispatched"],
+            },
+        )
+
     def run(self):
         """Generator: the full protocol; returns a DetectionReport."""
         report = DetectionReport()
-        mark = lambda label: report.timeline.append((label, self.host.engine.now))
+        engine = self.host.engine
+        tracer = engine.tracer
+        mark = lambda label: report.timeline.append((label, engine.now))
+        run_started = engine.now
 
         # ---- t0: baseline — File-A in L0 only ---------------------------
         mark("t0-start")
+        phase_started, perf_before = engine.now, engine.perf.snapshot()
         file_a = self.cloud.generate_file(self.file_path, self.file_pages)
         report.t0_us = yield from self.probe.load_wait_measure(
             self.file_path, self.wait_seconds
         )
         mark("t0-done")
+        if tracer.enabled:
+            self._trace_phase("t0", phase_started, report.t0_us, perf_before)
 
         # ---- t1: File-A in the VM and (fresh) in L0 ---------------------
         # The t0 measurement scribbled on L0's copy, so reload fresh
@@ -250,18 +284,35 @@ class DedupDetector:
         yield from self.cloud.deliver_to_vm(file_a)
         yield from self.agent.load_file(self.file_path)
         mark("t1-start")
+        phase_started, perf_before = engine.now, engine.perf.snapshot()
         report.t1_us = yield from self.probe.load_wait_measure(
             self.file_path, self.wait_seconds
         )
         mark("t1-done")
+        if tracer.enabled:
+            self._trace_phase("t1", phase_started, report.t1_us, perf_before)
 
         # ---- t2: guest changes its copy; L0 reloads the original --------
         yield from self.agent.mutate_all_pages(self.file_path)
         mark("t2-start")
+        phase_started, perf_before = engine.now, engine.perf.snapshot()
         report.t2_us = yield from self.probe.load_wait_measure(
             self.file_path, self.wait_seconds
         )
         mark("t2-done")
+        if tracer.enabled:
+            self._trace_phase("t2", phase_started, report.t2_us, perf_before)
 
         report.verdict = classify(report.t0_us, report.t1_us, report.t2_us)
+        if tracer.enabled:
+            tracer.complete(
+                "detect.run",
+                "detection",
+                run_started,
+                track=f"detect:{self.host.name}",
+                args={"verdict": report.verdict.verdict, "file": self.file_path},
+            )
+            tracer.metrics.counter(
+                "detect.verdicts", verdict=report.verdict.verdict
+            ).inc()
         return report

@@ -124,14 +124,17 @@ class MonitoringService:
         """Generator: run one full sweep; returns a HostSweepReport."""
         if not self._tenants:
             raise DetectionError("no tenants registered")
+        engine = self.host.engine
+        tracer = engine.tracer
         report = HostSweepReport(self.host.name)
-        report.started_at = self.host.engine.now
+        report.started_at = engine.now
         # Snapshot: tenants deregistered mid-sweep are skipped when their
         # turn comes; ones deleted mid-probe come back "unreachable".
         for index, (name, interface) in enumerate(sorted(self._tenants.items())):
             if name not in self._tenants:
                 continue
             finding = TenantFinding(name)
+            probe_started = engine.now
             detector = DedupDetector(
                 self.host,
                 interface,
@@ -145,8 +148,32 @@ class MonitoringService:
             except DetectionError:
                 finding.verdict = "unreachable"
             report.findings.append(finding)
+            if tracer.enabled:
+                tracer.complete(
+                    "detect.probe",
+                    "detection",
+                    probe_started,
+                    track=f"host:{self.host.name}",
+                    args={
+                        "tenant": name,
+                        "sweep_id": sweep_id,
+                        "verdict": finding.verdict,
+                    },
+                )
         report.vmcs_scan = yield from scan_for_hypervisors(self.host)
-        report.finished_at = self.host.engine.now
+        report.finished_at = engine.now
+        if tracer.enabled:
+            tracer.complete(
+                "detect.host_sweep",
+                "detection",
+                report.started_at,
+                track=f"host:{self.host.name}",
+                args={
+                    "sweep_id": sweep_id,
+                    "tenants": len(report.findings),
+                    "compromised": len(report.compromised_tenants),
+                },
+            )
         return report
 
     def run_periodic(self, interval_seconds, alert_callback=None, max_sweeps=None):

@@ -62,6 +62,8 @@ class KsmDaemon:
         self._pass_merges = 0
         self._pass_new_seen = 0
         self._pass_start_marks = (None, None)
+        self._pass_started = 0.0
+        self._trace_track = f"ksm:{machine.name}"
         self._idle = False
         self._idle_marks = (None, None)
         self._process = None
@@ -131,10 +133,31 @@ class KsmDaemon:
         self._pass_merges = 0
         self._pass_new_seen = 0
         self._pass_start_marks = self._marks()
+        self._pass_started = self.engine.now
 
     def _end_pass(self):
         self.stats.full_scans += 1
         self.engine.perf.ksm_passes += 1
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.complete(
+                "ksm.pass",
+                "ksm",
+                self._pass_started,
+                track=self._trace_track,
+                args={
+                    "merges": self._pass_merges,
+                    "new_seen": self._pass_new_seen,
+                    "pages_shared": len(self._stable),
+                    "full_scans": self.stats.full_scans,
+                },
+            )
+            tracer.metrics.counter(
+                "ksm.merges", machine=self.machine.name
+            ).inc(self._pass_merges)
+            tracer.metrics.gauge(
+                "ksm.pages_shared", machine=self.machine.name
+            ).set(len(self._stable))
         if (
             self._pass_merges == 0
             and self._pass_new_seen == 0
@@ -213,6 +236,15 @@ class KsmDaemon:
             unstable[digest] = pfn
         self._pass_merges += merges
         self._pass_new_seen += new_seen
+        if merges:
+            tracer = self.engine.tracer
+            if tracer.enabled:
+                tracer.instant(
+                    "ksm.merge",
+                    "ksm",
+                    track=self._trace_track,
+                    args={"count": merges},
+                )
 
     def sysfs_text(self):
         """The /sys/kernel/mm/ksm/* view an administrator reads."""
@@ -232,6 +264,16 @@ class KsmDaemon:
         digest = frame.digest
         if self._stable.get(digest) is frame:
             del self._stable[digest]
+            tracer = self.engine.tracer
+            if tracer.enabled:
+                # A stable frame broke: either a CoW write (the paper's
+                # side channel firing) or the last mapper freed it.
+                tracer.instant(
+                    "ksm.unmerge",
+                    "ksm",
+                    track=self._trace_track,
+                    args={"refcount": frame.refcount},
+                )
         frame.ksm_shared = False
 
     def forget_pfn(self, pfn):

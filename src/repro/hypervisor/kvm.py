@@ -23,6 +23,7 @@ class KvmVm:
         self.name = name
         self.vcpus = vcpus
         self.expose_vmx = expose_vmx
+        self._tracer = kvm.system.engine.tracer
         self.memory = GuestMemory(
             kvm.system.memory, memory_mb, name=f"{name}-ram", mergeable=True
         )
@@ -49,6 +50,9 @@ class KvmVm:
     def record_exit(self, reason, count=1.0):
         """Account ``count`` exits of ``reason`` against vCPU 0."""
         self.vmcs[0].record_exit(reason, count)
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.vm_exit(self.name, reason, count, self.depth)
 
     @property
     def total_exits(self):

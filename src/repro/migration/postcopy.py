@@ -87,6 +87,9 @@ class PostCopyMigration:
                 f"{self.destination_port}: {error}"
             ) from error
         self.stats.status = "active"
+        run_started = self.engine.now
+        trace_track = f"migrate:{vm.name}"
+        tracer = self.engine.tracer
 
         # Immediate switchover: device state + guest handoff.
         downtime_start = self.engine.now
@@ -105,6 +108,15 @@ class PostCopyMigration:
         yield endpoint.send(Packet(128, payload=handoff, kind="migration"))
         yield self._expect_ack(endpoint)
         self.stats.downtime = self.engine.now - downtime_start
+        if tracer.enabled:
+            tracer.complete(
+                "migration.switchover",
+                "migration",
+                downtime_start,
+                track=trace_track,
+                args={"downtime": self.stats.downtime},
+            )
+        fill_started = self.engine.now
 
         # Background page push (the guest is already running remotely).
         real_pages = list(memory.iter_touched())
@@ -142,6 +154,32 @@ class PostCopyMigration:
         vm.status = "postmigrate"
         self.stats.complete()
         endpoint.close()
+        if tracer.enabled:
+            tracer.complete(
+                "migration.postcopy_fill",
+                "migration",
+                fill_started,
+                track=trace_track,
+                args={
+                    "ram_bytes": self.stats.ram_bytes,
+                    "pages": self.stats.pages_transferred,
+                },
+            )
+            tracer.complete(
+                "migration.postcopy",
+                "migration",
+                run_started,
+                track=trace_track,
+                args={
+                    "ram_bytes": self.stats.ram_bytes,
+                    "pages": self.stats.pages_transferred,
+                    "downtime": self.stats.downtime,
+                },
+            )
+            tracer.metrics.counter("migration.completed", mode="postcopy").inc()
+            tracer.metrics.histogram("migration.downtime_ms").record(
+                self.stats.downtime * 1e3
+            )
         return self.stats
 
     def _expect_ack(self, endpoint):

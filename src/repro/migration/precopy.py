@@ -141,6 +141,14 @@ class PreCopyMigration:
         self.stats.finished_at = self.engine.now
         if self._endpoint is not None:
             self._endpoint.close()
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "migration.cancelled",
+                "migration",
+                track=f"migrate:{vm.name}",
+                args={"iterations": self.stats.iterations},
+            )
 
     def _run_inner(self):
         vm = self.vm
@@ -161,6 +169,9 @@ class PreCopyMigration:
 
         self.stats.status = "active"
         tracker.start()
+        run_started = self.engine.now
+        trace_track = f"migrate:{vm.name}"
+        tracer = self.engine.tracer
 
         # ---- iteration 1: everything -----------------------------------
         all_real = list(memory.iter_touched())
@@ -171,6 +182,18 @@ class PreCopyMigration:
             endpoint, memory, all_real, bulk_total, zero_total
         )
         self.stats.iterations += 1
+        if tracer.enabled:
+            tracer.complete(
+                "migration.iteration",
+                "migration",
+                iter_started,
+                track=trace_track,
+                args={
+                    "iteration": self.stats.iterations,
+                    "bytes": iter_bytes,
+                    "pages": len(all_real) + bulk_total + zero_total,
+                },
+            )
         measured_rate = self._measured_rate(iter_bytes, iter_started)
         self._bulk_sent_once = True
 
@@ -206,6 +229,19 @@ class PreCopyMigration:
                 endpoint, memory, sorted(dirty), bulk_dirty, 0
             )
             self.stats.iterations += 1
+            if tracer.enabled:
+                tracer.complete(
+                    "migration.iteration",
+                    "migration",
+                    iter_started,
+                    track=trace_track,
+                    args={
+                        "iteration": self.stats.iterations,
+                        "bytes": iter_bytes,
+                        "pages": dirty_pages,
+                        "throttle": self.stats.throttle_percentage,
+                    },
+                )
             measured_rate = self._measured_rate(
                 iter_bytes, iter_started, fallback=measured_rate
             )
@@ -239,6 +275,31 @@ class PreCopyMigration:
         vm.status = "postmigrate"
         self.stats.complete()
         endpoint.close()
+        if tracer.enabled:
+            tracer.complete(
+                "migration.stop_and_copy",
+                "migration",
+                downtime_start,
+                track=trace_track,
+                args={"downtime": self.stats.downtime},
+            )
+            tracer.complete(
+                "migration.precopy",
+                "migration",
+                run_started,
+                track=trace_track,
+                args={
+                    "iterations": self.stats.iterations,
+                    "ram_bytes": self.stats.ram_bytes,
+                    "pages": self.stats.pages_transferred,
+                    "zero_pages": self.stats.zero_pages,
+                    "downtime": self.stats.downtime,
+                },
+            )
+            tracer.metrics.counter("migration.completed", mode="precopy").inc()
+            tracer.metrics.histogram("migration.downtime_ms").record(
+                self.stats.downtime * 1e3
+            )
         return self.stats
 
     # -- helpers -----------------------------------------------------------

@@ -1,0 +1,52 @@
+"""repro.obs — virtual-time tracing, metrics, and timeline export.
+
+The observability layer the perf and detection work measures itself
+against:
+
+* :class:`~repro.obs.trace.Tracer` — span/instant/counter recording on
+  the virtual timeline (one per engine, ``engine.tracer``), guarded so
+  a disabled tracer costs one attribute check at every seam;
+* :class:`~repro.obs.metrics.MetricRegistry` — labelled counters,
+  gauges, and log2-bucketed histograms (``tracer.metrics``);
+* :mod:`~repro.obs.export` — Chrome/Perfetto trace JSON, deterministic
+  metrics dumps, and the trace-schema validator;
+* :mod:`~repro.obs.config` — process-wide defaults so CLI flags reach
+  engines built deep inside scenario helpers.
+
+Quickstart::
+
+    from repro import obs
+    obs.configure(enabled=True)          # every new engine traces
+    ... run a scenario ...
+    obs.write_chrome_trace("trace.json") # open in ui.perfetto.dev
+    obs.reset()
+"""
+
+from repro.obs.config import active_config, configure, register, reset, tracers
+from repro.obs.export import (
+    chrome_trace,
+    metrics_json,
+    metrics_text,
+    validate_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricRegistry
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "Tracer",
+    "active_config",
+    "chrome_trace",
+    "configure",
+    "metrics_json",
+    "metrics_text",
+    "register",
+    "reset",
+    "tracers",
+    "validate_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,45 @@
+"""Trace-schema validator CLI: ``python -m repro.obs.validate trace.json``.
+
+Exit status 0 when the file parses as JSON and passes
+:func:`repro.obs.export.validate_trace`; 1 otherwise, with one problem
+per line on stderr.  ``--require NAME`` (repeatable) additionally
+demands that at least one event name contains the given substring —
+CI uses this to pin the tracepoint families a smoke trace must carry.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.obs.export import validate_trace
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="trace JSON file to validate")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="require an event whose name contains NAME (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        with open(args.path) as handle:
+            trace = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"{args.path}: {error}", file=sys.stderr)
+        return 1
+    problems = validate_trace(trace, require_names=args.require)
+    if problems:
+        for problem in problems:
+            print(f"{args.path}: {problem}", file=sys.stderr)
+        return 1
+    count = len(trace["traceEvents"])
+    print(f"{args.path}: ok ({count} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,7 @@ import heapq
 from itertools import count
 
 from repro.errors import SimulationError
+from repro.obs.trace import Tracer
 from repro.sim.perf import PerfCounters
 
 _PENDING = object()
@@ -331,6 +332,10 @@ class Engine:
         self._queue = []
         self._sequence = count()
         self.perf = PerfCounters()
+        #: Virtual-time tracer + metric registry (:mod:`repro.obs`).
+        #: Disabled by default; instrumented seams pay one attribute
+        #: check until ``tracer.enable()`` (or ``obs.configure``) runs.
+        self.tracer = Tracer(self)
 
     @property
     def now(self):
@@ -385,6 +390,9 @@ class Engine:
         event.processed = True
         perf = self.perf
         perf.events_dispatched += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.on_step(self)
         callbacks = event.callbacks
         event.callbacks = None
         if callbacks:

@@ -78,6 +78,23 @@ class PerfCounters:
         """Counters as a plain dict (the BENCH_core.json field order)."""
         return {name: getattr(self, name) for name in self.__slots__}
 
+    def snapshot(self):
+        """Point-in-time copy of every counter (a plain dict).
+
+        Pair with :meth:`delta` to report per-phase work instead of
+        whole-run totals — benchmarks bracket a phase with
+        ``before = perf.snapshot()`` / ``perf.delta(before)``, and the
+        tracer's engine sampler emits exactly these deltas.
+        """
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def delta(self, since):
+        """Counter increments since a :meth:`snapshot` dict."""
+        return {
+            name: getattr(self, name) - since.get(name, 0)
+            for name in self.__slots__
+        }
+
     def format(self, indent="  "):
         """Human-readable multi-line rendering for ``repro --perf``."""
         width = max(len(name) for name in self.__slots__)

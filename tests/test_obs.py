@@ -1,0 +1,354 @@
+"""The observability layer: tracer, metrics, exporters, CLI wiring."""
+
+import json
+
+import pytest
+
+from repro import obs, scenarios
+from repro.cli import main
+from repro.core.detection.dedup_detector import DedupDetector
+from repro.obs.export import chrome_trace, validate_trace
+from repro.obs.metrics import Histogram, MetricRegistry
+from repro.sim.engine import Engine
+
+
+@pytest.fixture(autouse=True)
+def _obs_isolation():
+    """Process-global obs config must never leak between tests."""
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def run_detection(seed=11, nested=True, enable=True, pages=8):
+    host, cloud, _ksm, _loc = scenarios.detection_setup(
+        nested=nested, seed=seed
+    )
+    if enable:
+        host.engine.tracer.enable()
+    detector = DedupDetector(host, cloud, file_pages=pages)
+    host.engine.run(host.engine.process(detector.run()))
+    return host
+
+
+# -- metrics ----------------------------------------------------------------
+
+
+def test_counter_gauge_labels():
+    registry = MetricRegistry()
+    registry.counter("hits", vm="a").inc()
+    registry.counter("hits", vm="a").inc(2)
+    registry.counter("hits", vm="b").inc()
+    registry.gauge("depth").set(3)
+    dump = registry.as_dict()
+    assert dump["hits{vm=a}"] == {"kind": "counter", "value": 3}
+    assert dump["hits{vm=b}"]["value"] == 1
+    assert dump["depth"] == {"kind": "gauge", "value": 3}
+
+
+def test_histogram_log2_buckets():
+    hist = Histogram()
+    hist.record(0.0)  # dedicated zero bucket
+    hist.record(0.3)  # (0.25, 0.5]
+    hist.record(1.0)  # (0.5, 1]
+    hist.record(380.0)  # (256, 512]
+    assert hist.count == 4
+    assert hist.total == pytest.approx(381.3)
+    value = hist.as_value()
+    assert value["buckets"]["le_0"] == 1
+    assert value["buckets"]["le_0.5"] == 1
+    assert value["buckets"]["le_1"] == 1
+    assert value["buckets"]["le_512"] == 1
+    # The quantile falls in the right bucket across 3 orders of magnitude.
+    assert hist.quantile(0.99) == 512.0
+
+
+def test_histogram_distinguishes_fault_classes():
+    """The Fig 5/6 signal: ~0.25us private writes vs ~380us CoW breaks
+    land in well-separated buckets."""
+    hist = Histogram()
+    hist.record_many([0.25] * 50)
+    hist.record_many([380.0] * 50)
+    assert hist.quantile(0.25) <= 0.25
+    assert hist.quantile(0.75) == 512.0
+
+
+def test_registry_deterministic_order():
+    registry = MetricRegistry()
+    registry.counter("z").inc()
+    registry.counter("a", vm="x").inc()
+    registry.gauge("m").set(1)
+    assert [name for name, _ in registry] == sorted(
+        name for name, _ in registry
+    )
+    assert "a{vm=x}" in registry.format()
+
+
+# -- tracer core ------------------------------------------------------------
+
+
+def test_disabled_tracer_records_nothing():
+    host = run_detection(enable=False)
+    tracer = host.engine.tracer
+    assert not tracer.enabled
+    assert tracer.events() == []
+    assert len(tracer.metrics) == 0
+
+
+def test_enabled_tracer_captures_span_families():
+    host = run_detection(enable=True)
+    names = {event[1] for event in host.engine.tracer.events()}
+    assert "ksm.pass" in names
+    assert "vm_exit" in names
+    assert {"detect.t0", "detect.t1", "detect.t2", "detect.run"} <= names
+    metrics = host.engine.tracer.metrics.as_dict()
+    assert metrics["detect.verdicts{verdict=nested}"]["value"] == 1
+    assert metrics["detect.write_fault_us{phase=t1}"]["value"]["count"] == 8
+
+
+def test_trace_determinism_same_seed_byte_identical():
+    dumps = []
+    for _ in range(2):
+        host = run_detection(seed=23)
+        trace = host.engine.tracer.to_chrome()
+        dumps.append(json.dumps(trace, sort_keys=True))
+        obs.reset()
+    assert dumps[0] == dumps[1]
+
+
+def test_wall_clock_excluded_by_default():
+    host = run_detection()
+    trace = host.engine.tracer.to_chrome()
+    assert not any(
+        "wall_ns" in event.get("args", {})
+        for event in trace["traceEvents"]
+    )
+    walled = host.engine.tracer.to_chrome(include_wall=True)
+    assert any(
+        "wall_ns" in event.get("args", {})
+        for event in walled["traceEvents"]
+        if event["ph"] != "M"
+    )
+
+
+def test_ring_buffer_caps_and_counts_drops():
+    engine = Engine()
+    tracer = engine.tracer.enable(ring_capacity=10)
+    for index in range(25):
+        tracer.instant(f"e{index}", "test")
+    events = tracer.events()
+    assert len(events) == 10
+    assert tracer.dropped_events == 15
+    # Oldest dropped, newest kept.
+    assert events[-1][1] == "e24"
+    trace = chrome_trace([tracer])
+    assert trace["otherData"]["dropped_events"] == 15
+
+
+def test_vm_exit_aggregation_flushes_deterministically():
+    engine = Engine()
+    tracer = engine.tracer.enable()
+    tracer.exit_sample_interval = 4
+
+    class Reason:
+        def __init__(self, value):
+            self.value = value
+
+    timer = Reason("timer")
+    for _ in range(10):
+        tracer.vm_exit("vm0", timer, 2, 1)
+    events = tracer.events()  # flushes the remainder
+    exits = [e for e in events if e[1] == "vm_exit"]
+    assert len(exits) == 3  # 4 + 4 + flush(2)
+    assert sum(e[7]["count"] for e in exits) == 20
+    assert (
+        tracer.metrics.as_dict()["vm_exits{reason=timer,vm=vm0}"]["value"] == 20
+    )
+
+
+# -- export / validation ----------------------------------------------------
+
+
+def test_chrome_trace_structure():
+    engine = Engine()
+    tracer = engine.tracer.enable()
+    tracer.instant("marker", "test", track="a")
+    tracer.complete("span", "test", 0.0, track="b", args={"k": 1})
+    tracer.counter_sample("series", {"v": 2})
+    trace = chrome_trace([tracer])
+    by_phase = {}
+    for event in trace["traceEvents"]:
+        by_phase.setdefault(event["ph"], []).append(event)
+    # One process_name + three thread_name metadata events.
+    assert len(by_phase["M"]) == 4
+    assert by_phase["i"][0]["s"] == "t"
+    assert by_phase["X"][0]["args"] == {"k": 1}
+    assert by_phase["C"][0]["args"] == {"v": 2}
+    assert validate_trace(trace) == []
+
+
+def test_validate_trace_catches_problems():
+    assert validate_trace([]) != []
+    bad = {
+        "traceEvents": [
+            {"ph": "Z", "name": "x", "pid": 1},
+            {"ph": "X", "name": "y", "pid": 1, "ts": -1, "dur": "no"},
+            {"ph": "i", "pid": 1, "ts": 0},
+        ]
+    }
+    problems = validate_trace(bad, require_names=["absent"])
+    assert any("bad phase" in p for p in problems)
+    assert any("bad ts" in p for p in problems)
+    assert any("missing name" in p for p in problems)
+    assert any("'absent'" in p for p in problems)
+
+
+def test_merged_export_assigns_pids():
+    engines = [Engine(), Engine()]
+    for index, engine in enumerate(engines):
+        engine.tracer.label = f"host-{index}"
+        engine.tracer.enable()
+        engine.tracer.instant("tick", "test")
+    trace = chrome_trace()  # registered order
+    pids = {e["pid"] for e in trace["traceEvents"]}
+    assert pids == {1, 2}
+    names = [
+        e["args"]["name"]
+        for e in trace["traceEvents"]
+        if e["name"] == "process_name"
+    ]
+    assert names == ["host-0", "host-1"]
+
+
+# -- config reach-through ---------------------------------------------------
+
+
+def test_configure_enables_new_engines():
+    obs.configure(enabled=True, ring_capacity=100)
+    engine = Engine()
+    assert engine.tracer.enabled
+    assert engine.tracer.ring_capacity == 100
+    assert engine.tracer in obs.tracers()
+    obs.reset()
+    assert obs.tracers() == []
+    assert not Engine().tracer.enabled
+
+
+# -- perf counters ----------------------------------------------------------
+
+
+def test_perf_snapshot_delta():
+    engine = Engine()
+    before = engine.perf.snapshot()
+    engine.perf.events_dispatched += 5
+    engine.perf.ksm_pages_scanned += 7
+    delta = engine.perf.delta(before)
+    assert delta["events_dispatched"] == 5
+    assert delta["ksm_pages_scanned"] == 7
+    assert delta["migration_pages"] == 0
+
+
+# -- CLI wiring -------------------------------------------------------------
+
+
+def test_cli_trace_out_produces_valid_trace(tmp_path, capsys):
+    path = tmp_path / "trace.json"
+    assert (
+        main(
+            ["--seed", "11", "--trace-out", str(path), "detect", "--pages", "8"]
+        )
+        == 0
+    )
+    err = capsys.readouterr().err
+    assert "[trace] wrote" in err
+    trace = json.loads(path.read_text())
+    problems = validate_trace(
+        trace,
+        require_names=["vm_exit", "ksm.pass", "migration.", "detect."],
+    )
+    assert problems == []
+    # detect builds two engines: the clean and the compromised host.
+    assert {e["pid"] for e in trace["traceEvents"]} == {1, 2}
+
+
+def test_cli_metrics_to_stderr(capsys):
+    assert main(["--seed", "11", "--metrics", "detect", "--pages", "8"]) == 0
+    captured = capsys.readouterr()
+    assert "[metrics]" in captured.err
+    assert "detect.write_fault_us" in captured.err
+    assert "[metrics]" not in captured.out
+
+
+def test_cli_perf_to_stderr(capsys):
+    assert main(["--seed", "11", "--perf", "detect", "--pages", "8"]) == 0
+    captured = capsys.readouterr()
+    assert "[perf]" in captured.err
+    assert "events_dispatched" in captured.err
+    assert "[perf]" not in captured.out
+
+
+def test_cli_perf_json(capsys):
+    assert main(["--seed", "11", "--perf-json", "detect", "--pages", "8"]) == 0
+    captured = capsys.readouterr()
+    records = [
+        json.loads(line)
+        for line in captured.err.splitlines()
+        if line.startswith("{")
+    ]
+    assert len(records) == 2
+    assert all(r["events_dispatched"] > 0 for r in records)
+    assert records[0]["label"] == "clean guest"
+
+
+def test_cli_resets_obs_state(tmp_path):
+    path = tmp_path / "trace.json"
+    assert (
+        main(
+            ["--seed", "11", "--trace-out", str(path), "detect", "--pages", "8"]
+        )
+        == 0
+    )
+    assert obs.tracers() == []
+    assert not obs.active_config().enabled
+
+
+# -- fleet ------------------------------------------------------------------
+
+
+def test_run_fleet_trace(tmp_path):
+    from repro.cloud import run_fleet
+
+    result = run_fleet(
+        hosts=2,
+        tenants=4,
+        seed=42,
+        churn_operations=0,
+        rebalance_moves=0,
+        campaigns=1,
+        sweeps=1,
+        file_pages=8,
+        wait_seconds=10.0,
+    )
+    assert result.tracer.events() == []  # trace defaults off
+
+    obs.reset()
+    result = run_fleet(
+        hosts=2,
+        tenants=4,
+        seed=42,
+        churn_operations=0,
+        rebalance_moves=0,
+        campaigns=1,
+        sweeps=1,
+        file_pages=8,
+        wait_seconds=10.0,
+        trace=True,
+    )
+    names = {event[1] for event in result.tracer.events()}
+    assert "fleet.place" in names
+    assert "fleet.sweep" in names
+    assert "detect.probe" in names
+    path = tmp_path / "fleet.json"
+    trace = result.write_trace(path)
+    assert validate_trace(trace) == []
+    assert path.exists()
