@@ -1,10 +1,20 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-quick lint trace-smoke
+.PHONY: test test-fast test-chaos bench bench-quick lint trace-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q --durations=10
+
+# The quick inner loop: everything except the whole-fleet chaos runs
+# and anything marked slow.
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow and not chaos"
+
+# Just the fault-injection property/determinism suite (CI runs this on
+# a second Python and uploads the ChaosReport artifact).
+test-chaos:
+	$(PYTHON) -m pytest -x -q -m chaos --durations=10
 
 # ruff (configured in pyproject.toml) when available; otherwise fall
 # back to a byte-compile pass so the target still catches syntax errors

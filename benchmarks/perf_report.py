@@ -12,7 +12,10 @@ Runs the scenarios the perf work is judged on —
   in an L2 (nested) guest;
 * ``fleet_sweep_4x12``       — a `repro.cloud` control-plane run: 12
   churning tenants on 4 hosts, one cross-host migration, one injected
-  CloudSkulk campaign, one fleet-wide detection sweep —
+  CloudSkulk campaign, one fleet-wide detection sweep;
+* ``chaos_recall_4x12``      — the same fleet under the ``mixed``
+  fault-injection mix (`repro.faults`): detection recall/latency with
+  host crashes, partitions, and migration drops in play —
 
 and writes wall-clock timings, virtual-time fingerprints, and the
 engine's perf counters to ``BENCH_core.json`` so later PRs have a
@@ -84,6 +87,21 @@ BASELINE = {
             "tenants_probed": 13,
             "compromised": ["t000@h02"],
             "recall": 1.0,
+        },
+    },
+    "chaos_recall_4x12": {
+        "wall_seconds": 0.833,
+        "fingerprint": {
+            "campaigns": 1,
+            "detected": 1,
+            "faults_injected": 5,
+            "faults_recovered": 3,
+            "mean_detection_latency": 150.05649039826312,
+            "recall": 1.0,
+            "tenants_degraded": ["t000", "t001", "t002", "t003"],
+            "tenants_running": 6,
+            "unreachable_findings": 5,
+            "virtual_now": 518.334579941223,
         },
     },
     "lmbench_l2_proc": {
@@ -242,6 +260,35 @@ def tracer_overhead_entry():
     }
 
 
+def scenario_chaos_recall():
+    """Detection recall/latency on fleet_sweep_4x12 under the ``mixed``
+    fault mix — one chaos leg, seeded, so the scorecard is a virtual-time
+    fingerprint like every other scenario."""
+    from repro.faults import ChaosCampaign
+
+    started = time.perf_counter()
+    campaign = ChaosCampaign(
+        seed=42, mixes=("mixed",), faults_per_mix=5, horizon=240.0
+    )
+    report = campaign.run()
+    wall = time.perf_counter() - started
+    entry = report.entries[0]
+    fingerprint = {
+        "campaigns": entry["campaigns"],
+        "detected": entry["detected"],
+        "faults_injected": entry["faults_injected"],
+        "faults_recovered": entry["faults_recovered"],
+        "mean_detection_latency": entry["mean_detection_latency"],
+        "recall": entry["recall"],
+        "tenants_degraded": entry["tenants_degraded"],
+        "tenants_running": entry["tenants_running"],
+        "unreachable_findings": entry["unreachable_findings"],
+        "virtual_now": entry["virtual_time"],
+    }
+    perf = campaign.results[0].datacenter.engine.perf.as_dict()
+    return wall, fingerprint, perf
+
+
 def scenario_lmbench_l2():
     from repro import scenarios
     from repro.workloads.lmbench.proc import LmbenchProc
@@ -258,6 +305,7 @@ SCENARIOS = (
     ("fig4_migration_filebench", scenario_fig4_migration),
     ("lmbench_l2_proc", scenario_lmbench_l2),
     ("fleet_sweep_4x12", scenario_fleet_sweep),
+    ("chaos_recall_4x12", scenario_chaos_recall),
 )
 
 

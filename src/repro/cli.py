@@ -11,7 +11,7 @@ Commands:
 * ``covert``  — exfiltrate a message between co-resident VMs over the
   KSM timing channel (refs [41, 42]);
 * ``fleet``   — multi-host cloud control plane experiments
-  (``fleet run`` / ``fleet sweep`` / ``fleet status``);
+  (``fleet run`` / ``fleet sweep`` / ``fleet chaos`` / ``fleet status``);
 * ``info``    — print the library's system inventory and versions.
 """
 
@@ -174,6 +174,31 @@ def cmd_fleet_sweep(args):
     return 0 if result.detected_campaigns >= 1 else 1
 
 
+def cmd_fleet_chaos(args):
+    """Run a chaos campaign: one fleet experiment per fault mix."""
+    from repro.faults import ChaosCampaign
+
+    mixes = tuple(m.strip() for m in args.mixes.split(",") if m.strip())
+    campaign = ChaosCampaign(
+        seed=args.seed,
+        mixes=mixes,
+        faults_per_mix=args.faults,
+        horizon=args.horizon,
+        fleet_params=dict(hosts=args.hosts, tenants=args.tenants),
+    )
+    report = campaign.run()
+    print(report.summary())
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print(f"[chaos] wrote report to {args.report_out}", file=sys.stderr)
+    if campaign.results:
+        _report_perf(
+            args, campaign.results[-1].datacenter.engine, label="chaos"
+        )
+    return 0
+
+
 def cmd_fleet_status(args):
     """Provision the fleet and print the inventory — no attack, no sweep."""
     result = _run_fleet_from_args(
@@ -258,6 +283,24 @@ def build_parser():
     fleet_sweep = fleet_sub.add_parser("sweep")
     _fleet_common(fleet_sweep, hosts=4, tenants=12)
     fleet_sweep.set_defaults(func=cmd_fleet_sweep)
+    fleet_chaos = fleet_sub.add_parser(
+        "chaos", help="score detection recall under injected fault mixes"
+    )
+    _fleet_common(fleet_chaos, hosts=4, tenants=12)
+    fleet_chaos.add_argument(
+        "--mixes",
+        default="infra,migration,mixed",
+        help="comma-separated fault mixes "
+        "(infra, network, migration, stealth, mixed)",
+    )
+    fleet_chaos.add_argument("--faults", type=int, default=5)
+    fleet_chaos.add_argument("--horizon", type=float, default=240.0)
+    fleet_chaos.add_argument(
+        "--report-out",
+        metavar="PATH",
+        help="write the deterministic ChaosReport JSON to PATH",
+    )
+    fleet_chaos.set_defaults(func=cmd_fleet_chaos)
     fleet_status = fleet_sub.add_parser("status")
     _fleet_common(fleet_status, hosts=8, tenants=16)
     fleet_status.set_defaults(func=cmd_fleet_status)

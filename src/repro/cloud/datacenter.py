@@ -77,6 +77,14 @@ class Datacenter:
             yield from host.bring_up()
         return host
 
+    def crash_host(self, name):
+        """Fault-injection convenience: hard-crash one up host."""
+        return self.host(name).crash()
+
+    def recover_host(self, name):
+        """Fault-injection convenience: restore one crashed host."""
+        return self.host(name).recover()
+
     def attach(self, host):
         """Wire a freshly booted host's NIC into the switch fabric."""
         return Link(

@@ -17,6 +17,12 @@ the same parameters produce byte-identical summaries.
 
 from repro.cloud.campaign import AttackCampaign
 from repro.cloud.datacenter import Datacenter
+from repro.errors import (
+    CloudError,
+    HypervisorError,
+    MigrationError,
+    RootkitError,
+)
 from repro.cloud.fleet_monitor import (
     FLEET_FILE_PAGES,
     FLEET_WAIT_SECONDS,
@@ -30,13 +36,24 @@ from repro.cloud.tenants import TenantChurn
 class FleetRunResult:
     """Everything one fleet run produced, with a deterministic summary."""
 
-    def __init__(self, datacenter, placer, churn, orchestrator, monitor, campaign):
+    def __init__(
+        self,
+        datacenter,
+        placer,
+        churn,
+        orchestrator,
+        monitor,
+        campaign,
+        injector=None,
+    ):
         self.datacenter = datacenter
         self.placer = placer
         self.churn = churn
         self.orchestrator = orchestrator
         self.monitor = monitor
         self.campaign = campaign
+        #: The armed FaultInjector when the run was chaos-enabled.
+        self.injector = injector
         self.recall = 0.0
         self.detection_latencies = []
 
@@ -105,6 +122,7 @@ def run_fleet(
     overcommit=1.0,
     trace=False,
     trace_ring_capacity=None,
+    faults=None,
 ):
     """Run one complete fleet experiment; returns a FleetRunResult.
 
@@ -113,10 +131,22 @@ def run_fleet(
     probes); read it back via ``result.tracer`` or export with
     ``result.write_trace(path)``.  ``trace_ring_capacity`` bounds the
     event buffer for long runs (oldest events drop, counted).
+
+    ``faults`` takes a :class:`~repro.faults.plan.FaultPlan`; the plan
+    is armed on the fleet engine before the control process starts, and
+    control-plane failures the injected faults provoke (exhausted
+    migration retries, campaigns with no reachable target) degrade the
+    run instead of raising.  An empty plan leaves the run byte-identical
+    to ``faults=None``.
     """
     datacenter = Datacenter(hosts=hosts, seed=seed, overcommit=overcommit)
     if trace:
         datacenter.engine.tracer.enable(ring_capacity=trace_ring_capacity)
+    injector = None
+    if faults is not None:
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(datacenter, faults).arm()
     placer = BinPackingPlacer(datacenter)
     churn = TenantChurn(datacenter, placer)
     orchestrator = MigrationOrchestrator(datacenter)
@@ -131,20 +161,43 @@ def run_fleet(
         datacenter, count=campaigns, migration_mode=migration_mode
     )
 
+    #: Errors a chaos-enabled run absorbs: the injected faults are
+    #: *supposed* to break control-plane steps — including the
+    #: attacker's own CloudSkulk install migration — and the report
+    #: scores what survived.  Fault-free runs keep the errors loud.
+    survivable = (CloudError, HypervisorError, MigrationError, RootkitError)
+
     def control():
-        yield from churn.bring_up(tenants)
-        yield from churn.run(churn_operations)
+        try:
+            yield from churn.bring_up(tenants)
+        except survivable:
+            if injector is None:
+                raise
+        try:
+            yield from churn.run(churn_operations)
+        except survivable:
+            if injector is None:
+                raise
         if rebalance_moves:
-            yield from orchestrator.rebalance(placer, moves=rebalance_moves)
+            try:
+                yield from orchestrator.rebalance(placer, moves=rebalance_moves)
+            except survivable:
+                if injector is None:
+                    raise
         if campaigns:
-            yield from campaign.run()
+            try:
+                yield from campaign.run()
+            except survivable:
+                if injector is None:
+                    raise
         if sweeps:
             yield monitor.run_periodic(max_sweeps=sweeps)
 
     engine = datacenter.engine
     engine.run(engine.process(control(), name="fleet-control"))
     result = FleetRunResult(
-        datacenter, placer, churn, orchestrator, monitor, campaign
+        datacenter, placer, churn, orchestrator, monitor, campaign,
+        injector=injector,
     )
     result.recall, result.detection_latencies = campaign.score(monitor.alerts)
     return result

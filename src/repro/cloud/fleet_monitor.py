@@ -18,7 +18,11 @@ deletions automatically, and any attacker mirror attached to a tenant
 re-registers on the vendor channel exactly as the RITM would.
 """
 
-from repro.core.detection.service import MonitoringService
+from repro.core.detection.service import (
+    HostSweepReport,
+    MonitoringService,
+    TenantFinding,
+)
 
 #: Small File-A keeps an 8-host fleet sweep tractable; the single-host
 #: experiments use the paper's 100 pages.
@@ -120,6 +124,7 @@ class FleetMonitor:
         """One MonitoringService per up host with tenants, rebuilt from
         the placement of record (so migrations re-home probes)."""
         services = []
+        faults = self.datacenter.engine.faults
         for host in self.datacenter.up_hosts:
             occupants = {
                 name: tenant
@@ -135,7 +140,13 @@ class FleetMonitor:
             )
             for name in sorted(occupants):
                 tenant = occupants[name]
-                interface = service.register_tenant(name, tenant.locator())
+                locator = tenant.locator()
+                if faults is not None:
+                    # Probe-timeout injection: a blocked tenant's
+                    # locator answers None, which the detector reports
+                    # as an unreachable verdict rather than an error.
+                    locator = faults.wrap_locator(name, locator)
+                interface = service.register_tenant(name, locator)
                 if tenant.mirror is not None:
                     # The RITM watches the vendor channel (stealth layer);
                     # without this hookup the detector's job would be
@@ -178,6 +189,21 @@ class FleetMonitor:
                         "hosts": [host_name for host_name, _ in wave],
                     },
                 )
+        faults = engine.faults
+        if faults is not None:
+            for host in faults.crashed_hosts():
+                if host.name in report.host_reports:
+                    continue
+                occupants = sorted(
+                    name
+                    for name, tenant in host.tenants.items()
+                    if tenant.vm is not None
+                )
+                if not occupants:
+                    continue
+                report.host_reports[host.name] = self._unreachable_report(
+                    host.name, occupants, engine.now
+                )
         report.finished_at = engine.now
         self.reports.append(report)
         engine.perf.fleet_sweeps += 1
@@ -199,6 +225,24 @@ class FleetMonitor:
             tracer.metrics.counter("fleet.compromised_verdicts").inc(
                 len(report.compromised)
             )
+        return report
+
+    @staticmethod
+    def _unreachable_report(host_name, tenant_names, now):
+        """A synthetic sweep report for a crashed host.
+
+        The monitor cannot run the dedup protocol against a host that
+        fell off the fabric, but losing the host must not silently drop
+        its tenants from the fleet report — every occupant is recorded
+        with an ``unreachable`` verdict instead.
+        """
+        report = HostSweepReport(host_name)
+        report.started_at = now
+        report.finished_at = now
+        for name in tenant_names:
+            finding = TenantFinding(name)
+            finding.verdict = "unreachable"
+            report.findings.append(finding)
         return report
 
     def _record_alerts(self, report):

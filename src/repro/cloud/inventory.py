@@ -87,7 +87,9 @@ class Host:
 
     States: ``offline`` (never booted) -> ``booting`` -> ``up``;
     ``draining`` marks an up host the placer must avoid (its tenants are
-    being evacuated).  The backing :class:`~repro.guest.system.System`
+    being evacuated); ``crashed`` marks a host the fault injector took
+    down (uplink severed, ksmd dead, tenant VMs frozen) until
+    :meth:`recover`.  The backing :class:`~repro.guest.system.System`
     exists only from ``booting`` onward.
     """
 
@@ -147,6 +149,8 @@ class Host:
             return self.system
         if self.state == "booting":
             raise CloudError(f"{self.name}: concurrent bring_up")
+        if self.state == "crashed":
+            raise CloudError(f"{self.name}: crashed (recover() first)")
         engine = self.datacenter.engine
         self.state = "booting"
         machine = Machine(
@@ -203,6 +207,53 @@ class Host:
         link.a, link.b = self._severed
         self.datacenter.switch._links.append(link)
         self.system.net_node._links.append(link)
+
+    # -- whole-host fault injection ----------------------------------------
+
+    def crash(self):
+        """Take the host down hard (PSU failure, kernel panic).
+
+        The uplink is severed, ksmd dies with the kernel, and every
+        tenant VM freezes in place.  Running tenants flip to
+        ``degraded`` — the control plane still knows about them (no
+        tenant is ever lost), but sweeps report them unreachable until
+        :meth:`recover`.  Returns False when the host is not up.
+        """
+        if self.state != "up":
+            return False
+        self.partition()
+        if self.ksm is not None:
+            self.ksm.stop()
+        for name in sorted(self.tenants):
+            tenant = self.tenants[name]
+            if tenant.vm is not None:
+                tenant.vm.pause()
+            if tenant.state == "running":
+                tenant.state = "degraded"
+        self.state = "crashed"
+        return True
+
+    def recover(self):
+        """Bring a crashed host back: heal, restart ksmd, thaw tenants.
+
+        KSM's stable tree survives (host RAM was never lost in this
+        failure model — it is a management-plane crash, like a fencing
+        event), so ``pages_shared`` conservation holds across the
+        outage.  Returns False when the host is not crashed.
+        """
+        if self.state != "crashed":
+            return False
+        self.state = "up"
+        self.heal()
+        if self.ksm is not None:
+            self.ksm.start()
+        for name in sorted(self.tenants):
+            tenant = self.tenants[name]
+            if tenant.vm is not None and tenant.vm.status != "terminated":
+                tenant.vm.resume()
+            if tenant.state == "degraded":
+                tenant.state = "running"
+        return True
 
     def __repr__(self):
         return (

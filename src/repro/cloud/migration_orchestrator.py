@@ -18,7 +18,12 @@ placer: drain a host, or shave the most-loaded host, one tenant at a
 time.
 """
 
-from repro.errors import CloudError, MigrationError, NetworkError
+from repro.errors import (
+    CloudError,
+    HypervisorError,
+    MigrationError,
+    NetworkError,
+)
 from repro.migration.postcopy import PostCopyMigration
 from repro.migration.precopy import PreCopyMigration
 from repro.qemu.qemu_img import host_images, qemu_img_create
@@ -97,20 +102,41 @@ class MigrationOrchestrator:
         for attempt in range(self.max_retries + 1):
             record.attempts.append([engine.now, None])
             source_vm = tenant.vm
-            dest_vm, incoming_port = self._launch_incoming(tenant, dest_host)
-            migration = self._build_source(
-                source_vm, dest_host, incoming_port, mode
-            )
+            dest_vm = None
+            incoming_port = None
+            migration = None
             try:
+                dest_vm, incoming_port = self._launch_incoming(
+                    tenant, dest_host
+                )
+                migration = self._build_source(
+                    source_vm, dest_host, incoming_port, mode
+                )
                 stats = yield migration.start()
                 if stats.status != "completed":
                     raise MigrationError(
                         f"migration ended in state {stats.status!r}"
                     )
                 yield dest_vm.incoming_process
-            except (MigrationError, NetworkError) as error:
+            except (MigrationError, NetworkError, HypervisorError) as error:
                 record.attempts[-1][1] = str(error) or type(error).__name__
-                self._cleanup_failed_attempt(dest_host, dest_vm, incoming_port)
+                if (
+                    mode == "postcopy"
+                    and migration is not None
+                    and migration.switched_over
+                ):
+                    # Past the point of no return: the guest already
+                    # runs at the destination.  Roll forward, degraded,
+                    # instead of failing the move.
+                    yield from self._degrade_to_destination(
+                        tenant, source_vm, dest_vm, dest_host, record,
+                        migration, error,
+                    )
+                    return record
+                if dest_vm is not None:
+                    self._cleanup_failed_attempt(
+                        dest_host, dest_vm, incoming_port
+                    )
                 if tracer.enabled:
                     tracer.instant(
                         "fleet.migrate_retry",
@@ -195,9 +221,55 @@ class MigrationOrchestrator:
             destination_node=dest_node,
         )
 
+    def _degrade_to_destination(
+        self, tenant, source_vm, dest_vm, dest_host, record, migration, error
+    ):
+        """Generator: roll a post-copy fill failure forward.
+
+        The handoff was acked, so the guest runs at the destination with
+        the residual remote-fault penalty of its never-filled pages
+        (``PostCopyDone`` never arrived).  The tenant is re-homed there
+        and marked ``degraded`` — a real operator pages a human, but the
+        customer VM keeps serving.
+        """
+        dc = self.datacenter
+        engine = dc.engine
+        record.status = "degraded"
+        record.stats = migration.stats
+        if dest_vm.incoming_process is not None:
+            # The destination's receive loop sees the closed channel and
+            # keeps the adopted guest; wait for it to settle.
+            yield dest_vm.incoming_process
+        source_vm.quit()
+        tenant.vm = dest_vm
+        tenant.state = "degraded"
+        dc.move_tenant(tenant, dest_host)
+        tracer = engine.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "fleet.migrate_degraded",
+                "cloud",
+                track="fleet",
+                args={
+                    "tenant": tenant.name,
+                    "dest": dest_host.name,
+                    "error": str(error),
+                },
+            )
+            tracer.metrics.counter("fleet.migrations", mode="degraded").inc()
+
     @staticmethod
     def _cleanup_failed_attempt(dest_host, dest_vm, incoming_port):
-        """Roll the destination back so a retry starts clean."""
+        """Roll the destination back so a retry starts clean.
+
+        Closes the incoming port reservation, interrupts the parked
+        ``-incoming`` receive process (otherwise every failed attempt
+        leaks a process blocked on accept() forever), and quits the
+        half-created destination VM — including on the *final* attempt.
+        """
+        incoming = dest_vm.incoming_process
+        if incoming is not None and incoming.is_alive:
+            incoming.interrupt("migration attempt abandoned")
         node = dest_host.system.net_node
         if node.listener(incoming_port) is not None:
             node.close_port(incoming_port)

@@ -65,7 +65,7 @@ class BinPackingPlacer:
         overcommit = self.datacenter.overcommit
         for name in sorted(self.datacenter.hosts):
             host = self.datacenter.hosts[name]
-            if host in exclude or host.state == "draining":
+            if host in exclude or host.state in ("draining", "crashed"):
                 continue
             if not allow_offline and host.state != "up":
                 continue

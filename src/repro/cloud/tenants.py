@@ -12,7 +12,7 @@ guest — so fleet memory pressure, dirty rates, and CPU contention all
 emerge from the same cost model the single-host experiments use.
 """
 
-from repro.errors import CloudError, PlacementError
+from repro.errors import CloudError, HypervisorError, PlacementError
 from repro.qemu.config import DriveSpec, MonitorSpec, NicSpec, QemuConfig
 from repro.qemu.qemu_img import host_images, qemu_img_create
 from repro.qemu.vm import launch_vm
@@ -78,7 +78,10 @@ class Tenant:
         self.spec = spec
         self.host = host
         self.vm = None
-        self.state = "provisioning"  # -> running | stopped | deleted
+        # -> running | stopped | deleted, plus the fault-injection
+        # outcomes: degraded (crashed host / interrupted post-copy
+        # fill) and failed (provisioning died with the host).
+        self.state = "provisioning"
         self.workload = None
         self.workload_process = None
         self.created_at = None
@@ -172,7 +175,16 @@ class TenantChurn:
         config = tenant_config(tenant, host)
         if not host_images(host.system).exists(config.drives[0].path):
             qemu_img_create(host.system, config.drives[0].path, 20.0)
-        vm, boot = launch_vm(host.system, config)
+        try:
+            vm, boot = launch_vm(host.system, config)
+        except HypervisorError:
+            # The host crashed between placement and launch (fault
+            # injection): fail the request cleanly instead of leaving a
+            # half-registered tenant behind.
+            tenant.state = "failed"
+            dc.forget_tenant(tenant)
+            self.events.append((dc.engine.now, "fail", tenant.name))
+            raise
         tenant.vm = vm
         yield boot
         if vm.guest is not None:

@@ -1,0 +1,33 @@
+"""Deterministic fault injection for the simulated stack.
+
+Public surface:
+
+* :class:`~repro.faults.plan.FaultSpec` / :class:`~repro.faults.plan.FaultPlan`
+  — composable, seedable descriptions of what goes wrong and when;
+* :class:`~repro.faults.injector.FaultInjector` — binds a plan to a
+  datacenter engine and performs the injections through narrow hooks;
+* :class:`~repro.faults.chaos.ChaosCampaign` /
+  :class:`~repro.faults.chaos.ChaosReport` — scores detection recall
+  and latency under standard fault mixes.
+"""
+
+from repro.faults.chaos import (
+    STANDARD_MIXES,
+    ChaosCampaign,
+    ChaosReport,
+    standard_mix_plan,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FAULT_KINDS, FaultError, FaultPlan, FaultSpec
+
+__all__ = [
+    "FAULT_KINDS",
+    "STANDARD_MIXES",
+    "ChaosCampaign",
+    "ChaosReport",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "standard_mix_plan",
+]

@@ -1,0 +1,197 @@
+"""Chaos campaigns: score detection under standard fault mixes.
+
+A :class:`ChaosCampaign` runs one seeded fleet experiment per *fault
+mix* — a named subset of the fault catalog (infrastructure loss,
+network degradation, migration transport, stealth interference) — and
+folds each run's detection recall/latency, injection counts, and
+degradation tallies into a :class:`ChaosReport`.
+
+Everything is derived from the campaign seed through the same
+:class:`~repro.sim.rng.RngRegistry` discipline the fleet uses, so the
+same seed produces byte-identical report JSON (the differential
+determinism tests diff exactly :meth:`ChaosReport.to_json`).
+"""
+
+import json
+
+from repro.faults.plan import FAULT_KINDS, FaultError, FaultPlan
+from repro.sim.rng import RngRegistry
+
+#: Named fault mixes: which corner of the fault catalog each campaign
+#: leg stresses.  ``mixed`` draws from everything.
+STANDARD_MIXES = {
+    "infra": ("host_crash", "ksm_stall"),
+    "network": ("partition", "latency_spike"),
+    "migration": ("migration_drop", "latency_spike"),
+    "stealth": ("probe_timeout", "guest_hang"),
+    "mixed": FAULT_KINDS,
+}
+
+#: The fleet shape a chaos leg runs by default — deliberately the same
+#: 4-host/12-tenant configuration as the ``fleet_sweep_4x12`` benchmark
+#: so the fault-free baseline is directly comparable.
+DEFAULT_FLEET_PARAMS = dict(
+    hosts=4,
+    tenants=12,
+    churn_operations=6,
+    rebalance_moves=1,
+    campaigns=1,
+    sweeps=1,
+    file_pages=12,
+    wait_seconds=10.0,
+)
+
+
+def standard_mix_plan(mix, seed, faults=5, horizon=240.0):
+    """The deterministic :class:`FaultPlan` for one named mix."""
+    try:
+        kinds = STANDARD_MIXES[mix]
+    except KeyError:
+        raise FaultError(
+            f"unknown fault mix {mix!r} (choose from {sorted(STANDARD_MIXES)})"
+        ) from None
+    rng = RngRegistry(seed).stream(f"faults.mix.{mix}")
+    return FaultPlan.random(rng, faults=faults, horizon=horizon, kinds=kinds)
+
+
+class ChaosReport:
+    """Deterministic scorecard of one chaos campaign."""
+
+    def __init__(self, seed, faults_per_mix, horizon):
+        self.seed = seed
+        self.faults_per_mix = faults_per_mix
+        self.horizon = horizon
+        #: One dict per mix leg, in run order.
+        self.entries = []
+
+    def as_dict(self):
+        return {
+            "seed": self.seed,
+            "faults_per_mix": self.faults_per_mix,
+            "horizon": self.horizon,
+            "entries": self.entries,
+        }
+
+    def to_json(self):
+        """Byte-identical across same-seed campaigns."""
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+
+    @property
+    def mean_recall(self):
+        if not self.entries:
+            return 0.0
+        return sum(e["recall"] for e in self.entries) / len(self.entries)
+
+    def summary(self):
+        lines = [
+            f"chaos campaign: seed={self.seed} mixes={len(self.entries)} "
+            f"mean recall {self.mean_recall:.2f}"
+        ]
+        for entry in self.entries:
+            latency = (
+                f"{entry['mean_detection_latency']:.3f}s"
+                if entry["mean_detection_latency"] is not None
+                else "n/a"
+            )
+            lines.append(
+                f"  {entry['mix']:<10} recall={entry['recall']:.2f} "
+                f"latency={latency} "
+                f"injected={entry['faults_injected']} "
+                f"recovered={entry['faults_recovered']} "
+                f"degraded={entry['tenants_degraded']} "
+                f"unreachable={entry['unreachable_findings']}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (
+            f"<ChaosReport seed={self.seed} entries={len(self.entries)} "
+            f"recall={self.mean_recall:.2f}>"
+        )
+
+
+class ChaosCampaign:
+    """Runs one fleet experiment per fault mix and scores the outcome."""
+
+    def __init__(
+        self,
+        seed=1701,
+        mixes=("infra", "migration", "mixed"),
+        faults_per_mix=5,
+        horizon=240.0,
+        fleet_params=None,
+        trace=False,
+    ):
+        self.seed = int(seed)
+        self.mixes = tuple(mixes)
+        for mix in self.mixes:
+            if mix not in STANDARD_MIXES:
+                raise FaultError(
+                    f"unknown fault mix {mix!r} "
+                    f"(choose from {sorted(STANDARD_MIXES)})"
+                )
+        self.faults_per_mix = faults_per_mix
+        self.horizon = horizon
+        params = dict(DEFAULT_FLEET_PARAMS)
+        if fleet_params:
+            params.update(fleet_params)
+        self.fleet_params = params
+        self.trace = trace
+        #: FleetRunResult per mix leg (trace export, post-mortems).
+        self.results = []
+
+    def plan_for(self, mix):
+        return standard_mix_plan(
+            mix, self.seed, faults=self.faults_per_mix, horizon=self.horizon
+        )
+
+    def run(self):
+        """Run every mix leg; returns the :class:`ChaosReport`."""
+        from repro.cloud.fleet import run_fleet
+
+        report = ChaosReport(self.seed, self.faults_per_mix, self.horizon)
+        for mix in self.mixes:
+            plan = self.plan_for(mix)
+            result = run_fleet(
+                seed=self.seed,
+                faults=plan,
+                trace=self.trace,
+                **self.fleet_params,
+            )
+            self.results.append(result)
+            report.entries.append(self._score(mix, plan, result))
+        return report
+
+    @staticmethod
+    def _score(mix, plan, result):
+        dc = result.datacenter
+        perf = dc.engine.perf
+        injector = result.injector
+        latencies = result.detection_latencies
+        mean_latency = (
+            sum(latencies) / len(latencies) if latencies else None
+        )
+        degraded = sorted(
+            name
+            for name, tenant in dc.tenants.items()
+            if tenant.state == "degraded"
+        )
+        unreachable = sum(
+            len(r.unreachable) for r in result.monitor.reports
+        )
+        return {
+            "mix": mix,
+            "faults_planned": len(plan),
+            "faults_injected": perf.faults_injected,
+            "faults_recovered": perf.faults_recovered,
+            "injections": list(injector.injections),
+            "campaigns": len(result.campaign.events),
+            "detected": result.detected_campaigns,
+            "recall": result.recall,
+            "detection_latencies": latencies,
+            "mean_detection_latency": mean_latency,
+            "tenants_running": len(dc.running_tenants()),
+            "tenants_degraded": degraded,
+            "unreachable_findings": unreachable,
+            "virtual_time": dc.engine.now,
+        }

@@ -1,0 +1,291 @@
+"""The fault injector: schedules a plan and answers the narrow hooks.
+
+One :class:`FaultInjector` binds a :class:`~repro.faults.plan.FaultPlan`
+to a :class:`~repro.cloud.datacenter.Datacenter`.  ``arm()`` schedules
+every spec's injection (and recovery) as engine events and publishes
+the injector at ``engine.faults`` — the single attribute every
+instrumented seam checks, mirroring the tracer's one-attribute-check
+guard, so an unfaulted run pays nothing and replays byte-identically.
+
+Hooks answered (the complete injection surface):
+
+* ``Kvm.create_vm``            → :meth:`check_vm_create` (crashed host)
+* ``KsmDaemon._wake``          → :meth:`ksm_stalled`
+* ``PreCopyMigration`` loop    → :meth:`on_precopy_iteration`
+* ``PostCopyMigration`` fill   → :meth:`on_postcopy_chunk`
+* ``FleetMonitor`` probe setup → :meth:`wrap_locator` / :meth:`crashed_hosts`
+
+Every injection and recovery is appended to :attr:`injections`, counted
+in ``engine.perf.faults_injected`` / ``faults_recovered``, and emitted
+as a ``fault.inject`` / ``fault.recover`` trace instant — the property
+harness cross-checks all three records against each other.
+"""
+
+from repro.errors import HypervisorError, MigrationError
+from repro.faults.plan import FaultPlan
+
+_FOREVER = float("inf")
+
+
+class FaultInjector:
+    """Deterministically injects one plan into one datacenter."""
+
+    def __init__(self, datacenter, plan=None):
+        self.datacenter = datacenter
+        self.engine = datacenter.engine
+        self.plan = plan if plan is not None else FaultPlan()
+        #: Every injection/recovery/skip, in virtual-time order:
+        #: dicts with ``at``/``kind``/``target``/``phase``.
+        self.injections = []
+        self._armed = False
+        #: host name -> saved uplink latency (active latency spikes).
+        self._spiked = {}
+        #: machine name -> stall end time (ksm stalls).
+        self._ksm_stalls = {}
+        #: tenant name -> block end time (probe timeouts).
+        self._probe_blocks = {}
+        #: armed migration drops: [spec, ...] consumed one migration each.
+        self._migration_drops = []
+
+    # -- arming ------------------------------------------------------------
+
+    def arm(self):
+        """Schedule the whole plan and publish at ``engine.faults``."""
+        if self._armed:
+            return self
+        self._armed = True
+        self.engine.faults = self
+        for spec in self.plan:
+            self.engine.call_at(spec.at, self._inject, spec)
+        return self
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _record(self, kind, target, phase, **detail):
+        engine = self.engine
+        entry = {"at": engine.now, "kind": kind, "target": target, "phase": phase}
+        self.injections.append(entry)
+        if phase == "inject":
+            engine.perf.faults_injected += 1
+        elif phase == "recover":
+            engine.perf.faults_recovered += 1
+        tracer = engine.tracer
+        if tracer.enabled:
+            args = {"kind": kind, "target": target}
+            args.update(detail)
+            tracer.instant(f"fault.{phase}", "fault", track="faults", args=args)
+            tracer.metrics.counter(f"faults.{phase}", kind=kind).inc()
+        return entry
+
+    def _resolve_host(self, selector):
+        hosts = self.datacenter.hosts
+        if selector in hosts:
+            return hosts[selector]
+        if isinstance(selector, str) and selector.startswith("#"):
+            # Index selectors resolve over *up* hosts (name-sorted):
+            # crashing a host that never booted would be a no-op, and
+            # lazy boots mean much of the fleet stays offline.
+            names = sorted(n for n, h in hosts.items() if h.state == "up")
+            if names:
+                return hosts[names[int(selector[1:]) % len(names)]]
+        return None
+
+    def _resolve_tenant(self, selector):
+        tenants = self.datacenter.tenants
+        if selector in tenants:
+            return tenants[selector]
+        if isinstance(selector, str) and selector.startswith("#"):
+            running = self.datacenter.running_tenants()
+            if running:
+                return running[int(selector[1:]) % len(running)]
+        return None
+
+    def _schedule_recovery(self, spec, fn, *args):
+        if spec.duration is not None:
+            self.engine.call_at(self.engine.now + spec.duration, fn, *args)
+
+    # -- injection dispatch ------------------------------------------------
+
+    def _inject(self, spec):
+        handler = getattr(self, f"_inject_{spec.kind}")
+        handler(spec)
+
+    def _inject_host_crash(self, spec):
+        host = self._resolve_host(spec.target)
+        if host is None or host.state != "up":
+            self._record("host_crash", spec.target, "skipped")
+            return
+        host.crash()
+        self._record("host_crash", host.name, "inject")
+        self._schedule_recovery(spec, self._recover_host_crash, spec, host)
+
+    def _recover_host_crash(self, spec, host):
+        if host.recover():
+            self._record("host_crash", host.name, "recover")
+
+    def _inject_partition(self, spec):
+        host = self._resolve_host(spec.target)
+        if host is None or host.uplink is None or host.partitioned:
+            self._record("partition", spec.target, "skipped")
+            return
+        host.partition()
+        self._record("partition", host.name, "inject")
+        self._schedule_recovery(spec, self._recover_partition, spec, host)
+
+    def _recover_partition(self, spec, host):
+        if host.partitioned and host.state != "crashed":
+            host.heal()
+            self._record("partition", host.name, "recover")
+
+    def _inject_latency_spike(self, spec):
+        host = self._resolve_host(spec.target)
+        if host is None or host.uplink is None or host.name in self._spiked:
+            self._record("latency_spike", spec.target, "skipped")
+            return
+        self._spiked[host.name] = host.uplink.latency_s
+        host.uplink.latency_s *= spec.factor
+        self._record("latency_spike", host.name, "inject", factor=spec.factor)
+        self._schedule_recovery(spec, self._recover_latency_spike, spec, host)
+
+    def _recover_latency_spike(self, spec, host):
+        saved = self._spiked.pop(host.name, None)
+        if saved is not None:
+            host.uplink.latency_s = saved
+            self._record("latency_spike", host.name, "recover")
+
+    def _inject_ksm_stall(self, spec):
+        host = self._resolve_host(spec.target)
+        if host is None or host.ksm is None:
+            self._record("ksm_stall", spec.target, "skipped")
+            return
+        until = (
+            _FOREVER if spec.duration is None else self.engine.now + spec.duration
+        )
+        self._ksm_stalls[host.name] = until
+        self._record("ksm_stall", host.name, "inject")
+        self._schedule_recovery(spec, self._recover_ksm_stall, spec, host)
+
+    def _recover_ksm_stall(self, spec, host):
+        if self._ksm_stalls.pop(host.name, None) is not None:
+            self._record("ksm_stall", host.name, "recover")
+
+    def _inject_probe_timeout(self, spec):
+        tenant = self._resolve_tenant(spec.target)
+        if tenant is None:
+            self._record("probe_timeout", spec.target, "skipped")
+            return
+        until = (
+            _FOREVER if spec.duration is None else self.engine.now + spec.duration
+        )
+        self._probe_blocks[tenant.name] = until
+        self._record("probe_timeout", tenant.name, "inject")
+        self._schedule_recovery(spec, self._recover_probe_timeout, spec, tenant)
+
+    def _recover_probe_timeout(self, spec, tenant):
+        if self._probe_blocks.pop(tenant.name, None) is not None:
+            self._record("probe_timeout", tenant.name, "recover")
+
+    def _inject_guest_hang(self, spec):
+        tenant = self._resolve_tenant(spec.target)
+        if tenant is None or tenant.vm is None or tenant.state != "running":
+            self._record("guest_hang", spec.target, "skipped")
+            return
+        tenant.vm.pause()
+        self._record("guest_hang", tenant.name, "inject")
+        self._schedule_recovery(spec, self._recover_guest_hang, spec, tenant)
+
+    def _recover_guest_hang(self, spec, tenant):
+        vm = tenant.vm
+        if vm is not None and vm.status not in ("terminated",) and vm.paused:
+            vm.resume()
+            self._record("guest_hang", tenant.name, "recover")
+
+    def _inject_migration_drop(self, spec):
+        # Arms a tripwire; the record lands when a migration trips it
+        # (or never, if no matching migration runs — chaos plans are
+        # allowed to miss).
+        self._migration_drops.append(spec)
+        self._record(
+            "migration_drop",
+            spec.mode or "any",
+            "inject",
+            iteration=spec.iteration,
+        )
+
+    # -- hook API (the narrow seams call these) ----------------------------
+
+    def host_crashed(self, name):
+        """Whether ``name`` is currently a crashed host."""
+        host = self.datacenter.hosts.get(name)
+        return host is not None and host.state == "crashed"
+
+    def crashed_hosts(self):
+        """Name-sorted crashed hosts (fleet sweeps report these)."""
+        return [
+            self.datacenter.hosts[name]
+            for name in sorted(self.datacenter.hosts)
+            if self.datacenter.hosts[name].state == "crashed"
+        ]
+
+    def check_vm_create(self, system):
+        """``Kvm.create_vm`` hook: no new VMs on a crashed host."""
+        if self.host_crashed(system.name):
+            raise HypervisorError(
+                f"fault injection: host {system.name} has crashed"
+            )
+
+    def ksm_stalled(self, daemon):
+        """``KsmDaemon._wake`` hook: swallow wakes during a stall."""
+        until = self._ksm_stalls.get(daemon.machine.name)
+        if until is None:
+            return False
+        if self.engine.now < until:
+            return True
+        # Window elapsed without an explicit recovery event having run
+        # yet (ties at the boundary): treat as over.
+        return False
+
+    def _trip_migration_drop(self, mode, point, vm_name):
+        for index, spec in enumerate(self._migration_drops):
+            if spec.mode is not None and spec.mode != mode:
+                continue
+            if spec.iteration != point:
+                continue
+            del self._migration_drops[index]
+            self._record(
+                "migration_drop", vm_name, "trip", mode=mode, point=point
+            )
+            raise MigrationError(
+                f"fault injection: {mode} transport dropped at "
+                f"{'iteration' if mode == 'precopy' else 'fill chunk'} {point}"
+            )
+
+    def on_precopy_iteration(self, migration, iteration):
+        """Pre-copy hook: drop the stream entering ``iteration``."""
+        self._trip_migration_drop("precopy", iteration, migration.vm.name)
+
+    def on_postcopy_chunk(self, migration, chunk_index):
+        """Post-copy hook: drop the stream before fill chunk N."""
+        self._trip_migration_drop("postcopy", chunk_index, migration.vm.name)
+
+    def probe_blocked(self, tenant_name):
+        """Whether a tenant's detection probes currently time out."""
+        until = self._probe_blocks.get(tenant_name)
+        return until is not None and self.engine.now < until
+
+    def wrap_locator(self, tenant_name, locator):
+        """Fleet-monitor hook: probes of a blocked tenant see no guest
+        (the detector raises DetectionError → verdict ``unreachable``)."""
+
+        def _faulted_locator():
+            if self.probe_blocked(tenant_name):
+                return None
+            return locator()
+
+        return _faulted_locator
+
+    def __repr__(self):
+        return (
+            f"<FaultInjector specs={len(self.plan)} "
+            f"injections={len(self.injections)} armed={self._armed}>"
+        )

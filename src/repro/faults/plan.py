@@ -1,0 +1,191 @@
+"""Fault plans: composable, seeded specifications of what goes wrong.
+
+A :class:`FaultSpec` names one perturbation — a host crash, an uplink
+partition, a migration transport drop — with the virtual time it fires,
+an optional recovery delay, and a *target selector*.  A
+:class:`FaultPlan` is an ordered bag of specs; the
+:class:`~repro.faults.injector.FaultInjector` schedules every spec on
+the datacenter engine and performs the injection through narrow hooks
+in the hypervisor, migration, and cloud layers.
+
+Target selectors resolve late, at injection time, so a plan can be
+written (or generated from a seed) before the fleet exists:
+
+* ``"h02"`` / ``"t003"`` — an explicit host / tenant name;
+* ``"#3"`` — the 3rd (mod population) entry of the name-sorted host
+  list or running-tenant list, whichever the fault kind targets.
+
+Determinism: a plan is plain data.  Two runs with the same seed and
+same plan inject the same faults at the same virtual instants, which is
+what makes chaos reports byte-identical and the property-based harness
+in ``tests/test_faults_properties.py`` shrinkable by seed.
+"""
+
+from repro.errors import ReproError
+
+
+class FaultError(ReproError):
+    """Raised for malformed fault specs or plans."""
+
+
+#: The fault model catalog (see INTERNALS.md §8).
+FAULT_KINDS = (
+    "host_crash",      # host drops off the fabric; tenants degrade
+    "partition",       # uplink severed (heals after ``duration``)
+    "latency_spike",   # uplink latency multiplied by ``factor``
+    "migration_drop",  # transport dies at a chosen migration point
+    "ksm_stall",       # ksmd stops scanning for ``duration`` seconds
+    "probe_timeout",   # a tenant's detection probes fail (unreachable)
+    "guest_hang",      # the tenant's vCPUs freeze (workload stalls)
+)
+
+#: Kinds whose target selector names a host (the rest name a tenant,
+#: except migration_drop which matches in-flight migrations).
+HOST_KINDS = frozenset(("host_crash", "partition", "latency_spike", "ksm_stall"))
+TENANT_KINDS = frozenset(("probe_timeout", "guest_hang"))
+
+
+class FaultSpec:
+    """One planned fault: kind + when + target + recovery + params."""
+
+    __slots__ = ("kind", "at", "target", "duration", "mode", "iteration", "factor")
+
+    def __init__(
+        self,
+        kind,
+        at,
+        target=None,
+        duration=None,
+        mode=None,
+        iteration=1,
+        factor=8.0,
+    ):
+        if kind not in FAULT_KINDS:
+            raise FaultError(f"unknown fault kind {kind!r}")
+        if at < 0:
+            raise FaultError(f"fault time must be >= 0, got {at}")
+        if duration is not None and duration <= 0:
+            raise FaultError(f"fault duration must be positive, got {duration}")
+        if mode not in (None, "precopy", "postcopy"):
+            raise FaultError(f"unknown migration mode {mode!r}")
+        if iteration < 1:
+            raise FaultError("migration_drop iteration is 1-based")
+        if factor <= 1.0:
+            raise FaultError("latency_spike factor must exceed 1.0")
+        self.kind = kind
+        self.at = float(at)
+        self.target = target
+        self.duration = None if duration is None else float(duration)
+        self.mode = mode
+        self.iteration = int(iteration)
+        self.factor = float(factor)
+
+    def as_dict(self):
+        """Deterministic plain-dict form (chaos reports, plan dumps)."""
+        record = {"kind": self.kind, "at": self.at, "target": self.target}
+        if self.duration is not None:
+            record["duration"] = self.duration
+        if self.kind == "migration_drop":
+            record["mode"] = self.mode
+            record["iteration"] = self.iteration
+        if self.kind == "latency_spike":
+            record["factor"] = self.factor
+        return record
+
+    def __repr__(self):
+        extra = f" +{self.duration:g}s" if self.duration is not None else ""
+        return f"<FaultSpec {self.kind} @{self.at:g}s {self.target}{extra}>"
+
+
+class FaultPlan:
+    """An ordered, composable collection of :class:`FaultSpec`."""
+
+    def __init__(self, specs=()):
+        self.specs = list(specs)
+
+    # -- composition -------------------------------------------------------
+
+    def add(self, spec):
+        self.specs.append(spec)
+        return self
+
+    def extend(self, other):
+        """Fold another plan (or iterable of specs) into this one."""
+        self.specs.extend(other.specs if isinstance(other, FaultPlan) else other)
+        return self
+
+    def __len__(self):
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def as_dict(self):
+        return {"specs": [spec.as_dict() for spec in self.specs]}
+
+    # -- convenience constructors (one per catalog entry) ------------------
+
+    def host_crash(self, at, target, duration=None):
+        return self.add(FaultSpec("host_crash", at, target, duration=duration))
+
+    def partition(self, at, target, duration=None):
+        return self.add(FaultSpec("partition", at, target, duration=duration))
+
+    def latency_spike(self, at, target, duration, factor=8.0):
+        return self.add(
+            FaultSpec("latency_spike", at, target, duration=duration, factor=factor)
+        )
+
+    def migration_drop(self, at, mode=None, iteration=1):
+        return self.add(
+            FaultSpec("migration_drop", at, mode=mode, iteration=iteration)
+        )
+
+    def ksm_stall(self, at, target, duration):
+        return self.add(FaultSpec("ksm_stall", at, target, duration=duration))
+
+    def probe_timeout(self, at, target, duration=None):
+        return self.add(FaultSpec("probe_timeout", at, target, duration=duration))
+
+    def guest_hang(self, at, target, duration=None):
+        return self.add(FaultSpec("guest_hang", at, target, duration=duration))
+
+    # -- seeded generation -------------------------------------------------
+
+    @classmethod
+    def random(cls, rng, faults=6, horizon=300.0, kinds=FAULT_KINDS):
+        """Draw a random plan from ``rng`` (a ``random.Random``).
+
+        Every draw comes from the one stream, so a plan is a pure
+        function of the RNG state — the property-based harness relies
+        on this to regenerate (and seed-bisect) failing plans.
+        """
+        plan = cls()
+        for _ in range(faults):
+            kind = rng.choice(list(kinds))
+            at = rng.uniform(0.0, horizon)
+            duration = (
+                rng.uniform(5.0, horizon / 2.0) if rng.random() < 0.7 else None
+            )
+            target = f"#{rng.randrange(0, 16)}"
+            if kind == "latency_spike":
+                plan.latency_spike(
+                    at,
+                    target,
+                    duration=duration or 30.0,
+                    factor=rng.uniform(2.0, 64.0),
+                )
+            elif kind == "migration_drop":
+                plan.migration_drop(
+                    at,
+                    mode=rng.choice((None, "precopy", "postcopy")),
+                    iteration=rng.randint(1, 3),
+                )
+            elif kind == "ksm_stall":
+                plan.ksm_stall(at, target, duration=duration or 20.0)
+            else:
+                plan.add(FaultSpec(kind, at, target, duration=duration))
+        return plan
+
+    def __repr__(self):
+        return f"<FaultPlan specs={len(self.specs)}>"

@@ -27,6 +27,12 @@ class KsmStats:
         self.full_scans = 0
         self.pages_merged_total = 0
         self.cow_breaks = 0
+        #: Stable-frame promotions / drops over the daemon's lifetime.
+        #: Conservation invariant (the fault-injection property tests
+        #: hold it across stalls):
+        #: ``pages_shared == pages_shared_total - pages_unshared``.
+        self.pages_shared_total = 0
+        self.pages_unshared = 0
 
     def __repr__(self):
         return (
@@ -106,6 +112,12 @@ class KsmDaemon:
         return (self.memory.mergeable_generation, self.memory.write_epoch)
 
     def _wake(self):
+        faults = self.engine.faults
+        if faults is not None and faults.ksm_stalled(self):
+            # Injected stall: ksmd wedged mid-pass (the cursor and all
+            # volatility-filter state survive untouched, so scanning
+            # resumes exactly where it stopped).
+            return
         if self._idle:
             if self._marks() == self._idle_marks:
                 return
@@ -229,6 +241,7 @@ class KsmDaemon:
                     # unstable partner into it.
                     frame.ksm_shared = True
                     stable[digest] = frame
+                    stats.pages_shared_total += 1
                     remap(other_pfn, frame)
                     stats.pages_merged_total += 1
                     merges += 1
@@ -264,6 +277,7 @@ class KsmDaemon:
         digest = frame.digest
         if self._stable.get(digest) is frame:
             del self._stable[digest]
+            self.stats.pages_unshared += 1
             tracer = self.engine.tracer
             if tracer.enabled:
                 # A stable frame broke: either a CoW write (the paper's

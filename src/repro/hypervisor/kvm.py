@@ -91,6 +91,9 @@ class Kvm:
 
     def create_vm(self, name, vcpus=1, memory_mb=1024, expose_vmx=False):
         """Create kernel state for a VM (QEMU's KVM_CREATE_VM path)."""
+        faults = self.system.engine.faults
+        if faults is not None:
+            faults.check_vm_create(self.system)
         if name in self.vms:
             raise HypervisorError(f"VM name already in use: {name!r}")
         if vcpus < 1:

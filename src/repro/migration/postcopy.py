@@ -66,6 +66,10 @@ class PostCopyMigration:
         self.destination_node = destination_node
         self.max_bandwidth = max_bandwidth or DEFAULT_POSTCOPY_BANDWIDTH
         self.stats = MigrationStats(self.engine)
+        #: True once the destination has acked the handoff — past this
+        #: point the guest runs remotely, so a fill failure degrades the
+        #: destination guest rather than rolling back to the source.
+        self.switched_over = False
         vm.migration_stats = self.stats
 
     def start(self):
@@ -107,6 +111,7 @@ class PostCopyMigration:
         )
         yield endpoint.send(Packet(128, payload=handoff, kind="migration"))
         yield self._expect_ack(endpoint)
+        self.switched_over = True
         self.stats.downtime = self.engine.now - downtime_start
         if tracer.enabled:
             tracer.complete(
@@ -123,10 +128,31 @@ class PostCopyMigration:
         bulk_total = memory.bulk_touched
         zero_total = memory.untracked_pages
         perf = self.engine.perf
+        faults = self.engine.faults
         index = 0
+        chunk_index = 0
         remaining_bulk = bulk_total
         remaining_zero = zero_total
         while index < len(real_pages) or remaining_bulk or remaining_zero:
+            chunk_index += 1
+            if faults is not None:
+                try:
+                    faults.on_postcopy_chunk(self, chunk_index)
+                except MigrationError as error:
+                    # Fill transport died after switchover: the guest
+                    # keeps running at the destination with the residual
+                    # remote-fault penalty of its missing pages.  The
+                    # orchestrator re-homes the tenant as degraded.
+                    self.stats.fail(error)
+                    endpoint.close()
+                    if tracer.enabled:
+                        tracer.instant(
+                            "migration.postcopy_aborted",
+                            "migration",
+                            track=trace_track,
+                            args={"chunk": chunk_index, "error": str(error)},
+                        )
+                    raise
             batch = real_pages[index : index + CHUNK_PAGES]
             index += len(batch)
             room = CHUNK_PAGES - len(batch)
@@ -204,7 +230,22 @@ class PostCopyDestination:
 
     def _run(self):
         from repro.hypervisor.exits import ExitReason
+        from repro.sim.process import ChannelClosed
 
+        try:
+            result = yield from self._run_inner(ExitReason)
+            return result
+        except ChannelClosed:
+            # The fill stream died after switchover: keep the adopted
+            # guest (it runs with the residual remote-fault penalty) or,
+            # if the handoff never arrived, exit like `qemu -incoming`.
+            if self.vm.guest is None:
+                self.vm.quit()
+            if self.node.listener(self.port) is not None:
+                self.node.close_port(self.port)
+            return None
+
+    def _run_inner(self, ExitReason):
         connection = yield self.listener.accept()
         endpoint = connection.server
         memory = self.vm.kvm_vm.memory

@@ -126,6 +126,9 @@ class PreCopyMigration:
         except Interrupt:
             self._cleanup_after_cancel()
             return self.stats
+        except MigrationError as error:
+            self._abort(error)
+            raise
 
     def _cleanup_after_cancel(self):
         """Roll back to a running guest: QEMU's cancel semantics."""
@@ -148,6 +151,34 @@ class PreCopyMigration:
                 "migration",
                 track=f"migrate:{vm.name}",
                 args={"iterations": self.stats.iterations},
+            )
+
+    def _abort(self, error):
+        """Roll back a mid-stream failure to a running source guest.
+
+        Unlike :meth:`_cleanup_after_cancel` this runs on the error
+        path, so it must leave the VM retryable: tracker stopped,
+        throttle cleared, endpoint closed — the orchestrator relaunches
+        the destination and calls ``start()`` on a fresh instance.
+        """
+        vm = self.vm
+        if self._tracker is not None:
+            self._tracker.stop()
+        if vm.guest is not None:
+            vm.guest.kernel.cpu_throttle = 0.0
+            vm.resume()
+            vm.status = "running"
+        if self.stats.status != "failed":
+            self.stats.fail(error)
+        if self._endpoint is not None:
+            self._endpoint.close()
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "migration.aborted",
+                "migration",
+                track=f"migrate:{vm.name}",
+                args={"iterations": self.stats.iterations, "error": str(error)},
             )
 
     def _run_inner(self):
@@ -173,7 +204,11 @@ class PreCopyMigration:
         trace_track = f"migrate:{vm.name}"
         tracer = self.engine.tracer
 
+        faults = self.engine.faults
+
         # ---- iteration 1: everything -----------------------------------
+        if faults is not None:
+            faults.on_precopy_iteration(self, 1)
         all_real = list(memory.iter_touched())
         bulk_total = memory.bulk_touched
         zero_total = memory.untracked_pages
@@ -224,6 +259,8 @@ class PreCopyMigration:
             else:
                 stall_count = 0
             previous_dirty = dirty_pages
+            if faults is not None:
+                faults.on_precopy_iteration(self, self.stats.iterations + 1)
             iter_started = self.engine.now
             iter_bytes = yield from self._send_pages(
                 endpoint, memory, sorted(dirty), bulk_dirty, 0
@@ -414,18 +451,21 @@ class MigrationDestination:
         )
 
     def _run(self):
+        from repro.sim.engine import Interrupt
         from repro.sim.process import ChannelClosed
 
-        connection = yield self.listener.accept()
-        endpoint = connection.server
-        memory = self.vm.kvm_vm.memory
-        depth = self.vm.kvm_vm.depth
-        cost_model = self.vm.host_system.cost_model
         try:
+            connection = yield self.listener.accept()
+            endpoint = connection.server
+            memory = self.vm.kvm_vm.memory
+            depth = self.vm.kvm_vm.depth
+            cost_model = self.vm.host_system.cost_model
             yield from self._receive_loop(endpoint, memory, depth, cost_model)
-        except ChannelClosed:
+        except (ChannelClosed, Interrupt):
             # Stream broke before completion (source cancelled or
-            # crashed): a real `qemu -incoming` process exits.
+            # crashed), or the orchestrator tore this attempt down while
+            # we were still parked on accept(): a real `qemu -incoming`
+            # process exits either way.
             if self.vm.guest is None:
                 self.vm.quit()
             if self.node.listener(self.port) is not None:

@@ -336,6 +336,11 @@ class Engine:
         #: Disabled by default; instrumented seams pay one attribute
         #: check until ``tracer.enable()`` (or ``obs.configure``) runs.
         self.tracer = Tracer(self)
+        #: Fault injector (:mod:`repro.faults`), or None.  Instrumented
+        #: seams check this one attribute before consulting the
+        #: injector, so an unfaulted run pays nothing and replays
+        #: byte-identically.
+        self.faults = None
 
     @property
     def now(self):

@@ -36,7 +36,11 @@ class PerfCounters:
     * ``cloud_migrations`` — completed cross-host tenant migrations;
     * ``fleet_sweeps`` — fleet-wide monitoring sweeps completed;
     * ``fleet_detections`` — compromised-tenant verdicts across fleet
-      sweeps (repeat detections of the same tenant count).
+      sweeps (repeat detections of the same tenant count);
+    * ``faults_injected`` — fault-plan injections performed by
+      :class:`repro.faults.injector.FaultInjector` (skips not counted);
+    * ``faults_recovered`` — fault recoveries (heals, crash restores,
+      stall expiries) performed by the injector.
     """
 
     __slots__ = (
@@ -53,6 +57,8 @@ class PerfCounters:
         "cloud_migrations",
         "fleet_sweeps",
         "fleet_detections",
+        "faults_injected",
+        "faults_recovered",
     )
 
     def __init__(self):
@@ -73,6 +79,8 @@ class PerfCounters:
         self.cloud_migrations = 0
         self.fleet_sweeps = 0
         self.fleet_detections = 0
+        self.faults_injected = 0
+        self.faults_recovered = 0
 
     def as_dict(self):
         """Counters as a plain dict (the BENCH_core.json field order)."""

@@ -33,3 +33,33 @@ def victim(host):
 def nested_env():
     """(host, install_report) with CloudSkulk fully installed."""
     return scenarios.nested_environment(seed=42)
+
+
+@pytest.fixture
+def shrink_fault_plan():
+    """Delta-debugging shrinker for failing :class:`FaultPlan`s.
+
+    ``shrink(plan, still_fails)`` returns a minimal sub-plan for which
+    ``still_fails(sub_plan)`` is still true: specs are dropped one at a
+    time (scanning from the back, so late specs — usually incidental —
+    go first) until no single removal keeps the failure.  Deterministic,
+    and pure spec-list surgery: the predicate re-runs the experiment,
+    so the shrunk plan is guaranteed to reproduce.
+    """
+    from repro.faults.plan import FaultPlan
+
+    def shrink(plan, still_fails):
+        specs = list(plan)
+        if not still_fails(FaultPlan(specs)):
+            raise ValueError("plan must fail before shrinking")
+        changed = True
+        while changed:
+            changed = False
+            for index in range(len(specs) - 1, -1, -1):
+                candidate = specs[:index] + specs[index + 1 :]
+                if candidate and still_fails(FaultPlan(candidate)):
+                    specs = candidate
+                    changed = True
+        return FaultPlan(specs)
+
+    return shrink

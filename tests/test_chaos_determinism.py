@@ -1,0 +1,78 @@
+"""Differential determinism: chaos runs replay byte-for-byte.
+
+Two guarantees, each guarding a different edge of the fault subsystem:
+
+* the same campaign seed produces a byte-identical
+  :meth:`ChaosReport.to_json` — injections, recall, latencies, virtual
+  timestamps, everything;
+* a run with an *empty* :class:`FaultPlan` is byte-identical to one
+  with no plan at all, down to the recorded ``fleet_sweep_4x12``
+  benchmark fingerprint — the injection hooks must cost nothing (and
+  consume no RNG) when no fault is armed.
+"""
+
+import pytest
+
+from repro.cloud.fleet import run_fleet
+from repro.faults import ChaosCampaign, FaultPlan
+
+pytestmark = pytest.mark.chaos
+
+#: Small campaign (two legs on a 3-host fleet) to keep the double run fast.
+CHAOS_PARAMS = dict(
+    mixes=("infra", "migration"),
+    faults_per_mix=3,
+    horizon=200.0,
+    fleet_params=dict(hosts=3, tenants=8, churn_operations=4),
+)
+
+#: The exact parameter set of the ``fleet_sweep_4x12`` benchmark
+#: scenario (benchmarks/perf_report.py), whose fingerprint is pinned in
+#: BASELINE / BENCH_core.json.
+FLEET_4X12 = dict(
+    hosts=4,
+    tenants=12,
+    seed=42,
+    churn_operations=6,
+    rebalance_moves=1,
+    campaigns=1,
+    sweeps=1,
+    file_pages=12,
+    wait_seconds=10.0,
+)
+
+
+def test_same_seed_chaos_reports_are_byte_identical():
+    first = ChaosCampaign(seed=7, **CHAOS_PARAMS).run()
+    second = ChaosCampaign(seed=7, **CHAOS_PARAMS).run()
+    assert first.to_json() == second.to_json()
+
+
+def test_different_seeds_produce_different_reports():
+    lhs = ChaosCampaign(seed=7, **CHAOS_PARAMS).run().to_json()
+    rhs = ChaosCampaign(seed=8, **CHAOS_PARAMS).run().to_json()
+    assert lhs != rhs
+
+
+def test_empty_plan_reproduces_fleet_sweep_fingerprint():
+    result = run_fleet(faults=FaultPlan(), **FLEET_4X12)
+    engine = result.datacenter.engine
+    sweep = result.monitor.reports[0]
+    # The recorded fleet_sweep_4x12 fingerprint, matched exactly — any
+    # drift means an injection hook perturbed the fault-free baseline.
+    assert engine.now == 538.6211645267207
+    assert engine.perf.cloud_placements == 15
+    assert engine.perf.cloud_migrations == 1
+    assert sweep.tenants_probed == 13
+    assert [f"{t}@{h}" for t, h in sweep.compromised] == ["t000@h02"]
+    assert result.recall == 1.0
+    assert engine.perf.faults_injected == 0
+    assert engine.perf.faults_recovered == 0
+    assert result.injector.injections == []
+
+
+def test_empty_plan_summary_matches_fault_free_run():
+    baseline = run_fleet(**FLEET_4X12)
+    empty = run_fleet(faults=FaultPlan(), **FLEET_4X12)
+    assert empty.summary() == baseline.summary()
+    assert baseline.injector is None

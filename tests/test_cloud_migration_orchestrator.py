@@ -128,6 +128,48 @@ def test_transport_failure_exhausts_retries():
     assert tenant.name not in dest.system.kvm.vms
 
 
+def test_exhausted_retries_release_ports_and_incoming_processes():
+    """Regression: the final failed attempt must clean up like the rest.
+
+    Every attempt launches a ``-incoming`` destination VM whose receive
+    process parks on ``accept()``; abandoning an attempt without
+    interrupting it leaked one immortal process (and its port
+    reservation) per retry.
+    """
+    dc, _placer, churn, orchestrator = _fleet(seed=29)
+    orchestrator.max_retries = 2
+    orchestrator.backoff_base_s = 0.5
+    launched = []
+    inner = orchestrator._launch_incoming
+
+    def spying_launch(tenant, dest_host):
+        vm, port = inner(tenant, dest_host)
+        launched.append((vm, port))
+        return vm, port
+
+    orchestrator._launch_incoming = spying_launch
+
+    def control():
+        tenant = yield from churn.provision(TenantSpec("t0", memory_mb=512))
+        dest = next(h for h in dc.hosts.values() if h is not tenant.host)
+        yield from dc.ensure_up(dest)
+        dest.partition()
+        with pytest.raises(CloudError):
+            yield from orchestrator.migrate_tenant(tenant, dest)
+        # Let the interrupted receive loops run their cleanup.
+        yield dc.engine.timeout(1.0)
+        return tenant, dest
+
+    tenant, dest = _run(dc, control())
+    assert len(launched) == 3  # initial + two retries
+    node = dest.system.net_node
+    for vm, port in launched:
+        assert not vm.incoming_process.is_alive
+        assert node.listener(port) is None
+        assert vm.name not in dest.system.kvm.vms
+    assert tenant.guest is not None
+
+
 def test_evacuate_drains_every_tenant():
     dc, placer, churn, orchestrator = _fleet(hosts=3, seed=31)
 

@@ -1,0 +1,184 @@
+"""Property-based checks of the fault-injection subsystem.
+
+The seeded generator (:meth:`FaultPlan.random`) draws arbitrary plans;
+whatever it throws at a fleet run, the invariants below must hold:
+
+* **No tenant is ever lost** — every tenant the churn layer created is
+  either still registered (in an allowed state) or has an explicit
+  ``delete``/``fail`` churn event.  Faults may degrade tenants, never
+  vanish them.
+* **KSM page conservation** — across stalls and host crashes, every
+  daemon satisfies ``pages_shared == pages_shared_total -
+  pages_unshared`` (promotions minus drops).
+* **Injection ledger coherence** — the injector's record, the perf
+  counters, and the emitted ``fault.*`` trace instants all agree.
+
+Failures reproduce from the generator seed alone; the
+``shrink_fault_plan`` fixture (tests/conftest.py) minimizes a failing
+plan to the guilty specs.
+"""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.cloud.fleet import run_fleet
+from repro.faults import FAULT_KINDS, FaultError, FaultPlan
+from repro.faults.plan import FaultSpec
+
+#: Small fleet so each property run stays well under a second.
+FLEET = dict(
+    hosts=3,
+    tenants=8,
+    churn_operations=4,
+    rebalance_moves=1,
+    campaigns=1,
+    sweeps=1,
+    file_pages=12,
+    wait_seconds=10.0,
+)
+
+#: States a still-registered tenant may end a run in.
+ALLOWED_PRESENT = {"provisioning", "running", "stopped", "degraded"}
+
+
+def _chaos_run(plan, seed=42):
+    return run_fleet(seed=seed, faults=plan, trace=True, **FLEET)
+
+
+def _assert_no_tenant_lost(result):
+    dc = result.datacenter
+    created = {name for _at, op, name in result.churn.events if op == "create"}
+    removed = {
+        name
+        for _at, op, name in result.churn.events
+        if op in ("delete", "fail")
+    }
+    for name in created:
+        tenant = dc.tenants.get(name)
+        if tenant is None:
+            assert name in removed, (
+                f"tenant {name} vanished without a delete/fail event"
+            )
+        else:
+            assert tenant.state in ALLOWED_PRESENT, (
+                f"tenant {name} ended in {tenant.state!r}"
+            )
+
+
+def _assert_ksm_conservation(result):
+    for host in result.datacenter.hosts.values():
+        daemon = host.ksm
+        if daemon is None:
+            continue
+        stats = daemon.stats
+        assert daemon.pages_shared == (
+            stats.pages_shared_total - stats.pages_unshared
+        ), f"{host.name}: KSM stable-frame ledger out of balance"
+
+
+def _assert_injection_ledger(result):
+    injector = result.injector
+    engine = result.datacenter.engine
+    recorded = Counter(entry["phase"] for entry in injector.injections)
+    # Perf counters agree with the record.
+    assert engine.perf.faults_injected == recorded["inject"]
+    assert engine.perf.faults_recovered == recorded["recover"]
+    # Every recorded phase has a matching trace instant (and vice versa).
+    traced = Counter(
+        event[1].split(".", 1)[1]
+        for event in engine.tracer.events()
+        if event[0] == "i" and event[1].startswith("fault.")
+    )
+    assert traced == recorded
+    # The record is in virtual-time order, within the run.
+    times = [entry["at"] for entry in injector.injections]
+    assert times == sorted(times)
+    assert all(0.0 <= at <= engine.now for at in times)
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("generator_seed", [3, 11, 2026])
+def test_random_plan_invariants(generator_seed):
+    rng = random.Random(generator_seed)
+    plan = FaultPlan.random(rng, faults=6, horizon=300.0)
+    result = _chaos_run(plan)
+    _assert_no_tenant_lost(result)
+    _assert_ksm_conservation(result)
+    _assert_injection_ledger(result)
+
+
+@pytest.mark.chaos
+def test_host_crash_degrades_and_recovery_restores():
+    plan = FaultPlan().host_crash(150.0, "#0", duration=120.0)
+    result = _chaos_run(plan)
+    phases = [e["phase"] for e in result.injector.injections]
+    assert phases == ["inject", "recover"]
+    _assert_no_tenant_lost(result)
+    _assert_ksm_conservation(result)
+    # Recovery happened before the end: nobody stays degraded.
+    dc = result.datacenter
+    assert not [t for t in dc.tenants.values() if t.state == "degraded"]
+
+
+@pytest.mark.chaos
+def test_unrecovered_crash_reports_tenants_unreachable():
+    plan = FaultPlan().host_crash(200.0, "#0")
+    result = _chaos_run(plan)
+    crashed = [
+        h.name
+        for h in result.datacenter.hosts.values()
+        if h.state == "crashed"
+    ]
+    assert len(crashed) == 1
+    sweep = result.monitor.reports[0]
+    findings = sweep.host_reports[crashed[0]].findings
+    assert findings, "crashed host missing from the fleet sweep"
+    assert all(f.verdict == "unreachable" for f in findings)
+    _assert_no_tenant_lost(result)
+
+
+def test_random_plans_are_pure_functions_of_the_rng():
+    first = FaultPlan.random(random.Random(5), faults=8)
+    second = FaultPlan.random(random.Random(5), faults=8)
+    assert first.as_dict() == second.as_dict()
+    different = FaultPlan.random(random.Random(6), faults=8)
+    assert first.as_dict() != different.as_dict()
+
+
+def test_spec_validation_rejects_malformed_faults():
+    with pytest.raises(FaultError):
+        FaultSpec("disk_melt", 1.0)
+    with pytest.raises(FaultError):
+        FaultSpec("host_crash", -1.0)
+    with pytest.raises(FaultError):
+        FaultSpec("host_crash", 1.0, duration=0.0)
+    with pytest.raises(FaultError):
+        FaultSpec("migration_drop", 1.0, mode="teleport")
+    with pytest.raises(FaultError):
+        FaultSpec("migration_drop", 1.0, iteration=0)
+    with pytest.raises(FaultError):
+        FaultSpec("latency_spike", 1.0, factor=1.0)
+    assert set(FAULT_KINDS) >= {"host_crash", "migration_drop"}
+
+
+def test_shrink_fault_plan_minimizes_to_guilty_spec(shrink_fault_plan):
+    plan = (
+        FaultPlan()
+        .ksm_stall(10.0, "#0", duration=20.0)
+        .host_crash(40.0, "#1")
+        .probe_timeout(60.0, "#2", duration=15.0)
+        .latency_spike(80.0, "#0", duration=30.0)
+    )
+
+    def still_fails(candidate):
+        return any(spec.kind == "host_crash" for spec in candidate)
+
+    shrunk = shrink_fault_plan(plan, still_fails)
+    assert len(shrunk) == 1
+    assert shrunk.specs[0].kind == "host_crash"
+    # A passing plan refuses to shrink.
+    with pytest.raises(ValueError):
+        shrink_fault_plan(FaultPlan().ksm_stall(1.0, "#0", duration=5.0),
+                          still_fails)
