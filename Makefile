@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-chaos bench bench-quick lint trace-smoke
+.PHONY: test test-fast test-chaos bench bench-quick bench-par lint trace-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q --durations=10
@@ -32,6 +32,12 @@ bench:
 
 bench-quick:
 	$(PYTHON) benchmarks/perf_report.py --quick
+
+# All scenarios across a multiprocessing pool; fingerprints merge
+# deterministically by scenario name.  Use for fast fingerprint smoke —
+# concurrent wall clocks contend, so `bench` stays the timing of record.
+bench-par:
+	$(PYTHON) benchmarks/perf_report.py --parallel
 
 # Traced end-to-end run + schema validation of the exported trace.
 # CI runs this and uploads trace-smoke.json as an artifact (open it in

@@ -64,12 +64,8 @@ def scan_for_hypervisors(host_system):
     result = VmcsScanResult()
     memory = host_system.memory
 
-    seen_frames = set()
     cost = 0.0
-    for pfn, frame in list(memory._frames.items()):
-        if id(frame) in seen_frames:
-            continue
-        seen_frames.add(id(frame))
+    for frame in list(memory.iter_distinct_frames()):
         result.frames_scanned += 1
         cost += SCAN_COST_PER_FRAME
         if looks_like_vmcs(frame.content):

@@ -19,6 +19,8 @@ Two hooks matter to the paper:
   to the attacker's callback.
 """
 
+from functools import lru_cache
+
 from repro.errors import GuestError, ProcessError
 from repro.guest.process import ProcessTable
 from repro.guest.syscalls import SYSCALL_PROFILES
@@ -435,8 +437,15 @@ class Kernel:
             raise ProcessError("tap not installed") from None
 
 
+@lru_cache(maxsize=None)
 def _os_page_content(build, index):
-    """Deterministic per-build page content for the OS working set."""
+    """Deterministic per-build page content for the OS working set.
+
+    Cached: every reboot of a given build regenerates the identical
+    working set, and the 48-byte results are far cheaper to keep than
+    to re-derive.  Reusing the same bytes objects also lets the page
+    store's content-keyed intern hit Python's cached string hash.
+    """
     import hashlib
 
     return hashlib.blake2b(

@@ -15,6 +15,7 @@ from repro.hardware.memory import (
     PhysicalMemory,
     WriteOutcome,
 )
+from repro.hardware.page_store import PageRecord, PageStore, content_digest
 
 __all__ = [
     "PAGE_SIZE",
@@ -22,6 +23,9 @@ __all__ = [
     "Frame",
     "Machine",
     "MemoryDomain",
+    "PageRecord",
+    "PageStore",
     "PhysicalMemory",
     "WriteOutcome",
+    "content_digest",
 ]

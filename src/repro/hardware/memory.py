@@ -7,6 +7,11 @@ Layout of the model
   maps physical frame numbers (pfns) to :class:`Frame` objects.  Several
   pfns may map to the *same* frame — that is exactly what KSM produces
   when it merges identical pages.
+* Frames do not own their bytes: contents live in a content-addressed
+  :class:`~repro.hardware.page_store.PageStore`, interned once per
+  unique content with a refcount of holding frames.  Copy-on-write is a
+  refcount decrement plus a re-intern, and ``pages_saved_by_sharing``
+  is a free counter read instead of an O(frames) sweep.
 * :class:`MemoryDomain` is the interface shared by physical memory and
   guest memories (``repro.hypervisor.ept.GuestMemory``).  A nested
   guest's memory is a domain backed by another domain, so an L2 page
@@ -18,58 +23,76 @@ with zeros.  The empty string is the canonical zero page.  Contents are
 compared by value and hashed with BLAKE2b for the KSM trees.
 """
 
-import hashlib
 from itertools import count
 
 from repro.errors import MemoryError_
+from repro.hardware.page_store import (
+    PAGE_SIZE,
+    PageRecord,
+    PageStore,
+    content_digest,
+)
+from repro.sim.perf import PerfCounters
 
-PAGE_SIZE = 4096
-
-_DIGEST_SIZE = 16
-
-
-def content_digest(content):
-    """Stable 16-byte digest of logical page content."""
-    return hashlib.blake2b(content, digest_size=_DIGEST_SIZE).digest()
+__all__ = [
+    "PAGE_SIZE",
+    "Frame",
+    "MemoryDomain",
+    "PhysicalMemory",
+    "WriteOutcome",
+    "content_digest",
+]
 
 
 class Frame:
-    """One physical page frame.
+    """One physical page frame: a shared handle onto a page record.
 
     ``refcount`` counts how many pfns map to this frame; a refcount above
     one means the frame is KSM-shared and any write must break copy-on-
     write.  ``mergeable`` marks frames inside madvise(MADV_MERGEABLE)
     regions — only those are scanned by ksmd, mirroring Linux.
+
+    The frame object itself is the identity KSM trades in (merges make
+    several pfns point at *the same* Frame); the bytes live one level
+    down in a :class:`~repro.hardware.page_store.PageRecord`.
     """
 
-    __slots__ = ("fid", "content", "refcount", "mergeable", "ksm_shared", "_digest")
+    __slots__ = ("fid", "record", "refcount", "mergeable", "ksm_shared")
 
-    def __init__(self, fid, content=b"", mergeable=False):
-        if len(content) > PAGE_SIZE:
-            raise MemoryError_(
-                f"page content of {len(content)} bytes exceeds PAGE_SIZE"
-            )
+    def __init__(self, fid, content=b"", mergeable=False, record=None):
+        if record is None:
+            if len(content) > PAGE_SIZE:
+                raise MemoryError_(
+                    f"page content of {len(content)} bytes exceeds PAGE_SIZE"
+                )
+            record = PageRecord(content)
         self.fid = fid
-        self.content = content
+        self.record = record
         self.refcount = 1
         self.mergeable = mergeable
         self.ksm_shared = False
-        self._digest = None
+
+    @property
+    def content(self):
+        return self.record.content
 
     @property
     def digest(self):
-        """Cached content digest; invalidated on every write."""
-        if self._digest is None:
-            self._digest = content_digest(self.content)
-        return self._digest
+        """Content digest, computed once per unique content."""
+        return self.record.digest
 
     def set_content(self, content):
+        """Replace content on a *standalone* frame (tests, tooling).
+
+        Frames owned by a :class:`PhysicalMemory` are rewritten through
+        ``memory.write`` instead, so the page store's refcounts stay
+        consistent.
+        """
         if len(content) > PAGE_SIZE:
             raise MemoryError_(
                 f"page content of {len(content)} bytes exceeds PAGE_SIZE"
             )
-        self.content = content
-        self._digest = None
+        self.record = PageRecord(content)
 
     def __repr__(self):
         kind = "shared" if self.ksm_shared else "private"
@@ -138,9 +161,13 @@ class PhysicalMemory(MemoryDomain):
     honest content semantics for every page that matters.
     """
 
-    def __init__(self, size_mb=16384):
+    def __init__(self, size_mb=16384, perf=None):
         self.size_mb = size_mb
         self.total_pages = size_mb * 1024 * 1024 // PAGE_SIZE
+        #: Perf counters shared with the engine when constructed via
+        #: Machine; standalone memories count into a private instance.
+        self.perf = perf if perf is not None else PerfCounters()
+        self._store = PageStore(self.perf)
         self._frames = {}
         # Incremental index of mergeable pfns (dict used as an ordered
         # set): maintained on allocate/free so the KSM daemon never
@@ -148,6 +175,26 @@ class PhysicalMemory(MemoryDomain):
         # handed out monotonically and never reused, so insertion order
         # here matches the _frames iteration order the scan relied on.
         self._mergeable = {}
+        # Scan-candidate index: pfn -> PageRecord for every pfn whose
+        # current frame is mergeable and not yet KSM-shared.  The KSM
+        # scan loop runs entirely on this dict — no Frame attribute
+        # chasing, no digest recomputation for pages that sat still.
+        self._scan_records = {}
+        # Parked candidates: record -> {pfn: None} for stabilized
+        # singletons KSM retired from the active index (no partner can
+        # exist while their content is unique).  Parked pfns stay in
+        # ``_mergeable`` so pass boundaries are unchanged; they rejoin
+        # ``_scan_records`` the moment a duplicate of their content
+        # appears or they are rewritten.
+        self._parked = {}
+        # record -> number of candidate pfns (active + parked) holding
+        # it.  A count of 1 is what licenses parking; a transition to 2
+        # is what un-parks.
+        self._candidate_count = {}
+        # Live count of distinct frames mapped by at least one pfn
+        # (shared frames counted once): +1 on allocate and CoW break,
+        # -1 whenever a frame's last mapping dies.
+        self._distinct = 0
         self._next_pfn = count()
         self._next_fid = count()
         self._ksm = None
@@ -159,6 +206,11 @@ class PhysicalMemory(MemoryDomain):
         return 0
 
     @property
+    def page_store(self):
+        """The content-addressed store backing this memory's frames."""
+        return self._store
+
+    @property
     def allocated_pages(self):
         """Number of materialized pfn mappings."""
         return len(self._frames)
@@ -166,26 +218,95 @@ class PhysicalMemory(MemoryDomain):
     @property
     def distinct_frames(self):
         """Number of distinct frames (shared frames counted once)."""
-        return len({id(f) for f in self._frames.values()})
+        return self._distinct
 
     @property
     def pages_saved_by_sharing(self):
         """How many frames KSM sharing has reclaimed."""
-        return self.allocated_pages - self.distinct_frames
+        return len(self._frames) - self._distinct
 
     def attach_ksm(self, ksm):
         """Register the KSM daemon that owns merge policy for this memory."""
         self._ksm = ksm
+
+    # -- scan-candidate index maintenance --------------------------------
+
+    def _add_candidate(self, pfn, record):
+        """Enter ``pfn`` into the active scan index under ``record``.
+
+        When this makes the record's candidate count hit two, any
+        parked singleton holding the same content is woken back into
+        the active index — it finally has a potential merge partner.
+        """
+        self._scan_records[pfn] = record
+        counts = self._candidate_count
+        n = counts.get(record, 0) + 1
+        counts[record] = n
+        if n == 2:
+            parked = self._parked.pop(record, None)
+            if parked:
+                scan_records = self._scan_records
+                for parked_pfn in parked:
+                    scan_records[parked_pfn] = record
+
+    def _remove_candidate(self, pfn, record):
+        """Drop ``pfn`` from the candidate index (active or parked).
+
+        Safe to call for pfns that were never candidates (non-mergeable
+        or already-shared frames): the count only moves when the pfn was
+        actually indexed.
+        """
+        if self._scan_records.pop(pfn, None) is None:
+            # Parked buckets are dicts-as-sets (values are None), so a
+            # defaulted pop cannot signal a miss — test membership.
+            parked = self._parked.get(record)
+            if parked is None or pfn not in parked:
+                return
+            del parked[pfn]
+            if not parked:
+                del self._parked[record]
+        counts = self._candidate_count
+        n = counts[record] - 1
+        if n:
+            counts[record] = n
+        else:
+            del counts[record]
+
+    def park_candidate(self, pfn, record):
+        """Retire a stabilized singleton from the active scan index.
+
+        Called by KSM when a page passed the volatility filter but can
+        never merge right now: no live stable frame holds its content
+        and no other candidate does either (count == 1).  Scanning it
+        again each pass is a guaranteed no-op, so it sleeps here until
+        :meth:`_add_candidate` sees a duplicate or a write replaces its
+        record.  Parked pfns remain in the mergeable cursor, keeping
+        pass boundaries — and hence merge timing — byte-identical.
+        """
+        if self._candidate_count.get(record) != 1:
+            return False
+        if self._scan_records.pop(pfn, None) is None:
+            return False
+        parked = self._parked.get(record)
+        if parked is None:
+            self._parked[record] = {pfn: None}
+        else:
+            parked[pfn] = None
+        return True
 
     def allocate(self, content=b"", mergeable=False):
         """Materialize a new page; returns its pfn."""
         pfn = next(self._next_pfn)
         if pfn >= self.total_pages:
             raise MemoryError_("physical memory exhausted")
-        self._frames[pfn] = Frame(next(self._next_fid), content, mergeable)
+        record = self._store.intern(content)
+        frame = Frame(next(self._next_fid), mergeable=mergeable, record=record)
+        self._frames[pfn] = frame
+        self._distinct += 1
         if mergeable:
             self._mergeable[pfn] = None
             self._mergeable_generation += 1
+            self._add_candidate(pfn, record)
         return pfn
 
     def alloc_page(self, outcome=None, mergeable=False):
@@ -207,15 +328,25 @@ class PhysicalMemory(MemoryDomain):
         """No-op at the host level."""
 
     def free(self, pfn):
-        """Release the mapping for ``pfn`` (drops frame when last ref)."""
+        """Release the mapping for ``pfn`` (drops frame when last ref).
+
+        Dropping the last reference also evicts the content from the
+        page store and the scan-candidate index — a later realloc with
+        identical content starts a fresh volatility-filter cycle
+        instead of resurrecting stale KSM state.
+        """
         frame = self._frames.pop(pfn, None)
         if frame is None:
             raise MemoryError_(f"free of unmapped pfn {pfn}")
         frame.refcount -= 1
-        if frame.refcount <= 0 and self._ksm is not None and frame.ksm_shared:
-            self._ksm.forget_frame(frame)
+        if frame.refcount <= 0:
+            self._distinct -= 1
+            if self._ksm is not None and frame.ksm_shared:
+                self._ksm.forget_frame(frame)
+            self._store.release(frame.record)
         if frame.mergeable:
             self._mergeable.pop(pfn, None)
+            self._remove_candidate(pfn, frame.record)
             if self._ksm is not None:
                 self._ksm.forget_pfn(pfn)
             self._mergeable_generation += 1
@@ -223,6 +354,16 @@ class PhysicalMemory(MemoryDomain):
     def frame(self, pfn):
         """Return the Frame for ``pfn`` or None when untouched."""
         return self._frames.get(pfn)
+
+    def iter_distinct_frames(self):
+        """Yield every distinct mapped frame exactly once."""
+        seen = set()
+        seen_add = seen.add
+        for frame in self._frames.values():
+            key = id(frame)
+            if key not in seen:
+                seen_add(key)
+                yield frame
 
     def remap(self, pfn, frame):
         """Point ``pfn`` at ``frame`` (KSM merge / CoW break mechanics)."""
@@ -232,19 +373,40 @@ class PhysicalMemory(MemoryDomain):
         if old is frame:
             return
         old.refcount -= 1
-        if old.refcount <= 0 and self._ksm is not None and old.ksm_shared:
-            self._ksm.forget_frame(old)
+        if old.refcount <= 0:
+            self._distinct -= 1
+            if self._ksm is not None and old.ksm_shared:
+                self._ksm.forget_frame(old)
+            self._store.release(old.record)
         frame.refcount += 1
         self._frames[pfn] = frame
+        self._remove_candidate(pfn, old.record)
+        if frame.mergeable and not frame.ksm_shared:
+            self._add_candidate(pfn, frame.record)
+
+    def mark_ksm_shared(self, pfn, frame):
+        """KSM promoted ``frame`` (mapped at ``pfn``) to the stable tree.
+
+        Flips the frame's flag and retires the pfn from the
+        scan-candidate index in one place, so the index invariant
+        (candidate == mergeable and not shared) survives promotions.
+        """
+        frame.ksm_shared = True
+        self._remove_candidate(pfn, frame.record)
 
     def read(self, pfn):
         frame = self._frames.get(pfn)
-        return frame.content if frame is not None else b""
+        return frame.record.content if frame is not None else b""
 
     def read_many(self, pfns):
         frames_get = self._frames.get
         return [
-            (pfn, frame.content if (frame := frames_get(pfn)) is not None else b"")
+            (
+                pfn,
+                frame.record.content
+                if (frame := frames_get(pfn)) is not None
+                else b"",
+            )
             for pfn in pfns
         ]
 
@@ -254,27 +416,50 @@ class PhysicalMemory(MemoryDomain):
         frame = self._frames.get(pfn)
         if frame is None:
             raise MemoryError_(f"write to unmapped pfn {pfn}")
+        store = self._store
         if frame.refcount > 1:
             # Copy-on-write break: this pfn gets a private copy.  The
             # shared frame lives on for its other mappers.
+            new_record = store.intern(content)
+            self._remove_candidate(pfn, frame.record)
             replacement = Frame(
-                next(self._next_fid), frame.content, frame.mergeable
+                next(self._next_fid),
+                mergeable=frame.mergeable,
+                record=new_record,
             )
             frame.refcount -= 1
             self._frames[pfn] = replacement
+            self._distinct += 1
             frame = replacement
             outcome.cow_broken = True
-        elif frame.ksm_shared:
-            # Sole remaining mapper of a stable-tree frame: still a CoW
-            # break in Linux (the page sits in the stable tree), after
-            # which the frame becomes a normal private page.
-            if self._ksm is not None:
-                self._ksm.forget_frame(frame)
-            frame.ksm_shared = False
-            outcome.cow_broken = True
-        frame.set_content(content)
-        if frame.mergeable:
-            self._write_epoch += 1
+            if frame.mergeable:
+                self._write_epoch += 1
+                self._add_candidate(pfn, new_record)
+        else:
+            was_shared = frame.ksm_shared
+            if was_shared:
+                # Sole remaining mapper of a stable-tree frame: still a
+                # CoW break in Linux (the page sits in the stable
+                # tree), after which the frame becomes a normal private
+                # page.
+                if self._ksm is not None:
+                    self._ksm.forget_frame(frame)
+                frame.ksm_shared = False
+                outcome.cow_broken = True
+            old_record = frame.record
+            new_record = store.reintern(old_record, content)
+            frame.record = new_record
+            if frame.mergeable:
+                self._write_epoch += 1
+                if was_shared:
+                    # The frame just left the stable tree, so the pfn
+                    # re-enters the candidate set with its fresh record.
+                    self._add_candidate(pfn, new_record)
+                elif new_record is not old_record:
+                    self._remove_candidate(pfn, old_record)
+                    self._add_candidate(pfn, new_record)
+                # Same record (content unchanged): candidate state —
+                # active or parked — is already right.
         outcome.pfn_chain.append(pfn)
         return outcome
 

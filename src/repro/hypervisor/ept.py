@@ -18,6 +18,7 @@ exact source page numbers.
 
 from repro.errors import MemoryError_
 from repro.hardware.memory import PAGE_SIZE, MemoryDomain, WriteOutcome
+from repro.migration.dirty_tracking import DirtyBitmap
 
 
 class GuestMemory(MemoryDomain):
@@ -35,8 +36,14 @@ class GuestMemory(MemoryDomain):
         self.mergeable = mergeable
         self._mapping = {}
         self._next_alloc = 0
-        self._dirty = set()
+        # Dirty log as an int-backed bitmap: one 64-page word per dict
+        # slot (KVM's representation).  Writes OR a bit in; the log is
+        # drained word-wise through a DirtyBitmap wrapper.
+        self._dirty_words = {}
         self.dirty_log_enabled = False
+        #: Engine perf counters, inherited down the domain chain from
+        #: the PhysicalMemory at the bottom (None for exotic parents).
+        self.perf = getattr(parent, "perf", None)
         # Bulk pages: large anonymous regions (boot working set, heap
         # arenas) represented by count only.  They carry guest-unique
         # content from KSM's point of view (never merged) and behave as
@@ -132,7 +139,11 @@ class GuestMemory(MemoryDomain):
             outcome = WriteOutcome()
         outcome.depth = max(outcome.depth, self.nesting_depth)
         parent_pfn = self.ensure_mapped(gpfn, outcome)
-        self._dirty.add(gpfn)
+        dirty_words = self._dirty_words
+        word_index = gpfn >> 6
+        dirty_words[word_index] = dirty_words.get(word_index, 0) | (
+            1 << (gpfn & 63)
+        )
         self.parent.write(parent_pfn, content, outcome)
         outcome.pfn_chain.append(gpfn)
         return outcome
@@ -173,23 +184,33 @@ class GuestMemory(MemoryDomain):
     def start_dirty_log(self):
         """Begin tracking writes; clears the current dirty sets."""
         self.dirty_log_enabled = True
-        self._dirty.clear()
+        self._dirty_words.clear()
         self._bulk_dirty = 0
 
     def fetch_and_reset_dirty(self):
-        """Return (gpfn set, bulk page count) dirtied since last call."""
-        dirty, self._dirty = self._dirty, set()
+        """Return (dirty bitmap, bulk page count) dirtied since last call.
+
+        The bitmap supports ``in``, ``len`` and ascending iteration —
+        the interface the tracker and pre-copy loop consume.
+        """
+        words, self._dirty_words = self._dirty_words, {}
         bulk, self._bulk_dirty = self._bulk_dirty, 0
-        return dirty, bulk
+        perf = self.perf
+        if perf is not None:
+            perf.dirty_words_scanned += len(words)
+        return DirtyBitmap(words), bulk
 
     def stop_dirty_log(self):
         self.dirty_log_enabled = False
-        self._dirty.clear()
+        self._dirty_words.clear()
         self._bulk_dirty = 0
 
     @property
     def dirty_page_count(self):
-        return len(self._dirty) + self._bulk_dirty
+        return (
+            sum(w.bit_count() for w in self._dirty_words.values())
+            + self._bulk_dirty
+        )
 
     @property
     def untracked_pages(self):
@@ -206,7 +227,7 @@ class GuestMemory(MemoryDomain):
             else:
                 self.parent.free(parent_pfn)
         self._mapping.clear()
-        self._dirty.clear()
+        self._dirty_words.clear()
 
     def allocate(self, content=b"", mergeable=None):
         """Domain-agnostic allocation adapter (matches PhysicalMemory).
@@ -229,7 +250,14 @@ class GuestMemory(MemoryDomain):
         parent_pfn = self._mapping.pop(gpfn, None)
         if parent_pfn is None:
             return
-        self._dirty.discard(gpfn)
+        word_index = gpfn >> 6
+        word = self._dirty_words.get(word_index)
+        if word is not None:
+            word &= ~(1 << (gpfn & 63))
+            if word:
+                self._dirty_words[word_index] = word
+            else:
+                del self._dirty_words[word_index]
         if isinstance(self.parent, GuestMemory):
             self.parent.free_page(parent_pfn)
         else:

@@ -18,6 +18,7 @@ than the kernel's rb-trees — same semantics, simpler mechanics.
 """
 
 from repro.errors import HypervisorError
+from repro.hardware.page_store import content_digest
 
 
 class KsmStats:
@@ -109,7 +110,8 @@ class KsmDaemon:
             self._wake()
 
     def _marks(self):
-        return (self.memory.mergeable_generation, self.memory.write_epoch)
+        memory = self.memory
+        return (memory._mergeable_generation, memory._write_epoch)
 
     def _wake(self):
         faults = self.engine.faults
@@ -185,68 +187,87 @@ class KsmDaemon:
         self._scan_batch((pfn,))
 
     def _scan_batch(self, pfns):
-        """Scan a batch of pages with the pass state hoisted to locals.
+        """Scan a batch of pages: digest sweep first, merges second.
 
-        The stable/unstable/seen structures are bound once per batch —
-        one dict snapshot for the digest lookups instead of attribute
-        dereferences per page.  The dict objects themselves are live
-        (merges performed mid-batch are observed by later pages, same
-        as the historical one-page-at-a-time loop).
+        The sweep runs on the memory's scan-candidate index
+        (``pfn -> PageRecord``) — membership in that dict already means
+        "mergeable and not yet shared", so the common cases (volatile
+        page, lone stabilized page) finish without touching a Frame
+        object.  Pages that need merge work are grouped into per-digest
+        buckets, in scan order, and handled together afterwards by
+        :meth:`_merge_buckets`.
+
+        No virtual time passes inside a batch, so deferring the merges
+        behind the sweep is timing-equivalent to the historical
+        interleaved loop; the bucket bookkeeping (once a digest has a
+        bucket, later same-digest pages join it) reproduces the exact
+        stable/unstable interleaving the one-page-at-a-time scan
+        produced.
         """
         memory = self.memory
-        frame_of = memory.frame
-        remap = memory.remap
+        records_get = memory._scan_records.get
+        counts_get = memory._candidate_count.get
+        park = memory.park_candidate
         seen = self._seen
         seen_get = seen.get
-        stable = self._stable
-        stable_get = stable.get
+        stable_get = self._stable.get
         unstable = self._unstable
         unstable_get = unstable.get
-        stats = self.stats
-        merges = 0
         new_seen = 0
+        merge_buckets = None
+        bucket_order = None
         for pfn in pfns:
-            frame = frame_of(pfn)
-            if frame is None or not frame.mergeable or frame.ksm_shared:
+            record = records_get(pfn)
+            if record is None:
+                # Freed, non-mergeable, or already KSM-shared.
                 continue
-            digest = frame.digest
-            previous = seen_get(pfn)
-            seen[pfn] = digest
-            if previous != digest:
+            digest = record._digest
+            if digest is None:
+                digest = record._digest = content_digest(record.content)
+            if seen_get(pfn) != digest:
                 # A newly seen or freshly rewritten page: it may
                 # stabilize and merge next pass, so the daemon must not
-                # go idle yet.
+                # go idle yet (volatility filter — give it a full pass
+                # to stabilize).
+                seen[pfn] = digest
                 new_seen += 1
-                # Volatility filter: content changed since the last
-                # pass (or page is new); give it a full pass to
-                # stabilize.
                 continue
+            if merge_buckets is not None:
+                bucket = merge_buckets.get(digest)
+                if bucket is not None:
+                    bucket.append(pfn)
+                    continue
             stable_frame = stable_get(digest)
             if stable_frame is not None and stable_frame.refcount > 0:
-                if stable_frame is frame:
-                    continue
-                remap(pfn, stable_frame)
-                stats.pages_merged_total += 1
-                merges += 1
+                # A live stable frame exists: bucket for merging.
+                if merge_buckets is None:
+                    merge_buckets = {}
+                    bucket_order = []
+                merge_buckets[digest] = [pfn]
+                bucket_order.append(digest)
                 continue
             other_pfn = unstable_get(digest)
-            if other_pfn is not None and other_pfn != pfn:
-                other_frame = frame_of(other_pfn)
-                if (
-                    other_frame is not None
-                    and not other_frame.ksm_shared
-                    and other_frame.digest == digest
-                ):
-                    # Promote this frame to the stable tree and fold the
-                    # unstable partner into it.
-                    frame.ksm_shared = True
-                    stable[digest] = frame
-                    stats.pages_shared_total += 1
-                    remap(other_pfn, frame)
-                    stats.pages_merged_total += 1
-                    merges += 1
-                    continue
-            unstable[digest] = pfn
+            if other_pfn is None or other_pfn == pfn:
+                # Lone stabilized page: park it in the unstable tree
+                # and move on — the dominant case every pass.  When no
+                # other candidate anywhere holds this content (count of
+                # 1 on its record), the page also retires from the
+                # active index entirely: rescanning it is a guaranteed
+                # no-op until a duplicate appears or it is rewritten,
+                # and the memory layer wakes it on either event.
+                unstable[digest] = pfn
+                if counts_get(record) == 1:
+                    park(pfn, record)
+                continue
+            # A potential unstable partner: bucket for promotion.
+            if merge_buckets is None:
+                merge_buckets = {}
+                bucket_order = []
+            merge_buckets[digest] = [pfn]
+            bucket_order.append(digest)
+        merges = 0
+        if merge_buckets is not None:
+            merges = self._merge_buckets(merge_buckets, bucket_order)
         self._pass_merges += merges
         self._pass_new_seen += new_seen
         if merges:
@@ -258,6 +279,64 @@ class KsmDaemon:
                     track=self._trace_track,
                     args={"count": merges},
                 )
+
+    def _merge_buckets(self, buckets, order):
+        """Merge the bucketed candidates, one digest group at a time.
+
+        Runs the full per-page merge protocol (live frame checks,
+        stable-tree remap, unstable promotion) inside each bucket, in
+        scan order — a page invalidated by an earlier merge in its own
+        bucket (its frame became the shared one) is skipped exactly as
+        the interleaved scan skipped it.  Returns the number of page
+        merges performed.
+        """
+        memory = self.memory
+        frame_of = memory.frame
+        remap = memory.remap
+        stable = self._stable
+        stable_get = stable.get
+        unstable = self._unstable
+        unstable_get = unstable.get
+        stats = self.stats
+        merges = 0
+        bucket_merges = 0
+        for digest in order:
+            before = merges
+            for pfn in buckets[digest]:
+                frame = frame_of(pfn)
+                if frame is None or not frame.mergeable or frame.ksm_shared:
+                    continue
+                stable_frame = stable_get(digest)
+                if stable_frame is not None and stable_frame.refcount > 0:
+                    if stable_frame is frame:
+                        continue
+                    remap(pfn, stable_frame)
+                    stats.pages_merged_total += 1
+                    merges += 1
+                    continue
+                other_pfn = unstable_get(digest)
+                if other_pfn is not None and other_pfn != pfn:
+                    other_frame = frame_of(other_pfn)
+                    if (
+                        other_frame is not None
+                        and not other_frame.ksm_shared
+                        and other_frame.digest == digest
+                    ):
+                        # Promote this frame to the stable tree and fold
+                        # the unstable partner into it.
+                        memory.mark_ksm_shared(pfn, frame)
+                        stable[digest] = frame
+                        stats.pages_shared_total += 1
+                        remap(other_pfn, frame)
+                        stats.pages_merged_total += 1
+                        merges += 1
+                        continue
+                unstable[digest] = pfn
+            if merges > before:
+                bucket_merges += 1
+        if bucket_merges:
+            self.engine.perf.ksm_bucket_merges += bucket_merges
+        return merges
 
     def sysfs_text(self):
         """The /sys/kernel/mm/ksm/* view an administrator reads."""

@@ -15,7 +15,13 @@ the price of degraded guest performance during the fill.
 from repro.errors import MigrationError
 from repro.migration.precopy import SCAN_COST_PER_PAGE
 from repro.migration.stats import MigrationStats
-from repro.migration.transport import ACK_BYTES, Ack, DeviceState, RamChunk
+from repro.migration.transport import (
+    ACK_BYTES,
+    Ack,
+    DeviceState,
+    RamChunk,
+    dedup_entries,
+)
 from repro.net.packets import Packet
 
 #: Round-trip latency of one remote page fault (userfaultfd + network).
@@ -65,6 +71,11 @@ class PostCopyMigration:
         #: same-host loopback, as the monitor's tcp:127.0.0.1 URI).
         self.destination_node = destination_node
         self.max_bandwidth = max_bandwidth or DEFAULT_POSTCOPY_BANDWIDTH
+        #: Capability ``dedup``: same in-chunk content collapsing as the
+        #: pre-copy path (the fill stream benefits identically).
+        self.dedup = bool(
+            getattr(vm, "migration_capabilities", {}).get("dedup", False)
+        )
         self.stats = MigrationStats(self.engine)
         #: True once the destination has acked the handoff — past this
         #: point the guest runs remotely, so a fill failure degrades the
@@ -161,7 +172,20 @@ class PostCopyMigration:
             zero_now = min(remaining_zero, max((room - bulk_now) * 64, 0))
             remaining_zero -= zero_now
             entries = memory.read_many(batch)
-            chunk = RamChunk(entries, bulk_pages=bulk_now, zero_pages=zero_now)
+            dedup_table = ()
+            if self.dedup and entries:
+                unique, table = dedup_entries(entries)
+                if table:
+                    entries = unique
+                    dedup_table = table
+                    self.stats.pages_deduped += len(table)
+                    perf.migration_pages_deduped += len(table)
+            chunk = RamChunk(
+                entries,
+                bulk_pages=bulk_now,
+                zero_pages=zero_now,
+                dedup_table=dedup_table,
+            )
             pace = self.engine.timeout(chunk.wire_bytes / self.max_bandwidth)
             delivery = endpoint.send(
                 Packet(chunk.wire_bytes, payload=chunk, kind="migration")
@@ -271,6 +295,11 @@ class PostCopyDestination:
                 for gpfn, content in payload.entries:
                     outcome = memory.write(gpfn, content)
                     cost += cost_model.write_outcome_cost(outcome, depth)
+                if payload.dedup_table:
+                    entries = payload.entries
+                    for gpfn, idx in payload.dedup_table:
+                        outcome = memory.write(gpfn, entries[idx][1])
+                        cost += cost_model.write_outcome_cost(outcome, depth)
                 if payload.bulk_pages:
                     memory.touch_bulk(payload.bulk_pages)
                     cost += payload.bulk_pages * (

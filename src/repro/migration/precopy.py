@@ -29,6 +29,7 @@ from repro.migration.transport import (
     Complete,
     DeviceState,
     RamChunk,
+    dedup_entries,
 )
 from repro.net.packets import Packet
 
@@ -79,6 +80,14 @@ class PreCopyMigration:
         #: XBZRLE cache-hit probability for a resent page (pages that
         #: changed beyond recognition miss and ship in full).
         self.xbzrle_hit_ratio = 0.85
+        #: Capability ``dedup``: collapse identical page contents within
+        #: a chunk to one copy plus back-references.  KSM-heavy tenants
+        #: (many pages interned to the same record) migrate in a
+        #: fraction of the wire bytes; the destination still performs
+        #: every per-page write, so fault accounting is unchanged.
+        self.dedup = bool(
+            getattr(vm, "migration_capabilities", {}).get("dedup", False)
+        )
         self._pages_sent_before = set()
         self._bulk_sent_once = False
         self.xbzrle_pages = 0
@@ -263,7 +272,7 @@ class PreCopyMigration:
                 faults.on_precopy_iteration(self, self.stats.iterations + 1)
             iter_started = self.engine.now
             iter_bytes = yield from self._send_pages(
-                endpoint, memory, sorted(dirty), bulk_dirty, 0
+                endpoint, memory, dirty.page_list(), bulk_dirty, 0
             )
             self.stats.iterations += 1
             if tracer.enabled:
@@ -288,7 +297,9 @@ class PreCopyMigration:
         downtime_start = self.engine.now
         vm.pause()
         dirty, bulk_dirty = tracker.sync()
-        yield from self._send_pages(endpoint, memory, sorted(dirty), bulk_dirty, 0)
+        yield from self._send_pages(
+            endpoint, memory, dirty.page_list(), bulk_dirty, 0
+        )
         self.stats.iterations += 1
         device_state = DeviceState()
         yield endpoint.send(
@@ -381,11 +392,28 @@ class PreCopyMigration:
             zero_now = min(remaining_zero, max(room * 64, 0))
             remaining_zero -= zero_now
             entries = memory.read_many(batch)
+            dedup_table = ()
+            if self.dedup and entries:
+                unique, table = dedup_entries(entries)
+                if table:
+                    entries = unique
+                    dedup_table = table
+                    self.stats.pages_deduped += len(table)
+                    perf.migration_pages_deduped += len(table)
             xbzrle_now = 0
             if self.xbzrle:
                 # Chunk-local set intersection instead of a per-gpfn
                 # membership loop against the full sent-pages set.
-                resent = len(sent_before.intersection(batch))
+                # With dedup active only the pages still shipping in
+                # full are candidates for delta encoding.
+                if dedup_table:
+                    resent = len(
+                        sent_before.intersection(
+                            [gpfn for gpfn, _ in entries]
+                        )
+                    )
+                else:
+                    resent = len(sent_before.intersection(batch))
                 if self._bulk_sent_once:
                     resent += bulk_now
                 xbzrle_now = int(resent * self.xbzrle_hit_ratio)
@@ -396,6 +424,7 @@ class PreCopyMigration:
                 bulk_pages=bulk_now,
                 zero_pages=zero_now,
                 xbzrle_pages=xbzrle_now,
+                dedup_table=dedup_table,
             )
             packet = Packet(chunk.wire_bytes, payload=chunk, kind="migration")
             # QEMU's rate limiter counts bytes written to the socket per
@@ -548,6 +577,16 @@ class MigrationDestination:
             cost += cost_model.write_outcome_cost(outcome, depth)
             if depth >= 2:
                 cost += cost_model.exit_cost(ExitReason.INVEPT, depth)
+        if chunk.dedup_table:
+            # Back-referenced pages shipped as 24-byte refs, but the
+            # destination materializes each with a real write — same
+            # fault costs as a full page, only the wire got cheaper.
+            entries = chunk.entries
+            for gpfn, idx in chunk.dedup_table:
+                outcome = memory.write(gpfn, entries[idx][1])
+                cost += cost_model.write_outcome_cost(outcome, depth)
+                if depth >= 2:
+                    cost += cost_model.exit_cost(ExitReason.INVEPT, depth)
         if chunk.bulk_pages:
             memory.touch_bulk(chunk.bulk_pages)
             per_page = (

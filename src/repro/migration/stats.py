@@ -13,6 +13,9 @@ class MigrationStats:
         self.ram_bytes = 0
         self.pages_transferred = 0
         self.zero_pages = 0
+        #: Pages shipped as chunk-local back-references instead of full
+        #: content (capability ``dedup``).
+        self.pages_deduped = 0
         self.iterations = 0
         self.throttle_percentage = 0
         self.failure_reason = None
@@ -53,6 +56,8 @@ class MigrationStats:
             f"dirty sync count: {self.iterations}",
             f"cpu throttle percentage: {self.throttle_percentage}",
         ]
+        if self.pages_deduped:
+            lines.insert(8, f"deduplicated pages: {self.pages_deduped}")
         if self.failure_reason:
             lines.append(f"error: {self.failure_reason}")
         return "\n".join(lines)

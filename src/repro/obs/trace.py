@@ -208,6 +208,14 @@ class Tracer:
         """Drain pending aggregations (call before reading events)."""
         for key in sorted(self._exit_pending, key=lambda k: (k[0], k[1].value, k[2])):
             self._flush_exit(key, self._exit_pending[key])
+        # Mirror the engine's perf counters into the registry as gauges,
+        # so metric dumps show the data-plane counters (page_store_*,
+        # ksm_bucket_merges, dirty_words_scanned, ...) alongside the
+        # tracepoint metrics.
+        if self.enabled:
+            gauge = self.metrics.gauge
+            for name, value in self.engine.perf.as_dict().items():
+                gauge(f"perf.{name}").set(value)
 
     # -- reading -----------------------------------------------------------
 

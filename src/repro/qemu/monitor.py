@@ -158,7 +158,7 @@ class QemuMonitor:
                 "migrate_set_capability: expected <name> on|off"
             )
         name = args[0]
-        if name not in ("xbzrle", "auto-converge", "postcopy-ram"):
+        if name not in ("xbzrle", "auto-converge", "postcopy-ram", "dedup"):
             raise MonitorError(f"unknown migration capability {name!r}")
         self.vm.migration_capabilities[name] = args[1] == "on"
         return ""

@@ -29,8 +29,18 @@ class PerfCounters:
       attached (their callback list was never materialized);
     * ``ksm_pages_scanned`` — pages examined by the KSM daemon;
     * ``ksm_passes`` — completed KSM full scans;
+    * ``ksm_bucket_merges`` — digest buckets the KSM daemon merged as a
+      group (each bucket covers one or more individual page merges);
+    * ``page_store_interns`` — unique page contents interned into a
+      :class:`repro.hardware.page_store.PageStore`;
+    * ``page_store_hits`` — page-store interns satisfied by an existing
+      record (content already resident, only a refcount bump);
+    * ``dirty_words_scanned`` — 64-page bitmap words examined while
+      draining guest dirty logs;
     * ``migration_chunks`` — RAM chunks sent by migration sources;
     * ``migration_pages`` — pages carried by those chunks;
+    * ``migration_pages_deduped`` — pages shipped as digest-table
+      references instead of full content (``dedup`` capability);
     * ``cloud_placements`` — tenant placement decisions by the fleet
       scheduler;
     * ``cloud_migrations`` — completed cross-host tenant migrations;
@@ -51,8 +61,13 @@ class PerfCounters:
         "timer_fast_path",
         "ksm_pages_scanned",
         "ksm_passes",
+        "ksm_bucket_merges",
+        "page_store_interns",
+        "page_store_hits",
+        "dirty_words_scanned",
         "migration_chunks",
         "migration_pages",
+        "migration_pages_deduped",
         "cloud_placements",
         "cloud_migrations",
         "fleet_sweeps",
@@ -73,8 +88,13 @@ class PerfCounters:
         self.timer_fast_path = 0
         self.ksm_pages_scanned = 0
         self.ksm_passes = 0
+        self.ksm_bucket_merges = 0
+        self.page_store_interns = 0
+        self.page_store_hits = 0
+        self.dirty_words_scanned = 0
         self.migration_chunks = 0
         self.migration_pages = 0
+        self.migration_pages_deduped = 0
         self.cloud_placements = 0
         self.cloud_migrations = 0
         self.fleet_sweeps = 0
