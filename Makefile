@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-chaos bench bench-quick bench-par lint trace-smoke
+.PHONY: test test-fast test-chaos test-fork-determinism bench bench-quick bench-par lint trace-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q --durations=10
@@ -15,6 +15,13 @@ test-fast:
 # a second Python and uploads the ChaosReport artifact).
 test-chaos:
 	$(PYTHON) -m pytest -x -q -m chaos --durations=10
+
+# The snapshot layer's correctness bar: a branch forked off a warmed
+# fleet must fingerprint byte-identically to the same branch run cold.
+# CI runs this as its own named step so snapshot regressions surface
+# by name in the Actions summary.
+test-fork-determinism:
+	$(PYTHON) -m pytest tests/test_fleet_fanout.py -x -q -k determinism
 
 # ruff (configured in pyproject.toml) when available; otherwise fall
 # back to a byte-compile pass so the target still catches syntax errors

@@ -175,7 +175,13 @@ def cmd_fleet_sweep(args):
 
 
 def cmd_fleet_chaos(args):
-    """Run a chaos campaign: one fleet experiment per fault mix."""
+    """Run a chaos campaign: one fleet experiment per fault mix.
+
+    ``--from-warm`` warms the fleet once and runs every leg as a
+    copy-on-write fork branch off that snapshot (``--fanout N`` forks N
+    independent fault plans per mix; ``--processes P`` spreads the legs
+    over a pool).  Without it, every leg replays its own warm-up.
+    """
     from repro.faults import ChaosCampaign
 
     mixes = tuple(m.strip() for m in args.mixes.split(",") if m.strip())
@@ -186,7 +192,19 @@ def cmd_fleet_chaos(args):
         horizon=args.horizon,
         fleet_params=dict(hosts=args.hosts, tenants=args.tenants),
     )
-    report = campaign.run()
+    if args.from_warm:
+        report = campaign.run_fanout(
+            branches_per_mix=args.fanout, processes=args.processes
+        )
+    else:
+        if args.fanout != 1:
+            print(
+                "[chaos] --fanout needs --from-warm (cold runs replay "
+                "the warm-up per leg)",
+                file=sys.stderr,
+            )
+            return 2
+        report = campaign.run()
     print(report.summary())
     if args.report_out:
         with open(args.report_out, "w", encoding="utf-8") as handle:
@@ -299,6 +317,28 @@ def build_parser():
         "--report-out",
         metavar="PATH",
         help="write the deterministic ChaosReport JSON to PATH",
+    )
+    fleet_chaos.add_argument(
+        "--from-warm",
+        action="store_true",
+        help="warm the fleet once and run every leg as a copy-on-write "
+        "fork branch (faults then only hit the branch phase)",
+    )
+    fleet_chaos.add_argument(
+        "--fanout",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --from-warm: fork N independent fault plans per mix "
+        "off the one warmed snapshot",
+    )
+    fleet_chaos.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        metavar="P",
+        help="with --from-warm: spread fan-out legs across P worker "
+        "processes (deterministic merge)",
     )
     fleet_chaos.set_defaults(func=cmd_fleet_chaos)
     fleet_status = fleet_sub.add_parser("status")

@@ -9,7 +9,7 @@ campaigns under a detection budget.
 
 from repro.cloud.campaign import AttackCampaign, CampaignEvent
 from repro.cloud.datacenter import Datacenter
-from repro.cloud.fleet import FleetRunResult, run_fleet
+from repro.cloud.fleet import FleetRunResult, WarmFleet, run_fleet, warm_fleet
 from repro.cloud.fleet_monitor import FleetMonitor, FleetReport
 from repro.cloud.inventory import Host, HostSpec, heterogeneous_specs
 from repro.cloud.migration_orchestrator import (
@@ -35,6 +35,8 @@ __all__ = [
     "Tenant",
     "TenantChurn",
     "TenantSpec",
+    "WarmFleet",
     "heterogeneous_specs",
     "run_fleet",
+    "warm_fleet",
 ]

@@ -48,11 +48,15 @@ class CampaignEvent:
 class AttackCampaign:
     """Installs CloudSkulk on sampled tenants; keeps ground truth."""
 
-    def __init__(self, datacenter, count=1, migration_mode="precopy"):
+    def __init__(self, datacenter, count=1, migration_mode="precopy", stream=None):
         self.datacenter = datacenter
         self.count = count
         self.migration_mode = migration_mode
-        self.rng = datacenter.rng.stream("cloud.campaign")
+        #: ``stream`` names the registry stream the target sampler
+        #: draws from.  Branches forked off one warmed fleet pass a
+        #: distinct name per branch ("cloud.campaign#3") to diverge the
+        #: attack without re-seeding anything else.
+        self.rng = datacenter.rng.stream(stream or "cloud.campaign")
         self.events = []
 
     def _sample_targets(self):

@@ -32,6 +32,12 @@ from repro.cloud.migration_orchestrator import MigrationOrchestrator
 from repro.cloud.placement import BinPackingPlacer
 from repro.cloud.tenants import TenantChurn
 
+#: Errors a chaos-enabled run absorbs: the injected faults are
+#: *supposed* to break control-plane steps — including the attacker's
+#: own CloudSkulk install migration — and the report scores what
+#: survived.  Fault-free runs keep the errors loud.
+SURVIVABLE_ERRORS = (CloudError, HypervisorError, MigrationError, RootkitError)
+
 
 class FleetRunResult:
     """Everything one fleet run produced, with a deterministic summary."""
@@ -106,6 +112,233 @@ class FleetRunResult:
         return "\n".join(lines)
 
 
+def _run_branch(
+    datacenter,
+    placer,
+    churn,
+    orchestrator,
+    faults=None,
+    campaigns=1,
+    sweeps=1,
+    sweeps_per_hour=2.0,
+    max_concurrent_probes=2,
+    file_pages=FLEET_FILE_PAGES,
+    wait_seconds=FLEET_WAIT_SECONDS,
+    migration_mode="precopy",
+    campaign_stream=None,
+):
+    """The divergent suffix of a fleet experiment: attack, sweep, score.
+
+    Runs against an already-warmed datacenter — either one forked off an
+    :class:`~repro.sim.snapshot.EngineSnapshot` or a live fleet that
+    just finished its warm-up.  ``faults`` arms a FaultPlan with the
+    current virtual time as base, so plans written against t=0 play out
+    relative to the branch point.  Returns a scored
+    :class:`FleetRunResult`.
+    """
+    engine = datacenter.engine
+    injector = None
+    if faults is not None:
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(datacenter, faults).arm(base=engine.now)
+    monitor = FleetMonitor(
+        datacenter,
+        sweeps_per_hour=sweeps_per_hour,
+        max_concurrent_probes=max_concurrent_probes,
+        file_pages=file_pages,
+        wait_seconds=wait_seconds,
+    )
+    campaign = AttackCampaign(
+        datacenter,
+        count=campaigns,
+        migration_mode=migration_mode,
+        stream=campaign_stream,
+    )
+
+    def control():
+        if campaigns:
+            try:
+                yield from campaign.run()
+            except SURVIVABLE_ERRORS:
+                if injector is None:
+                    raise
+        if sweeps:
+            yield monitor.run_periodic(max_sweeps=sweeps)
+
+    engine.run(engine.process(control(), name="fleet-branch"))
+    result = FleetRunResult(
+        datacenter, placer, churn, orchestrator, monitor, campaign,
+        injector=injector,
+    )
+    result.recall, result.detection_latencies = campaign.score(monitor.alerts)
+    return result
+
+
+class WarmFleet:
+    """A fleet that has paid its warm-up prefix once, ready to fan out.
+
+    Produced by :func:`warm_fleet`.  When captured (the default), every
+    :meth:`branch` call forks the snapshot into an independent engine —
+    guest pages shared copy-on-write — runs the divergent suffix there,
+    and disposes the fork's page references afterwards.  When built
+    with ``capture=False`` the single live fleet *is* the branch
+    substrate: exactly one branch may run (this is the cold comparator
+    the determinism tests and benchmarks diff forked branches against).
+    """
+
+    def __init__(self, datacenter, placer, churn, orchestrator, snapshot=None):
+        self.datacenter = datacenter
+        self.placer = placer
+        self.churn = churn
+        self.orchestrator = orchestrator
+        #: The EngineSnapshot, or None for a live (single-branch) fleet.
+        self.snapshot = snapshot
+        self._spent = False
+
+    @property
+    def engine(self):
+        return self.datacenter.engine
+
+    def branch(self, **branch_params):
+        """Run one divergent branch; returns a scored FleetRunResult.
+
+        Accepts the branch-phase keywords of :func:`_run_branch`:
+        ``faults``, ``campaigns``, ``sweeps``, ``sweeps_per_hour``,
+        ``max_concurrent_probes``, ``file_pages``, ``wait_seconds``,
+        ``migration_mode``, ``campaign_stream``.
+        """
+        if self.snapshot is None:
+            from repro.sim.snapshot import SnapshotError
+
+            if self._spent:
+                raise SnapshotError(
+                    "live (uncaptured) warm fleet supports exactly one "
+                    "branch; build with capture=True to fan out"
+                )
+            self._spent = True
+            return _run_branch(
+                self.datacenter, self.placer, self.churn, self.orchestrator,
+                **branch_params,
+            )
+        fork = self.snapshot.fork()
+        try:
+            datacenter, placer, churn, orchestrator = fork.root
+            return _run_branch(
+                datacenter, placer, churn, orchestrator, **branch_params
+            )
+        finally:
+            fork.dispose()
+
+    def fan_out(self, branch_specs):
+        """Run one branch per spec dict, serially, with GC kept off the
+        warm baseline (see :func:`~repro.sim.snapshot.heap_frozen`).
+        Returns the list of FleetRunResults in spec order."""
+        import gc
+
+        from repro.sim.snapshot import heap_frozen
+
+        results = []
+        with heap_frozen():
+            for spec in branch_specs:
+                results.append(self.branch(**spec))
+                # Each disposed branch is pure garbage; collecting it
+                # immediately keeps N-branch loops at flat memory.
+                gc.collect()
+        return results
+
+    def fan_out_faults(self, plans, **branch_params):
+        """One branch per :class:`FaultPlan` (``None`` = fault-free)."""
+        return self.fan_out(
+            [dict(branch_params, faults=plan) for plan in plans]
+        )
+
+    def fan_out_detector_configs(self, configs, **branch_params):
+        """One branch per detector budget, e.g. ``{"file_pages": 25,
+        "wait_seconds": 20.0}`` — the paper's probe-budget sweep without
+        re-warming the fleet per configuration."""
+        return self.fan_out(
+            [dict(branch_params, **config) for config in configs]
+        )
+
+    def fan_out_seeds(self, count, **branch_params):
+        """``count`` branches differing only in the attack campaign's
+        RNG stream — same fleet, independent attacker draws."""
+        return self.fan_out(
+            [
+                dict(branch_params, campaign_stream=f"cloud.campaign#{index}")
+                for index in range(count)
+            ]
+        )
+
+    def dispose(self):
+        """Release the snapshot's page-store references."""
+        if self.snapshot is not None:
+            self.snapshot.dispose()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.dispose()
+        return False
+
+    def __repr__(self):
+        mode = "live" if self.snapshot is None else repr(self.snapshot)
+        return (
+            f"<WarmFleet hosts={len(self.datacenter.hosts)} "
+            f"seed={self.datacenter.seed} {mode}>"
+        )
+
+
+def warm_fleet(
+    hosts=8,
+    tenants=64,
+    seed=1701,
+    churn_operations=24,
+    rebalance_moves=2,
+    overcommit=1.0,
+    settle_seconds=0.0,
+    capture=True,
+    trace=False,
+    trace_ring_capacity=None,
+    label=None,
+):
+    """Pay the warm-up prefix once; returns a :class:`WarmFleet`.
+
+    Runs the fault-free shared prefix of every fleet experiment —
+    provision ``tenants`` across ``hosts``, apply the churn tail,
+    rebalance — then optionally idles ``settle_seconds`` of virtual
+    time so KSM converges, and (unless ``capture=False``) snapshots the
+    whole world for copy-on-write fan-out.
+    """
+    datacenter = Datacenter(hosts=hosts, seed=seed, overcommit=overcommit)
+    if trace:
+        datacenter.engine.tracer.enable(ring_capacity=trace_ring_capacity)
+    placer = BinPackingPlacer(datacenter)
+    churn = TenantChurn(datacenter, placer)
+    orchestrator = MigrationOrchestrator(datacenter)
+
+    def control():
+        yield from churn.bring_up(tenants)
+        yield from churn.run(churn_operations)
+        if rebalance_moves:
+            yield from orchestrator.rebalance(placer, moves=rebalance_moves)
+
+    engine = datacenter.engine
+    engine.run(engine.process(control(), name="fleet-warm"))
+    if settle_seconds:
+        engine.run(until=engine.now + settle_seconds)
+    snapshot = None
+    if capture:
+        if label is None:
+            label = f"fleet-{hosts}x{tenants}-s{seed}"
+        snapshot = datacenter.snapshot(
+            placer, churn, orchestrator, label=label
+        )
+    return WarmFleet(datacenter, placer, churn, orchestrator, snapshot)
+
+
 def run_fleet(
     hosts=8,
     tenants=64,
@@ -123,6 +356,7 @@ def run_fleet(
     trace=False,
     trace_ring_capacity=None,
     faults=None,
+    from_snapshot=None,
 ):
     """Run one complete fleet experiment; returns a FleetRunResult.
 
@@ -138,7 +372,41 @@ def run_fleet(
     migration retries, campaigns with no reachable target) degrade the
     run instead of raising.  An empty plan leaves the run byte-identical
     to ``faults=None``.
+
+    ``from_snapshot`` skips the warm-up entirely: pass a
+    :class:`WarmFleet` (or the :class:`~repro.sim.snapshot.
+    EngineSnapshot` a :func:`warm_fleet` captured) and only the
+    branch phase runs, on a fork of the warmed state.  The warm-phase
+    parameters (``hosts``/``tenants``/``seed``/``churn_operations``/
+    ``rebalance_moves``/``overcommit``/``trace``) were fixed at capture
+    time and are ignored; ``faults`` arm relative to the fork point.
     """
+    if from_snapshot is not None:
+        branch_params = dict(
+            faults=faults,
+            campaigns=campaigns,
+            sweeps=sweeps,
+            sweeps_per_hour=sweeps_per_hour,
+            max_concurrent_probes=max_concurrent_probes,
+            file_pages=file_pages,
+            wait_seconds=wait_seconds,
+            migration_mode=migration_mode,
+        )
+        if isinstance(from_snapshot, WarmFleet):
+            return from_snapshot.branch(**branch_params)
+        fork = from_snapshot.fork()
+        try:
+            root = fork.root
+            if not (isinstance(root, tuple) and len(root) == 4):
+                raise CloudError(
+                    "from_snapshot needs a warm_fleet() capture whose root "
+                    "is (datacenter, placer, churn, orchestrator); got "
+                    f"{type(root).__name__}"
+                )
+            return _run_branch(*root, **branch_params)
+        finally:
+            fork.dispose()
+
     datacenter = Datacenter(hosts=hosts, seed=seed, overcommit=overcommit)
     if trace:
         datacenter.engine.tracer.enable(ring_capacity=trace_ring_capacity)
@@ -161,33 +429,27 @@ def run_fleet(
         datacenter, count=campaigns, migration_mode=migration_mode
     )
 
-    #: Errors a chaos-enabled run absorbs: the injected faults are
-    #: *supposed* to break control-plane steps — including the
-    #: attacker's own CloudSkulk install migration — and the report
-    #: scores what survived.  Fault-free runs keep the errors loud.
-    survivable = (CloudError, HypervisorError, MigrationError, RootkitError)
-
     def control():
         try:
             yield from churn.bring_up(tenants)
-        except survivable:
+        except SURVIVABLE_ERRORS:
             if injector is None:
                 raise
         try:
             yield from churn.run(churn_operations)
-        except survivable:
+        except SURVIVABLE_ERRORS:
             if injector is None:
                 raise
         if rebalance_moves:
             try:
                 yield from orchestrator.rebalance(placer, moves=rebalance_moves)
-            except survivable:
+            except SURVIVABLE_ERRORS:
                 if injector is None:
                     raise
         if campaigns:
             try:
                 yield from campaign.run()
-            except survivable:
+            except SURVIVABLE_ERRORS:
                 if injector is None:
                     raise
         if sweeps:

@@ -71,6 +71,23 @@ def sample_spec(name, rng, anti_affinity_group=None):
     )
 
 
+class _GuestLocator:
+    """Callable resolving a tenant's current guest System.
+
+    A class rather than a lambda so engine snapshots rebind it to the
+    copied tenant through the copy memo (closures are atomic to
+    :mod:`copy` and would keep answering with the parent's guest).
+    """
+
+    __slots__ = ("tenant",)
+
+    def __init__(self, tenant):
+        self.tenant = tenant
+
+    def __call__(self):
+        return self.tenant.guest
+
+
 class Tenant:
     """One customer VM as the control plane tracks it."""
 
@@ -108,8 +125,8 @@ class Tenant:
         return self.vm.guest
 
     def locator(self):
-        """A victim locator closure for CloudInterface registration."""
-        return lambda: self.guest
+        """A victim locator callable for CloudInterface registration."""
+        return _GuestLocator(self)
 
     @property
     def compromised(self):

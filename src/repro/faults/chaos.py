@@ -42,15 +42,41 @@ DEFAULT_FLEET_PARAMS = dict(
 )
 
 
-def standard_mix_plan(mix, seed, faults=5, horizon=240.0):
-    """The deterministic :class:`FaultPlan` for one named mix."""
+#: fleet_params keys consumed by the shared warm-up prefix; everything
+#: else parameterizes the divergent branch phase.  ``run_fanout`` uses
+#: the split to warm once and fan branches out off one snapshot.
+WARM_PARAM_KEYS = (
+    "hosts",
+    "tenants",
+    "churn_operations",
+    "rebalance_moves",
+    "overcommit",
+    "settle_seconds",
+)
+
+
+def _split_fleet_params(params):
+    """(warm-phase kwargs, branch-phase kwargs) from one params dict."""
+    warm = {k: v for k, v in params.items() if k in WARM_PARAM_KEYS}
+    branch = {k: v for k, v in params.items() if k not in WARM_PARAM_KEYS}
+    return warm, branch
+
+
+def standard_mix_plan(mix, seed, faults=5, horizon=240.0, stream=None):
+    """The deterministic :class:`FaultPlan` for one named mix.
+
+    ``stream`` overrides the registry stream the plan is drawn from
+    (default ``faults.mix.<mix>``); fan-out drivers pass a per-branch
+    name so N branches of the same mix get independent plans from the
+    same campaign seed.
+    """
     try:
         kinds = STANDARD_MIXES[mix]
     except KeyError:
         raise FaultError(
             f"unknown fault mix {mix!r} (choose from {sorted(STANDARD_MIXES)})"
         ) from None
-    rng = RngRegistry(seed).stream(f"faults.mix.{mix}")
+    rng = RngRegistry(seed).stream(stream or f"faults.mix.{mix}")
     return FaultPlan.random(rng, faults=faults, horizon=horizon, kinds=kinds)
 
 
@@ -140,27 +166,127 @@ class ChaosCampaign:
         #: FleetRunResult per mix leg (trace export, post-mortems).
         self.results = []
 
-    def plan_for(self, mix):
+    def plan_for(self, mix, branch=0):
+        """The plan for one leg; ``branch`` > 0 derives an independent
+        plan for the Nth fan-out branch of the same mix."""
+        stream = f"faults.mix.{mix}" if not branch else f"faults.mix.{mix}#{branch}"
         return standard_mix_plan(
-            mix, self.seed, faults=self.faults_per_mix, horizon=self.horizon
+            mix,
+            self.seed,
+            faults=self.faults_per_mix,
+            horizon=self.horizon,
+            stream=stream,
         )
 
     def run(self):
-        """Run every mix leg; returns the :class:`ChaosReport`."""
+        """Run every mix leg cold; returns the :class:`ChaosReport`.
+
+        Each leg replays the whole fleet experiment — warm-up included
+        — with the mix's faults armed from t=0, so faults can land in
+        the provisioning/churn phase too.  :meth:`run_fanout` is the
+        warm-once variant where faults only hit the branch phase.
+        """
         from repro.cloud.fleet import run_fleet
 
         report = ChaosReport(self.seed, self.faults_per_mix, self.horizon)
+        params = {
+            k: v
+            for k, v in self.fleet_params.items()
+            if k != "settle_seconds"  # a fan-out-only knob
+        }
         for mix in self.mixes:
             plan = self.plan_for(mix)
             result = run_fleet(
                 seed=self.seed,
                 faults=plan,
                 trace=self.trace,
-                **self.fleet_params,
+                **params,
             )
             self.results.append(result)
             report.entries.append(self._score(mix, plan, result))
         return report
+
+    def run_fanout(self, branches_per_mix=1, processes=None):
+        """Warm one fleet, fan every leg out as a COW fork branch.
+
+        The expensive prefix (provision, churn, rebalance, optional
+        ``settle_seconds`` of KSM convergence) runs once; each leg —
+        ``branches_per_mix`` independent fault plans per mix — forks the
+        snapshot and plays its plan relative to the fork point.  Faults
+        therefore never hit the warm-up, which is the experimental
+        difference from :meth:`run` (and why the two reports legitimately
+        differ for the same seed).
+
+        ``processes`` > 1 spreads the legs across a multiprocessing
+        pool.  Snapshots hold live generator frames and cannot cross a
+        process boundary, so each worker warms its own (identical,
+        same-seed) fleet and forks its slice of legs; the scored entries
+        merge back in deterministic leg order.  ``self.results`` only
+        collects :class:`FleetRunResult` objects in the serial path.
+
+        Returns a :class:`ChaosReport` whose entries carry a ``branch``
+        index next to ``mix``.
+        """
+        report = ChaosReport(self.seed, self.faults_per_mix, self.horizon)
+        legs = [
+            (mix, index)
+            for mix in self.mixes
+            for index in range(branches_per_mix)
+        ]
+        warm_params, branch_params = _split_fleet_params(self.fleet_params)
+        if processes and processes > 1 and len(legs) > 1:
+            report.entries.extend(
+                self._run_fanout_pooled(
+                    legs, warm_params, branch_params, processes
+                )
+            )
+            return report
+        from repro.cloud.fleet import warm_fleet
+
+        fleet = warm_fleet(seed=self.seed, trace=self.trace, **warm_params)
+        with fleet:
+            plans = [self.plan_for(mix, branch=index) for mix, index in legs]
+            results = fleet.fan_out(
+                [dict(branch_params, faults=plan) for plan in plans]
+            )
+            for (mix, index), plan, result in zip(legs, plans, results):
+                self.results.append(result)
+                entry = self._score(mix, plan, result)
+                entry["branch"] = index
+                report.entries.append(entry)
+        return report
+
+    def _run_fanout_pooled(self, legs, warm_params, branch_params, processes):
+        import multiprocessing
+
+        workers = min(processes, len(legs))
+        chunks = [legs[i::workers] for i in range(workers)]
+        payloads = [
+            (
+                self.seed,
+                self.faults_per_mix,
+                self.horizon,
+                warm_params,
+                branch_params,
+                chunk,
+            )
+            for chunk in chunks
+            if chunk
+        ]
+        method = (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        ctx = multiprocessing.get_context(method)
+        scored = {}
+        with ctx.Pool(len(payloads)) as pool:
+            # imap_unordered for throughput; the merge below re-imposes
+            # leg order, so the report is arrival-order independent.
+            for part in pool.imap_unordered(_fanout_worker, payloads):
+                for key, entry in part:
+                    scored[tuple(key)] = entry
+        return [scored[leg] for leg in legs]
 
     @staticmethod
     def _score(mix, plan, result):
@@ -195,3 +321,42 @@ class ChaosCampaign:
             "unreachable_findings": unreachable,
             "virtual_time": dc.engine.now,
         }
+
+
+def _fanout_worker(payload):
+    """Pool worker: warm one fleet, run a slice of fan-out legs.
+
+    Each worker pays the warm-up itself (snapshots are engine state
+    with live generator frames — not picklable), but determinism makes
+    every worker's same-seed warm fleet identical, so the slices are
+    byte-equivalent to the serial fan-out.  Returns ``[((mix, branch),
+    scored_entry), ...]`` for the parent to merge in leg order.
+    """
+    seed, faults_per_mix, horizon, warm_params, branch_params, legs = payload
+    from repro.cloud.fleet import warm_fleet
+
+    out = []
+    fleet = warm_fleet(seed=seed, **warm_params)
+    with fleet:
+        plans = [
+            standard_mix_plan(
+                mix,
+                seed,
+                faults=faults_per_mix,
+                horizon=horizon,
+                stream=(
+                    f"faults.mix.{mix}"
+                    if not index
+                    else f"faults.mix.{mix}#{index}"
+                ),
+            )
+            for mix, index in legs
+        ]
+        results = fleet.fan_out(
+            [dict(branch_params, faults=plan) for plan in plans]
+        )
+        for (mix, index), plan, result in zip(legs, plans, results):
+            entry = ChaosCampaign._score(mix, plan, result)
+            entry["branch"] = index
+            out.append(((mix, index), entry))
+    return out

@@ -49,14 +49,20 @@ class FaultInjector:
 
     # -- arming ------------------------------------------------------------
 
-    def arm(self):
-        """Schedule the whole plan and publish at ``engine.faults``."""
+    def arm(self, base=0.0):
+        """Schedule the whole plan and publish at ``engine.faults``.
+
+        ``base`` offsets every spec's injection time: plans are written
+        against a run that starts at virtual time zero, so a branch
+        forked from a warmed fleet arms with ``base=engine.now`` and
+        the same plan plays out relative to the fork point.
+        """
         if self._armed:
             return self
         self._armed = True
         self.engine.faults = self
         for spec in self.plan:
-            self.engine.call_at(spec.at, self._inject, spec)
+            self.engine.call_at(base + spec.at, self._inject, spec)
         return self
 
     # -- bookkeeping -------------------------------------------------------

@@ -26,7 +26,9 @@ class Machine:
         self.name = name
         self.engine = engine if engine is not None else Engine()
         self.cpu = cpu if cpu is not None else CpuPackage()
-        self.memory = PhysicalMemory(memory_mb, perf=self.engine.perf)
+        self.memory = self.engine.register_memory(
+            PhysicalMemory(memory_mb, perf=self.engine.perf)
+        )
         self.rng = RngRegistry(seed)
         self.cost_model = cost_model if cost_model is not None else CostModel()
         # One scheduler for the whole package: vCPUs of every VM at

@@ -23,6 +23,7 @@ with zeros.  The empty string is the canonical zero page.  Contents are
 compared by value and hashed with BLAKE2b for the KSM trees.
 """
 
+from copy import deepcopy as _deepcopy
 from itertools import count
 
 from repro.errors import MemoryError_
@@ -93,6 +94,23 @@ class Frame:
                 f"page content of {len(content)} bytes exceeds PAGE_SIZE"
             )
         self.record = PageRecord(content)
+
+    def __deepcopy__(self, memo):
+        # Hand-rolled: frames dominate engine snapshot forks (one per
+        # distinct page) and every slot but ``record`` is atomic.  The
+        # record goes through the memo, where snapshot pre-seeding maps
+        # it to itself (content shared, copy-on-write by refcount).
+        cls = self.__class__
+        clone = cls.__new__(cls)
+        memo[id(self)] = clone
+        clone.fid = self.fid
+        record = self.record
+        copied = memo.get(id(record))
+        clone.record = copied if copied is not None else _deepcopy(record, memo)
+        clone.refcount = self.refcount
+        clone.mergeable = self.mergeable
+        clone.ksm_shared = self.ksm_shared
+        return clone
 
     def __repr__(self):
         kind = "shared" if self.ksm_shared else "private"
@@ -200,6 +218,10 @@ class PhysicalMemory(MemoryDomain):
         self._ksm = None
         self._mergeable_generation = 0
         self._write_epoch = 0
+        # Fork-shared divergence ledger: record -> None for every page
+        # record this memory shares with a snapshot it was forked from
+        # (None outside a fork — the write path pays one is-None check).
+        self._fork_shared = None
 
     @property
     def nesting_depth(self):
@@ -228,6 +250,100 @@ class PhysicalMemory(MemoryDomain):
     def attach_ksm(self, ksm):
         """Register the KSM daemon that owns merge policy for this memory."""
         self._ksm = ksm
+
+    # -- snapshot/fork bookkeeping ----------------------------------------
+
+    def adopt_fork_records(self, track_divergence=True):
+        """Take one page-store reference per distinct frame.
+
+        Called by :mod:`repro.sim.snapshot` right after this memory was
+        copied with records shared by identity: every distinct frame in
+        the copy now holds the same record as its source frame, so the
+        records' refcounts must rise by one per adopted frame for the
+        conservation invariant (one store reference per distinct live
+        frame) to keep holding on *both* sides.
+
+        ``track_divergence`` starts the fork-shared ledger so later
+        writes that replace a shared record count as
+        ``perf.fork_cow_breaks``.  Returns the number of frames whose
+        page content is now shared instead of copied.
+        """
+        fork_shared = {} if track_divergence else None
+        shared = 0
+        for frame in self.iter_distinct_frames():
+            frame.record.refs += 1
+            shared += 1
+            if fork_shared is not None:
+                fork_shared[frame.record] = None
+        self._fork_shared = fork_shared
+        return shared
+
+    def release_fork_records(self):
+        """Give back every store reference this copy's frames hold.
+
+        The inverse of :meth:`adopt_fork_records` *plus* whatever the
+        branch interned since: one reference per distinct live frame.
+        After the call the shared records' refcounts are exactly what
+        they were before this copy existed.
+        """
+        store = self._store
+        for frame in self.iter_distinct_frames():
+            store.release(frame.record)
+        self._fork_shared = None
+
+    def __deepcopy__(self, memo):
+        """Bulk-structured copy for engine snapshot forks.
+
+        The generic reduce path walks every pfn entry through
+        ``deepcopy``; here the int-keyed indexes are copied with plain
+        dict comprehensions and only frames/records route through the
+        memo (where snapshot pre-seeding makes records identity-shared).
+        Semantically identical to the default deepcopy — just flat.
+        """
+        cls = self.__class__
+        clone = cls.__new__(cls)
+        memo[id(self)] = clone
+        clone.size_mb = self.size_mb
+        clone.total_pages = self.total_pages
+        clone.perf = _deepcopy(self.perf, memo)
+        clone._store = _deepcopy(self._store, memo)
+        # Copying the store above put every resident record in the memo,
+        # so the indexes below resolve records with a raw memo probe;
+        # the fallback covers records a test remapped in from outside.
+        memo_get = memo.get
+        frames = {}
+        for pfn, frame in self._frames.items():
+            copied = memo_get(id(frame))
+            if copied is None:
+                copied = frame.__deepcopy__(memo)
+            frames[pfn] = copied
+        clone._frames = frames
+        clone._mergeable = dict(self._mergeable)
+        clone._scan_records = {
+            pfn: memo_get(id(record)) or _deepcopy(record, memo)
+            for pfn, record in self._scan_records.items()
+        }
+        clone._parked = {
+            (memo_get(id(record)) or _deepcopy(record, memo)): dict(bucket)
+            for record, bucket in self._parked.items()
+        }
+        clone._candidate_count = {
+            (memo_get(id(record)) or _deepcopy(record, memo)): n
+            for record, n in self._candidate_count.items()
+        }
+        clone._distinct = self._distinct
+        clone._next_pfn = _deepcopy(self._next_pfn, memo)
+        clone._next_fid = _deepcopy(self._next_fid, memo)
+        clone._ksm = _deepcopy(self._ksm, memo)
+        clone._mergeable_generation = self._mergeable_generation
+        clone._write_epoch = self._write_epoch
+        if self._fork_shared is None:
+            clone._fork_shared = None
+        else:
+            clone._fork_shared = {
+                _deepcopy(record, memo): None for record in self._fork_shared
+            }
+        return clone
 
     # -- scan-candidate index maintenance --------------------------------
 
@@ -417,10 +533,17 @@ class PhysicalMemory(MemoryDomain):
         if frame is None:
             raise MemoryError_(f"write to unmapped pfn {pfn}")
         store = self._store
+        fork_shared = self._fork_shared
         if frame.refcount > 1:
             # Copy-on-write break: this pfn gets a private copy.  The
             # shared frame lives on for its other mappers.
             new_record = store.intern(content)
+            if (
+                fork_shared is not None
+                and new_record is not frame.record
+                and frame.record in fork_shared
+            ):
+                self.perf.fork_cow_breaks += 1
             self._remove_candidate(pfn, frame.record)
             replacement = Frame(
                 next(self._next_fid),
@@ -448,6 +571,12 @@ class PhysicalMemory(MemoryDomain):
                 outcome.cow_broken = True
             old_record = frame.record
             new_record = store.reintern(old_record, content)
+            if (
+                fork_shared is not None
+                and new_record is not old_record
+                and old_record in fork_shared
+            ):
+                self.perf.fork_cow_breaks += 1
             frame.record = new_record
             if frame.mergeable:
                 self._write_epoch += 1

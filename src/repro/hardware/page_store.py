@@ -26,6 +26,7 @@ job, one layer up.
 """
 
 import hashlib
+from copy import deepcopy as _deepcopy
 
 from repro.errors import MemoryError_
 
@@ -62,6 +63,19 @@ class PageRecord:
             digest = self._digest = content_digest(self.content)
         return digest
 
+    def __deepcopy__(self, memo):
+        # Content bytes are immutable and the cached digest transfers;
+        # a flat copy sidesteps the reduce machinery.  Engine snapshots
+        # never reach this (records are memo-preseeded to themselves) —
+        # it serves standalone deepcopies of memories in tests/tools.
+        cls = self.__class__
+        clone = cls.__new__(cls)
+        memo[id(self)] = clone
+        clone.content = self.content
+        clone.refs = self.refs
+        clone._digest = self._digest
+        return clone
+
     def __repr__(self):
         return f"<PageRecord {len(self.content)}B refs={self.refs}>"
 
@@ -80,10 +94,44 @@ class PageStore:
         self._by_content = {}
         self._perf = perf
 
+    def __deepcopy__(self, memo):
+        # Flat table copy: keys are immutable bytes (shared), records
+        # route through the memo so snapshot forks keep sharing them by
+        # identity while standalone deepcopies still duplicate.
+        cls = self.__class__
+        clone = cls.__new__(cls)
+        memo[id(self)] = clone
+        clone._perf = _deepcopy(self._perf, memo)
+        clone._by_content = {
+            content: _deepcopy(record, memo)
+            for content, record in self._by_content.items()
+        }
+        return clone
+
     @property
     def unique_contents(self):
         """Number of distinct page contents currently resident."""
         return len(self._by_content)
+
+    def iter_records(self):
+        """Yield every resident record.
+
+        Snapshot/fork uses this to pre-seed the copy memo so records
+        are shared by identity instead of byte-copied.
+        """
+        return iter(self._by_content.values())
+
+    def refs_partition(self):
+        """``{content: refs}`` for every resident record.
+
+        A point-in-time view of the refcount partition; the fork
+        conservation tests diff this before a fork against after the
+        fork is disposed.
+        """
+        return {
+            content: record.refs
+            for content, record in self._by_content.items()
+        }
 
     def intern(self, content):
         """Return the record for ``content``, creating it if needed.

@@ -16,6 +16,8 @@ handed out by :meth:`alloc_page` / :meth:`alloc_pages`, except for
 exact source page numbers.
 """
 
+from copy import deepcopy as _deepcopy
+
 from repro.errors import MemoryError_
 from repro.hardware.memory import PAGE_SIZE, MemoryDomain, WriteOutcome
 from repro.migration.dirty_tracking import DirtyBitmap
@@ -52,6 +54,29 @@ class GuestMemory(MemoryDomain):
         # uses real materialized pages instead.
         self.bulk_touched = 0
         self._bulk_dirty = 0
+
+    def __deepcopy__(self, memo):
+        # Mapping and dirty log are int -> int dicts, so shallow dict
+        # copies are exact deep copies; only the parent domain and the
+        # shared perf counters recurse.  Keeps engine snapshot forks
+        # from walking every translation entry through the generic
+        # reduce path.
+        cls = self.__class__
+        clone = cls.__new__(cls)
+        memo[id(self)] = clone
+        clone.parent = _deepcopy(self.parent, memo)
+        clone.name = self.name
+        clone.size_mb = self.size_mb
+        clone.total_pages = self.total_pages
+        clone.mergeable = self.mergeable
+        clone._mapping = dict(self._mapping)
+        clone._next_alloc = self._next_alloc
+        clone._dirty_words = dict(self._dirty_words)
+        clone.dirty_log_enabled = self.dirty_log_enabled
+        clone.perf = _deepcopy(self.perf, memo)
+        clone.bulk_touched = self.bulk_touched
+        clone._bulk_dirty = self._bulk_dirty
+        return clone
 
     @property
     def nesting_depth(self):

@@ -17,6 +17,8 @@ The stable/unstable structures are content-keyed dictionaries rather
 than the kernel's rb-trees — same semantics, simpler mechanics.
 """
 
+from copy import deepcopy as _deepcopy
+
 from repro.errors import HypervisorError
 from repro.hardware.page_store import content_digest
 
@@ -76,6 +78,40 @@ class KsmDaemon:
         self._process = None
         self.running = False
 
+    def __deepcopy__(self, memo):
+        # The scan bookkeeping dominates a daemon copy and is almost
+        # all atomic (pfn ints, digest bytes): flat-copy it and route
+        # only frames and the simulation plumbing through the memo.
+        # Exists for engine snapshot forks; equivalent to the generic
+        # deepcopy either way.
+        cls = self.__class__
+        clone = cls.__new__(cls)
+        memo[id(self)] = clone
+        clone.machine = _deepcopy(self.machine, memo)
+        clone.engine = _deepcopy(self.engine, memo)
+        clone.memory = _deepcopy(self.memory, memo)
+        clone.pages_to_scan = self.pages_to_scan
+        clone.sleep_seconds = self.sleep_seconds
+        clone.stats = _deepcopy(self.stats, memo)
+        memo_get = memo.get
+        clone._stable = {
+            digest: (memo_get(id(frame)) or _deepcopy(frame, memo))
+            for digest, frame in self._stable.items()
+        }
+        clone._unstable = dict(self._unstable)
+        clone._seen = dict(self._seen)
+        clone._cursor = list(self._cursor)
+        clone._pass_merges = self._pass_merges
+        clone._pass_new_seen = self._pass_new_seen
+        clone._pass_start_marks = self._pass_start_marks
+        clone._pass_started = self._pass_started
+        clone._trace_track = self._trace_track
+        clone._idle = self._idle
+        clone._idle_marks = self._idle_marks
+        clone._process = _deepcopy(self._process, memo)
+        clone.running = self.running
+        return clone
+
     # -- lifecycle --------------------------------------------------------
 
     def start(self):
@@ -83,8 +119,20 @@ class KsmDaemon:
         if self.running:
             return self._process
         self.running = True
-        self._process = self.engine.process(self._run(), name="ksmd")
+        self._process = self.engine.process(
+            self._run(), name="ksmd", resumable=self
+        )
         return self._process
+
+    def __resume__(self):
+        """Snapshot protocol: a fresh loop generator in resuming mode.
+
+        The copy machinery advances it to the bare yield, where it
+        stands in for the original generator suspended on its sleep
+        timeout — the copied timeout delivers into it and the loop
+        continues exactly as the original would have.
+        """
+        return self._run(resuming=True)
 
     def stop(self):
         """Stop scanning (existing merges remain, as with run=0)."""
@@ -102,7 +150,15 @@ class KsmDaemon:
 
     # -- scanning ---------------------------------------------------------
 
-    def _run(self):
+    def _run(self, resuming=False):
+        if resuming:
+            # Stand-in for the original generator parked on its sleep
+            # timeout: nothing before this yield creates events or
+            # touches counters, so splicing in here is invisible.
+            yield
+            if not self.running:
+                return
+            self._wake()
         while self.running:
             yield self.engine.timeout(self.sleep_seconds)
             if not self.running:

@@ -142,6 +142,26 @@ class _Initialize(Event):
         engine._enqueue(self)
 
 
+class _Call:
+    """A deferred ``fn(*args)`` used by ``call_at`` / ``call_later``.
+
+    A lambda closure here would be shared *by identity* across snapshot
+    forks (plain functions are atomic to :mod:`copy`); an instance
+    rebinds its payload through the copy memo like every other event
+    callback, so a forked branch calls the forked injector, not the
+    parent's.
+    """
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self, fn, args):
+        self.fn = fn
+        self.args = args
+
+    def __call__(self, _event):
+        self.fn(*self.args)
+
+
 class Process(Event):
     """A running generator coroutine; also an event that fires on return.
 
@@ -149,11 +169,17 @@ class Process(Event):
     event triggers, the generator is resumed with the event's value (or,
     for failed events, the exception is thrown into it).  The process
     itself is an event whose value is the generator's return value.
+
+    ``resumable`` optionally names the object the generator came from.
+    Generators cannot be copied, so engine snapshots (:mod:`repro.sim.
+    snapshot`) rebuild a live process's continuation by asking the
+    copied resumable for a fresh generator positioned at the suspension
+    point — see :meth:`__deepcopy__`.
     """
 
-    __slots__ = ("_generator", "name", "_waiting_on")
+    __slots__ = ("_generator", "name", "_waiting_on", "resumable")
 
-    def __init__(self, engine, generator, name=None):
+    def __init__(self, engine, generator, name=None, resumable=None):
         super().__init__(engine)
         if not hasattr(generator, "throw"):
             raise SimulationError(
@@ -162,7 +188,46 @@ class Process(Event):
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on = None
+        self.resumable = resumable
         _Initialize(engine, self)
+
+    def __deepcopy__(self, memo):
+        """Copy for engine snapshots; the generator needs special care.
+
+        A finished process drops its (exhausted) generator.  A live one
+        must carry a ``resumable`` — an object exposing ``__resume__()``
+        returning a *resuming-mode* generator whose first yield is bare
+        and side-effect-free; the copy advances that fresh generator to
+        the bare yield, after which the copied waiting event's callback
+        (already rebound to this copy through the memo) delivers the
+        pending value exactly as it would have to the original.
+        """
+        from copy import deepcopy
+
+        memo.setdefault(id(_PENDING), _PENDING)
+        cls = self.__class__
+        clone = cls.__new__(cls)
+        memo[id(self)] = clone
+        clone.name = self.name
+        clone._ok = self._ok
+        clone.processed = self.processed
+        clone.engine = deepcopy(self.engine, memo)
+        clone.callbacks = deepcopy(self.callbacks, memo)
+        clone._value = deepcopy(self._value, memo)
+        clone._waiting_on = deepcopy(self._waiting_on, memo)
+        clone.resumable = deepcopy(self.resumable, memo)
+        if self._value is not _PENDING:
+            clone._generator = None
+        elif clone.resumable is not None:
+            generator = clone.resumable.__resume__()
+            generator.send(None)
+            clone._generator = generator
+        else:
+            raise SimulationError(
+                f"cannot snapshot live process {self.name!r}: it has no "
+                "resumable (see repro.sim.snapshot)"
+            )
+        return clone
 
     @property
     def is_alive(self):
@@ -341,6 +406,9 @@ class Engine:
         #: injector, so an unfaulted run pays nothing and replays
         #: byte-identically.
         self.faults = None
+        #: Physical memories whose page stores participate in
+        #: snapshot/fork record sharing (see :meth:`register_memory`).
+        self._memories = []
 
     @property
     def now(self):
@@ -355,23 +423,59 @@ class Engine:
         """Create a :class:`Timeout` firing ``delay`` seconds from now."""
         return Timeout(self, delay, value)
 
-    def process(self, generator, name=None):
-        """Start a :class:`Process` running ``generator`` immediately."""
-        return Process(self, generator, name=name)
+    def process(self, generator, name=None, resumable=None):
+        """Start a :class:`Process` running ``generator`` immediately.
+
+        ``resumable`` makes the process snapshot-safe: pass the object
+        the generator came from, exposing ``__resume__()`` (see
+        :mod:`repro.sim.snapshot`).
+        """
+        return Process(self, generator, name=name, resumable=resumable)
 
     def call_at(self, when, fn, *args):
         """Run ``fn(*args)`` at absolute virtual time ``when``."""
         if when < self._now:
             raise SimulationError(f"call_at in the past: {when} < {self._now}")
         marker = Timeout(self, when - self._now)
-        marker._add_callback(lambda _event: fn(*args))
+        marker._add_callback(_Call(fn, args))
         return marker
 
     def call_later(self, delay, fn, *args):
         """Run ``fn(*args)`` after ``delay`` seconds of virtual time."""
         marker = self.timeout(delay)
-        marker._add_callback(lambda _event: fn(*args))
+        marker._add_callback(_Call(fn, args))
         return marker
+
+    # -- snapshot / fork ---------------------------------------------------
+
+    def register_memory(self, memory):
+        """Enroll a :class:`~repro.hardware.memory.PhysicalMemory`.
+
+        Registered memories have their interned page records shared *by
+        identity* (refcounted, copy-on-write) across snapshot captures
+        and forks instead of being byte-copied.
+        """
+        self._memories.append(memory)
+        return memory
+
+    def snapshot(self, root=None, label=None):
+        """Capture the full simulation state (see :mod:`repro.sim.snapshot`).
+
+        ``root`` is the domain object graph to carry along (typically a
+        :class:`~repro.cloud.datacenter.Datacenter`); everything
+        reachable from the engine *or* the root lands in the snapshot.
+        """
+        from repro.sim.snapshot import capture
+
+        return capture(self, root=root, label=label)
+
+    def fork(self, snapshot):
+        """Fork an independent branch off ``snapshot`` (must be ours)."""
+        from repro.sim.snapshot import SnapshotError
+
+        if snapshot.engine is not self:
+            raise SnapshotError("snapshot belongs to a different engine")
+        return snapshot.fork()
 
     def all_of(self, events):
         """Composite event firing when all ``events`` have fired."""

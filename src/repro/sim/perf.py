@@ -50,7 +50,16 @@ class PerfCounters:
     * ``faults_injected`` — fault-plan injections performed by
       :class:`repro.faults.injector.FaultInjector` (skips not counted);
     * ``faults_recovered`` — fault recoveries (heals, crash restores,
-      stall expiries) performed by the injector.
+      stall expiries) performed by the injector;
+    * ``snapshot_captures`` — engine snapshots taken
+      (:meth:`repro.sim.engine.Engine.snapshot`);
+    * ``engine_forks`` — independent branches forked off a snapshot
+      (counted on the parent engine that owns the snapshot);
+    * ``fork_pages_shared`` — interned page records a forked branch
+      adopted by refcount instead of copying (counted on the branch);
+    * ``fork_cow_breaks`` — branch writes that replaced a fork-shared
+      page record on the written pfn, i.e. genuine copy-on-write
+      divergence from the snapshot (counted on the branch).
     """
 
     __slots__ = (
@@ -74,6 +83,10 @@ class PerfCounters:
         "fleet_detections",
         "faults_injected",
         "faults_recovered",
+        "snapshot_captures",
+        "engine_forks",
+        "fork_pages_shared",
+        "fork_cow_breaks",
     )
 
     def __init__(self):
@@ -101,6 +114,10 @@ class PerfCounters:
         self.fleet_detections = 0
         self.faults_injected = 0
         self.faults_recovered = 0
+        self.snapshot_captures = 0
+        self.engine_forks = 0
+        self.fork_pages_shared = 0
+        self.fork_cow_breaks = 0
 
     def as_dict(self):
         """Counters as a plain dict (the BENCH_core.json field order)."""

@@ -27,6 +27,39 @@ class RngRegistry:
             self._streams[name] = random.Random(int.from_bytes(digest[:8], "big"))
         return self._streams[name]
 
+    def state(self):
+        """Portable snapshot of the registry: seed + every born stream.
+
+        Only streams that have been materialized appear in the state —
+        an unborn stream needs no entry, because :meth:`restore` keeps
+        the derive-by-name property: asking a restored registry for a
+        name that was never drawn from still derives the stream from
+        the root seed exactly as the original registry would have.
+        """
+        return {
+            "seed": self.seed,
+            "streams": {
+                name: stream.getstate()
+                for name, stream in self._streams.items()
+            },
+        }
+
+    def restore(self, state):
+        """Reset this registry to a :meth:`state` snapshot.
+
+        Streams present in the snapshot resume mid-sequence; names
+        absent from it are dropped so a later :meth:`stream` call
+        re-derives them from the (restored) root seed — same behaviour
+        as the registry the state was taken from.
+        """
+        self.seed = int(state["seed"])
+        self._streams = {}
+        for name, stream_state in state["streams"].items():
+            stream = random.Random()
+            stream.setstate(stream_state)
+            self._streams[name] = stream
+        return self
+
     def gauss_jitter(self, name, mean, rsd):
         """One sample from N(mean, rsd*mean), floored at 10% of the mean.
 

@@ -28,19 +28,35 @@ class FilebenchWorkload(Workload):
 
         Metrics: ``ops_per_second``, ``ops``.
         """
-        result = self._begin(system)
-        kernel = system.kernel
-        rng = system.rng.stream(f"filebench:{system.name}")
-        device = None
+        self._r_system = system
+        self._r_result = self._begin(system)
+        self._r_kernel = system.kernel
+        self._r_rng = system.rng.stream(f"filebench:{system.name}")
+        self._r_device = None
         if system.qemu_vm is not None and system.qemu_vm.block_devices:
-            device = system.qemu_vm.block_devices[0]
+            self._r_device = system.qemu_vm.block_devices[0]
 
-        deadline = None if ops is not None else system.engine.now + duration
-        completed = 0
+        self._r_ops = ops
+        self._r_deadline = (
+            None if ops is not None else system.engine.now + duration
+        )
+        self._r_completed = 0
+        return (yield from self._body(system))
+
+    def _body(self, system, resuming=False):
+        kernel = self._r_kernel
+        rng = self._r_rng
+        device = self._r_device
+        if resuming:
+            yield from self._resume_pace(system)
+            self._r_completed += 1
         while not self._stop_requested:
-            if ops is not None and completed >= ops:
+            if self._r_ops is not None and self._r_completed >= self._r_ops:
                 break
-            if deadline is not None and system.engine.now >= deadline:
+            if (
+                self._r_deadline is not None
+                and system.engine.now >= self._r_deadline
+            ):
                 break
             cost = kernel.syscall_cost("creat_meta")
             cost += kernel.charge_syscalls("page_cache_write", PAGES_PER_FILE)
@@ -60,8 +76,10 @@ class FilebenchWorkload(Workload):
                 if device is not None:
                     cost += device.flush()
             yield from self._pace(system, cost)
-            completed += 1
+            self._r_completed += 1
+        result = self._r_result
         elapsed = system.engine.now - result.started_at
+        completed = self._r_completed
         result.metrics["ops"] = completed
         result.metrics["ops_per_second"] = completed / elapsed if elapsed else 0.0
         return self._finish(system, result)

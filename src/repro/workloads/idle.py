@@ -21,15 +21,27 @@ class IdleWorkload(Workload):
 
     def run(self, system, duration=None):
         """Idle for ``duration`` seconds (forever when None)."""
-        result = self._begin(system)
-        deadline = None if duration is None else system.engine.now + duration
-        ticks = 0
+        self._r_system = system
+        self._r_result = self._begin(system)
+        self._r_deadline = (
+            None if duration is None else system.engine.now + duration
+        )
+        self._r_ticks = 0
+        return (yield from self._body(system))
+
+    def _body(self, system, resuming=False):
+        if resuming:
+            yield from self._resume_pace(system)
+            self._r_ticks += 1
         while not self._stop_requested:
-            if deadline is not None and system.engine.now >= deadline:
+            if (
+                self._r_deadline is not None
+                and system.engine.now >= self._r_deadline
+            ):
                 break
             cost = system.kernel.syscall_cost("context_switch")
             system.memory.dirty_bulk(int(IDLE_DIRTY_PAGES_PER_S * TICK_SECONDS))
             yield from self._pace(system, cost + TICK_SECONDS)
-            ticks += 1
-        result.metrics["ticks"] = ticks
-        return self._finish(system, result)
+            self._r_ticks += 1
+        self._r_result.metrics["ticks"] = self._r_ticks
+        return self._finish(system, self._r_result)

@@ -49,19 +49,32 @@ class KernelCompileWorkload(Workload):
 
         Metrics: ``build_seconds`` (first build's wall time), ``units``.
         """
-        result = self._begin(system)
-        kernel = system.kernel
-        total_units = self.units if units is None else units
-        rng = system.rng.stream(f"compile:{system.name}")
+        self._r_system = system
+        self._r_result = self._begin(system)
+        self._r_kernel = system.kernel
+        self._r_total = self.units if units is None else units
+        self._r_loop_forever = loop_forever
+        self._r_rng = system.rng.stream(f"compile:{system.name}")
+        self._r_phase = "decompress"
 
         # Decompress the source tarball.
-        cost = kernel.charge_cpu(DECOMPRESS_CPU_SECONDS, mem_intensity=0.8)
+        cost = self._r_kernel.charge_cpu(DECOMPRESS_CPU_SECONDS, mem_intensity=0.8)
         system.memory.dirty_bulk(DECOMPRESS_PAGES)
         yield from self._pace(system, cost)
+        return (yield from self._body(system))
 
-        first_build_seconds = None
-        build_start = system.engine.now
-        completed = 0
+    def _body(self, system, resuming=False):
+        if resuming:
+            yield from self._resume_pace(system)
+            if self._r_phase == "loop" and self._loop_tail(system):
+                return self._finish_build(system)
+        if self._r_phase == "decompress":
+            self._r_first_build = None
+            self._r_build_start = system.engine.now
+            self._r_completed = 0
+            self._r_phase = "loop"
+        kernel = self._r_kernel
+        rng = self._r_rng
         while not self._stop_requested:
             cpu = self.unit_cpu_seconds
             if self.ccache_enabled and rng.random() < CCACHE_HIT_RATIO:
@@ -71,15 +84,24 @@ class KernelCompileWorkload(Workload):
             cost += kernel.syscall_cost("page_cache_write")
             system.memory.dirty_bulk(self.pages_per_unit)
             yield from self._pace(system, cost)
-            completed += 1
-            if completed % total_units == 0:
-                if first_build_seconds is None:
-                    first_build_seconds = system.engine.now - build_start
-                if not loop_forever:
-                    break
+            if self._loop_tail(system):
+                break
+        return self._finish_build(system)
 
-        if first_build_seconds is None:
-            first_build_seconds = system.engine.now - build_start
-        result.metrics["build_seconds"] = first_build_seconds
-        result.metrics["units"] = completed
+    def _loop_tail(self, system):
+        """Post-unit bookkeeping; True once the (non-looping) build ends."""
+        self._r_completed += 1
+        if self._r_completed % self._r_total == 0:
+            if self._r_first_build is None:
+                self._r_first_build = system.engine.now - self._r_build_start
+            if not self._r_loop_forever:
+                return True
+        return False
+
+    def _finish_build(self, system):
+        if self._r_first_build is None:
+            self._r_first_build = system.engine.now - self._r_build_start
+        result = self._r_result
+        result.metrics["build_seconds"] = self._r_first_build
+        result.metrics["units"] = self._r_completed
         return self._finish(system, result)

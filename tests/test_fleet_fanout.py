@@ -1,0 +1,153 @@
+"""Warm-once fleet fan-out: fork determinism and the fan-out drivers.
+
+The correctness bar for the snapshot layer at fleet scale: a branch
+forked off a warmed fleet must produce *byte-identical* results to the
+same branch run cold (same seed, same plan, warm-up replayed live).
+CI runs the ``determinism`` subset of this file as its own named step.
+
+All tests here run whole fleet experiments, so the module carries the
+``chaos`` marker (deselected by ``make test-fast``).
+"""
+
+import pytest
+
+from repro.cloud import run_fleet, warm_fleet
+from repro.faults import ChaosCampaign
+from repro.faults.chaos import standard_mix_plan
+from repro.sim.snapshot import SnapshotError
+
+pytestmark = pytest.mark.chaos
+
+#: The 4x12 shape every test warms (the chaos-default fleet).
+WARM_PARAMS = dict(
+    hosts=4,
+    tenants=12,
+    seed=1701,
+    churn_operations=6,
+    rebalance_moves=1,
+)
+
+#: The branch suffix (chaos-default detection budget).
+BRANCH_PARAMS = dict(
+    campaigns=1,
+    sweeps=1,
+    file_pages=12,
+    wait_seconds=10.0,
+)
+
+
+def _fingerprint(result):
+    """Everything a branch computed, down to the sweep summaries."""
+    engine = result.datacenter.engine
+    return {
+        "virtual_now": engine.now,
+        "recall": result.recall,
+        "latencies": tuple(result.detection_latencies),
+        "campaigns": [
+            (e.tenant_name, e.host_name, e.installed_at, e.detected_at)
+            for e in result.campaign.events
+        ],
+        "sweeps": [report.summary() for report in result.monitor.reports],
+        "injections": (
+            None if result.injector is None else result.injector.injections
+        ),
+        "inventory": result.datacenter.inventory_lines(),
+    }
+
+
+def _cold_branch(**branch_params):
+    """The comparator: same warm-up replayed live, then the branch."""
+    return warm_fleet(capture=False, **WARM_PARAMS).branch(**branch_params)
+
+
+@pytest.fixture(scope="module")
+def warmed():
+    """One captured warm fleet shared by the determinism tests."""
+    fleet = warm_fleet(**WARM_PARAMS)
+    yield fleet
+    fleet.dispose()
+
+
+def test_forked_chaos_branch_matches_cold_determinism(warmed):
+    plan = standard_mix_plan("mixed", 1701, faults=5, horizon=240.0)
+    forked = _fingerprint(warmed.branch(faults=plan, **BRANCH_PARAMS))
+    again = _fingerprint(warmed.branch(faults=plan, **BRANCH_PARAMS))
+    cold = _fingerprint(_cold_branch(faults=plan, **BRANCH_PARAMS))
+    assert forked == again  # forks don't consume snapshot state
+    assert forked == cold
+
+
+def test_forked_detection_sweep_matches_cold_determinism(warmed):
+    # A different detector budget than the chaos default: the fork must
+    # reproduce the cold sweep for arbitrary branch configs, fault-free.
+    config = dict(BRANCH_PARAMS, file_pages=25, wait_seconds=20.0)
+    forked = _fingerprint(warmed.branch(**config))
+    cold = _fingerprint(_cold_branch(**config))
+    assert forked == cold
+
+
+def test_run_fleet_from_snapshot_api(warmed):
+    plan = standard_mix_plan("infra", 1701, faults=3, horizon=240.0)
+    via_api = _fingerprint(
+        run_fleet(faults=plan, from_snapshot=warmed, **BRANCH_PARAMS)
+    )
+    direct = _fingerprint(warmed.branch(faults=plan, **BRANCH_PARAMS))
+    assert via_api == direct
+    # The raw EngineSnapshot works too.
+    via_snapshot = _fingerprint(
+        run_fleet(faults=plan, from_snapshot=warmed.snapshot, **BRANCH_PARAMS)
+    )
+    assert via_snapshot == direct
+
+
+def test_fan_out_drivers(warmed):
+    # Per-detector-config: distinct budgets, distinct sweep outcomes
+    # allowed — but each must be internally scored.
+    configs = [
+        {"file_pages": 12, "wait_seconds": 10.0},
+        {"file_pages": 25, "wait_seconds": 20.0},
+    ]
+    by_config = warmed.fan_out_detector_configs(configs, campaigns=1, sweeps=1)
+    assert len(by_config) == 2
+    assert all(result.monitor.reports for result in by_config)
+
+    # Per-seed: same fleet, independent attacker streams; same stream
+    # twice must reproduce exactly.
+    seeded = warmed.fan_out_seeds(2, **BRANCH_PARAMS)
+    assert len(seeded) == 2
+    repeat = warmed.branch(
+        campaign_stream="cloud.campaign#0", **BRANCH_PARAMS
+    )
+    assert _fingerprint(repeat) == _fingerprint(seeded[0])
+
+
+def test_live_fleet_is_single_branch():
+    live = warm_fleet(capture=False, **WARM_PARAMS)
+    live.branch(**BRANCH_PARAMS)
+    with pytest.raises(SnapshotError):
+        live.branch(**BRANCH_PARAMS)
+
+
+def test_chaos_run_fanout_report_is_deterministic():
+    def report_json():
+        campaign = ChaosCampaign(
+            seed=7, mixes=("infra", "mixed"), faults_per_mix=3
+        )
+        return campaign.run_fanout(branches_per_mix=2).to_json()
+
+    first = report_json()
+    assert first == report_json()
+    assert '"branch": 1' in first  # per-mix fan-out actually happened
+
+
+@pytest.mark.slow
+def test_chaos_run_fanout_pooled_matches_serial():
+    campaign = ChaosCampaign(seed=7, mixes=("infra", "mixed"), faults_per_mix=3)
+    serial = campaign.run_fanout(branches_per_mix=2).to_json()
+    pooled_campaign = ChaosCampaign(
+        seed=7, mixes=("infra", "mixed"), faults_per_mix=3
+    )
+    pooled = pooled_campaign.run_fanout(
+        branches_per_mix=2, processes=2
+    ).to_json()
+    assert pooled == serial

@@ -165,6 +165,82 @@ def test_random_lifecycle_property(seed):
 
 
 # ---------------------------------------------------------------------------
+# Fork/dispose refcount conservation
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [5, 271])
+def test_fork_dispose_refcount_conservation(seed):
+    """Forking, mutating one branch, and disposing it is invisible.
+
+    The snapshot layer shares `PageRecord`s by identity across forks,
+    so the original store's refcount partition reflects every holder on
+    every side.  After the branch (and the snapshot's pristine copy)
+    are disposed, the partition must return to the pre-fork state
+    *exactly* — any drift means a leaked or double-released reference.
+    """
+    rng = random.Random(seed)
+    machine = Machine(memory_mb=64, seed=seed)
+    memory = machine.memory
+    ksm = KsmDaemon(machine, pages_to_scan=500)
+    contents = [
+        f"page-{i}".encode("utf-8") * rng.randint(1, 4) for i in range(6)
+    ]
+    shadow = {}
+    for _ in range(150):
+        op = rng.random()
+        if op < 0.5 or not shadow:
+            content = rng.choice(contents)
+            pfn = memory.allocate(content, mergeable=rng.random() < 0.8)
+            shadow[pfn] = content
+        elif op < 0.75:
+            pfn = rng.choice(list(shadow))
+            content = rng.choice(contents)
+            memory.write(pfn, content)
+            shadow[pfn] = content
+        elif op < 0.9:
+            pfn = rng.choice(list(shadow))
+            memory.free(pfn)
+            del shadow[pfn]
+        else:
+            _ksm_pass(ksm)
+    _ksm_pass(ksm)
+    before = memory.page_store.refs_partition()
+
+    snapshot = machine.engine.snapshot(machine, label="conservation")
+    fork = snapshot.fork()
+    fork_memory = fork.root.memory
+
+    # While the branch lives, every resident content's refcount is
+    # strictly elevated (pristine copy + fork each adopted one ref per
+    # distinct frame).
+    during = memory.page_store.refs_partition()
+    assert set(during) == set(before)
+    assert all(during[content] > before[content] for content in before)
+
+    # Mutate the branch: rewrites, frees, and fresh allocations — the
+    # original and its shadow stay untouched (COW), and the rewrites of
+    # fork-shared records count as divergence.
+    fork_rng = random.Random(seed + 1)
+    for pfn in list(shadow)[:20]:
+        fork_memory.write(pfn, b"branch rewrite %d" % pfn)
+    for pfn in list(shadow)[20:30]:
+        fork_memory.free(pfn)
+    for i in range(10):
+        fork_memory.allocate(
+            b"branch only %d" % i, mergeable=fork_rng.random() < 0.5
+        )
+    assert fork.engine.perf.fork_cow_breaks >= 1
+    for pfn, content in shadow.items():
+        assert memory.read(pfn) == content
+
+    fork.dispose()
+    snapshot.dispose()
+    assert memory.page_store.refs_partition() == before
+    _check_invariants(memory, ksm, shadow)
+
+
+# ---------------------------------------------------------------------------
 # Free -> realloc regression (stale digest-bucket state)
 # ---------------------------------------------------------------------------
 
