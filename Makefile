@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-chaos test-fork-determinism bench bench-quick bench-par lint trace-smoke
+.PHONY: test test-fast test-chaos test-fork-determinism bench bench-quick bench-par lint trace-smoke matrix-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q --durations=10
@@ -47,11 +47,21 @@ bench-par:
 	$(PYTHON) benchmarks/perf_report.py --parallel
 
 # Traced end-to-end run + schema validation of the exported trace.
-# CI runs this and uploads trace-smoke.json as an artifact (open it in
-# ui.perfetto.dev).
+# CI runs this and uploads build/trace-smoke.json as an artifact (open
+# it in ui.perfetto.dev).
 trace-smoke:
-	$(PYTHON) -m repro --seed 42 --trace-out trace-smoke.json \
+	mkdir -p build
+	$(PYTHON) -m repro --seed 42 --trace-out build/trace-smoke.json \
 		detect --pages 12
-	$(PYTHON) -m repro.obs.validate trace-smoke.json \
+	$(PYTHON) -m repro.obs.validate build/trace-smoke.json \
 		--require vm_exit --require ksm.pass --require migration. \
 		--require detect.
+
+# The CI matrix smoke: expand + run the 12-variant chaos grid across a
+# 2-worker pool and diff against the checked-in expectations (exit 1 on
+# any fingerprint drift; re-pin with `repro matrix pin`).
+matrix-smoke:
+	mkdir -p build
+	$(PYTHON) -m repro matrix expand examples/matrices/chaos_grid.cfg
+	$(PYTHON) -m repro matrix run examples/matrices/chaos_grid.cfg \
+		--processes 2 --report-out build/matrix-smoke.json

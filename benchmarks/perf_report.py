@@ -29,7 +29,12 @@ one warmed 4x12 fleet forked into 12 fault branches (copy-on-write
 snapshots, `repro.sim.snapshot`) against the same 12 branches run
 cold — the fan-out must beat cold by
 :data:`CHAOS_FANOUT_SPEEDUP_TARGET` and every forked branch must
-fingerprint byte-identically to its cold twin.
+fingerprint byte-identically to its cold twin — and
+``matrix_expand_200``: the shipped detection-recall grid must expand to
+its full >=200 variants with stable IDs, and the matrix runner's
+warm-fork grouping must beat the cold comparator by
+:data:`MATRIX_EXPAND_SPEEDUP_TARGET` on one warm group with identical
+fingerprints and perf deltas.
 
 Each scenario's *fingerprint* captures the virtual-time results
 (verdicts, medians, MigrationStats totals, latencies).  Optimizations
@@ -273,6 +278,176 @@ BASELINE = {
                 "recall": 1.0,
                 "virtual_now": 2039.8430232650921,
             },
+        },
+    },
+    "matrix_expand_200": {
+        # New entry introduced with the scenario-matrix PR: the wall is
+        # the warm-fork run of MATRIX_SPEEDUP_CELL (7 forked branches,
+        # one warm fleet; cold ran 9.1s on the same box, 2.36x slower);
+        # the fingerprint pins all seven attacker-seed outcomes.
+        "wall_seconds": 3.85,
+        "fingerprint": {
+            "ksm=settled,probe=shallow,seed=s0,workload=bursty": {
+                "campaigns": 1,
+                "detected": 1,
+                "detection_latencies": [
+                    144.06447434011739
+                ],
+                "faults_injected": 0,
+                "faults_recovered": 0,
+                "mean_detection_latency": 144.06447434011739,
+                "recall": 1.0,
+                "sweeps": [
+                    {
+                        "compromised": [
+                            "t000@h00"
+                        ],
+                        "tenants_probed": 13
+                    }
+                ],
+                "tenants_degraded": [],
+                "tenants_running": 7,
+                "unreachable_findings": 0,
+                "virtual_now": 749.4367386160072
+            },
+            "ksm=settled,probe=shallow,seed=s1,workload=bursty": {
+                "campaigns": 1,
+                "detected": 1,
+                "detection_latencies": [
+                    144.06447434011739
+                ],
+                "faults_injected": 0,
+                "faults_recovered": 0,
+                "mean_detection_latency": 144.06447434011739,
+                "recall": 1.0,
+                "sweeps": [
+                    {
+                        "compromised": [
+                            "t000@h00"
+                        ],
+                        "tenants_probed": 13
+                    }
+                ],
+                "tenants_degraded": [],
+                "tenants_running": 7,
+                "unreachable_findings": 0,
+                "virtual_now": 749.4367386160072
+            },
+            "ksm=settled,probe=shallow,seed=s2,workload=bursty": {
+                "campaigns": 1,
+                "detected": 1,
+                "detection_latencies": [
+                    144.06447434011739
+                ],
+                "faults_injected": 0,
+                "faults_recovered": 0,
+                "mean_detection_latency": 144.06447434011739,
+                "recall": 1.0,
+                "sweeps": [
+                    {
+                        "compromised": [
+                            "t000@h00"
+                        ],
+                        "tenants_probed": 13
+                    }
+                ],
+                "tenants_degraded": [],
+                "tenants_running": 7,
+                "unreachable_findings": 0,
+                "virtual_now": 749.4367386160072
+            },
+            "ksm=settled,probe=shallow,seed=s3,workload=bursty": {
+                "campaigns": 1,
+                "detected": 1,
+                "detection_latencies": [
+                    144.06447434011739
+                ],
+                "faults_injected": 0,
+                "faults_recovered": 0,
+                "mean_detection_latency": 144.06447434011739,
+                "recall": 1.0,
+                "sweeps": [
+                    {
+                        "compromised": [
+                            "t000@h00"
+                        ],
+                        "tenants_probed": 13
+                    }
+                ],
+                "tenants_degraded": [],
+                "tenants_running": 7,
+                "unreachable_findings": 0,
+                "virtual_now": 749.4367386160072
+            },
+            "ksm=settled,probe=shallow,seed=s4,workload=bursty": {
+                "campaigns": 1,
+                "detected": 1,
+                "detection_latencies": [
+                    144.06447434011739
+                ],
+                "faults_injected": 0,
+                "faults_recovered": 0,
+                "mean_detection_latency": 144.06447434011739,
+                "recall": 1.0,
+                "sweeps": [
+                    {
+                        "compromised": [
+                            "t000@h00"
+                        ],
+                        "tenants_probed": 13
+                    }
+                ],
+                "tenants_degraded": [],
+                "tenants_running": 7,
+                "unreachable_findings": 0,
+                "virtual_now": 749.4367386160072
+            },
+            "ksm=settled,probe=shallow,seed=s5,workload=bursty": {
+                "campaigns": 1,
+                "detected": 1,
+                "detection_latencies": [
+                    144.06447434011739
+                ],
+                "faults_injected": 0,
+                "faults_recovered": 0,
+                "mean_detection_latency": 144.06447434011739,
+                "recall": 1.0,
+                "sweeps": [
+                    {
+                        "compromised": [
+                            "t000@h00"
+                        ],
+                        "tenants_probed": 13
+                    }
+                ],
+                "tenants_degraded": [],
+                "tenants_running": 7,
+                "unreachable_findings": 0,
+                "virtual_now": 749.4367386160072
+            },
+            "ksm=settled,probe=shallow,seed=s6,workload=bursty": {
+                "campaigns": 1,
+                "detected": 1,
+                "detection_latencies": [
+                    144.06447434011739
+                ],
+                "faults_injected": 0,
+                "faults_recovered": 0,
+                "mean_detection_latency": 144.06447434011739,
+                "recall": 1.0,
+                "sweeps": [
+                    {
+                        "compromised": [
+                            "t000@h00"
+                        ],
+                        "tenants_probed": 13
+                    }
+                ],
+                "tenants_degraded": [],
+                "tenants_running": 7,
+                "unreachable_findings": 0,
+                "virtual_now": 749.4367386160072
+            }
         },
     },
     "lmbench_l2_proc": {
@@ -589,6 +764,87 @@ def chaos_fanout_entry():
     }
 
 
+#: Required wall-clock advantage of the matrix runner's warm-fork
+#: grouping over the same variants run cold (one warm-up each).
+MATRIX_EXPAND_SPEEDUP_TARGET = 2.0
+
+#: The single-warm-group cell the speedup gate times: the seven
+#: attacker-seed variants of the bursty/settled/shallow corner of the
+#: detection-recall grid (one warm fleet, seven forked branches).  The
+#: heavy churn + settle warm prefix against shallow probe branches is
+#: the shape warm-fork grouping exists for.
+MATRIX_SPEEDUP_CELL = "workload=bursty..ksm=settled..probe=shallow"
+
+
+def matrix_expand_entry():
+    """Benchmark the scenario matrix: expansion scale + warm-fork payoff.
+
+    Two checks share the entry.  First, the shipped detection-recall
+    grid must expand to its full >=200 variants with IDs stable across
+    back-to-back expansions (IDs derive from axis values, never from
+    enumeration order).  Second, the runner's warm-fork grouping is
+    timed against the cold comparator on one warm group
+    (:data:`MATRIX_SPEEDUP_CELL`): the grouped run must beat cold by
+    :data:`MATRIX_EXPAND_SPEEDUP_TARGET` while producing byte-identical
+    fingerprints *and* perf deltas — the grouping decision may only
+    show in the wall clock.
+    """
+    from repro.matrix import MatrixRunner, MatrixSpec, expand
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    spec = MatrixSpec.load(
+        os.path.join(repo_root, "examples", "matrices", "detection_recall.cfg")
+    )
+    started = time.perf_counter()
+    ids = [variant.variant_id for variant in expand(spec)]
+    expand_wall = time.perf_counter() - started
+    ids_stable = ids == [variant.variant_id for variant in expand(spec)]
+    count_ok = len(ids) >= 200
+
+    started = time.perf_counter()
+    forked_report = MatrixRunner(spec, warm_fork=True).run(
+        only=MATRIX_SPEEDUP_CELL
+    )
+    forked_wall = time.perf_counter() - started
+    started = time.perf_counter()
+    cold_report = MatrixRunner(spec, warm_fork=False).run(
+        only=MATRIX_SPEEDUP_CELL
+    )
+    cold_wall = time.perf_counter() - started
+    speedup = cold_wall / forked_wall
+    fingerprint = forked_report.fingerprints()
+    # Group bookkeeping legitimately differs (forked: true/false), so
+    # the equality bar is the pinnable surface plus the perf deltas.
+    forked_matches_cold = fingerprint == cold_report.fingerprints() and [
+        entry["perf_delta"] for entry in forked_report.entries
+    ] == [entry["perf_delta"] for entry in cold_report.entries]
+
+    base = BASELINE["matrix_expand_200"]
+    return {
+        "wall_seconds": round(forked_wall, 3),
+        "baseline_wall_seconds": base["wall_seconds"],
+        "expand_wall_seconds": round(expand_wall, 3),
+        "variants_expanded": len(ids),
+        "variant_count_ok": count_ok,
+        "ids_stable": ids_stable,
+        "timed_variants": len(forked_report.entries),
+        "cold_wall_seconds": round(cold_wall, 3),
+        "speedup_vs_cold": round(speedup, 2),
+        "speedup_target": MATRIX_EXPAND_SPEEDUP_TARGET,
+        "within_budget": speedup >= MATRIX_EXPAND_SPEEDUP_TARGET,
+        "forked_matches_cold": forked_matches_cold,
+        "fingerprint": fingerprint,
+        # Grouping must be invisible in results and the grid must keep
+        # its shape, so the CI gate folds all the correctness bits in.
+        "fingerprint_matches_baseline": (
+            fingerprint == base["fingerprint"]
+            and forked_matches_cold
+            and ids_stable
+            and count_ok
+        ),
+    }
+
+
 def scenario_chaos_recall():
     """Detection recall/latency on fleet_sweep_4x12 under the ``mixed``
     fault mix — one chaos leg, seeded, so the scorecard is a virtual-time
@@ -817,6 +1073,21 @@ def run_report(quick=False, parallel=False):
         f"{entry['cold_wall_seconds']:.3f}s — {entry['speedup_vs_cold']:.2f}x "
         f"({target} {entry['speedup_target']:.1f}x target), "
         f"{entry['pages_shared_per_fork']} pages shared/fork, "
+        f"fingerprint {match}"
+    )
+    # The matrix gate runs in quick mode too: expansion shape and the
+    # warm-fork speedup both guard shipped example specs.
+    print("[bench] matrix_expand_200 ...", flush=True)
+    entry = matrix_expand_entry()
+    report["matrix_expand_200"] = entry
+    match = "match" if entry["fingerprint_matches_baseline"] else "MISMATCH"
+    target = "meets" if entry["within_budget"] else "MISSES"
+    print(
+        f"[bench] matrix_expand_200: {entry['variants_expanded']} variants "
+        f"expanded in {entry['expand_wall_seconds']:.3f}s; warm-fork "
+        f"{entry['wall_seconds']:.3f}s vs cold "
+        f"{entry['cold_wall_seconds']:.3f}s — {entry['speedup_vs_cold']:.2f}x "
+        f"({target} {entry['speedup_target']:.1f}x target), "
         f"fingerprint {match}"
     )
     return report

@@ -12,6 +12,8 @@ Commands:
   KSM timing channel (refs [41, 42]);
 * ``fleet``   — multi-host cloud control plane experiments
   (``fleet run`` / ``fleet sweep`` / ``fleet chaos`` / ``fleet status``);
+* ``matrix``  — declarative scenario matrices
+  (``matrix run`` / ``list`` / ``expand`` / ``pin`` / ``diff``);
 * ``info``    — print the library's system inventory and versions.
 """
 
@@ -20,6 +22,7 @@ import json
 import sys
 
 from repro import __version__, obs, scenarios
+from repro.matrix.cli import add_matrix_commands, positive_int
 
 
 def _report_perf(args, engine, label="engine"):
@@ -183,6 +186,18 @@ def cmd_fleet_chaos(args):
     over a pool).  Without it, every leg replays its own warm-up.
     """
     from repro.faults import ChaosCampaign
+    from repro.faults.chaos import DEFAULT_FLEET_PARAMS, STANDARD_MIXES
+
+    if args.list_mixes:
+        # Catalog only — print and exit without building a fleet.
+        print("standard fault mixes:")
+        for mix in sorted(STANDARD_MIXES):
+            print(f"  {mix:<10} {', '.join(STANDARD_MIXES[mix])}")
+        rendered = ", ".join(
+            f"{k}={v}" for k, v in sorted(DEFAULT_FLEET_PARAMS.items())
+        )
+        print(f"default fleet: {rendered}")
+        return 0
 
     mixes = tuple(m.strip() for m in args.mixes.split(",") if m.strip())
     campaign = ChaosCampaign(
@@ -334,16 +349,22 @@ def build_parser():
     )
     fleet_chaos.add_argument(
         "--processes",
-        type=int,
+        type=positive_int,
         default=None,
         metavar="P",
         help="with --from-warm: spread fan-out legs across P worker "
         "processes (deterministic merge)",
     )
+    fleet_chaos.add_argument(
+        "--list-mixes",
+        action="store_true",
+        help="print the standard fault mixes and exit (no fleet is built)",
+    )
     fleet_chaos.set_defaults(func=cmd_fleet_chaos)
     fleet_status = fleet_sub.add_parser("status")
     _fleet_common(fleet_status, hosts=8, tenants=16)
     fleet_status.set_defaults(func=cmd_fleet_status)
+    add_matrix_commands(sub)
     sub.add_parser("info").set_defaults(func=cmd_info)
     return parser
 

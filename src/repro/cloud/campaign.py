@@ -48,10 +48,21 @@ class CampaignEvent:
 class AttackCampaign:
     """Installs CloudSkulk on sampled tenants; keeps ground truth."""
 
-    def __init__(self, datacenter, count=1, migration_mode="precopy", stream=None):
+    def __init__(
+        self,
+        datacenter,
+        count=1,
+        migration_mode="precopy",
+        migration_capabilities=(),
+        stream=None,
+    ):
         self.datacenter = datacenter
         self.count = count
         self.migration_mode = migration_mode
+        #: Wire capabilities set on the victim's monitor before the
+        #: install migration (e.g. ``("dedup",)`` — the scenario
+        #: matrix's migration-capability axis).
+        self.migration_capabilities = tuple(migration_capabilities or ())
         #: ``stream`` names the registry stream the target sampler
         #: draws from.  Branches forked off one warmed fleet pass a
         #: distinct name per branch ("cloud.campaign#3") to diverge the
@@ -106,6 +117,7 @@ class AttackCampaign:
             report = yield from installer.install(
                 target_name=tenant.name,
                 migration_mode=self.migration_mode,
+                migration_capabilities=self.migration_capabilities,
             )
             event.install_report = report
             event.installed_at = engine.now

@@ -125,6 +125,7 @@ def _run_branch(
     file_pages=FLEET_FILE_PAGES,
     wait_seconds=FLEET_WAIT_SECONDS,
     migration_mode="precopy",
+    migration_capabilities=(),
     campaign_stream=None,
 ):
     """The divergent suffix of a fleet experiment: attack, sweep, score.
@@ -153,6 +154,7 @@ def _run_branch(
         datacenter,
         count=campaigns,
         migration_mode=migration_mode,
+        migration_capabilities=migration_capabilities,
         stream=campaign_stream,
     )
 
@@ -206,7 +208,8 @@ class WarmFleet:
         Accepts the branch-phase keywords of :func:`_run_branch`:
         ``faults``, ``campaigns``, ``sweeps``, ``sweeps_per_hour``,
         ``max_concurrent_probes``, ``file_pages``, ``wait_seconds``,
-        ``migration_mode``, ``campaign_stream``.
+        ``migration_mode``, ``migration_capabilities``,
+        ``campaign_stream``.
         """
         if self.snapshot is None:
             from repro.sim.snapshot import SnapshotError
@@ -352,6 +355,7 @@ def run_fleet(
     file_pages=FLEET_FILE_PAGES,
     wait_seconds=FLEET_WAIT_SECONDS,
     migration_mode="precopy",
+    migration_capabilities=(),
     overcommit=1.0,
     trace=False,
     trace_ring_capacity=None,
@@ -391,6 +395,7 @@ def run_fleet(
             file_pages=file_pages,
             wait_seconds=wait_seconds,
             migration_mode=migration_mode,
+            migration_capabilities=migration_capabilities,
         )
         if isinstance(from_snapshot, WarmFleet):
             return from_snapshot.branch(**branch_params)
@@ -426,7 +431,10 @@ def run_fleet(
         wait_seconds=wait_seconds,
     )
     campaign = AttackCampaign(
-        datacenter, count=campaigns, migration_mode=migration_mode
+        datacenter,
+        count=campaigns,
+        migration_mode=migration_mode,
+        migration_capabilities=migration_capabilities,
     )
 
     def control():

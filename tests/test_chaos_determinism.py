@@ -15,6 +15,11 @@ import pytest
 
 from repro.cloud.fleet import run_fleet
 from repro.faults import ChaosCampaign, FaultPlan
+from tests.fleet_helpers import (
+    FLEET_4X12,
+    FLEET_SWEEP_4X12_PIN,
+    fleet_sweep_fingerprint,
+)
 
 pytestmark = pytest.mark.chaos
 
@@ -24,21 +29,6 @@ CHAOS_PARAMS = dict(
     faults_per_mix=3,
     horizon=200.0,
     fleet_params=dict(hosts=3, tenants=8, churn_operations=4),
-)
-
-#: The exact parameter set of the ``fleet_sweep_4x12`` benchmark
-#: scenario (benchmarks/perf_report.py), whose fingerprint is pinned in
-#: BASELINE / BENCH_core.json.
-FLEET_4X12 = dict(
-    hosts=4,
-    tenants=12,
-    seed=42,
-    churn_operations=6,
-    rebalance_moves=1,
-    campaigns=1,
-    sweeps=1,
-    file_pages=12,
-    wait_seconds=10.0,
 )
 
 
@@ -57,15 +47,9 @@ def test_different_seeds_produce_different_reports():
 def test_empty_plan_reproduces_fleet_sweep_fingerprint():
     result = run_fleet(faults=FaultPlan(), **FLEET_4X12)
     engine = result.datacenter.engine
-    sweep = result.monitor.reports[0]
     # The recorded fleet_sweep_4x12 fingerprint, matched exactly — any
     # drift means an injection hook perturbed the fault-free baseline.
-    assert engine.now == 538.6211645267207
-    assert engine.perf.cloud_placements == 15
-    assert engine.perf.cloud_migrations == 1
-    assert sweep.tenants_probed == 13
-    assert [f"{t}@{h}" for t, h in sweep.compromised] == ["t000@h02"]
-    assert result.recall == 1.0
+    assert fleet_sweep_fingerprint(result) == FLEET_SWEEP_4X12_PIN
     assert engine.perf.faults_injected == 0
     assert engine.perf.faults_recovered == 0
     assert result.injector.injections == []

@@ -15,6 +15,7 @@ from repro.cloud import run_fleet, warm_fleet
 from repro.faults import ChaosCampaign
 from repro.faults.chaos import standard_mix_plan
 from repro.sim.snapshot import SnapshotError
+from tests.fleet_helpers import fleet_fingerprint as _fingerprint
 
 pytestmark = pytest.mark.chaos
 
@@ -34,25 +35,6 @@ BRANCH_PARAMS = dict(
     file_pages=12,
     wait_seconds=10.0,
 )
-
-
-def _fingerprint(result):
-    """Everything a branch computed, down to the sweep summaries."""
-    engine = result.datacenter.engine
-    return {
-        "virtual_now": engine.now,
-        "recall": result.recall,
-        "latencies": tuple(result.detection_latencies),
-        "campaigns": [
-            (e.tenant_name, e.host_name, e.installed_at, e.detected_at)
-            for e in result.campaign.events
-        ],
-        "sweeps": [report.summary() for report in result.monitor.reports],
-        "injections": (
-            None if result.injector is None else result.injector.injections
-        ),
-        "inventory": result.datacenter.inventory_lines(),
-    }
 
 
 def _cold_branch(**branch_params):
@@ -151,3 +133,21 @@ def test_chaos_run_fanout_pooled_matches_serial():
         branches_per_mix=2, processes=2
     ).to_json()
     assert pooled == serial
+
+
+def test_empty_fleet_warm_capture_and_branch():
+    # A fleet warmed with zero tenants and zero churn is a valid (if
+    # vacuous) snapshot substrate: capture works, and a campaign-free
+    # branch scores an empty experiment instead of crashing.
+    fleet = warm_fleet(
+        hosts=2, tenants=0, seed=3, churn_operations=0, rebalance_moves=0
+    )
+    try:
+        first = fleet.branch(campaigns=0, sweeps=1)
+        again = fleet.branch(campaigns=0, sweeps=1)
+        assert first.campaign.events == []
+        assert first.recall == 0.0
+        assert first.monitor.reports[0].tenants_probed == 0
+        assert _fingerprint(first) == _fingerprint(again)
+    finally:
+        fleet.dispose()

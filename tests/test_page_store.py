@@ -344,41 +344,11 @@ def test_dedup_entries_grouping_and_wire_accounting():
 def test_detection_fingerprints_byte_identical():
     """Figs 5/6 medians pinned on the pre-page-store representation.
 
-    These constants were captured by running this exact scenario on the
-    commit preceding the page-store swap; equality must be exact — the
-    data plane refactor may not move a single float.
+    The pinned constants were captured by running this exact scenario on
+    the commit preceding the page-store swap; equality must be exact —
+    the data plane refactor may not move a single float.
     """
-    from repro import scenarios
-    from repro.core.detection.dedup_detector import DedupDetector
+    from tests.fleet_helpers import DETECTION_PINS_SEED7, detection_fingerprint
 
-    expected = {
-        "clean": {
-            "verdict": "clean",
-            "median_t0": 0.2514679386400156,
-            "median_t1": 382.90126544443945,
-            "median_t2": 0.2512034459957102,
-            "virtual_now": 47.725200102624754,
-        },
-        "nested": {
-            "verdict": "nested",
-            "median_t0": 0.2514679386400156,
-            "median_t1": 382.90126544443945,
-            "median_t2": 382.08044135947523,
-            "virtual_now": 89.96699765255683,
-        },
-    }
     for key, nested in (("clean", False), ("nested", True)):
-        host, cloud, _ksm, _locator = scenarios.detection_setup(
-            nested=nested, seed=7
-        )
-        detector = DedupDetector(host, cloud, file_pages=8, wait_seconds=6.0)
-        report = host.engine.run(host.engine.process(detector.run()))
-        verdict = report.verdict
-        observed = {
-            "verdict": verdict.verdict,
-            "median_t0": verdict.median_t0,
-            "median_t1": verdict.median_t1,
-            "median_t2": verdict.median_t2,
-            "virtual_now": host.engine.now,
-        }
-        assert observed == expected[key]
+        assert detection_fingerprint(nested) == DETECTION_PINS_SEED7[key]

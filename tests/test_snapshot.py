@@ -185,3 +185,23 @@ def test_heap_frozen_nests_without_early_thaw():
         # Inner exit must NOT have thawed the outer freeze.
         assert gc.get_freeze_count() >= outer_frozen
     assert gc.get_freeze_count() == frozen_before
+
+
+def test_empty_never_booted_machine_captures_and_forks():
+    # An empty capture is the degenerate warm-up: no processes, no
+    # allocations, virtual time zero.  It must capture and fork cleanly
+    # (the scenario matrix hits this with settle-free, churn-free warm
+    # prefixes), and the fork must be a fully independent world.
+    machine = Machine(memory_mb=16, seed=2)
+    engine = machine.engine
+    assert engine.now == 0.0
+    snapshot = engine.snapshot(machine, label="empty")
+    fork = snapshot.fork()
+    assert fork.engine.now == 0.0
+    assert fork.pages_shared == 0
+    # The branch can boot real work the parent never sees.
+    pfn = fork.root.memory.allocate(b"branch page", mergeable=True)
+    assert fork.root.memory.read(pfn) == b"branch page"
+    assert machine.memory.allocated_pages == 0
+    fork.dispose()
+    snapshot.dispose()
