@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-chaos test-fork-determinism bench bench-quick bench-par lint trace-smoke matrix-smoke
+.PHONY: test test-fast test-chaos test-fork-determinism bench bench-quick bench-par lint trace-smoke matrix-smoke obs-report
 
 test:
 	$(PYTHON) -m pytest -x -q --durations=10
@@ -56,6 +56,26 @@ trace-smoke:
 	$(PYTHON) -m repro.obs.validate build/trace-smoke.json \
 		--require vm_exit --require ksm.pass --require migration. \
 		--require detect.
+
+# The analysis smoke: trace the same seeded fleet sweep twice, analyze
+# both traces (attribution, critical path, per-tenant probe overhead,
+# flamegraph), and diff the two summaries — `repro obs diff` exits 1 on
+# any drift, so this doubles as a determinism gate for the whole
+# trace -> analysis pipeline.  CI uploads the flamegraph + diff report.
+obs-report:
+	mkdir -p build
+	$(PYTHON) -m repro --seed 42 --trace-out build/obs-a.trace.json \
+		--metrics-out build/obs-a.metrics.json fleet sweep
+	$(PYTHON) -m repro --seed 42 --trace-out build/obs-b.trace.json \
+		--metrics-out build/obs-b.metrics.json fleet sweep
+	$(PYTHON) -m repro obs report build/obs-a.trace.json \
+		--metrics build/obs-a.metrics.json --json build/obs-a.summary.json
+	$(PYTHON) -m repro obs report build/obs-b.trace.json \
+		--metrics build/obs-b.metrics.json --json build/obs-b.summary.json
+	$(PYTHON) -m repro obs critical-path build/obs-a.trace.json
+	$(PYTHON) -m repro obs flame build/obs-a.trace.json -o build/obs-a.folded
+	$(PYTHON) -m repro obs diff build/obs-a.summary.json \
+		build/obs-b.summary.json --report-out build/obs-diff.json
 
 # The CI matrix smoke: expand + run the 12-variant chaos grid across a
 # 2-worker pool and diff against the checked-in expectations (exit 1 on

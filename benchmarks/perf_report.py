@@ -1118,9 +1118,24 @@ def main(argv=None):
             "quick run never clobbers the full trajectory)"
         ),
     )
+    parser.add_argument(
+        "--history",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append-only perf ledger (default: repo-root "
+            "BENCH_history.jsonl); BENCH_core.json is overwritten per "
+            "run, the ledger keeps the trajectory"
+        ),
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="skip appending this run to the history ledger",
+    )
     args = parser.parse_args(argv)
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     if args.output is None:
-        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
         name = "BENCH_core.quick.json" if args.quick else "BENCH_core.json"
         args.output = os.path.join(repo_root, name)
     report = run_report(quick=args.quick, parallel=args.parallel)
@@ -1128,6 +1143,16 @@ def main(argv=None):
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"[bench] wrote {args.output}")
+    if not args.no_history:
+        from repro.obs.history import append_bench_history, bench_history_record
+
+        history_path = args.history or os.path.join(
+            repo_root, "BENCH_history.jsonl"
+        )
+        append_bench_history(
+            history_path, bench_history_record(report, quick=args.quick)
+        )
+        print(f"[bench] appended to {history_path}")
     mismatched = [
         name
         for name, entry in report.items()

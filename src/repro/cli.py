@@ -14,6 +14,8 @@ Commands:
   (``fleet run`` / ``fleet sweep`` / ``fleet chaos`` / ``fleet status``);
 * ``matrix``  — declarative scenario matrices
   (``matrix run`` / ``list`` / ``expand`` / ``pin`` / ``diff``);
+* ``obs``     — offline trace analytics
+  (``obs report`` / ``diff`` / ``flame`` / ``critical-path``);
 * ``info``    — print the library's system inventory and versions.
 """
 
@@ -23,6 +25,7 @@ import sys
 
 from repro import __version__, obs, scenarios
 from repro.matrix.cli import add_matrix_commands, positive_int
+from repro.obs.cli import add_obs_commands
 
 
 def _report_perf(args, engine, label="engine"):
@@ -283,6 +286,12 @@ def build_parser():
         "to stderr",
     )
     parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the run's metric registry as deterministic JSON to "
+        "PATH (the `repro obs diff` / matrix-metrics input)",
+    )
+    parser.add_argument(
         "--trace-ring",
         type=int,
         metavar="N",
@@ -365,6 +374,7 @@ def build_parser():
     _fleet_common(fleet_status, hosts=8, tenants=16)
     fleet_status.set_defaults(func=cmd_fleet_status)
     add_matrix_commands(sub)
+    add_obs_commands(sub)
     sub.add_parser("info").set_defaults(func=cmd_info)
     return parser
 
@@ -372,7 +382,11 @@ def build_parser():
 def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
-    tracing = bool(args.trace_out or args.metrics)
+    tracing = bool(
+        getattr(args, "trace_out", None)
+        or getattr(args, "metrics", False)
+        or getattr(args, "metrics_out", None)
+    )
     if tracing:
         # Engines are built deep inside scenario helpers; the process-wide
         # default is how the flag reaches them.  Every engine the command
@@ -390,6 +404,16 @@ def main(argv=None):
                 )
             if args.metrics:
                 print(obs.metrics_text(), file=sys.stderr)
+            if args.metrics_out:
+                with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                    json.dump(
+                        obs.metrics_json(), handle, indent=2, sort_keys=True
+                    )
+                    handle.write("\n")
+                print(
+                    f"[metrics] wrote registry to {args.metrics_out}",
+                    file=sys.stderr,
+                )
         return status
     finally:
         if tracing:

@@ -76,6 +76,36 @@ class FleetRunResult:
             path, tracers=[self.tracer], include_wall=include_wall
         )
 
+    def probe_metrics(self, since_seconds=0.0):
+        """Per-tenant detector probe time (the Fig 5/6 overhead axis).
+
+        Reads the ``detect.probe_seconds`` counters the monitoring
+        service records per tenant (tracer must be enabled during the
+        run), relative to the virtual window since ``since_seconds`` —
+        pass the warm-up's ``engine.now`` to scope a forked branch.
+        ``math.fsum`` keeps the total exact and order-independent, so
+        it equals the scenario's total detector virtual time.
+        """
+        import math
+
+        engine = self.datacenter.engine
+        window = engine.now - since_seconds
+        probe_seconds = {}
+        for label_key, value in self.tracer.metrics.values(
+            "detect.probe_seconds"
+        ):
+            tenant = dict(label_key).get("tenant", "unknown")
+            probe_seconds[tenant] = probe_seconds.get(tenant, 0.0) + value
+        total = math.fsum(probe_seconds.values())
+        return {
+            "window_virtual_seconds": window,
+            "probe_seconds": probe_seconds,
+            "probe_seconds_total": total,
+            "probe_overhead_pct": (
+                100.0 * total / window if window > 0 else 0.0
+            ),
+        }
+
     @property
     def detected_campaigns(self):
         return sum(1 for e in self.campaign.events if e.detected)

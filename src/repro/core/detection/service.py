@@ -160,6 +160,11 @@ class MonitoringService:
                         "verdict": finding.verdict,
                     },
                 )
+                # Guest virtual time spent under the detector's probe —
+                # the Fig 5/6 overhead axis, queryable per tenant.
+                tracer.metrics.counter(
+                    "detect.probe_seconds", tenant=name
+                ).inc(engine.now - probe_started)
         report.vmcs_scan = yield from scan_for_hypervisors(self.host)
         report.finished_at = engine.now
         if tracer.enabled:

@@ -76,7 +76,7 @@ def cmd_matrix_expand(args):
     return 0
 
 
-def _run_matrix(args):
+def _run_matrix(args, capture_metrics=False):
     from repro.matrix.runner import MatrixRunner
 
     spec = _load_spec(args)
@@ -84,19 +84,48 @@ def _run_matrix(args):
         spec,
         processes=args.processes,
         warm_fork=not getattr(args, "cold", False),
+        capture_metrics=capture_metrics,
     )
     report = runner.run(only=args.only, no=args.no)
     return spec, report
 
 
 def cmd_matrix_run(args):
+    import json
     import os
 
-    spec, report = _run_matrix(args)
+    metrics_out = getattr(args, "matrix_metrics_out", None)
+    capture_metrics = bool(metrics_out or args.probe_budget is not None)
+    spec, report = _run_matrix(args, capture_metrics=capture_metrics)
     print(report.summary())
     if args.report_out:
         report.write(args.report_out)
         print(f"[matrix] wrote report to {args.report_out}", file=sys.stderr)
+    if metrics_out:
+        with open(metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(
+                report.variant_metrics(), handle, indent=2, sort_keys=True
+            )
+            handle.write("\n")
+        print(
+            f"[matrix] wrote per-variant metrics to {metrics_out}",
+            file=sys.stderr,
+        )
+    if args.probe_budget is not None:
+        violations = report.probe_budget_violations(args.probe_budget)
+        for variant_id, overhead_pct in violations:
+            print(
+                f"[matrix] OVER BUDGET {variant_id}: probe overhead "
+                f"{overhead_pct:.2f}% > {args.probe_budget:g}%",
+                file=sys.stderr,
+            )
+        if violations:
+            return 1
+        print(
+            f"[matrix] probe overhead within {args.probe_budget:g}% "
+            f"for all {len(report.entries)} variants",
+            file=sys.stderr,
+        )
     expectations_path = _expectations_path(args)
     if not os.path.exists(expectations_path):
         print(
@@ -218,6 +247,23 @@ def add_matrix_commands(subparsers):
         "--report-out",
         metavar="PATH",
         help="write the MatrixReport JSON (with wall clocks) to PATH",
+    )
+    matrix_run.add_argument(
+        "--metrics-out",
+        # Own dest: the root parser's global --metrics-out dumps the
+        # process-wide registry, which would clobber this file.
+        dest="matrix_metrics_out",
+        metavar="PATH",
+        help="capture per-variant metrics (per-tenant probe overhead) "
+        "and write {variant: metrics} JSON to PATH",
+    )
+    matrix_run.add_argument(
+        "--probe-budget",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="fail (exit 1) if any variant's detector probe overhead "
+        "exceeds PCT percent of its branch virtual time",
     )
     matrix_run.set_defaults(func=cmd_matrix_run)
 

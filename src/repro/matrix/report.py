@@ -84,6 +84,10 @@ class MatrixReport:
             rendered = dict(entry)
             if not include_timing:
                 rendered.pop("wall_seconds", None)
+                # Per-variant metric capture rides outside the pinned
+                # canonical form, like wall clocks, so pins don't churn
+                # when capture is toggled on.
+                rendered.pop("metrics", None)
             entries.append(rendered)
         groups = []
         for group in self.groups:
@@ -124,6 +128,27 @@ class MatrixReport:
     def load(cls, path):
         with open(path, "r", encoding="utf-8") as handle:
             return cls.from_dict(json.load(handle))
+
+    def variant_metrics(self):
+        """``{variant_id: metrics}`` for entries that captured metrics."""
+        return {
+            entry["variant"]: entry["metrics"]
+            for entry in self.entries
+            if "metrics" in entry
+        }
+
+    def probe_budget_violations(self, budget_pct):
+        """Variants whose probe overhead exceeds ``budget_pct`` percent.
+
+        Returns ``[(variant_id, overhead_pct)]`` sorted worst-first;
+        needs the run to have captured per-variant metrics.
+        """
+        violations = [
+            (variant_id, metrics["probe_overhead_pct"])
+            for variant_id, metrics in self.variant_metrics().items()
+            if metrics["probe_overhead_pct"] > budget_pct
+        ]
+        return sorted(violations, key=lambda pair: (-pair[1], pair[0]))
 
     @property
     def total_wall_seconds(self):

@@ -61,11 +61,11 @@ def _perf_delta(engine, warm_perf):
     }
 
 
-def _variant_entry(variant, result, wall, warm_perf):
+def _variant_entry(variant, result, wall, warm_perf, warm_now=None):
     params = {}
     for key, value in sorted(variant.params.items()):
         params[key] = list(value) if isinstance(value, tuple) else value
-    return {
+    entry = {
         "variant": variant.variant_id,
         "axes": dict(variant.labels),
         "params": params,
@@ -73,9 +73,14 @@ def _variant_entry(variant, result, wall, warm_perf):
         "perf_delta": _perf_delta(result.datacenter.engine, warm_perf),
         "wall_seconds": round(wall, 3),
     }
+    if warm_now is not None:
+        # Per-variant probe-overhead attribution; excluded from the
+        # canonical JSON (like wall clocks) so pins don't churn.
+        entry["metrics"] = result.probe_metrics(since_seconds=warm_now)
+    return entry
 
 
-def _run_group(variants, warm_fork=True, keep_results=None):
+def _run_group(variants, warm_fork=True, keep_results=None, capture_metrics=False):
     """Run one warm group; returns ``(group_info, {variant_id: entry})``.
 
     ``warm_fork=False`` is the cold comparator: every variant pays its
@@ -97,24 +102,31 @@ def _run_group(variants, warm_fork=True, keep_results=None):
     warm_started = time.perf_counter()
     fleet = None
     if capture or len(variants) == 1:
-        fleet = warm_fleet(seed=seed, capture=capture, **warm)
+        # Metrics capture needs the tracer on *before* the snapshot so
+        # every fork inherits an enabled tracer with a live registry.
+        fleet = warm_fleet(
+            seed=seed, capture=capture, trace=capture_metrics, **warm
+        )
     group_info["warm_wall_seconds"] = round(
         time.perf_counter() - warm_started, 3
     )
     try:
         for variant in variants:
             if fleet is None:
-                substrate = warm_fleet(seed=seed, capture=False, **warm)
+                substrate = warm_fleet(
+                    seed=seed, capture=False, trace=capture_metrics, **warm
+                )
             else:
                 substrate = fleet
             branch = dict(variant.branch_params())
             plan = build_fault_plan(branch.pop("faults", None), seed)
             warm_perf = substrate.engine.perf.snapshot()
+            warm_now = substrate.engine.now if capture_metrics else None
             started = time.perf_counter()
             result = substrate.branch(faults=plan, **branch)
             wall = time.perf_counter() - started
             entries[variant.variant_id] = _variant_entry(
-                variant, result, wall, warm_perf
+                variant, result, wall, warm_perf, warm_now=warm_now
             )
             if keep_results is not None:
                 keep_results.append(result)
@@ -136,11 +148,13 @@ def _matrix_worker(payload):
     """
     from repro.sim.snapshot import heap_frozen
 
-    groups, warm_fork = payload
+    groups, warm_fork, capture_metrics = payload
     out = []
     with heap_frozen():
         for group_index, variants in groups:
-            group_info, entries = _run_group(variants, warm_fork=warm_fork)
+            group_info, entries = _run_group(
+                variants, warm_fork=warm_fork, capture_metrics=capture_metrics
+            )
             out.append((group_index, group_info, entries))
     return out
 
@@ -148,7 +162,7 @@ def _matrix_worker(payload):
 class MatrixRunner:
     """Expands a spec and runs every variant through the fleet harness."""
 
-    def __init__(self, spec, processes=None, warm_fork=True):
+    def __init__(self, spec, processes=None, warm_fork=True, capture_metrics=False):
         if processes is not None and processes < 1:
             raise MatrixError(
                 f"--processes must be >= 1, got {processes}"
@@ -156,6 +170,9 @@ class MatrixRunner:
         self.spec = spec
         self.processes = processes
         self.warm_fork = warm_fork
+        #: Trace every variant and record per-tenant probe-overhead
+        #: metrics in each entry (outside the canonical JSON).
+        self.capture_metrics = capture_metrics
         #: FleetRunResults in expansion order (serial runs only).
         self.results = []
 
@@ -190,6 +207,7 @@ class MatrixRunner:
                     variants,
                     warm_fork=self.warm_fork,
                     keep_results=self.results,
+                    capture_metrics=self.capture_metrics,
                 )
                 group_infos[index] = group_info
                 entries.update(group_entries)
@@ -201,7 +219,9 @@ class MatrixRunner:
         indexed = list(enumerate(variants for _key, variants in groups))
         chunks = [indexed[i::workers] for i in range(workers)]
         payloads = [
-            (chunk, self.warm_fork) for chunk in chunks if chunk
+            (chunk, self.warm_fork, self.capture_metrics)
+            for chunk in chunks
+            if chunk
         ]
         method = (
             "fork"

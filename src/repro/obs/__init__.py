@@ -11,7 +11,12 @@ against:
 * :mod:`~repro.obs.export` — Chrome/Perfetto trace JSON, deterministic
   metrics dumps, and the trace-schema validator;
 * :mod:`~repro.obs.config` — process-wide defaults so CLI flags reach
-  engines built deep inside scenario helpers.
+  engines built deep inside scenario helpers;
+* :mod:`~repro.obs.analysis` — offline span-tree reconstruction,
+  critical-path and self-time attribution, per-tenant probe-overhead
+  accounting, and collapsed-stack flamegraph export;
+* :mod:`~repro.obs.history` — run-comparison regression engine and the
+  append-only ``BENCH_history.jsonl`` ledger.
 
 Quickstart::
 
@@ -22,7 +27,22 @@ Quickstart::
     obs.reset()
 """
 
+from repro.obs.analysis import (
+    TraceAnalysis,
+    analyze_trace,
+    write_collapsed_stacks,
+)
 from repro.obs.config import active_config, configure, register, reset, tracers
+from repro.obs.history import (
+    append_bench_history,
+    bench_history_record,
+    diff_history,
+    diff_runs,
+    flatten,
+    format_diff,
+    load_bench_history,
+    write_diff_report,
+)
 from repro.obs.export import (
     chrome_trace,
     metrics_json,
@@ -38,10 +58,19 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricRegistry",
+    "TraceAnalysis",
     "Tracer",
     "active_config",
+    "analyze_trace",
+    "append_bench_history",
+    "bench_history_record",
     "chrome_trace",
     "configure",
+    "diff_history",
+    "diff_runs",
+    "flatten",
+    "format_diff",
+    "load_bench_history",
     "metrics_json",
     "metrics_text",
     "register",
@@ -49,4 +78,6 @@ __all__ = [
     "tracers",
     "validate_trace",
     "write_chrome_trace",
+    "write_collapsed_stacks",
+    "write_diff_report",
 ]

@@ -1,0 +1,517 @@
+"""Trace analytics: span trees, critical paths, and overhead attribution.
+
+PR 3's tracer produces a flat firehose of Chrome trace events; this
+module turns it into answers.  Everything operates on the *exported*
+trace shape (the JSON object :func:`~repro.obs.export.chrome_trace`
+writes), so a trace analyzed five minutes or five months after the run
+gives byte-identical results — analysis never touches a live engine and
+therefore adds zero engine-side overhead.
+
+Three layers:
+
+* **Span trees** — complete spans (``ph="X"``) on one (process, track)
+  row nest by virtual-time interval containment.  Each
+  :class:`Span` knows its children, its *total* time (the span
+  duration) and its *self* time (duration minus children), the same
+  split a CPU profiler reports.
+* **Critical path** — from any root span, repeatedly descend into the
+  longest child: the chain of spans that bounds the run's virtual-time
+  latency (a migration's iterations, the detector's t0/t1/t2 phases).
+* **Overhead attribution** — the paper's Figs 5/6 axis as a queryable
+  number: per-tenant guest virtual time consumed by detector probes
+  (``detect.probe`` spans carry their tenant; standalone detection runs
+  fall back to ``detect.run`` keyed by track).  The attribution is
+  conservative by construction: every probe span lands in exactly one
+  tenant bucket, and the per-tenant totals sum (``math.fsum``) to the
+  total detector virtual time.
+
+All sums use :func:`math.fsum` so aggregates are independent of
+iteration order, and every dict renders sorted — two analyses of the
+same trace are byte-identical.
+"""
+
+import json
+import math
+
+#: Containment slack in virtual microseconds (1 ns): span ends are
+#: computed as ``now*1e6 - start_us``, so ``start + dur`` can differ
+#: from the recorded end by one ulp.
+_EPS_US = 1e-3
+
+#: Span names that attribute detector probe time to a tenant.
+PROBE_SPAN = "detect.probe"
+#: Fallback when no per-tenant probes exist (standalone Fig 5/6 runs).
+DETECTOR_SPAN = "detect.run"
+
+
+class Span:
+    """One complete span, with its nested children resolved."""
+
+    __slots__ = (
+        "name",
+        "cat",
+        "process",
+        "track",
+        "start_us",
+        "dur_us",
+        "args",
+        "children",
+        "depth",
+    )
+
+    def __init__(self, name, cat, process, track, start_us, dur_us, args):
+        self.name = name
+        self.cat = cat
+        self.process = process
+        self.track = track
+        self.start_us = start_us
+        self.dur_us = dur_us
+        self.args = args or {}
+        self.children = []
+        self.depth = 0
+
+    @property
+    def end_us(self):
+        return self.start_us + self.dur_us
+
+    @property
+    def self_us(self):
+        """Duration not covered by child spans (clamped at zero)."""
+        if not self.children:
+            return self.dur_us
+        covered = math.fsum(child.dur_us for child in self.children)
+        return max(0.0, self.dur_us - covered)
+
+    def walk(self):
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def contains(self, other):
+        return (
+            other.start_us >= self.start_us - _EPS_US
+            and other.end_us <= self.end_us + _EPS_US
+        )
+
+    def __repr__(self):
+        return (
+            f"<Span {self.name} @{self.start_us:.1f}us "
+            f"dur={self.dur_us:.1f}us children={len(self.children)}>"
+        )
+
+
+def _build_tree(spans):
+    """Interval-nest a track's spans; returns the root spans.
+
+    ``spans`` arrive in recording order (completion order).  Sorting by
+    (start, -duration, -sequence) puts enclosing spans before the spans
+    they contain — for exact (start, dur) twins the later-recorded one
+    completed later and is therefore the outer span.
+    """
+    ordered = sorted(
+        enumerate(spans),
+        key=lambda pair: (pair[1].start_us, -pair[1].dur_us, -pair[0]),
+    )
+    roots = []
+    stack = []
+    for _seq, span in ordered:
+        while stack and not stack[-1].contains(span):
+            stack.pop()
+        if stack:
+            span.depth = stack[-1].depth + 1
+            stack[-1].children.append(span)
+        else:
+            roots.append(span)
+        stack.append(span)
+    return roots
+
+
+class TraceAnalysis:
+    """Span trees plus derived analytics for one exported trace."""
+
+    def __init__(self, trace):
+        if not isinstance(trace, dict) or "traceEvents" not in trace:
+            raise ValueError(
+                "expected a Chrome trace object with a traceEvents array"
+            )
+        self.dropped_events = trace.get("otherData", {}).get(
+            "dropped_events", 0
+        )
+        process_names = {}
+        track_names = {}
+        raw_spans = {}
+        self.instant_counts = {}
+        self.counter_samples = 0
+        min_ts = None
+        max_ts = None
+        for event in trace["traceEvents"]:
+            ph = event.get("ph")
+            if ph == "M":
+                if event.get("name") == "process_name":
+                    process_names[event["pid"]] = event["args"]["name"]
+                elif event.get("name") == "thread_name":
+                    track_names[(event["pid"], event["tid"])] = event[
+                        "args"
+                    ]["name"]
+                continue
+            ts = event.get("ts", 0.0)
+            end = ts + event.get("dur", 0.0) if ph == "X" else ts
+            min_ts = ts if min_ts is None else min(min_ts, ts)
+            max_ts = end if max_ts is None else max(max_ts, end)
+            if ph == "X":
+                raw_spans.setdefault(
+                    (event["pid"], event["tid"]), []
+                ).append(event)
+            elif ph == "i":
+                name = event.get("name", "?")
+                self.instant_counts[name] = (
+                    self.instant_counts.get(name, 0) + 1
+                )
+            elif ph == "C":
+                self.counter_samples += 1
+        self.window_us = (min_ts or 0.0, max_ts or 0.0)
+        #: ``{(process_label, track_name): [root spans]}``
+        self.tracks = {}
+        self.span_count = 0
+        for (pid, tid), events in raw_spans.items():
+            process = process_names.get(pid, f"engine-{pid}")
+            track = track_names.get((pid, tid), f"track-{tid}")
+            spans = [
+                Span(
+                    event.get("name", "?"),
+                    event.get("cat"),
+                    process,
+                    track,
+                    event.get("ts", 0.0),
+                    event.get("dur", 0.0),
+                    event.get("args"),
+                )
+                for event in events
+            ]
+            self.span_count += len(spans)
+            self.tracks[(process, track)] = _build_tree(spans)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_file(cls, path):
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls(json.load(handle))
+
+    @classmethod
+    def from_tracers(cls, tracers=None):
+        """Analyze live tracers through the canonical export shape."""
+        from repro.obs.export import chrome_trace
+
+        return cls(chrome_trace(tracers))
+
+    # -- iteration ----------------------------------------------------------
+
+    def spans(self):
+        """Every span, depth-first, tracks in sorted order."""
+        for key in sorted(self.tracks):
+            for root in self.tracks[key]:
+                yield from root.walk()
+
+    # -- self/total attribution --------------------------------------------
+
+    def attribution(self):
+        """Self/total virtual time per track, per span name, per category.
+
+        Per-track ``total_us`` is the sum of *root* spans only (nested
+        work is not double-counted); ``self_us`` sums every span's self
+        time, which equals the root total when children tile their
+        parents exactly and is smaller when gaps exist.
+        """
+        by_track = {}
+        by_name = {}
+        by_category = {}
+        for (process, track), roots in sorted(self.tracks.items()):
+            totals = []
+            selfs = []
+            count = 0
+            for root in roots:
+                totals.append(root.dur_us)
+                for span in root.walk():
+                    selfs.append(span.self_us)
+                    count += 1
+                    entry = by_name.setdefault(
+                        span.name, {"count": 0, "total": [], "self": []}
+                    )
+                    entry["count"] += 1
+                    entry["total"].append(span.dur_us)
+                    entry["self"].append(span.self_us)
+                    if span.cat:
+                        cat = by_category.setdefault(
+                            span.cat, {"count": 0, "self": []}
+                        )
+                        cat["count"] += 1
+                        cat["self"].append(span.self_us)
+            by_track[f"{process}/{track}"] = {
+                "spans": count,
+                "total_us": math.fsum(totals),
+                "self_us": math.fsum(selfs),
+            }
+        return {
+            "by_track": by_track,
+            "by_name": {
+                name: {
+                    "count": entry["count"],
+                    "total_us": math.fsum(entry["total"]),
+                    "self_us": math.fsum(entry["self"]),
+                }
+                for name, entry in sorted(by_name.items())
+            },
+            "by_category": {
+                cat: {
+                    "count": entry["count"],
+                    "self_us": math.fsum(entry["self"]),
+                }
+                for cat, entry in sorted(by_category.items())
+            },
+        }
+
+    # -- critical path ------------------------------------------------------
+
+    def critical_path(self, track=None):
+        """The longest-child chain from the heaviest root span.
+
+        ``track`` selects a ``process/track`` row (substring match, the
+        first sorted hit wins); without it the row with the largest
+        root-span total is analyzed.  Returns ``None`` when the trace
+        holds no spans.
+        """
+        candidates = []
+        for (process, trk), roots in sorted(self.tracks.items()):
+            if not roots:
+                continue
+            label = f"{process}/{trk}"
+            if track is not None and track not in label:
+                continue
+            candidates.append(
+                (math.fsum(root.dur_us for root in roots), label, roots)
+            )
+        if not candidates:
+            return None
+        # Heaviest row wins; ties resolve by label so the choice is
+        # deterministic across runs.
+        _total, label, roots = max(
+            candidates, key=lambda item: (item[0], item[1])
+        )
+        node = max(roots, key=lambda span: (span.dur_us, -span.start_us))
+        segments = []
+        while node is not None:
+            segments.append(
+                {
+                    "name": node.name,
+                    "depth": node.depth,
+                    "start_us": node.start_us,
+                    "dur_us": node.dur_us,
+                    "self_us": node.self_us,
+                }
+            )
+            if not node.children:
+                break
+            node = max(
+                node.children,
+                key=lambda span: (span.dur_us, -span.start_us),
+            )
+        return {
+            "track": label,
+            "total_us": segments[0]["dur_us"],
+            "segments": segments,
+        }
+
+    # -- probe-overhead attribution ----------------------------------------
+
+    def probe_overhead(self):
+        """Per-tenant detector-probe time vs the guest's virtual window.
+
+        Collects every ``detect.probe`` span and buckets its duration
+        under ``args["tenant"]``; traces without per-tenant probes (the
+        standalone Fig 5/6 protocol) fall back to ``detect.run`` spans
+        bucketed by their track.  ``total_probe_us`` and
+        ``detector_total_us`` are fsum'd over the same span population,
+        so the per-tenant attribution conserves the scenario's total
+        detector virtual time exactly.
+        """
+        per_tenant = {}
+        probes = [
+            span for span in self.spans() if span.name == PROBE_SPAN
+        ]
+        fallback = not probes
+        if fallback:
+            probes = [
+                span for span in self.spans() if span.name == DETECTOR_SPAN
+            ]
+        for span in probes:
+            if fallback:
+                tenant = f"{span.process}/{span.track}"
+            else:
+                tenant = span.args.get(
+                    "tenant", f"{span.process}/{span.track}"
+                )
+            per_tenant.setdefault(tenant, []).append(span.dur_us)
+        detector_spans = (
+            probes
+            if fallback
+            else [span for span in self.spans() if span.name == DETECTOR_SPAN]
+        )
+        window_us = self.window_us[1] - self.window_us[0]
+        tenants = {}
+        for tenant, durations in sorted(per_tenant.items()):
+            probe_us = math.fsum(durations)
+            tenants[tenant] = {
+                "probes": len(durations),
+                "probe_us": probe_us,
+                "overhead_pct": (
+                    100.0 * probe_us / window_us if window_us > 0 else 0.0
+                ),
+            }
+        return {
+            "source": DETECTOR_SPAN if fallback else PROBE_SPAN,
+            "window_us": window_us,
+            "tenants": tenants,
+            "total_probe_us": math.fsum(
+                duration
+                for _tenant, durations in sorted(per_tenant.items())
+                for duration in durations
+            ),
+            "detector_total_us": math.fsum(
+                span.dur_us for span in detector_spans
+            ),
+            "overhead_pct": (
+                100.0
+                * math.fsum(
+                    duration
+                    for durations in per_tenant.values()
+                    for duration in durations
+                )
+                / window_us
+                if window_us > 0
+                else 0.0
+            ),
+        }
+
+    # -- flamegraph export --------------------------------------------------
+
+    def collapsed_stacks(self):
+        """Collapsed-stack lines (``a;b;c value``) for flamegraph tools.
+
+        One line per distinct stack — process, track, then the span
+        ancestry — valued by *self* time in integer virtual nanoseconds
+        (flamegraph renderers want integers; nanoseconds keep sub-µs
+        probe writes visible).  Lines sort lexically, so two analyses
+        of the same trace emit byte-identical files.
+        """
+        stacks = {}
+
+        def descend(span, prefix):
+            frames = prefix + (span.name,)
+            weight = int(round(span.self_us * 1000.0))
+            if weight > 0:
+                key = ";".join(frames)
+                stacks[key] = stacks.get(key, 0) + weight
+            for child in span.children:
+                descend(child, frames)
+
+        for (process, track), roots in sorted(self.tracks.items()):
+            for root in roots:
+                descend(root, (process, track))
+        return [f"{stack} {value}" for stack, value in sorted(stacks.items())]
+
+    # -- the diffable summary ----------------------------------------------
+
+    def summary(self):
+        """Deterministic scalar summary — the ``obs diff`` surface."""
+        return {
+            "events": {
+                "spans": self.span_count,
+                "instants": sum(self.instant_counts.values()),
+                "counter_samples": self.counter_samples,
+                "dropped": self.dropped_events,
+            },
+            "window_us": {
+                "start": self.window_us[0],
+                "end": self.window_us[1],
+            },
+            "instants": dict(sorted(self.instant_counts.items())),
+            "attribution": self.attribution(),
+            "critical_path": self.critical_path(),
+            "probe_overhead": self.probe_overhead(),
+        }
+
+    def format(self, top=12):
+        """Human-readable report for ``repro obs report``."""
+        att = self.attribution()
+        overhead = self.probe_overhead()
+        window = self.window_us[1] - self.window_us[0]
+        lines = [
+            f"trace: {self.span_count} spans, "
+            f"{sum(self.instant_counts.values())} instants, "
+            f"{self.counter_samples} counter samples, "
+            f"{self.dropped_events} dropped",
+            f"virtual window: {window / 1e6:.3f}s",
+            "",
+            "top span names by self time:",
+        ]
+        by_self = sorted(
+            att["by_name"].items(),
+            key=lambda item: (-item[1]["self_us"], item[0]),
+        )
+        for name, entry in by_self[:top]:
+            lines.append(
+                f"  {name:<28} count={entry['count']:<6} "
+                f"self={entry['self_us'] / 1e6:.3f}s "
+                f"total={entry['total_us'] / 1e6:.3f}s"
+            )
+        lines.append("")
+        lines.append("tracks:")
+        for label, entry in sorted(att["by_track"].items()):
+            lines.append(
+                f"  {label:<32} spans={entry['spans']:<6} "
+                f"total={entry['total_us'] / 1e6:.3f}s"
+            )
+        lines.append("")
+        lines.append(
+            f"probe overhead ({overhead['source']}): "
+            f"{overhead['total_probe_us'] / 1e6:.3f}s of "
+            f"{overhead['window_us'] / 1e6:.3f}s "
+            f"({overhead['overhead_pct']:.2f}%)"
+        )
+        for tenant, entry in sorted(overhead["tenants"].items()):
+            lines.append(
+                f"  {tenant:<24} probes={entry['probes']:<4} "
+                f"{entry['probe_us'] / 1e6:.4f}s "
+                f"({entry['overhead_pct']:.3f}%)"
+            )
+        path = self.critical_path()
+        if path is not None:
+            lines.append("")
+            lines.append(
+                f"critical path [{path['track']}] "
+                f"{path['total_us'] / 1e6:.3f}s:"
+            )
+            for segment in path["segments"]:
+                indent = "  " * (segment["depth"] + 1)
+                lines.append(
+                    f"{indent}{segment['name']} "
+                    f"dur={segment['dur_us'] / 1e6:.3f}s "
+                    f"self={segment['self_us'] / 1e6:.3f}s"
+                )
+        return "\n".join(lines)
+
+
+def analyze_trace(path):
+    """Load + analyze a Chrome trace JSON file."""
+    return TraceAnalysis.from_file(path)
+
+
+def write_collapsed_stacks(path, analysis):
+    """Write the flamegraph collapsed-stack file; returns line count."""
+    lines = analysis.collapsed_stacks()
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+    return len(lines)

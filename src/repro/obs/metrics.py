@@ -174,6 +174,21 @@ class MetricRegistry:
     def histogram(self, name, **labels):
         return self._get(Histogram, name, labels)
 
+    def values(self, name):
+        """All series of one metric name: ``{label_dict_items: value}``.
+
+        Returns sorted ``(labels, value)`` pairs where ``labels`` is the
+        canonical sorted item tuple — the matrix runner uses this to
+        pull per-tenant series without parsing rendered names.
+        """
+        return [
+            (label_key, metric.as_value())
+            for (metric_name, label_key), metric in sorted(
+                self._metrics.items()
+            )
+            if metric_name == name
+        ]
+
     def __len__(self):
         return len(self._metrics)
 

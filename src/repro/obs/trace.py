@@ -216,6 +216,9 @@ class Tracer:
             gauge = self.metrics.gauge
             for name, value in self.engine.perf.as_dict().items():
                 gauge(f"perf.{name}").set(value)
+            # Ring-buffer drops would silently bias any analysis built
+            # on this trace; surface them in every metric dump.
+            gauge("trace.drops").set(self.dropped_events)
 
     # -- reading -----------------------------------------------------------
 

@@ -9,9 +9,24 @@ CI uses this to pin the tracepoint families a smoke trace must carry.
 
 import argparse
 import json
+import re
 import sys
 
 from repro.obs.export import validate_trace
+
+_EVENT_INDEX = re.compile(r"traceEvents\[(\d+)\]")
+
+
+def first_offending_event(trace, problems):
+    """The ``(index, event)`` behind the first indexed problem, if any."""
+    for problem in problems:
+        match = _EVENT_INDEX.search(problem)
+        if match:
+            index = int(match.group(1))
+            events = trace.get("traceEvents")
+            if isinstance(events, list) and 0 <= index < len(events):
+                return index, events[index]
+    return None
 
 
 def main(argv=None):
@@ -35,6 +50,14 @@ def main(argv=None):
     if problems:
         for problem in problems:
             print(f"{args.path}: {problem}", file=sys.stderr)
+        offender = first_offending_event(trace, problems)
+        if offender is not None:
+            index, event = offender
+            print(
+                f"{args.path}: first offending event "
+                f"traceEvents[{index}] = {json.dumps(event, sort_keys=True)}",
+                file=sys.stderr,
+            )
         return 1
     count = len(trace["traceEvents"])
     print(f"{args.path}: ok ({count} events)")

@@ -73,6 +73,37 @@ def test_histogram_distinguishes_fault_classes():
     assert hist.quantile(0.75) == 512.0
 
 
+def test_histogram_quantile_edges():
+    hist = Histogram()
+    # Empty histograms have no quantiles — None, never a guess.  The
+    # emptiness check wins even over an out-of-range q.
+    assert hist.quantile(0.5) is None
+    assert hist.quantile(7.0) is None
+    hist.record(3.0)  # single sample, lands in (2, 4]
+    # Upper-bound biased: every quantile of a one-sample histogram is
+    # that sample's bucket bound, including both extremes.
+    assert hist.quantile(0.0) == 4.0
+    assert hist.quantile(0.5) == 4.0
+    assert hist.quantile(1.0) == 4.0
+    with pytest.raises(ValueError):
+        hist.quantile(-0.1)
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+
+
+def test_registry_values_by_name():
+    registry = MetricRegistry()
+    registry.counter("probe_s", tenant="t001").inc(2.5)
+    registry.counter("probe_s", tenant="t000").inc(1.0)
+    registry.counter("other").inc()
+    values = registry.values("probe_s")
+    assert values == [
+        ((("tenant", "t000"),), 1.0),
+        ((("tenant", "t001"),), 2.5),
+    ]
+    assert registry.values("absent") == []
+
+
 def test_registry_deterministic_order():
     registry = MetricRegistry()
     registry.counter("z").inc()
@@ -145,6 +176,22 @@ def test_ring_buffer_caps_and_counts_drops():
     assert trace["otherData"]["dropped_events"] == 15
 
 
+def test_ring_buffer_drops_exposed_as_gauge():
+    engine = Engine()
+    tracer = engine.tracer.enable(ring_capacity=4)
+    for index in range(9):
+        tracer.instant(f"e{index}", "test")
+    tracer.flush()
+    dump = tracer.metrics.as_dict()
+    assert dump["trace.drops"] == {"kind": "gauge", "value": 5}
+    # No drops → gauge reads zero rather than being absent, so a diff
+    # of two metric dumps always has the key to compare.
+    other = Engine().tracer.enable()
+    other.instant("only", "test")
+    other.flush()
+    assert other.metrics.as_dict()["trace.drops"]["value"] == 0
+
+
 def test_vm_exit_aggregation_flushes_deterministically():
     engine = Engine()
     tracer = engine.tracer.enable()
@@ -187,6 +234,35 @@ def test_chrome_trace_structure():
     assert validate_trace(trace) == []
 
 
+def test_chrome_trace_counter_tracks_with_labels():
+    """Counter samples become ph=C events on their own named track, so
+    Perfetto renders them as stacked area charts next to the spans."""
+    engine = Engine()
+    tracer = engine.tracer.enable()
+    tracer.complete("work", "test", 0.0, track="spans")
+    tracer.counter_sample(
+        "queue", {"pending": 3, "depth": 2}, track="counters"
+    )
+    tracer.counter_sample("queue", {"pending": 1, "depth": 5}, track="counters")
+    trace = chrome_trace([tracer])
+    counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+    assert [e["args"] for e in counters] == [
+        {"pending": 3, "depth": 2},
+        {"pending": 1, "depth": 5},
+    ]
+    # The counter track gets its own tid + thread_name metadata, distinct
+    # from the span track.
+    track_names = {
+        e["args"]["name"]: e["tid"]
+        for e in trace["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert "counters" in track_names
+    assert "spans" in track_names
+    assert {e["tid"] for e in counters} == {track_names["counters"]}
+    assert validate_trace(trace) == []
+
+
 def test_validate_trace_catches_problems():
     assert validate_trace([]) != []
     bad = {
@@ -201,6 +277,32 @@ def test_validate_trace_catches_problems():
     assert any("bad ts" in p for p in problems)
     assert any("missing name" in p for p in problems)
     assert any("'absent'" in p for p in problems)
+
+
+def test_validate_cli_prints_first_offending_event(tmp_path, capsys):
+    from repro.obs import validate as validate_cli
+
+    good = {
+        "traceEvents": [
+            {"ph": "i", "name": "ok", "pid": 1, "ts": 0.0, "s": "t"}
+        ]
+    }
+    path = tmp_path / "good.json"
+    path.write_text(json.dumps(good))
+    assert validate_cli.main([str(path)]) == 0
+
+    bad = dict(good)
+    bad["traceEvents"] = good["traceEvents"] + [
+        {"ph": "X", "name": "broken", "pid": 1, "ts": -5.0, "dur": 1.0}
+    ]
+    bad_path = tmp_path / "bad.json"
+    bad_path.write_text(json.dumps(bad))
+    assert validate_cli.main([str(bad_path)]) == 1
+    err = capsys.readouterr().err
+    # The failure is actionable without opening the file: it names the
+    # index and dumps the offending event itself.
+    assert "first offending event traceEvents[1]" in err
+    assert '"broken"' in err
 
 
 def test_merged_export_assigns_pids():
