@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-chaos test-fork-determinism bench bench-quick bench-par lint trace-smoke matrix-smoke obs-report
+.PHONY: test test-fast test-chaos test-fork-determinism test-probes bench bench-quick bench-par lint trace-smoke matrix-smoke probes-smoke obs-report
 
 test:
 	$(PYTHON) -m pytest -x -q --durations=10
@@ -22,6 +22,27 @@ test-chaos:
 # by name in the Actions summary.
 test-fork-determinism:
 	$(PYTHON) -m pytest tests/test_fleet_fanout.py -x -q -k determinism
+
+# The probe-catalog suite: the conformance kit (every registered probe
+# × every contract check), the differential pins against the
+# pre-catalog detection path, the ledger-consistency properties, and
+# the edge cases.
+test-probes:
+	$(PYTHON) -m pytest tests/test_probe_conformance.py \
+		tests/test_probes_differential.py tests/test_probes_score.py \
+		tests/test_probes_edges.py -x -q --durations=5
+
+# The CI probes smoke: score the small grid and diff against the
+# checked-in expected scores — `repro probes score --expected` exits 1
+# on any drift (scores are virtual-time state, so the pin holds on
+# every machine).  Re-pin by pointing --report-out at the expected
+# file after an intentional change.
+probes-smoke:
+	mkdir -p build
+	$(PYTHON) -m repro probes score --seed 7 --hosts 2 --tenants 4 \
+		--churn 0 --pages 6 --wait 6.0 \
+		--report-out build/probes-score.json \
+		--expected examples/probes/score_smoke.expected.json
 
 # ruff (configured in pyproject.toml) when available; otherwise fall
 # back to a byte-compile pass so the target still catches syntax errors

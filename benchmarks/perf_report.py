@@ -450,6 +450,26 @@ BASELINE = {
             }
         },
     },
+    "probe_score_4x12": {
+        # New entry introduced with the probe-catalog PR: the baseline
+        # wall is the whole-catalog sweep's first clean measurement
+        # (single-detector ran 1.02s in the same process, ratio 1.08x
+        # against the 1.5x budget); the fingerprint pins the catalog's
+        # verdict census — the VMI probe's one `inconclusive` is the
+        # nested tenant behind the semantic gap.
+        "wall_seconds": 1.102,
+        "fingerprint": {
+            "virtual_now": 608.8246685267202,
+            "tenants_probed": 13,
+            "compromised": ["t000@h02"],
+            "recall": 1.0,
+            "verdicts": {
+                "ksm_timing": {"clean": 12, "nested": 1},
+                "vmi_invariance": {"clean": 12, "inconclusive": 1},
+                "dedup_spy": {"clean": 13},
+            },
+        },
+    },
     "lmbench_l2_proc": {
         "wall_seconds": 0.128,
         "fingerprint": {
@@ -845,6 +865,64 @@ def matrix_expand_entry():
     }
 
 
+#: Ceiling on the whole-catalog sweep's wall clock, relative to the
+#: single-detector fleet_sweep_4x12 measured in the same process.  The
+#: two extra probes are cheap by design (a capped VMI walk, three
+#: census samples); the budget catches a probe that grows a hot loop.
+PROBE_SCORE_RATIO_BUDGET = 1.5
+
+
+def probe_score_entry():
+    """Benchmark the whole-catalog sweep against the single detector.
+
+    Runs fleet_sweep_4x12 with the default probe list (KSM timing
+    only), then the identical fleet with all three catalog probes
+    scheduled per tenant.  Two gates: the catalog sweep's wall clock
+    must stay within :data:`PROBE_SCORE_RATIO_BUDGET` of the
+    single-detector run, and the multi-probe virtual-time fingerprint
+    — clock, compromised set, campaign recall, and the per-probe
+    verdict census — is pinned against :data:`BASELINE`.
+    """
+    from repro.cloud import run_fleet
+
+    single_wall, _single_fp, _ = _run_fleet_sweep()
+
+    started = time.perf_counter()
+    result = run_fleet(
+        probes=("ksm_timing", "vmi_invariance", "dedup_spy"),
+        **FLEET_SWEEP_PARAMS,
+    )
+    wall = time.perf_counter() - started
+    engine = result.datacenter.engine
+    sweep = result.monitor.reports[0]
+    verdicts = {}
+    for host_name in sorted(sweep.host_reports):
+        for finding in sweep.host_reports[host_name].findings:
+            for verdict in finding.probe_verdicts.values():
+                bucket = verdicts.setdefault(verdict.probe, {})
+                bucket[verdict.verdict] = bucket.get(verdict.verdict, 0) + 1
+    fingerprint = {
+        "virtual_now": engine.now,
+        "tenants_probed": sweep.tenants_probed,
+        "compromised": [f"{t}@{h}" for t, h in sweep.compromised],
+        "recall": result.recall,
+        "verdicts": verdicts,
+    }
+    ratio = wall / single_wall
+    base = BASELINE["probe_score_4x12"]
+    return {
+        "wall_seconds": round(wall, 3),
+        "baseline_wall_seconds": base["wall_seconds"],
+        "single_detector_wall_seconds": round(single_wall, 3),
+        "ratio_vs_single_detector": round(ratio, 2),
+        "ratio_budget": PROBE_SCORE_RATIO_BUDGET,
+        "within_budget": ratio <= PROBE_SCORE_RATIO_BUDGET,
+        "fingerprint": fingerprint,
+        "fingerprint_matches_baseline": fingerprint == base["fingerprint"],
+        "perf_counters": engine.perf.as_dict(),
+    }
+
+
 def scenario_chaos_recall():
     """Detection recall/latency on fleet_sweep_4x12 under the ``mixed``
     fault mix — one chaos leg, seeded, so the scorecard is a virtual-time
@@ -1089,6 +1167,20 @@ def run_report(quick=False, parallel=False):
         f"{entry['cold_wall_seconds']:.3f}s — {entry['speedup_vs_cold']:.2f}x "
         f"({target} {entry['speedup_target']:.1f}x target), "
         f"fingerprint {match}"
+    )
+    # The probe-catalog gate runs in quick mode too: scheduling the
+    # whole catalog per tenant must never blow up the sweep wall clock.
+    print("[bench] probe_score_4x12 ...", flush=True)
+    entry = probe_score_entry()
+    report["probe_score_4x12"] = entry
+    match = "match" if entry["fingerprint_matches_baseline"] else "MISMATCH"
+    target = "within" if entry["within_budget"] else "OVER"
+    print(
+        f"[bench] probe_score_4x12: catalog sweep "
+        f"{entry['wall_seconds']:.3f}s vs single-detector "
+        f"{entry['single_detector_wall_seconds']:.3f}s — "
+        f"{entry['ratio_vs_single_detector']:.2f}x ({target} "
+        f"{entry['ratio_budget']:.1f}x budget), fingerprint {match}"
     )
     return report
 

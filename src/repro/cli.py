@@ -26,6 +26,7 @@ import sys
 from repro import __version__, obs, scenarios
 from repro.matrix.cli import add_matrix_commands, positive_int
 from repro.obs.cli import add_obs_commands
+from repro.probes.cli import add_probes_commands
 
 
 def _report_perf(args, engine, label="engine"):
@@ -375,6 +376,7 @@ def build_parser():
     fleet_status.set_defaults(func=cmd_fleet_status)
     add_matrix_commands(sub)
     add_obs_commands(sub)
+    add_probes_commands(sub)
     sub.add_parser("info").set_defaults(func=cmd_info)
     return parser
 

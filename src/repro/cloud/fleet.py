@@ -157,6 +157,7 @@ def _run_branch(
     migration_mode="precopy",
     migration_capabilities=(),
     campaign_stream=None,
+    probes=None,
 ):
     """The divergent suffix of a fleet experiment: attack, sweep, score.
 
@@ -179,6 +180,7 @@ def _run_branch(
         max_concurrent_probes=max_concurrent_probes,
         file_pages=file_pages,
         wait_seconds=wait_seconds,
+        probes=probes,
     )
     campaign = AttackCampaign(
         datacenter,
@@ -239,7 +241,7 @@ class WarmFleet:
         ``faults``, ``campaigns``, ``sweeps``, ``sweeps_per_hour``,
         ``max_concurrent_probes``, ``file_pages``, ``wait_seconds``,
         ``migration_mode``, ``migration_capabilities``,
-        ``campaign_stream``.
+        ``campaign_stream``, ``probes``.
         """
         if self.snapshot is None:
             from repro.sim.snapshot import SnapshotError
@@ -386,6 +388,7 @@ def run_fleet(
     wait_seconds=FLEET_WAIT_SECONDS,
     migration_mode="precopy",
     migration_capabilities=(),
+    probes=None,
     overcommit=1.0,
     trace=False,
     trace_ring_capacity=None,
@@ -426,6 +429,7 @@ def run_fleet(
             wait_seconds=wait_seconds,
             migration_mode=migration_mode,
             migration_capabilities=migration_capabilities,
+            probes=probes,
         )
         if isinstance(from_snapshot, WarmFleet):
             return from_snapshot.branch(**branch_params)
@@ -459,6 +463,7 @@ def run_fleet(
         max_concurrent_probes=max_concurrent_probes,
         file_pages=file_pages,
         wait_seconds=wait_seconds,
+        probes=probes,
     )
     campaign = AttackCampaign(
         datacenter,

@@ -101,6 +101,7 @@ class FleetMonitor:
         max_concurrent_probes=2,
         file_pages=FLEET_FILE_PAGES,
         wait_seconds=FLEET_WAIT_SECONDS,
+        probes=None,
     ):
         if sweeps_per_hour <= 0:
             raise ValueError("sweeps_per_hour must be positive")
@@ -111,6 +112,9 @@ class FleetMonitor:
         self.max_concurrent_probes = max_concurrent_probes
         self.file_pages = file_pages
         self.wait_seconds = wait_seconds
+        #: Probe-catalog subset every host service schedules (see
+        #: :mod:`repro.probes`); None keeps the KSM-timing default.
+        self.probes = probes
         self.reports = []
         #: (tenant_name, host_name, virtual_time) per first detection.
         self.alerts = []
@@ -137,6 +141,7 @@ class FleetMonitor:
                 host.system,
                 file_pages=self.file_pages,
                 wait_seconds=self.wait_seconds,
+                probes=self.probes,
             )
             for name in sorted(occupants):
                 tenant = occupants[name]

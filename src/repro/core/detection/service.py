@@ -2,15 +2,29 @@
 
 The paper evaluates one detection run against one VM; a cloud operator
 needs the sweep version: walk every customer VM on the host, run the
-deduplication protocol against each, cross-check with the VMCS scan,
+registered probe catalog against each, cross-check with the VMCS scan,
 and aggregate a per-host report.  One compromised tenant must be
-singled out among innocents — which also exercises the detector's
+singled out among innocents — which also exercises the detectors'
 false-positive behaviour on the co-resident clean guests.
+
+Probes are pluggable (:mod:`repro.probes`): the service schedules
+whatever catalog subset it was built with, sequentially per tenant,
+under the same per-tenant budget knobs (``file_pages``,
+``wait_seconds``) the single KSM-timing detector always had.  The
+default probe set is exactly that detector, and its scheduling is
+byte-identical in virtual time to the pre-catalog sweep loop.
 """
 
-from repro.core.detection.dedup_detector import CloudInterface, DedupDetector
+from repro.core.detection.dedup_detector import CloudInterface
 from repro.core.detection.vmcs_scan import scan_for_hypervisors
 from repro.errors import DetectionError
+from repro.probes.base import (
+    FLAGGED_VERDICTS,
+    ProbeTarget,
+    aggregate_verdict,
+    resolve_probes,
+    run_probe,
+)
 
 
 class TenantFinding:
@@ -20,10 +34,21 @@ class TenantFinding:
         self.tenant_name = tenant_name
         self.verdict = None
         self.detection_report = None
+        #: probe name -> :class:`repro.probes.base.Verdict`, in run
+        #: order — the per-probe ledger the ScoreMatrix scores from.
+        self.probe_verdicts = {}
+
+    def record(self, verdict):
+        """File one probe's verdict under this tenant."""
+        self.probe_verdicts[verdict.probe] = verdict
+        if verdict.report is not None and self.detection_report is None:
+            # The KSM probe attaches its full DetectionReport; keep the
+            # pre-catalog accessor working.
+            self.detection_report = verdict.report
 
     @property
     def compromised(self):
-        return self.verdict == "nested"
+        return self.verdict in FLAGGED_VERDICTS
 
     def __repr__(self):
         return f"<TenantFinding {self.tenant_name}: {self.verdict}>"
@@ -89,12 +114,15 @@ class HostSweepReport:
 class MonitoringService:
     """Sweeps every registered tenant on one host."""
 
-    def __init__(self, host_system, file_pages=25, wait_seconds=20.0):
+    def __init__(self, host_system, file_pages=25, wait_seconds=20.0, probes=None):
         if host_system.depth != 0:
             raise DetectionError("the monitoring service runs at L0")
         self.host = host_system
         self.file_pages = file_pages
         self.wait_seconds = wait_seconds
+        #: Probe instances in scheduling (and verdict-priority) order;
+        #: None means the pre-catalog default, KSM timing alone.
+        self.probes = resolve_probes(probes)
         self._tenants = {}  # name -> CloudInterface
 
     def register_tenant(self, name, victim_locator):
@@ -134,37 +162,44 @@ class MonitoringService:
             if name not in self._tenants:
                 continue
             finding = TenantFinding(name)
-            probe_started = engine.now
-            detector = DedupDetector(
-                self.host,
-                interface,
-                file_pages=self.file_pages,
-                wait_seconds=self.wait_seconds,
-                file_path=f"/root/detect/sweep-{sweep_id}-{index}-{name}.bin",
-            )
-            try:
-                finding.detection_report = yield from detector.run()
-                finding.verdict = finding.detection_report.verdict.verdict
-            except DetectionError:
-                finding.verdict = "unreachable"
-            report.findings.append(finding)
-            if tracer.enabled:
-                tracer.complete(
-                    "detect.probe",
-                    "detection",
-                    probe_started,
-                    track=f"host:{self.host.name}",
-                    args={
-                        "tenant": name,
-                        "sweep_id": sweep_id,
-                        "verdict": finding.verdict,
-                    },
+            for probe in self.probes:
+                probe_started = engine.now
+                target = ProbeTarget(
+                    self.host,
+                    name,
+                    interface,
+                    file_pages=self.file_pages,
+                    wait_seconds=self.wait_seconds,
+                    sweep_id=sweep_id,
+                    index=index,
                 )
-                # Guest virtual time spent under the detector's probe —
-                # the Fig 5/6 overhead axis, queryable per tenant.
-                tracer.metrics.counter(
-                    "detect.probe_seconds", tenant=name
-                ).inc(engine.now - probe_started)
+                verdict = yield from run_probe(probe, target)
+                verdict.started_at = probe_started
+                verdict.finished_at = engine.now
+                finding.record(verdict)
+                if tracer.enabled:
+                    tracer.complete(
+                        "detect.probe",
+                        "detection",
+                        probe_started,
+                        track=f"host:{self.host.name}",
+                        args={
+                            "tenant": name,
+                            "sweep_id": sweep_id,
+                            "verdict": verdict.verdict,
+                            "probe": probe.name,
+                        },
+                    )
+                    # Guest virtual time spent under this probe — the
+                    # Fig 5/6 overhead axis, queryable per tenant (and
+                    # now per probe).
+                    tracer.metrics.counter(
+                        "detect.probe_seconds", tenant=name, probe=probe.name
+                    ).inc(engine.now - probe_started)
+            finding.verdict = aggregate_verdict(
+                list(finding.probe_verdicts.values())
+            )
+            report.findings.append(finding)
         report.vmcs_scan = yield from scan_for_hypervisors(self.host)
         report.finished_at = engine.now
         if tracer.enabled:

@@ -69,6 +69,7 @@ BRANCH_KEYS = (
     "migration_capabilities",
     "campaign_stream",
     "faults",
+    "probes",
 )
 
 _ALL_KEYS = frozenset(WARM_KEYS) | frozenset(BRANCH_KEYS)
@@ -154,6 +155,23 @@ def _validate_param(key, value, where):
                     f"{where}: unknown migration capability {name!r} "
                     f"(choose from {_KNOWN_CAPABILITIES})"
                 )
+        return names
+    if key == "probes" and value is not None:
+        # Same ``+``-joined shape as migration_capabilities, validated
+        # against the probe catalog (imported lazily: the registry
+        # pulls in the detection stack, which spec parsing shouldn't).
+        from repro.probes.base import registered_probes
+
+        names = tuple(str(value).split("+"))
+        known = registered_probes()
+        for name in names:
+            if name not in known:
+                raise MatrixSpecError(
+                    f"{where}: unknown probe {name!r} "
+                    f"(choose from {', '.join(known)})"
+                )
+        if len(set(names)) != len(names):
+            raise MatrixSpecError(f"{where}: probe listed twice in {value!r}")
         return names
     return value
 

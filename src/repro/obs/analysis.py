@@ -369,10 +369,31 @@ class TraceAnalysis:
                     100.0 * probe_us / window_us if window_us > 0 else 0.0
                 ),
             }
+        by_probe = {}
+        if not fallback:
+            # Catalog sweeps label each span with its probe name; traces
+            # from before the probe catalog simply have no buckets here.
+            for span in probes:
+                probe_name = span.args.get("probe")
+                if probe_name is None:
+                    continue
+                bucket = by_probe.setdefault(
+                    probe_name, {"probes": 0, "probe_us": []}
+                )
+                bucket["probes"] += 1
+                bucket["probe_us"].append(span.dur_us)
+            by_probe = {
+                name: {
+                    "probes": bucket["probes"],
+                    "probe_us": math.fsum(bucket["probe_us"]),
+                }
+                for name, bucket in sorted(by_probe.items())
+            }
         return {
             "source": DETECTOR_SPAN if fallback else PROBE_SPAN,
             "window_us": window_us,
             "tenants": tenants,
+            "by_probe": by_probe,
             "total_probe_us": math.fsum(
                 duration
                 for _tenant, durations in sorted(per_tenant.items())

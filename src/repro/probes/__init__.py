@@ -1,0 +1,43 @@
+"""Pluggable detection-probe catalog + cross-scored attack matrix.
+
+See :mod:`repro.probes.base` for the Probe protocol and registry,
+:mod:`repro.probes.catalog` for the built-in probes, and
+:mod:`repro.probes.score` for the probe×attack ScoreMatrix runner
+(``repro probes score``).
+"""
+
+from repro.probes.base import (
+    DEFAULT_PROBES,
+    FLAGGED_VERDICTS,
+    Probe,
+    ProbeTarget,
+    Verdict,
+    aggregate_verdict,
+    get_probe,
+    register_probe,
+    registered_probes,
+    resolve_probes,
+    run_probe,
+)
+from repro.probes.catalog import (
+    DedupSpyProbe,
+    KsmTimingProbe,
+    VmiInvarianceProbe,
+)
+
+__all__ = [
+    "DEFAULT_PROBES",
+    "DedupSpyProbe",
+    "FLAGGED_VERDICTS",
+    "KsmTimingProbe",
+    "Probe",
+    "ProbeTarget",
+    "Verdict",
+    "VmiInvarianceProbe",
+    "aggregate_verdict",
+    "get_probe",
+    "register_probe",
+    "registered_probes",
+    "resolve_probes",
+    "run_probe",
+]

@@ -1,0 +1,255 @@
+"""The Probe protocol and plugin registry.
+
+The paper evaluates one detector (KSM write timing, §VI); the
+surrounding literature sketches a *space* of them — kernel-object
+invariance enforcement (Hello rootKitty), low-overhead VMI monitoring
+(Zhan et al.), dedup side-channel observation (Xiao/Suzuki).  A probe
+is any observer that, pointed at one tenant, spends bounded virtual
+time and returns a :class:`Verdict`.  The registry makes the catalog
+pluggable: the monitoring service schedules whatever probes are
+registered, under the same per-tenant budget knobs the single detector
+always had.
+
+Contract (enforced by ``tests/probe_conformance.py`` for every
+registered probe):
+
+* ``probe(target)`` is an engine generator — all waiting happens in
+  virtual time via ``yield engine.timeout(...)`` or nested protocols;
+* same seed, same target ⇒ byte-identical verdict and virtual cost;
+* virtual cost never exceeds :meth:`Probe.cost_bound` for the target's
+  budget;
+* the guest's OS-level state (process table, forged views) is left
+  exactly as found on a clean tenant;
+* an unreachable tenant (crashed host, deleted VM, fault-blocked
+  locator) yields the ``unreachable`` verdict, never an unhandled
+  error.
+"""
+
+from repro.errors import DetectionError
+
+#: Verdict strings that count as "this tenant is under attack".  Each
+#: probe flags with its own vocabulary — ``nested`` (KSM timing saw the
+#: rootkit sandwich), ``subverted`` (VMI invariants were forged),
+#: ``spying`` (dedup side-channel traffic observed) — so a fleet report
+#: names the attack class, not just a boolean.
+FLAGGED_VERDICTS = frozenset({"nested", "subverted", "spying"})
+
+
+class Verdict:
+    """One probe's conclusion about one tenant."""
+
+    def __init__(self, probe, verdict, details=None):
+        self.probe = probe
+        self.verdict = verdict
+        self.details = dict(details or {})
+        #: Virtual timestamps stamped by the scheduler (MonitoringService
+        #: or the conformance kit), not by the probe itself.
+        self.started_at = None
+        self.finished_at = None
+        #: Optional rich attachment (the KSM probe hangs its full
+        #: DetectionReport here so Fig 5/6 consumers keep working).
+        self.report = None
+
+    @property
+    def flagged(self):
+        return self.verdict in FLAGGED_VERDICTS
+
+    @property
+    def duration(self):
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def as_dict(self):
+        return {
+            "probe": self.probe,
+            "verdict": self.verdict,
+            "flagged": self.flagged,
+            "details": dict(sorted(self.details.items())),
+        }
+
+    def __repr__(self):
+        return f"<Verdict {self.probe}: {self.verdict}>"
+
+
+class ProbeTarget:
+    """Everything a probe may touch for one tenant.
+
+    The budget fields carry the monitoring service's per-tenant knobs
+    (``file_pages``/``wait_seconds``); ``sweep_id``/``index`` exist so
+    probes that materialize artifacts (the KSM probe's File-A) can name
+    them uniquely per sweep, keeping virtual-time results byte-identical
+    to the pre-catalog monitoring loop.
+    """
+
+    def __init__(
+        self,
+        host,
+        tenant_name,
+        interface,
+        file_pages=25,
+        wait_seconds=20.0,
+        sweep_id=0,
+        index=0,
+    ):
+        self.host = host
+        self.tenant_name = tenant_name
+        self.interface = interface
+        self.file_pages = file_pages
+        self.wait_seconds = wait_seconds
+        self.sweep_id = sweep_id
+        self.index = index
+
+    @property
+    def engine(self):
+        return self.host.engine
+
+    def locate(self):
+        """The tenant's guest System, or DetectionError if gone."""
+        guest = self.interface.victim_locator()
+        if guest is None:
+            raise DetectionError(
+                f"tenant {self.tenant_name!r} is unreachable"
+            )
+        return guest
+
+
+class Probe:
+    """Base class for catalog probes.
+
+    Subclasses set :attr:`name` (the registry key), :attr:`capabilities`
+    (which engine facilities the probe needs — documentation for the
+    scheduler, asserted nowhere), and implement :meth:`probe` and
+    :meth:`cost_bound`.
+    """
+
+    #: Registry key; also the ``probe=`` label on obs spans/counters.
+    name = None
+    #: Facilities the probe requires of the substrate.
+    capabilities = ()
+
+    def cost_bound(self, file_pages, wait_seconds):
+        """Upper bound on virtual seconds one probe run may cost under
+        the given budget.  The conformance kit asserts it."""
+        raise NotImplementedError
+
+    def probe(self, target):
+        """Engine generator: examine ``target``, return a Verdict."""
+        raise NotImplementedError
+
+    def describe(self):
+        return {
+            "name": self.name,
+            "capabilities": list(self.capabilities),
+            "doc": (self.__doc__ or "").strip().splitlines()[0],
+        }
+
+
+_REGISTRY = {}
+
+#: The pre-catalog monitoring behaviour: KSM timing only.  Fleet runs
+#: default to this so every existing fingerprint pin stays byte-exact.
+DEFAULT_PROBES = ("ksm_timing",)
+
+
+def register_probe(cls):
+    """Class decorator: add a Probe subclass to the catalog."""
+    if not cls.name:
+        raise ValueError("probe class must set a name")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"probe {cls.name!r} already registered")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def _ensure_catalog():
+    # Registration happens on import of the catalog module; defer it so
+    # `repro.probes.base` stays import-cycle-free (the detection service
+    # imports this module at module level).
+    from repro.probes import catalog  # noqa: F401
+
+
+def registered_probes():
+    """Sorted names of every registered probe."""
+    _ensure_catalog()
+    return sorted(_REGISTRY)
+
+
+def get_probe(name):
+    """Instantiate the registered probe called ``name``."""
+    _ensure_catalog()
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise DetectionError(
+            f"unknown probe {name!r}; registered: "
+            f"{', '.join(sorted(_REGISTRY)) or 'none'}"
+        ) from None
+    return cls()
+
+
+def resolve_probes(spec):
+    """Normalize a probe spec to a tuple of Probe instances.
+
+    ``None`` means :data:`DEFAULT_PROBES`; a string may name several
+    probes joined by ``+`` (the matrix-axis syntax); an iterable may mix
+    names and ready instances.  Order is preserved — it is the order
+    probes run per tenant, and the priority order for the aggregate
+    verdict.
+    """
+    if spec is None:
+        spec = DEFAULT_PROBES
+    if isinstance(spec, str):
+        spec = tuple(part for part in spec.split("+") if part)
+        if not spec:
+            raise DetectionError("empty probe spec")
+    probes = []
+    seen = set()
+    for entry in spec:
+        probe = entry if isinstance(entry, Probe) else get_probe(entry)
+        if probe.name in seen:
+            raise DetectionError(f"probe {probe.name!r} listed twice")
+        seen.add(probe.name)
+        probes.append(probe)
+    if not probes:
+        raise DetectionError("empty probe spec")
+    return tuple(probes)
+
+
+def run_probe(probe, target):
+    """Generator: run one probe, absorbing unreachable-tenant errors.
+
+    DetectionError is the substrate's "the tenant is gone" signal (the
+    locator answered None, the guest vanished mid-protocol); the catalog
+    maps it to a graceful ``unreachable`` verdict exactly as the
+    pre-catalog sweep loop did.
+    """
+    try:
+        verdict = yield from probe.probe(target)
+    except DetectionError as exc:
+        verdict = Verdict(
+            probe.name, "unreachable", details={"error": str(exc)}
+        )
+    return verdict
+
+
+def aggregate_verdict(verdicts):
+    """Collapse per-probe verdicts into one tenant-level verdict string.
+
+    Priority: the first flagged verdict (in probe order) wins; a tenant
+    every probe failed to reach is ``unreachable``; any inconclusive or
+    partially-unreachable evidence is ``inconclusive``; else ``clean``.
+    With a single probe this is the identity function, which is what
+    keeps the default (KSM-only) sweep summaries byte-identical.
+    """
+    if not verdicts:
+        raise DetectionError("no verdicts to aggregate")
+    values = [v.verdict for v in verdicts]
+    for value in values:
+        if value in FLAGGED_VERDICTS:
+            return value
+    if all(value == "unreachable" for value in values):
+        return "unreachable"
+    if any(value in ("inconclusive", "unreachable") for value in values):
+        return "inconclusive"
+    return "clean"

@@ -1,0 +1,210 @@
+"""The built-in probe catalog.
+
+Three observers over the scaffolding already in-tree:
+
+* :class:`KsmTimingProbe` — the paper's §VI detector
+  (:mod:`repro.core.detection.dedup_detector`) wrapped unchanged; the
+  default probe, byte-identical in virtual time to the pre-catalog
+  monitoring loop.
+* :class:`VmiInvarianceProbe` — Hello rootKitty-style cross-view
+  invariance over :mod:`repro.vmi`: catches DKSM forgery of the
+  VMI-visible process structures, is blind to nested guests (the
+  semantic gap CloudSkulk exploits).
+* :class:`DedupSpyProbe` — turns the dedup side channel around: a
+  defender watching a tenant's KSM-shared page set for the plant/evict
+  churn a covert channel (:mod:`repro.sidechannel.dedup_channel`)
+  necessarily produces.
+
+No single probe covers the attack space — that asymmetry is the point
+of the score matrix.
+"""
+
+from repro.core.detection.dedup_detector import DedupDetector
+from repro.errors import DetectionError
+from repro.probes.base import Probe, Verdict, register_probe
+from repro.sidechannel.dedup_channel import shared_page_census
+from repro.vmi.invariants import check_process_invariants
+
+
+@register_probe
+class KsmTimingProbe(Probe):
+    """KSM write-timing detection (paper §VI) as a catalog probe.
+
+    A thin adapter: construction arguments, File-A naming, protocol,
+    and error mapping reproduce the pre-catalog
+    ``MonitoringService.sweep`` inner loop exactly, so the default
+    fleet fingerprints (FLEET_SWEEP_4X12_PIN and friends) stay
+    byte-identical.
+    """
+
+    name = "ksm_timing"
+    capabilities = ("cloud_interface", "ksm", "write_timing")
+
+    def cost_bound(self, file_pages, wait_seconds):
+        # Two settle waits plus three timed measurement phases plus
+        # vendor-channel file delivery; the constant covers delivery
+        # and per-page write costs with generous slack.
+        return 4.0 * wait_seconds + 0.05 * file_pages + 60.0
+
+    def probe(self, target):
+        detector = DedupDetector(
+            target.host,
+            target.interface,
+            file_pages=target.file_pages,
+            wait_seconds=target.wait_seconds,
+            file_path=(
+                f"/root/detect/sweep-{target.sweep_id}-"
+                f"{target.index}-{target.tenant_name}.bin"
+            ),
+        )
+        report = yield from detector.run()
+        verdict = Verdict(
+            self.name,
+            report.verdict.verdict,
+            details={
+                "median_t0_us": report.verdict.median_t0,
+                "median_t1_us": report.verdict.median_t1,
+                "median_t2_us": report.verdict.median_t2,
+            },
+        )
+        verdict.report = report
+        return verdict
+
+
+@register_probe
+class VmiInvarianceProbe(Probe):
+    """Cross-view process-structure invariance via VMI.
+
+    Flags ``subverted`` when the VMI walk and the kernel's own table
+    disagree (DKSM forgery).  Honest about its two structural limits:
+    a nested (depth-2) guest or an unknown kernel build both come back
+    ``inconclusive`` — the probe cannot see, and says so, rather than
+    calling the tenant clean.
+    """
+
+    name = "vmi_invariance"
+    capabilities = ("vmi_layouts", "guest_memory_read")
+
+    #: Fixed cost of locating the structures from priori layout
+    #: knowledge, charged even when the walk cannot start.
+    SETUP_COST_S = 2e-3
+    #: Per process entry compared across the two views.
+    PER_ENTRY_COST_S = 350e-6
+    #: Walk-length cap: the cost bound must not scale with attacker
+    #: -controlled state.
+    MAX_WALK_ENTRIES = 4096
+
+    def cost_bound(self, file_pages, wait_seconds):
+        return self.SETUP_COST_S + self.MAX_WALK_ENTRIES * self.PER_ENTRY_COST_S
+
+    def probe(self, target):
+        guest = target.locate()
+        engine = target.engine
+        if guest.depth != 1 or guest.qemu_vm is None:
+            # Two stacked semantic gaps (paper §VI-D-2): no anchor for
+            # the inner kernel's structures.  Charge the failed setup.
+            yield engine.timeout(self.SETUP_COST_S)
+            return Verdict(
+                self.name,
+                "inconclusive",
+                details={"reason": "semantic-gap", "depth": guest.depth},
+            )
+        try:
+            report = check_process_invariants(guest.qemu_vm)
+        except DetectionError as exc:
+            # The guest is reachable but its kernel build is not in
+            # KERNEL_LAYOUTS — VMI has no priori knowledge to walk with.
+            yield engine.timeout(self.SETUP_COST_S)
+            return Verdict(
+                self.name,
+                "inconclusive",
+                details={"reason": "no-layout-knowledge", "error": str(exc)},
+            )
+        walked = min(report.processes_walked, self.MAX_WALK_ENTRIES)
+        yield engine.timeout(
+            self.SETUP_COST_S + walked * self.PER_ENTRY_COST_S
+        )
+        verdict = "clean" if report.consistent else "subverted"
+        return Verdict(
+            self.name,
+            verdict,
+            details={
+                "processes_walked": report.processes_walked,
+                "hidden": len(report.kernel_only),
+                "injected": len(report.vmi_only),
+            },
+        )
+
+
+@register_probe
+class DedupSpyProbe(Probe):
+    """Dedup side-channel surveillance: watch shared-page churn.
+
+    Samples the tenant's KSM-shared page census
+    (:func:`repro.sidechannel.dedup_channel.shared_page_census`) a few
+    times across the budget window.  A covert channel must plant and
+    evict codebook pages every frame, so its shared set churns on the
+    channel's cadence; legitimate sharing (OS-image pages merged long
+    ago) is near-static by sweep time.  Churn at or above
+    :attr:`CHURN_THRESHOLD` distinct digests flags ``spying``.  A
+    tenant with zero shared pages is simply ``clean`` — nothing to
+    watch is not suspicious.
+
+    The channel merges ~popcount(byte) codebook pages per settle
+    period once ksmd's full-scan cycle has converged on the plants
+    (about two minutes of virtual time after the channel starts), so
+    the probe is blind to a channel younger than that — detection
+    latency the score matrix reports honestly.
+    """
+
+    name = "dedup_spy"
+    capabilities = ("memory_census", "ksm")
+
+    #: Census samples taken per probe run.
+    SAMPLES = 3
+    #: Fixed per-sample cost plus a per-materialized-page scan charge.
+    SAMPLE_BASE_COST_S = 1e-3
+    PER_PAGE_COST_S = 2e-6
+    #: Page-walk charge cap, so the bound is budget-only.
+    MAX_CENSUS_PAGES = 65536
+    #: Distinct shared-set digests that must churn across the samples.
+    #: A frame's merge/evict transition moves popcount(byte) digests at
+    #: once, while legitimate churn (a workload CoW-breaking one shared
+    #: page) moves them one at a time.
+    CHURN_THRESHOLD = 2
+
+    def cost_bound(self, file_pages, wait_seconds):
+        return wait_seconds + self.SAMPLES * (
+            self.SAMPLE_BASE_COST_S
+            + self.MAX_CENSUS_PAGES * self.PER_PAGE_COST_S
+        )
+
+    def probe(self, target):
+        guest = target.locate()
+        engine = target.engine
+        window = target.wait_seconds / (self.SAMPLES - 1)
+        samples = []
+        for sample_index in range(self.SAMPLES):
+            if sample_index:
+                yield engine.timeout(window)
+            census = shared_page_census(guest)
+            touched = getattr(guest.memory, "touched_pages", len(census))
+            yield engine.timeout(
+                self.SAMPLE_BASE_COST_S
+                + min(touched, self.MAX_CENSUS_PAGES) * self.PER_PAGE_COST_S
+            )
+            samples.append(frozenset(census))
+        churn = sum(
+            len(before ^ after)
+            for before, after in zip(samples, samples[1:])
+        )
+        verdict = "spying" if churn >= self.CHURN_THRESHOLD else "clean"
+        return Verdict(
+            self.name,
+            verdict,
+            details={
+                "churn": churn,
+                "shared_pages": len(samples[-1]),
+                "samples": self.SAMPLES,
+            },
+        )

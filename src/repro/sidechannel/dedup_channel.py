@@ -154,3 +154,31 @@ class DedupCovertChannel:
             out.append(byte)
         bps = len(bits) / elapsed if elapsed > 0 else 0.0
         return bytes(out), elapsed, bps
+
+
+def shared_page_census(system):
+    """Digests of every KSM-shared frame mapped by ``system``, sorted.
+
+    A purely *observational* walk of the guest's materialized pages —
+    nothing is allocated, written, or CoW-broken — so a defender can
+    take it repeatedly without perturbing the state it is watching.
+    The covert channel above churns exactly this set (codebook plants
+    merge on a ksmd pass, then vanish at frame eviction), which is what
+    the ``dedup_spy`` probe keys on: legitimate sharing (common OS-image
+    pages) is near-static at sweep time, channel traffic is not.
+
+    Returns a sorted tuple of content digests, one per distinct shared
+    frame (a frame mapped at several gpfns counts once).
+    """
+    memory = getattr(system, "memory", None)
+    if memory is None or not hasattr(memory, "iter_touched"):
+        return ()
+    digests = {}
+    for gpfn in sorted(memory.iter_touched()):
+        physical, host_pfn = memory.resolve(gpfn)
+        if physical is None:
+            continue
+        frame = physical.frame(host_pfn)
+        if frame is not None and frame.ksm_shared:
+            digests[frame.fid] = frame.digest
+    return tuple(sorted(digests.values()))

@@ -19,14 +19,17 @@ from repro.vmi.introspect import (
     introspect,
     introspect_nested,
 )
+from repro.vmi.invariants import InvariantReport, check_process_invariants
 from repro.vmi.kernel_structs import KERNEL_LAYOUTS, KernelLayout
 from repro.vmi.subversion import forge_process_view, restore_process_view
 
 __all__ = [
     "IntrospectionReport",
+    "InvariantReport",
     "KERNEL_LAYOUTS",
     "KernelLayout",
     "SemanticGapError",
+    "check_process_invariants",
     "forge_process_view",
     "introspect",
     "introspect_nested",

@@ -1,0 +1,68 @@
+"""Cross-view kernel-object invariance checking.
+
+Hello rootKitty-style detection: take the VMI walk of a guest's
+process structures and cross-check it against the kernel's own
+ground-truth table.  An attacker who forged the VMI-visible structures
+(DKSM — :mod:`repro.vmi.subversion`) leaves the two views disagreeing;
+a stock guest leaves them identical.  The check is only as strong as
+the views are independent — it sees nothing once *both* views are
+under attacker control, and it cannot reach a nested guest at all
+(:func:`repro.vmi.introspect.introspect_nested`), which is exactly the
+blind spot CloudSkulk exploits.
+"""
+
+from repro.vmi.introspect import introspect
+
+
+class InvariantReport:
+    """Outcome of one cross-view invariance check."""
+
+    def __init__(self, vm_name):
+        self.vm_name = vm_name
+        self.vmi_view = []  # (pid, name, user) — what introspection saw
+        self.kernel_view = []  # (pid, name, user) — kernel ground truth
+        self.vmi_only = []  # entries VMI shows that the kernel lacks
+        self.kernel_only = []  # entries the attacker hid from VMI
+
+    @property
+    def consistent(self):
+        return not self.vmi_only and not self.kernel_only
+
+    @property
+    def processes_walked(self):
+        """Structure walk length: both views, deduplicated entries."""
+        return len({*self.vmi_view, *self.kernel_view})
+
+    def summary(self):
+        state = "consistent" if self.consistent else "FORGED"
+        return (
+            f"invariance check {self.vm_name}: {state} "
+            f"(vmi={len(self.vmi_view)} kernel={len(self.kernel_view)} "
+            f"hidden={len(self.kernel_only)} injected={len(self.vmi_only)})"
+        )
+
+    def __repr__(self):
+        return f"<InvariantReport {self.vm_name} consistent={self.consistent}>"
+
+
+def check_process_invariants(qemu_vm):
+    """Cross-check the VMI process view against kernel ground truth.
+
+    Raises what :func:`repro.vmi.introspect.introspect` raises — a
+    missing guest (DetectionError) or an unknown kernel build (no
+    priori layout knowledge).
+    """
+    vmi_report = introspect(qemu_vm)
+    guest = qemu_vm.guest
+    report = InvariantReport(qemu_vm.name)
+    report.vmi_view = sorted(vmi_report.processes)
+    report.kernel_view = sorted(
+        (proc.pid, proc.name, proc.user)
+        for proc in guest.kernel.table.processes()
+        if proc.alive
+    )
+    kernel_set = set(report.kernel_view)
+    vmi_set = set(report.vmi_view)
+    report.vmi_only = sorted(vmi_set - kernel_set)
+    report.kernel_only = sorted(kernel_set - vmi_set)
+    return report

@@ -1,0 +1,169 @@
+"""The probe conformance kit: the contract every catalog probe must pass.
+
+Importable (not collected directly — ``test_probe_conformance.py``
+parametrizes it over the registry) and reusable: a new probe plugs into
+the same four checks the built-ins pass.
+
+The contract, from :mod:`repro.probes.base`:
+
+* **deterministic** — same seed, same target ⇒ byte-identical verdict,
+  details, and virtual-time cost;
+* **budgeted** — virtual cost never exceeds ``cost_bound`` for the
+  target's budget;
+* **non-perturbing** — probing a clean tenant leaves the guest's
+  OS-level state (process table, forged-view slot, identity) exactly
+  as found;
+* **graceful** — an unreachable tenant produces the ``unreachable``
+  verdict, never an unhandled error.
+"""
+
+from repro import scenarios
+from repro.core.detection.dedup_detector import CloudInterface
+from repro.probes.base import ProbeTarget, run_probe
+
+#: Budget every conformance rig probes under (the single-host scenario
+#: budget the Fig 5/6 tests use).
+RIG_FILE_PAGES = 8
+RIG_WAIT_SECONDS = 6.0
+RIG_SEED = 1701
+#: Virtual idle time before probing: lets ksmd finish its initial
+#: full-scan convergence (done by ~50s on this testbed), the steady
+#: state a monitoring sweep actually probes.  Probing mid-convergence
+#: would hand the dedup-spy probe legitimate first-merge churn.
+RIG_SETTLE_SECONDS = 60.0
+
+
+def build_rig(seed=RIG_SEED):
+    """One clean, KSM-settled single-victim host; returns (host, target)."""
+    host, cloud, _ksm, _locator = scenarios.detection_setup(
+        nested=False, seed=seed
+    )
+    engine = host.engine
+
+    def settle():
+        yield engine.timeout(RIG_SETTLE_SECONDS)
+
+    engine.run(engine.process(settle(), name="conformance-settle"))
+    target = ProbeTarget(
+        host,
+        "victim",
+        cloud,
+        file_pages=RIG_FILE_PAGES,
+        wait_seconds=RIG_WAIT_SECONDS,
+    )
+    return host, target
+
+
+def run_probe_once(probe, target):
+    """Drive one probe run to completion; returns the stamped Verdict."""
+    engine = target.engine
+    outcome = {}
+
+    def runner():
+        outcome["verdict"] = yield from run_probe(probe, target)
+
+    started = engine.now
+    engine.run(engine.process(runner(), name=f"conformance-{probe.name}"))
+    verdict = outcome["verdict"]
+    verdict.started_at = started
+    verdict.finished_at = engine.now
+    return verdict
+
+
+def guest_os_fingerprint(guest):
+    """The OS-level state a probe must not perturb.
+
+    Deliberately excludes memory/filesystem contents: the KSM-timing
+    protocol *requires* materializing File-A in the guest.  What no
+    probe may do is change what the guest *is* — its identity, its
+    process population, or its (un)subverted view.
+    """
+    forged = guest.kernel.dksm_forged_view
+    return (
+        guest.name,
+        guest.os_name,
+        guest.kernel_version,
+        guest.depth,
+        tuple(
+            sorted(
+                (proc.pid, proc.name, proc.user)
+                for proc in guest.kernel.table.processes()
+                if proc.alive
+            )
+        ),
+        None if forged is None else tuple(tuple(row) for row in forged),
+    )
+
+
+# -- the four conformance checks ----------------------------------------
+
+
+def check_deterministic(probe_factory):
+    """Two same-seed rigs, two probe runs: byte-identical outcomes."""
+    outcomes = []
+    for _ in range(2):
+        _host, target = build_rig()
+        verdict = run_probe_once(probe_factory(), target)
+        outcomes.append(
+            (verdict.verdict, sorted(verdict.details.items()), verdict.duration)
+        )
+    assert outcomes[0] == outcomes[1], (
+        f"same-seed probe runs diverged: {outcomes[0]} != {outcomes[1]}"
+    )
+
+
+def check_budget(probe_factory):
+    """Virtual cost stays under the declared bound for the budget."""
+    probe = probe_factory()
+    _host, target = build_rig()
+    verdict = run_probe_once(probe, target)
+    bound = probe.cost_bound(target.file_pages, target.wait_seconds)
+    assert verdict.duration <= bound, (
+        f"{probe.name} spent {verdict.duration:.3f}s virtual, "
+        f"over its declared bound {bound:.3f}s"
+    )
+
+
+def check_no_os_mutation(probe_factory):
+    """A probe on a clean tenant leaves the guest's OS state as found."""
+    probe = probe_factory()
+    _host, target = build_rig()
+    guest = target.locate()
+    before = guest_os_fingerprint(guest)
+    verdict = run_probe_once(probe, target)
+    assert not verdict.flagged, (
+        f"{probe.name} flagged a clean tenant: {verdict.verdict}"
+    )
+    after = guest_os_fingerprint(target.locate())
+    assert before == after, (
+        f"{probe.name} perturbed guest OS state:\n {before}\n != {after}"
+    )
+
+
+def check_unreachable(probe_factory):
+    """A gone tenant (crashed host, deleted VM) degrades gracefully."""
+    probe = probe_factory()
+    host, _target = build_rig()
+    gone = CloudInterface(host, lambda: None)
+    target = ProbeTarget(
+        host,
+        "ghost",
+        gone,
+        file_pages=RIG_FILE_PAGES,
+        wait_seconds=RIG_WAIT_SECONDS,
+    )
+    verdict = run_probe_once(probe, target)
+    assert verdict.verdict == "unreachable", (
+        f"{probe.name} returned {verdict.verdict!r} for a gone tenant"
+    )
+    assert not verdict.flagged
+
+
+#: check name -> callable(probe_factory); the parametrized suite and
+#: any out-of-tree probe's tests iterate exactly this.
+CONFORMANCE_CHECKS = {
+    "deterministic": check_deterministic,
+    "budget": check_budget,
+    "no_os_mutation": check_no_os_mutation,
+    "unreachable": check_unreachable,
+}

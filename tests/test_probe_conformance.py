@@ -1,0 +1,26 @@
+"""Every registered probe × every conformance check.
+
+The kit itself lives in :mod:`tests.probe_conformance`; this module is
+just the cross-product so a failing cell reads
+``test_conformance[vmi_invariance-budget]`` in the report.
+"""
+
+import pytest
+
+from repro.probes.base import get_probe, registered_probes
+from tests.probe_conformance import CONFORMANCE_CHECKS
+
+
+@pytest.mark.parametrize("check_name", sorted(CONFORMANCE_CHECKS))
+@pytest.mark.parametrize("probe_name", registered_probes())
+def test_conformance(probe_name, check_name):
+    check = CONFORMANCE_CHECKS[check_name]
+    check(lambda: get_probe(probe_name))
+
+
+def test_registry_has_the_catalog():
+    """The three built-ins register on import, KSM timing is default."""
+    from repro.probes.base import DEFAULT_PROBES
+
+    assert registered_probes() == ["dedup_spy", "ksm_timing", "vmi_invariance"]
+    assert DEFAULT_PROBES == ("ksm_timing",)

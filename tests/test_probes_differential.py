@@ -1,0 +1,99 @@
+"""Differential pins: the wrapped KSM-timing probe vs the pre-refactor path.
+
+The probe-catalog refactor moved the sweep's detector invocation behind
+:class:`repro.probes.catalog.KsmTimingProbe`.  These tests pin that the
+move is a pure refactor: same verdicts, same Fig 5/6 medians, same
+virtual clock, byte for byte, on the single-host scenario and on the
+pinned 4x12 fleet.
+"""
+
+from repro import scenarios
+from repro.cloud.fleet import run_fleet
+from repro.core.detection.dedup_detector import CloudInterface, DedupDetector
+from repro.core.detection.service import MonitoringService
+from repro.core.detection.vmcs_scan import scan_for_hypervisors
+from tests.fleet_helpers import (
+    DETECTION_PINS_SEED7,
+    FLEET_4X12,
+    FLEET_SWEEP_4X12_PIN,
+    detection_fingerprint,
+    fleet_sweep_fingerprint,
+)
+
+
+def _wrapped_sweep(nested, seed=7, file_pages=8, wait_seconds=6.0):
+    """The post-refactor path: MonitoringService with default probes."""
+    host, cloud, _ksm, locator = scenarios.detection_setup(
+        nested=nested, seed=seed
+    )
+    service = MonitoringService(
+        host, file_pages=file_pages, wait_seconds=wait_seconds
+    )
+    interface = service.register_tenant("victim", locator)
+    # Keep the rootkit's vendor-channel mirror wired, as FleetMonitor does.
+    interface.observers.extend(cloud.observers)
+    report = host.engine.run(host.engine.process(service.sweep()))
+    finding = report.findings[0]
+    verdict = finding.detection_report.verdict
+    return {
+        "verdict": finding.verdict,
+        "median_t0": verdict.median_t0,
+        "median_t1": verdict.median_t1,
+        "median_t2": verdict.median_t2,
+        "virtual_now": host.engine.now,
+    }
+
+
+def _prerefactor_sweep(nested, seed=7, file_pages=8, wait_seconds=6.0):
+    """A literal replica of the pre-catalog sweep loop for one tenant:
+    DedupDetector with the sweep's File-A path, then the VMCS scan."""
+    host, cloud, _ksm, locator = scenarios.detection_setup(
+        nested=nested, seed=seed
+    )
+    interface = CloudInterface(host, locator)
+    interface.observers.extend(cloud.observers)
+    detector = DedupDetector(
+        host,
+        interface,
+        file_pages=file_pages,
+        wait_seconds=wait_seconds,
+        file_path="/root/detect/sweep-0-0-victim.bin",
+    )
+
+    def loop():
+        report = yield from detector.run()
+        yield from scan_for_hypervisors(host)
+        return report
+
+    report = host.engine.run(host.engine.process(loop()))
+    verdict = report.verdict
+    return {
+        "verdict": verdict.verdict,
+        "median_t0": verdict.median_t0,
+        "median_t1": verdict.median_t1,
+        "median_t2": verdict.median_t2,
+        "virtual_now": host.engine.now,
+    }
+
+
+def test_wrapped_probe_is_byte_identical_on_clean_host():
+    assert _wrapped_sweep(nested=False) == _prerefactor_sweep(nested=False)
+
+
+def test_wrapped_probe_is_byte_identical_on_nested_host():
+    wrapped = _prerefactor_sweep(nested=True)
+    assert wrapped["verdict"] == "nested"
+    assert _wrapped_sweep(nested=True) == wrapped
+
+
+def test_fig56_fingerprints_still_match_the_pre_refactor_pins():
+    """The underlying detector is untouched: Fig 5/6 medians hold."""
+    assert detection_fingerprint(nested=False) == DETECTION_PINS_SEED7["clean"]
+    assert detection_fingerprint(nested=True) == DETECTION_PINS_SEED7["nested"]
+
+
+def test_explicit_ksm_probe_matches_the_4x12_fleet_pin():
+    """Spelling the default out (probes=('ksm_timing',)) changes nothing:
+    the pinned pre-refactor fleet fingerprint holds exactly."""
+    result = run_fleet(probes=("ksm_timing",), **FLEET_4X12)
+    assert fleet_sweep_fingerprint(result) == FLEET_SWEEP_4X12_PIN

@@ -1,0 +1,132 @@
+"""Edge cases for the probe catalog.
+
+Each probe's honest-limitation behavior, pinned: the VMI probe's two
+``inconclusive`` modes (the nested semantic gap, an unknown kernel
+build) and its recovery after a forged view is restored; the dedup-spy
+probe on a tenant with *nothing* shared; and the matrix ``probes``
+axis validation.
+"""
+
+import pytest
+
+from repro import scenarios
+from repro.matrix import MatrixSpec, expand
+from repro.matrix.spec import MatrixSpecError
+from repro.probes.base import ProbeTarget, get_probe
+from repro.vmi.subversion import forge_process_view, restore_process_view
+from tests.probe_conformance import (
+    RIG_FILE_PAGES,
+    RIG_WAIT_SECONDS,
+    build_rig,
+    run_probe_once,
+)
+from tests.test_matrix import TINY_SPEC
+
+
+def _unsettled_rig(nested, seed=1701):
+    """detection_setup with no settle idle: probes run at boot time."""
+    host, cloud, _ksm, _locator = scenarios.detection_setup(
+        nested=nested, seed=seed
+    )
+    target = ProbeTarget(
+        host,
+        "victim",
+        cloud,
+        file_pages=RIG_FILE_PAGES,
+        wait_seconds=RIG_WAIT_SECONDS,
+    )
+    return host, target
+
+
+def test_vmi_probe_recovers_after_view_is_restored():
+    """Subverted-then-restored: the probe flags the forgery, then — once
+    the attacker's DKSM view is torn down — reads the tenant clean."""
+    _host, target = build_rig()
+    guest = target.locate()
+    alive = sorted(
+        (proc.pid, proc.name, proc.user)
+        for proc in guest.kernel.table.processes()
+        if proc.alive
+    )
+    forge_process_view(guest, alive[:-1])  # hide one process
+
+    verdict = run_probe_once(get_probe("vmi_invariance"), target)
+    assert verdict.verdict == "subverted"
+    assert verdict.details["hidden"] == 1
+    assert verdict.details["injected"] == 0
+
+    restore_process_view(guest)
+    verdict = run_probe_once(get_probe("vmi_invariance"), target)
+    assert verdict.verdict == "clean"
+    assert verdict.details["hidden"] == 0
+
+
+def test_vmi_probe_reports_the_nested_semantic_gap():
+    """A depth-2 guest is behind two semantic gaps: the probe says it
+    cannot see (``inconclusive``), never ``clean`` — CloudSkulk's blind
+    spot stays visible in the report."""
+    _host, target = _unsettled_rig(nested=True)
+    verdict = run_probe_once(get_probe("vmi_invariance"), target)
+    assert verdict.verdict == "inconclusive"
+    assert verdict.details["reason"] == "semantic-gap"
+    assert verdict.details["depth"] == 2
+    assert not verdict.flagged
+
+
+def test_vmi_probe_without_layout_knowledge_is_inconclusive():
+    _host, target = build_rig()
+    guest = target.locate()
+    guest.kernel_version = "9.99.0-custom"
+    verdict = run_probe_once(get_probe("vmi_invariance"), target)
+    assert verdict.verdict == "inconclusive"
+    assert verdict.details["reason"] == "no-layout-knowledge"
+
+
+def test_dedup_spy_with_zero_shared_pages_is_clean():
+    """A tenant on a host with KSM off never shares a page: an empty
+    shared set is boring, not suspicious."""
+    from repro.core.detection.dedup_detector import CloudInterface
+
+    host = scenarios.testbed(seed=1701)
+    vm = scenarios.launch_victim(host)
+    cloud = CloudInterface(host, lambda: vm.guest)
+    target = ProbeTarget(
+        host,
+        "victim",
+        cloud,
+        file_pages=RIG_FILE_PAGES,
+        wait_seconds=RIG_WAIT_SECONDS,
+    )
+    verdict = run_probe_once(get_probe("dedup_spy"), target)
+    assert verdict.verdict == "clean"
+    assert verdict.details["shared_pages"] == 0
+    assert verdict.details["churn"] == 0
+
+
+def test_matrix_probes_axis_validated_and_split():
+    spec = MatrixSpec.loads(
+        TINY_SPEC + "[axis det]\nksm: probes = ksm_timing\n"
+        "all: probes = ksm_timing+vmi_invariance+dedup_spy\n"
+    )
+    by_id = {v.variant_id: v for v in expand(spec)}
+    assert by_id["det=all,probe=deep"].params["probes"] == (
+        "ksm_timing",
+        "vmi_invariance",
+        "dedup_spy",
+    )
+    assert by_id["det=ksm,probe=deep"].params["probes"] == ("ksm_timing",)
+    with pytest.raises(MatrixSpecError, match="unknown probe"):
+        MatrixSpec.loads(TINY_SPEC + "[axis d]\nx: probes = tarpit\n")
+    with pytest.raises(MatrixSpecError, match="listed twice"):
+        MatrixSpec.loads(
+            TINY_SPEC + "[axis d]\nx: probes = ksm_timing+ksm_timing\n"
+        )
+
+
+def test_probes_list_cli_names_the_catalog(capsys):
+    from repro.cli import main
+
+    assert main(["probes", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("ksm_timing", "vmi_invariance", "dedup_spy"):
+        assert name in out
