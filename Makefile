@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-chaos test-fork-determinism test-probes bench bench-quick bench-par lint trace-smoke matrix-smoke probes-smoke obs-report
+.PHONY: test test-fast test-chaos test-fork-determinism test-probes test-shard bench bench-quick bench-par bench-shard lint trace-smoke matrix-smoke probes-smoke obs-report
 
 test:
 	$(PYTHON) -m pytest -x -q --durations=10
@@ -31,6 +31,30 @@ test-probes:
 	$(PYTHON) -m pytest tests/test_probe_conformance.py \
 		tests/test_probes_differential.py tests/test_probes_score.py \
 		tests/test_probes_edges.py -x -q --durations=5
+
+# The sharded-core suite: protocol-level mesh tests plus the
+# serial-vs-sharded differential pins (CI's shard-smoke job runs this
+# on every push; the chaos-marked members also run under test-chaos).
+test-shard:
+	$(PYTHON) -m pytest -x -q -m shard --durations=5
+
+# Just the sharded-scaling benchmark entry: one warmed 16x192 fleet
+# branched serial and 4-way sharded, gated on the deterministic
+# critical-path speedup and the sync-message budget (see
+# sharded_sweep_entry in benchmarks/perf_report.py for why the raw
+# wall ratio is recorded but not gated).  Writes build/bench-shard.json.
+bench-shard:
+	mkdir -p build
+	$(PYTHON) -c "import json, sys; \
+		sys.path.insert(0, 'benchmarks'); \
+		from perf_report import sharded_sweep_entry; \
+		entry = sharded_sweep_entry(); \
+		json.dump(entry, open('build/bench-shard.json', 'w'), indent=2, sort_keys=True); \
+		print('critical-path %.2fx (target %.1fx), %d sync messages, fingerprint %s' \
+			% (entry['critical_path_speedup'], entry['speedup_target'], \
+			   entry['messages_sent'], \
+			   'match' if entry['fingerprint_matches_baseline'] else 'MISMATCH')); \
+		sys.exit(0 if entry['within_budget'] and entry['fingerprint_matches_baseline'] else 1)"
 
 # The CI probes smoke: score the small grid and diff against the
 # checked-in expected scores — `repro probes score --expected` exits 1

@@ -155,6 +155,7 @@ def _run_fleet_from_args(args, **overrides):
         rebalance_moves=getattr(args, "migrations", 0),
         campaigns=getattr(args, "campaigns", 0),
         sweeps=getattr(args, "sweeps", 0),
+        shards=getattr(args, "shards", None) or 1,
     )
     params.update(overrides)
     return run_fleet(**params)
@@ -316,15 +317,28 @@ def build_parser():
         sub_parser.add_argument("--tenants", type=int, default=tenants)
         sub_parser.add_argument("--seed", type=int, default=1701)
 
+    def _shards_arg(sub_parser):
+        sub_parser.add_argument(
+            "--shards",
+            type=positive_int,
+            default=None,
+            metavar="N",
+            help="shard the attack/sweep phase across N worker processes "
+            "with rack-aligned host ownership (results identical to "
+            "serial; N must not exceed --hosts)",
+        )
+
     fleet_run = fleet_sub.add_parser("run")
     _fleet_common(fleet_run, hosts=8, tenants=64)
     fleet_run.add_argument("--churn", type=int, default=24)
     fleet_run.add_argument("--migrations", type=int, default=2)
     fleet_run.add_argument("--campaigns", type=int, default=1)
     fleet_run.add_argument("--sweeps", type=int, default=1)
+    _shards_arg(fleet_run)
     fleet_run.set_defaults(func=cmd_fleet_run)
     fleet_sweep = fleet_sub.add_parser("sweep")
     _fleet_common(fleet_sweep, hosts=4, tenants=12)
+    _shards_arg(fleet_sweep)
     fleet_sweep.set_defaults(func=cmd_fleet_sweep)
     fleet_chaos = fleet_sub.add_parser(
         "chaos", help="score detection recall under injected fault mixes"

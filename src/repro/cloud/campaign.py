@@ -102,23 +102,47 @@ class AttackCampaign:
         running tenants can't host an experiment).
         """
         engine = self.datacenter.engine
+        shard = self.datacenter.shard
         targets = self._sample_targets()
         if not targets and not self.events:
             raise CloudError("attack campaign: no eligible tenants")
         for tenant in targets:
             host = tenant.host
             event = CampaignEvent(tenant.name, host.name)
+            if shard is not None and not shard.owns(host.name):
+                # Another shard owns the victim's host: wait for its
+                # completion message (the ghost resumes us at the exact
+                # virtual time the owner finished, and re-raises the
+                # owner's failure class if the install blew up).
+                from repro.cloud.sharding import GhostVm
+
+                yield shard.remote(("install", tenant.name), host.name)
+                event.installed_at = engine.now
+                tenant.vm = GhostVm()
+                tenant.compromised_at = engine.now
+                tenant.mirror = None
+                self.events.append(event)
+                continue
             installer = CloudSkulkInstaller(
                 host.system,
                 guestx_name=f"gx-{tenant.name}",
                 guestx_image=f"/var/lib/images/gx-{tenant.name}.qcow2",
                 nested_image=f"/srv/images/nested-{tenant.name}.qcow2",
             )
-            report = yield from installer.install(
-                target_name=tenant.name,
-                migration_mode=self.migration_mode,
-                migration_capabilities=self.migration_capabilities,
-            )
+            if shard is not None:
+                shard.begin(("install", tenant.name))
+            try:
+                report = yield from installer.install(
+                    target_name=tenant.name,
+                    migration_mode=self.migration_mode,
+                    migration_capabilities=self.migration_capabilities,
+                )
+            except BaseException as exc:
+                if shard is not None:
+                    shard.complete_error(("install", tenant.name), exc)
+                raise
+            if shard is not None:
+                shard.complete(("install", tenant.name))
             event.install_report = report
             event.installed_at = engine.now
             # The control plane's record now points at the nested VM —

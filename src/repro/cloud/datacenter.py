@@ -56,6 +56,11 @@ class Datacenter:
         #: one host at a time; migration moves the registry entry's host
         #: pointer, never the key).
         self.tenants = {}
+        #: Shard context (:class:`repro.cloud.sharding.ShardContext`)
+        #: when this replica is one worker of a sharded run, else None.
+        #: Host-heavy seams (fleet sweeps, campaign installs) check this
+        #: one attribute to decide owner-vs-ghost execution.
+        self.shard = None
 
     # -- hosts -------------------------------------------------------------
 

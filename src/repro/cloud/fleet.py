@@ -62,6 +62,9 @@ class FleetRunResult:
         self.injector = injector
         self.recall = 0.0
         self.detection_latencies = []
+        #: Shard-0 protocol counters when the branch ran sharded
+        #: (:mod:`repro.cloud.sharding`), else None.
+        self.shard_stats = None
 
     @property
     def tracer(self):
@@ -158,6 +161,8 @@ def _run_branch(
     migration_capabilities=(),
     campaign_stream=None,
     probes=None,
+    shards=1,
+    injector=None,
 ):
     """The divergent suffix of a fleet experiment: attack, sweep, score.
 
@@ -167,10 +172,18 @@ def _run_branch(
     current virtual time as base, so plans written against t=0 play out
     relative to the branch point.  Returns a scored
     :class:`FleetRunResult`.
+
+    ``shards > 1`` runs this branch sharded across worker processes
+    (:mod:`repro.cloud.sharding`): hosts partition rack-aligned, each
+    worker simulates only its own hosts, and cross-shard sweep/install
+    completions synchronize over pipes.  Same-seed results are
+    fingerprint-identical to the serial path; ``shards=1`` *is* the
+    serial path.  ``injector`` passes a pre-armed FaultInjector (the
+    cold ``run_fleet`` arms at t=0, before its warm phase) instead of
+    arming ``faults`` here.
     """
     engine = datacenter.engine
-    injector = None
-    if faults is not None:
+    if injector is None and faults is not None:
         from repro.faults.injector import FaultInjector
 
         injector = FaultInjector(datacenter, faults).arm(base=engine.now)
@@ -200,13 +213,27 @@ def _run_branch(
         if sweeps:
             yield monitor.run_periodic(max_sweeps=sweeps)
 
+    def finish():
+        result = FleetRunResult(
+            datacenter, placer, churn, orchestrator, monitor, campaign,
+            injector=injector,
+        )
+        result.recall, result.detection_latencies = campaign.score(
+            monitor.alerts
+        )
+        return result
+
+    if shards > 1:
+        from repro.cloud.sharding import run_control_sharded
+
+        result, shard_stats = run_control_sharded(
+            datacenter, control, finish, shards, name="fleet-branch"
+        )
+        result.shard_stats = shard_stats
+        return result
+
     engine.run(engine.process(control(), name="fleet-branch"))
-    result = FleetRunResult(
-        datacenter, placer, churn, orchestrator, monitor, campaign,
-        injector=injector,
-    )
-    result.recall, result.detection_latencies = campaign.score(monitor.alerts)
-    return result
+    return finish()
 
 
 class WarmFleet:
@@ -241,7 +268,7 @@ class WarmFleet:
         ``faults``, ``campaigns``, ``sweeps``, ``sweeps_per_hour``,
         ``max_concurrent_probes``, ``file_pages``, ``wait_seconds``,
         ``migration_mode``, ``migration_capabilities``,
-        ``campaign_stream``, ``probes``.
+        ``campaign_stream``, ``probes``, ``shards``.
         """
         if self.snapshot is None:
             from repro.sim.snapshot import SnapshotError
@@ -394,8 +421,16 @@ def run_fleet(
     trace_ring_capacity=None,
     faults=None,
     from_snapshot=None,
+    shards=1,
 ):
     """Run one complete fleet experiment; returns a FleetRunResult.
+
+    ``shards > 1`` splits the attack/sweep phase across worker
+    processes with rack-aligned host ownership and conservative
+    virtual-time sync (:mod:`repro.cloud.sharding`); the warm-up runs
+    serially first (its cross-host migrations need the whole fabric in
+    one engine), and results stay fingerprint-identical to
+    ``shards=1``.
 
     ``trace=True`` enables the fleet engine's tracer for the whole run
     (placements, churn-driven migrations, sweep waves, per-tenant
@@ -430,6 +465,7 @@ def run_fleet(
             migration_mode=migration_mode,
             migration_capabilities=migration_capabilities,
             probes=probes,
+            shards=shards,
         )
         if isinstance(from_snapshot, WarmFleet):
             return from_snapshot.branch(**branch_params)
@@ -457,6 +493,47 @@ def run_fleet(
     placer = BinPackingPlacer(datacenter)
     churn = TenantChurn(datacenter, placer)
     orchestrator = MigrationOrchestrator(datacenter)
+    if shards > 1:
+        # Warm serially (cross-host migrations need one engine over the
+        # whole fabric), then run the attack/sweep suffix sharded.  The
+        # injector stays armed against t=0 exactly as the cold path
+        # below arms it.
+        def warm_control():
+            try:
+                yield from churn.bring_up(tenants)
+            except SURVIVABLE_ERRORS:
+                if injector is None:
+                    raise
+            try:
+                yield from churn.run(churn_operations)
+            except SURVIVABLE_ERRORS:
+                if injector is None:
+                    raise
+            if rebalance_moves:
+                try:
+                    yield from orchestrator.rebalance(
+                        placer, moves=rebalance_moves
+                    )
+                except SURVIVABLE_ERRORS:
+                    if injector is None:
+                        raise
+
+        engine = datacenter.engine
+        engine.run(engine.process(warm_control(), name="fleet-warm"))
+        return _run_branch(
+            datacenter, placer, churn, orchestrator,
+            campaigns=campaigns,
+            sweeps=sweeps,
+            sweeps_per_hour=sweeps_per_hour,
+            max_concurrent_probes=max_concurrent_probes,
+            file_pages=file_pages,
+            wait_seconds=wait_seconds,
+            migration_mode=migration_mode,
+            migration_capabilities=migration_capabilities,
+            probes=probes,
+            shards=shards,
+            injector=injector,
+        )
     monitor = FleetMonitor(
         datacenter,
         sweeps_per_hour=sweeps_per_hour,

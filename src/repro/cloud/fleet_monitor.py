@@ -167,19 +167,35 @@ class FleetMonitor:
         """
         engine = self.datacenter.engine
         tracer = engine.tracer
+        shard = self.datacenter.shard
+        if shard is not None:
+            from repro.cloud.sharding import slim_sweep_report
         report = FleetReport(sweep_id)
         report.started_at = engine.now
         services = self._build_host_services()
         for start in range(0, len(services), self.max_concurrent_probes):
             wave = services[start : start + self.max_concurrent_probes]
             wave_started = engine.now
-            processes = [
-                engine.process(
-                    service.sweep(sweep_id=sweep_id),
-                    name=f"fleet-sweep:{host_name}",
-                )
-                for host_name, service in wave
-            ]
+            processes = []
+            for host_name, service in wave:
+                if shard is None or shard.owns(host_name):
+                    process = engine.process(
+                        service.sweep(sweep_id=sweep_id),
+                        name=f"fleet-sweep:{host_name}",
+                    )
+                    if shard is not None:
+                        # Peers merge the slimmed report at this exact
+                        # virtual completion time.
+                        shard.publish(
+                            ("sweep", sweep_id, host_name),
+                            process,
+                            transform=slim_sweep_report,
+                        )
+                    processes.append(process)
+                else:
+                    processes.append(
+                        shard.remote(("sweep", sweep_id, host_name), host_name)
+                    )
             results = yield engine.all_of(processes)
             for (host_name, _service), host_report in zip(wave, results):
                 report.host_reports[host_name] = host_report

@@ -261,7 +261,17 @@ class KsmDaemon:
         produced.
         """
         memory = self.memory
-        records_get = memory._scan_records.get
+        scan_records = memory._scan_records
+        if len(pfns) > 4:
+            # Candidate prefilter at C speed: in the settled state most
+            # cursor pfns are parked or shared and would fall out of the
+            # sweep on their first dict probe anyway.  Nothing adds to
+            # the index mid-batch (no virtual time passes, no writes),
+            # so membership now equals membership at visit time — except
+            # for pages this very batch parks, which the per-pfn None
+            # check below still catches.
+            pfns = list(filter(scan_records.__contains__, pfns))
+        records_get = scan_records.get
         counts_get = memory._candidate_count.get
         park = memory.park_candidate
         seen = self._seen

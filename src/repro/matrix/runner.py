@@ -80,7 +80,13 @@ def _variant_entry(variant, result, wall, warm_perf, warm_now=None):
     return entry
 
 
-def _run_group(variants, warm_fork=True, keep_results=None, capture_metrics=False):
+def _run_group(
+    variants,
+    warm_fork=True,
+    keep_results=None,
+    capture_metrics=False,
+    shards=None,
+):
     """Run one warm group; returns ``(group_info, {variant_id: entry})``.
 
     ``warm_fork=False`` is the cold comparator: every variant pays its
@@ -123,7 +129,9 @@ def _run_group(variants, warm_fork=True, keep_results=None, capture_metrics=Fals
             warm_perf = substrate.engine.perf.snapshot()
             warm_now = substrate.engine.now if capture_metrics else None
             started = time.perf_counter()
-            result = substrate.branch(faults=plan, **branch)
+            result = substrate.branch(
+                faults=plan, shards=shards or 1, **branch
+            )
             wall = time.perf_counter() - started
             entries[variant.variant_id] = _variant_entry(
                 variant, result, wall, warm_perf, warm_now=warm_now
@@ -148,12 +156,15 @@ def _matrix_worker(payload):
     """
     from repro.sim.snapshot import heap_frozen
 
-    groups, warm_fork, capture_metrics = payload
+    groups, warm_fork, capture_metrics, shards = payload
     out = []
     with heap_frozen():
         for group_index, variants in groups:
             group_info, entries = _run_group(
-                variants, warm_fork=warm_fork, capture_metrics=capture_metrics
+                variants,
+                warm_fork=warm_fork,
+                capture_metrics=capture_metrics,
+                shards=shards,
             )
             out.append((group_index, group_info, entries))
     return out
@@ -162,13 +173,26 @@ def _matrix_worker(payload):
 class MatrixRunner:
     """Expands a spec and runs every variant through the fleet harness."""
 
-    def __init__(self, spec, processes=None, warm_fork=True, capture_metrics=False):
+    def __init__(
+        self,
+        spec,
+        processes=None,
+        warm_fork=True,
+        capture_metrics=False,
+        shards=None,
+    ):
         if processes is not None and processes < 1:
             raise MatrixError(
                 f"--processes must be >= 1, got {processes}"
             )
+        if shards is not None and shards < 1:
+            raise MatrixError(f"--shards must be >= 1, got {shards}")
         self.spec = spec
         self.processes = processes
+        #: Shard count for each variant's branch phase (None/1 = serial;
+        #: see :mod:`repro.cloud.sharding`).  Fingerprints are
+        #: shard-invariant, so pinned expectations hold at any count.
+        self.shards = shards
         self.warm_fork = warm_fork
         #: Trace every variant and record per-tenant probe-overhead
         #: metrics in each entry (outside the canonical JSON).
@@ -208,6 +232,7 @@ class MatrixRunner:
                     warm_fork=self.warm_fork,
                     keep_results=self.results,
                     capture_metrics=self.capture_metrics,
+                    shards=self.shards,
                 )
                 group_infos[index] = group_info
                 entries.update(group_entries)
@@ -219,7 +244,7 @@ class MatrixRunner:
         indexed = list(enumerate(variants for _key, variants in groups))
         chunks = [indexed[i::workers] for i in range(workers)]
         payloads = [
-            (chunk, self.warm_fork, self.capture_metrics)
+            (chunk, self.warm_fork, self.capture_metrics, self.shards)
             for chunk in chunks
             if chunk
         ]

@@ -17,6 +17,16 @@ Two pieces:
 WORD_SHIFT = 6
 WORD_BITS = 1 << WORD_SHIFT
 
+#: All 64 bits set — the fully-dirty word bulk transfers produce.
+_FULL_WORD = (1 << WORD_BITS) - 1
+#: byte value -> tuple of set bit positions, precomputed once so the
+#: word scan peels whole bytes through a table lookup instead of a
+#: per-bit Python loop.
+_BYTE_PAGES = tuple(
+    tuple(bit for bit in range(8) if (value >> bit) & 1)
+    for value in range(256)
+)
+
 
 class DirtyBitmap:
     """A set of page numbers stored as 64-bit words.
@@ -83,20 +93,26 @@ class DirtyBitmap:
     def page_list(self):
         """Ascending list of dirty page numbers, word-wise.
 
-        Visits each populated word once, peeling set bits lowest-first
-        — replaces ``sorted(dirty_set)`` with an allocation per word
-        instead of per page.
+        Visits each populated word once.  A fully-set word (the shape
+        bulk writes produce) expands as one C-level ``range`` extend;
+        anything else is peeled byte-at-a-time through the precomputed
+        bit-position table, so the per-page Python loop only ever runs
+        over the set bits of non-zero bytes.
         """
         pages = []
-        append = pages.append
+        extend = pages.extend
         words = self.words
+        byte_pages = _BYTE_PAGES
         for word_index in sorted(words):
             bits = words[word_index]
             base = word_index << WORD_SHIFT
-            while bits:
-                low = bits & -bits
-                append(base + low.bit_length() - 1)
-                bits ^= low
+            if bits == _FULL_WORD:
+                extend(range(base, base + WORD_BITS))
+                continue
+            for byte_offset, byte in enumerate(bits.to_bytes(8, "little")):
+                if byte:
+                    start = base + (byte_offset << 3)
+                    extend(start + bit for bit in byte_pages[byte])
         return pages
 
     def __repr__(self):

@@ -1,0 +1,152 @@
+"""Per-shard trace collection and deterministic merge.
+
+A sharded run (:mod:`repro.sim.shard`) replicates the control plane in
+every worker, but each worker only *simulates* the hosts it owns — so
+each worker's tracer holds the authoritative span rows for its own
+hosts and replicated (duplicate) rows for everything control-level.
+Before the fin barrier every non-zero shard ships its owned rows to
+shard 0, which splices them into its own tracer:
+
+* **host-scoped tracks** (``host:h07``, ``ksm:h07``, any
+  ``prefix:hostname`` row) belong to exactly one shard; shard 0 drops
+  its frozen-replica copies and takes the owner's stream verbatim;
+* **tenant-scoped tracks** (``vm:t003``, ``migrate:t003``) follow the
+  tenant's *placement*: warm-phase rows are fork-replicated
+  bit-identically in every shard while branch-phase rows exist only on
+  the owner of the tenant's host, so the merge unions them by content
+  with max multiplicity — replicated rows collapse to one copy, owner
+  rows survive;
+* control-level tracks (``fleet``, ``faults``, ``engine``, ...) are
+  kept from shard 0 only — every replica recorded the same spans, and
+  shard 0's copy is the one whose wall-clock column means anything;
+* the merged buffer is re-sorted on **emission time** — a duration
+  (``X``) row is appended when the span *ends* but carries its start
+  timestamp, so its key is ``ts + dur`` — with ``(shard index,
+  arrival order)`` as the deterministic tiebreak.  With one shard the
+  sort is the identity, matching the serial append order.
+
+The merged stream is deterministic for a given plan but not
+byte-identical to the serial trace: rows whose args embed
+engine-global counter snapshots (the ``engine`` counter samples,
+per-sweep ``ksm_pages_scanned`` attributions) report each shard's
+local view, and same-timestamp rows at the exact control-end instant
+may fall on either side of the final event's heap tiebreak.  Metric
+registries are *not* merged at all: control-level counters are already
+complete in shard 0 (replicated increments), and folding in remote
+owner-side counters would double-count everything control-level.
+Owner-side-only series (per-tenant ``detect.probe_seconds``) therefore
+cover shard 0's hosts only in a sharded run — documented in
+INTERNALS §14.
+"""
+
+from collections import deque
+
+#: Tracer tuple fields (see ``Tracer._append`` — all event kinds share
+#: the 8-tuple shape ``(kind, name, cat, track, ts, dur, wall, args)``).
+_KIND_INDEX = 0
+_TRACK_INDEX = 3
+_TS_INDEX = 4
+_DUR_INDEX = 5
+
+
+def host_of_track(track):
+    """The ``prefix:suffix`` scope suffix of a track row, or None.
+
+    Host- and tenant-scoped rows follow the ``prefix:name`` convention
+    (``ksm:h03``, ``vm:t007``); single-word rows (``fleet``,
+    ``engine``) are control-level.
+    """
+    if not isinstance(track, str) or ":" not in track:
+        return None
+    return track.rsplit(":", 1)[1]
+
+
+def _emission_key(event):
+    """Virtual time at which the tracer appended this row."""
+    ts = event[_TS_INDEX]
+    if event[_KIND_INDEX] == "X":
+        return ts + event[_DUR_INDEX]
+    return ts
+
+
+def collect_shard_events(tracer, owned_hosts, all_hosts):
+    """This shard's shippable rows: owned-host tracks plus every
+    tenant-scoped track (classified as scoped-but-not-a-host-name)."""
+    owned = set(owned_hosts)
+    hosts = set(all_hosts)
+    out = []
+    for event in tracer.events():
+        scope = host_of_track(event[_TRACK_INDEX])
+        if scope is None:
+            continue
+        if scope in owned or scope not in hosts:
+            out.append(event)
+    return out
+
+
+def merge_shard_events(tracer, shard_events, all_hosts, scope_owner=None):
+    """Splice per-shard event lists into shard 0's tracer.
+
+    ``shard_events`` maps shard index -> event list (as produced by
+    :func:`collect_shard_events`); ``all_hosts`` is the full host
+    inventory, used to tell host-scoped from tenant-scoped tracks.
+    ``scope_owner`` maps tenant-track scopes (``t003``, ``gx-t003``)
+    to the shard that owns the tenant's final placement — rows on
+    those tracks come from the owner only, like host tracks (the
+    frozen replicas flush stale counters for foreign tenants at
+    end-of-run).  Scopes not in the map (tenants deleted before the
+    fork) fall back to the content-dedupe union.  Returns the merged
+    row count.
+    """
+    hosts = set(all_hosts)
+    scope_owner = scope_owner or {}
+    foreign_hosts = set()
+    for events in shard_events.values():
+        for event in events:
+            scope = host_of_track(event[_TRACK_INDEX])
+            if scope in hosts:
+                foreign_hosts.add(scope)
+
+    # (emission ts, shard, order, event) for every kept row.  Tenant
+    # tracks union by content with max multiplicity: a row repeated n
+    # times within one shard is genuine n times, but the same row seen
+    # again in a later shard is the fork-replicated copy.  Shard 0 is
+    # processed first so replicated rows keep its arrival order.
+    tagged = []
+    kept = {}  # repr(event) -> multiplicity already contributed
+
+    def add_rows(shard_index, events):
+        within = {}
+        for order, event in enumerate(events):
+            scope = host_of_track(event[_TRACK_INDEX])
+            if scope is None or scope in hosts:
+                if shard_index == 0 and scope in foreign_hosts:
+                    continue  # frozen-replica copy; the owner ships it
+                tagged.append(
+                    (_emission_key(event), shard_index, order, event)
+                )
+                continue
+            owner = scope_owner.get(scope)
+            if owner is not None:
+                if shard_index == owner:
+                    tagged.append(
+                        (_emission_key(event), shard_index, order, event)
+                    )
+                continue
+            # Content key without the wall-clock column: replicas emit
+            # the same row at different wall times (end-of-run counter
+            # flushes happen post-fork in every replica).
+            mark = repr(event[:6]) + repr(event[7])
+            within[mark] = within.get(mark, 0) + 1
+            if within[mark] > kept.get(mark, 0):
+                kept[mark] = within[mark]
+                tagged.append(
+                    (_emission_key(event), shard_index, order, event)
+                )
+
+    add_rows(0, list(tracer.events()))
+    for shard_index in sorted(shard_events):
+        add_rows(shard_index, shard_events[shard_index])
+    tagged.sort(key=lambda item: item[:3])
+    tracer._events = deque(event for _ts, _shard, _order, event in tagged)
+    return len(tagged)

@@ -49,7 +49,7 @@ class Event:
     :meth:`_add_callback`, which materializes the list on demand.
     """
 
-    __slots__ = ("engine", "callbacks", "_value", "_ok", "processed")
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "processed", "tainted", "when")
 
     def __init__(self, engine):
         self.engine = engine
@@ -60,6 +60,15 @@ class Event:
         #: callbacks.  Distinct from :attr:`triggered`: a Timeout is
         #: "triggered" (value assigned) from birth but fires later.
         self.processed = False
+        #: Send-relevance mark for sharded runs: True when popping this
+        #: event can transitively resume a process that broadcasts a
+        #: cross-shard completion.  The shard governor seeds and
+        #: propagates the mark (see :mod:`repro.sim.shard`); serial
+        #: runs never set it.  ``when`` is the absolute virtual fire
+        #: time, stamped by :meth:`Engine._enqueue` — the governor
+        #: reads it to bound the next cross-shard send without
+        #: scanning the heap.
+        self.tainted = False
 
     @property
     def triggered(self):
@@ -125,6 +134,7 @@ class Timeout(Event):
         self._ok = True
         self._value = value
         self.processed = False
+        self.tainted = False
         engine._enqueue(self, delay=delay)
 
 
@@ -139,6 +149,7 @@ class _Initialize(Event):
         self._ok = True
         self._value = None
         self.processed = False
+        self.tainted = False
         engine._enqueue(self)
 
 
@@ -211,6 +222,11 @@ class Process(Event):
         clone.name = self.name
         clone._ok = self._ok
         clone.processed = self.processed
+        clone.tainted = False  # shard governors exist only post-fork
+        try:
+            clone.when = self.when
+        except AttributeError:
+            pass
         clone.engine = deepcopy(self.engine, memo)
         clone.callbacks = deepcopy(self.callbacks, memo)
         clone._value = deepcopy(self._value, memo)
@@ -299,6 +315,10 @@ class Process(Event):
                 continue
             self._waiting_on = target
             target._add_callback(self._resume)
+            if self.tainted and not target.tainted:
+                governor = engine.governor
+                if governor is not None:
+                    governor.taint(target)
             return
 
 
@@ -406,6 +426,12 @@ class Engine:
         #: injector, so an unfaulted run pays nothing and replays
         #: byte-identically.
         self.faults = None
+        #: Shard governor (:mod:`repro.sim.shard`), or None.  When a
+        #: run is sharded across worker processes, the governor brakes
+        #: each step at the conservative-lookahead ceiling and injects
+        #: cross-shard ghost events; serial runs pay one attribute
+        #: check per step.
+        self.governor = None
         #: Physical memories whose page stores participate in
         #: snapshot/fork record sharing (see :meth:`register_memory`).
         self._memories = []
@@ -487,11 +513,16 @@ class Engine:
 
     def _enqueue(self, event, delay=0.0):
         self.perf.heap_pushes += 1
-        heapq.heappush(self._queue, (self._now + delay, next(self._sequence), event))
+        when = self._now + delay
+        event.when = when
+        heapq.heappush(self._queue, (when, next(self._sequence), event))
 
     def step(self):
         """Process the single next event; returns False when queue is empty."""
         queue = self._queue
+        governor = self.governor
+        if governor is not None:
+            governor.gate(queue[0][0] if queue else None)
         if not queue:
             return False
         when, _seq, event = heapq.heappop(queue)
